@@ -1,0 +1,411 @@
+package asyncft
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastConfig(seed int64) Config {
+	return Config{N: 4, T: 1, Seed: seed, Coin: CoinLocal, CoinRounds: 2, Timeout: 60 * time.Second}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"good", Config{N: 4, T: 1}, true},
+		{"optimal-7", Config{N: 7, T: 2}, true},
+		{"zero-faults", Config{N: 1, T: 0}, true},
+		{"resilience", Config{N: 4, T: 2}, false},
+		{"negative", Config{N: -1, T: 0}, false},
+		{"too-many-byz", Config{N: 4, T: 1, Byzantine: map[int]Behavior{0: Crash(), 1: Crash()}}, false},
+		{"byz-range", Config{N: 4, T: 1, Byzantine: map[int]Behavior{9: Crash()}}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cl, err := New(c.cfg)
+			if (err == nil) != c.ok {
+				t.Fatalf("New(%+v): err = %v, want ok=%v", c.cfg, err, c.ok)
+			}
+			if cl != nil {
+				cl.Close()
+			}
+		})
+	}
+}
+
+func TestClusterReliableBroadcast(t *testing.T) {
+	c, err := New(fastConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.ReliableBroadcast("x", 2, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestClusterShareAndReconstruct(t *testing.T) {
+	c, err := New(fastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.ShareAndReconstruct("s", 0, 987654321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 987654321 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestClusterBinaryAgreement(t *testing.T) {
+	c, err := New(fastConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.BinaryAgreement("b", map[int]byte{0: 1, 1: 1, 2: 1, 3: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("validity: got %d", got)
+	}
+}
+
+func TestClusterCoinFlip(t *testing.T) {
+	seen := map[byte]bool{}
+	for seed := int64(1); seed <= 6; seed++ {
+		c, err := New(fastConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := c.CoinFlip(fmt.Sprintf("c%d", seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[b] = true
+		c.Close()
+	}
+	if len(seen) == 0 {
+		t.Fatal("no outcomes")
+	}
+}
+
+func TestClusterFairBAUnanimous(t *testing.T) {
+	c, err := New(fastConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	inputs := map[int][]byte{}
+	for _, id := range c.PartyIDs() {
+		inputs[id] = []byte("same")
+	}
+	got, err := c.FairBA("u", inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "same" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestClusterWithCrashBehavior(t *testing.T) {
+	cfg := fastConfig(5)
+	cfg.Byzantine = map[int]Behavior{3: Crash()}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := len(c.Honest()); got != 3 {
+		t.Fatalf("Honest count = %d", got)
+	}
+	out, err := c.ReliableBroadcast("x", 0, []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "v" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestClusterWithNoiseBehavior(t *testing.T) {
+	cfg := fastConfig(6)
+	cfg.Byzantine = map[int]Behavior{2: Noise("rbc/x", "ba/y")}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out, err := c.ReliableBroadcast("x", 0, []byte("clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "clean" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestClusterMetricsAccumulate(t *testing.T) {
+	c, err := New(fastConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ReliableBroadcast("m", 0, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	if m.Messages == 0 || m.Bytes == 0 {
+		t.Fatalf("metrics empty: %+v", m)
+	}
+	found := false
+	for _, p := range m.ByProtocol {
+		if p.Proto == "rbc" && p.Messages > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no rbc stats: %+v", m.ByProtocol)
+	}
+}
+
+func TestClusterTargetedHolds(t *testing.T) {
+	cfg := fastConfig(8)
+	cfg.Scheduling = SchedulingTargeted
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id, err := c.Hold(0, 1, "rbc/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Lift(id); err != nil {
+		t.Fatal(err)
+	}
+	// Hold/Lift on a non-targeted cluster errors.
+	c2, err := New(fastConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Hold(0, 1, ""); err == nil {
+		t.Fatal("expected Hold error on random scheduling")
+	}
+	if err := c2.Lift(0); err == nil {
+		t.Fatal("expected Lift error on random scheduling")
+	}
+}
+
+func TestClusterFairChoiceRange(t *testing.T) {
+	cfg := fastConfig(10)
+	cfg.CoinRounds = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, err := c.FairChoice("f", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 || v >= 3 {
+		t.Fatalf("out of range: %d", v)
+	}
+}
+
+func TestClusterShunEventsZeroWhenHonest(t *testing.T) {
+	c, err := New(fastConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ShareAndReconstruct("h", 1, 42); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ShunEvents(); got != 0 {
+		t.Fatalf("shun events in honest run: %d", got)
+	}
+}
+
+func TestClusterTraceRecording(t *testing.T) {
+	cfg := fastConfig(12)
+	cfg.TraceCapacity = 4096
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ReliableBroadcast("tr", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	evs := c.TraceEvents()
+	if len(evs) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	sends, delivers := 0, 0
+	for _, e := range evs {
+		switch e.Kind {
+		case "send":
+			sends++
+		case "deliver":
+			delivers++
+		}
+	}
+	if sends == 0 || delivers == 0 {
+		t.Fatalf("sends=%d delivers=%d", sends, delivers)
+	}
+	var sb strings.Builder
+	c.DumpTrace(&sb)
+	if !strings.Contains(sb.String(), "rbc/tr") {
+		t.Fatal("dump missing session")
+	}
+}
+
+func TestClusterWithoutTraceIsEmpty(t *testing.T) {
+	c, err := New(fastConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ReliableBroadcast("x", 0, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if evs := c.TraceEvents(); evs != nil {
+		t.Fatalf("unexpected trace: %d events", len(evs))
+	}
+	var sb strings.Builder
+	c.DumpTrace(&sb) // must not panic
+	if sb.Len() != 0 {
+		t.Fatal("dump produced output without trace")
+	}
+}
+
+func TestCustomBehaviorFunc(t *testing.T) {
+	cfg := fastConfig(14)
+	called := make(chan struct{}, 1)
+	cfg.Byzantine = map[int]Behavior{3: BehaviorFunc("probe", func(ctx context.Context, p *Party) error {
+		if p.ID != 3 || p.N != 4 || p.T != 1 {
+			t.Errorf("party caps wrong: %+v", p)
+		}
+		p.SendAll("junk", 1, []byte{1})
+		p.Send(0, "junk", 2, nil)
+		called <- struct{}{}
+		<-ctx.Done()
+		return nil
+	})}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	select {
+	case <-called:
+	case <-time.After(5 * time.Second):
+		t.Fatal("behavior never ran")
+	}
+	if out, err := c.ReliableBroadcast("bf", 1, []byte("v")); err != nil || string(out) != "v" {
+		t.Fatalf("broadcast under custom behavior: %q %v", out, err)
+	}
+}
+
+func TestClusterSecureSum(t *testing.T) {
+	cfg := fastConfig(15)
+	cfg.CoinRounds = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sum, set, err := c.SecureSum("s", map[int]uint64{0: 100, 1: 200, 2: 300, 3: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) < 3 {
+		t.Fatalf("core set too small: %v", set)
+	}
+	var want uint64
+	for _, j := range set {
+		want += uint64(100 * (j + 1))
+	}
+	if sum != want {
+		t.Fatalf("sum = %d, want %d over %v", sum, want, set)
+	}
+}
+
+func TestClusterRandomInt(t *testing.T) {
+	cfg := fastConfig(16)
+	cfg.CoinRounds = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, err := c.RandomInt("r", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 || v >= 6 {
+		t.Fatalf("out of range: %d", v)
+	}
+}
+
+func TestClusterEquivocatingDealerContract(t *testing.T) {
+	// The examples/byzantine scenario as a regression test: an equivocating
+	// SVSS dealer must never break binding silently — either all honest
+	// parties agree, or a shun event is recorded.
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := fastConfig(seed)
+		cfg.CoinRounds = 1
+		session := "svss/contract"
+		cfg.Byzantine = map[int]Behavior{
+			3: EquivocatingDealer(session, map[int]int{0: 0, 1: 0, 2: 1}, seed),
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.ShareAndReconstruct("contract", 3, 0)
+		shuns := c.ShunEvents()
+		if err != nil && shuns == 0 {
+			t.Fatalf("seed %d: binding broken with zero shuns: %v", seed, err)
+		}
+		if shuns >= 16 {
+			t.Fatalf("seed %d: shun bound violated: %d", seed, shuns)
+		}
+		c.Close()
+	}
+}
+
+func TestClusterLyingRevealerRecovered(t *testing.T) {
+	cfg := fastConfig(17)
+	session := "svss/liar2"
+	cfg.Byzantine = map[int]Behavior{3: LyingRevealer(session, 0)}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.ShareAndReconstruct("liar2", 0, 5555)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5555 {
+		t.Fatalf("honest dealer's secret lost: %d", got)
+	}
+}

@@ -1,0 +1,139 @@
+package asyncft
+
+// The benchmark suite doubles as the evaluation harness index: one
+// BenchmarkE<i> per experiment in EXPERIMENTS.md, each running its
+// experiment at smoke scale per iteration and reporting the headline
+// statistic through b.ReportMetric, plus conventional micro/throughput
+// benchmarks for the substrates. `go test -bench=. -benchmem` regenerates
+// every number reported in EXPERIMENTS.md (at reduced trial counts; use
+// cmd/experiments for full-resolution tables).
+
+import (
+	"testing"
+
+	"asyncft/internal/experiments"
+)
+
+const benchScale = experiments.Scale(0.15)
+
+func runExperiment(b *testing.B, fn func(experiments.Scale) (*experiments.Table, error)) {
+	b.Helper()
+	var headline float64
+	var name string
+	for i := 0; i < b.N; i++ {
+		tbl, err := fn(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		headline, name = tbl.Headline, tbl.HeadlineName
+	}
+	b.ReportMetric(headline, metricName(name))
+}
+
+// metricName compresses a headline description into a benchmark unit.
+func metricName(s string) string {
+	switch {
+	case len(s) == 0:
+		return "headline"
+	default:
+		out := make([]rune, 0, len(s))
+		for _, r := range s {
+			switch {
+			case r == ' ':
+				out = append(out, '_')
+			case r == '(' || r == ')' || r == '≥' || r == '<' || r == '|' || r == '=' || r == ',' || r == '/':
+				// drop
+			default:
+				out = append(out, r)
+			}
+		}
+		return string(out)
+	}
+}
+
+func BenchmarkE1CoinBias(b *testing.B)       { runExperiment(b, experiments.E1CoinBias) }
+func BenchmarkE2CoinAgreement(b *testing.B)  { runExperiment(b, experiments.E2CoinAgreement) }
+func BenchmarkE3ShunBound(b *testing.B)      { runExperiment(b, experiments.E3ShunBound) }
+func BenchmarkE4FairValidity(b *testing.B)   { runExperiment(b, experiments.E4FairValidity) }
+func BenchmarkE5Unanimity(b *testing.B)      { runExperiment(b, experiments.E5Unanimity) }
+func BenchmarkE6Scaling(b *testing.B)        { runExperiment(b, experiments.E6Scaling) }
+func BenchmarkE7CoinComparison(b *testing.B) { runExperiment(b, experiments.E7CoinComparison) }
+func BenchmarkE8LowerBound(b *testing.B)     { runExperiment(b, experiments.E8LowerBound) }
+func BenchmarkE9FairChoice(b *testing.B)     { runExperiment(b, experiments.E9FairChoice) }
+
+func BenchmarkAblationReconstruct(b *testing.B) {
+	runExperiment(b, experiments.AblationReconstruct)
+}
+
+func BenchmarkAblationPolicy(b *testing.B) {
+	runExperiment(b, experiments.AblationPolicy)
+}
+
+// Substrate throughput benchmarks (per protocol invocation on a fresh
+// 4-party cluster; includes cluster setup, dominated by protocol traffic).
+
+func BenchmarkProtoReliableBroadcast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := New(Config{N: 4, T: 1, Seed: int64(i + 1), Coin: CoinLocal, CoinRounds: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.ReliableBroadcast("b", 0, []byte("bench")); err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+func BenchmarkProtoSVSSShareRec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := New(Config{N: 4, T: 1, Seed: int64(i + 1), Coin: CoinLocal, CoinRounds: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.ShareAndReconstruct("b", 0, 42); err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+func BenchmarkProtoBinaryAgreement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := New(Config{N: 4, T: 1, Seed: int64(i + 1), Coin: CoinLocal, CoinRounds: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.BinaryAgreement("b", map[int]byte{0: 0, 1: 1, 2: 0, 3: 1}); err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+func BenchmarkProtoStrongCoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := New(Config{N: 4, T: 1, Seed: int64(i + 1), Coin: CoinLocal, CoinRounds: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.CoinFlip("b"); err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+func BenchmarkProtoFairBA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := New(Config{N: 4, T: 1, Seed: int64(i + 1), Coin: CoinLocal, CoinRounds: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs := map[int][]byte{0: []byte("a"), 1: []byte("b"), 2: []byte("c"), 3: []byte("d")}
+		if _, err := c.FairBA("b", inputs); err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}

@@ -1,0 +1,446 @@
+package asyncft
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"asyncft/internal/adversary"
+	"asyncft/internal/ba"
+	"asyncft/internal/beacon"
+	"asyncft/internal/core"
+	"asyncft/internal/field"
+	"asyncft/internal/network"
+	"asyncft/internal/rbc"
+	"asyncft/internal/runtime"
+	"asyncft/internal/securesum"
+	"asyncft/internal/svss"
+	"asyncft/internal/trace"
+	"asyncft/internal/wire"
+)
+
+// Cluster is a set of parties wired over a simulated asynchronous network.
+// Honest parties run the paper's protocols; corrupted parties (Config.
+// Byzantine) run their assigned behaviors. All protocol methods block until
+// every honest party finishes (or the cluster timeout fires) and verify
+// that honest outputs agree — disagreement is reported as an error because
+// it falsifies a protocol property, never swallowed.
+type Cluster struct {
+	cfg      Config
+	router   *network.Router
+	targeted *network.Targeted // non-nil iff SchedulingTargeted
+	nodes    []*runtime.Node
+	envs     []*runtime.Env
+	ctx      context.Context
+	cancel   context.CancelFunc
+	core     core.Config
+	rec      *trace.Recorder // nil unless Config.TraceCapacity > 0
+}
+
+// Party is the capability bundle handed to custom BehaviorFunc attacks.
+type Party struct {
+	// ID is the corrupted party's index; N and T the cluster parameters.
+	ID, N, T int
+	env      *runtime.Env
+}
+
+// Send emits a raw protocol message — Byzantine parties speak the wire
+// format directly.
+func (p *Party) Send(to int, session string, msgType uint8, payload []byte) {
+	p.env.Send(to, session, msgType, payload)
+}
+
+// SendAll emits the message to every party.
+func (p *Party) SendAll(session string, msgType uint8, payload []byte) {
+	p.env.SendAll(session, msgType, payload)
+}
+
+type behaviorFunc struct {
+	name string
+	fn   func(ctx context.Context, p *Party) error
+}
+
+func (b behaviorFunc) Name() string { return b.name }
+func (b behaviorFunc) Run(ctx context.Context, env *runtime.Env) error {
+	return b.fn(ctx, &Party{ID: env.ID, N: env.N, T: env.T, env: env})
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	policy := cfg.policy()
+	var ropts []network.Option
+	c := &Cluster{cfg: cfg, core: cfg.coreConfig()}
+	if cfg.TraceCapacity > 0 {
+		c.rec = trace.New(cfg.TraceCapacity)
+		ropts = append(ropts, network.WithObserver(func(stage string, env wire.Envelope) {
+			c.rec.Recordf(env.From, env.Session, stage, "to=%d type=%d bytes=%d", env.To, env.Type, len(env.Payload))
+		}))
+	}
+	c.router = network.NewRouter(cfg.N, policy, ropts...)
+	if t, ok := policy.(*network.Targeted); ok {
+		c.targeted = t
+	}
+	c.ctx, c.cancel = context.WithTimeout(context.Background(), cfg.Timeout)
+	for i := 0; i < cfg.N; i++ {
+		node := runtime.NewNode(i, cfg.N, cfg.T)
+		c.nodes = append(c.nodes, node)
+		c.router.Register(i, node.Dispatch)
+		c.envs = append(c.envs, runtime.NewEnv(i, cfg.N, cfg.T, node, c.router, cfg.Seed*7919+int64(i)))
+	}
+	// Launch Byzantine behaviors for the lifetime of the cluster.
+	for id, b := range cfg.Byzantine {
+		id, inner := id, b.inner
+		go func() { _ = inner.Run(c.ctx, c.envs[id]) }()
+	}
+	return c, nil
+}
+
+// Close shuts the cluster down and releases all goroutines.
+func (c *Cluster) Close() {
+	c.cancel()
+	for _, nd := range c.nodes {
+		nd.Close()
+	}
+	c.router.Close()
+}
+
+// Honest returns the indices of the honest (non-Byzantine) parties.
+func (c *Cluster) Honest() []int {
+	var ids []int
+	for i := 0; i < c.cfg.N; i++ {
+		if _, bad := c.cfg.Byzantine[i]; !bad {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// Hold installs a targeted message hold (SchedulingTargeted only) matching
+// messages from one party to another (-1 wildcards) whose session has the
+// given prefix. It returns a handle for Lift.
+func (c *Cluster) Hold(from, to int, sessionPrefix string) (int, error) {
+	if c.targeted == nil {
+		return 0, fmt.Errorf("asyncft: Hold requires SchedulingTargeted")
+	}
+	return c.targeted.Hold(network.Rule{From: from, To: to, SessionPrefix: sessionPrefix}), nil
+}
+
+// Lift removes a targeted hold.
+func (c *Cluster) Lift(id int) error {
+	if c.targeted == nil {
+		return fmt.Errorf("asyncft: Lift requires SchedulingTargeted")
+	}
+	c.targeted.Lift(id)
+	return nil
+}
+
+// Metrics returns a snapshot of network traffic counters.
+func (c *Cluster) Metrics() MetricsSnapshot {
+	m := c.router.Metrics()
+	out := MetricsSnapshot{Messages: m.Messages, Bytes: m.Bytes}
+	for _, p := range m.ByProto {
+		out.ByProtocol = append(out.ByProtocol, ProtocolStat(p))
+	}
+	return out
+}
+
+// MetricsSnapshot summarizes network traffic.
+type MetricsSnapshot struct {
+	Messages   uint64
+	Bytes      uint64
+	ByProtocol []ProtocolStat
+}
+
+// ProtocolStat is the per-protocol traffic row.
+type ProtocolStat struct {
+	Proto    string
+	Messages uint64
+	Bytes    uint64
+}
+
+// TraceEvent is one recorded network event (see Config.TraceCapacity).
+type TraceEvent struct {
+	Seq     uint64
+	Party   int
+	Session string
+	Kind    string
+	Detail  string
+}
+
+// TraceEvents returns the retained trace, oldest first. Empty unless
+// Config.TraceCapacity was set.
+func (c *Cluster) TraceEvents() []TraceEvent {
+	if c.rec == nil {
+		return nil
+	}
+	evs := c.rec.Events()
+	out := make([]TraceEvent, len(evs))
+	for i, e := range evs {
+		out[i] = TraceEvent{Seq: e.Seq, Party: e.Party, Session: e.Session, Kind: e.Kind, Detail: e.Detail}
+	}
+	return out
+}
+
+// DumpTrace writes the retained trace to w (no-op without TraceCapacity).
+func (c *Cluster) DumpTrace(w io.Writer) {
+	if c.rec != nil {
+		c.rec.Dump(w)
+	}
+}
+
+// ShunEvents returns the total number of shun events recorded by honest
+// parties — the quantity the paper bounds by n².
+func (c *Cluster) ShunEvents() int {
+	total := 0
+	for _, id := range c.Honest() {
+		total += c.nodes[id].ShunCount()
+	}
+	return total
+}
+
+// run executes fn at every honest party concurrently.
+func (c *Cluster) run(fn func(ctx context.Context, env *runtime.Env) (interface{}, error)) map[int]result {
+	honest := c.Honest()
+	ch := make(chan result, len(honest))
+	for _, id := range honest {
+		id := id
+		go func() {
+			v, err := fn(c.ctx, c.envs[id])
+			ch <- result{id: id, value: v, err: err}
+		}()
+	}
+	out := make(map[int]result, len(honest))
+	for range honest {
+		r := <-ch
+		out[r.id] = r
+	}
+	return out
+}
+
+type result struct {
+	id    int
+	value interface{}
+	err   error
+}
+
+// CoinFlip runs the strong common coin (Algorithm 1) across all honest
+// parties and returns the agreed bit.
+func (c *Cluster) CoinFlip(session string) (byte, error) {
+	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return core.CoinFlip(ctx, c.ctx, env, "cf/"+session, c.core)
+	})
+	return agreeByte(res)
+}
+
+// FairChoice runs Algorithm 2 across all honest parties: agreement on one
+// of {0, …, m−1}, almost fairly. m must be at least 3.
+func (c *Cluster) FairChoice(session string, m int) (int, error) {
+	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return core.FairChoice(ctx, c.ctx, env, "fc/"+session, m, c.core)
+	})
+	var ref int
+	first := true
+	for id, r := range res {
+		if r.err != nil {
+			return 0, fmt.Errorf("party %d: %w", id, r.err)
+		}
+		v := r.value.(int)
+		if first {
+			ref, first = v, false
+		} else if ref != v {
+			return 0, fmt.Errorf("agreement violated: %d vs %d", ref, v)
+		}
+	}
+	return ref, nil
+}
+
+// FairBA runs fair Byzantine agreement (Algorithm 3). inputs maps party →
+// input value; missing honest parties default to nil inputs. It returns the
+// common output.
+func (c *Cluster) FairBA(session string, inputs map[int][]byte) ([]byte, error) {
+	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return core.FBA(ctx, c.ctx, env, "fba/"+session, inputs[env.ID], c.core)
+	})
+	return agreeBytes(res)
+}
+
+// BinaryAgreement runs one almost-surely terminating binary BA instance
+// (Definition 3.3) with the configured coin. inputs maps party → bit;
+// missing honest parties default to 0.
+func (c *Cluster) BinaryAgreement(session string, inputs map[int]byte) (byte, error) {
+	sess := "ba/" + session
+	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		coin := c.core.InnerCoinFor(c.ctx, env, sess)
+		return ba.Run(ctx, env, sess, inputs[env.ID], coin, c.core.BA)
+	})
+	return agreeByte(res)
+}
+
+// ReliableBroadcast runs one A-Cast from sender with the given value and
+// returns the commonly delivered value.
+func (c *Cluster) ReliableBroadcast(session string, sender int, value []byte) ([]byte, error) {
+	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		var in []byte
+		if env.ID == sender {
+			in = value
+		}
+		return rbc.Run(ctx, env, "rbc/"+session, sender, in)
+	})
+	return agreeBytes(res)
+}
+
+// ShareAndReconstruct shares secret from dealer via SVSS and immediately
+// reconstructs it, returning the commonly reconstructed value. It validates
+// the full share→reconstruct pipeline, including binding-or-shun behavior
+// under the configured adversary.
+func (c *Cluster) ShareAndReconstruct(session string, dealer int, secret uint64) (uint64, error) {
+	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		sh, err := svss.RunShare(ctx, env, "svss/"+session, dealer, field.New(secret))
+		if err != nil {
+			return nil, err
+		}
+		v, err := svss.RunRec(ctx, env, sh, c.core.SVSS)
+		if err != nil {
+			return nil, err
+		}
+		return v.Uint64(), nil
+	})
+	var ref uint64
+	first := true
+	for id, r := range res {
+		if r.err != nil {
+			return 0, fmt.Errorf("party %d: %w", id, r.err)
+		}
+		v := r.value.(uint64)
+		if first {
+			ref, first = v, false
+		} else if ref != v {
+			return 0, fmt.Errorf("agreement violated: %d vs %d", ref, v)
+		}
+	}
+	return ref, nil
+}
+
+// PartyIDs returns 0..N-1, a convenience for building input maps.
+func (c *Cluster) PartyIDs() []int {
+	ids := make([]int, c.cfg.N)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func agreeByte(res map[int]result) (byte, error) {
+	var ref byte
+	first := true
+	ids := make([]int, 0, len(res))
+	for id := range res {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := res[id]
+		if r.err != nil {
+			return 0, fmt.Errorf("party %d: %w", id, r.err)
+		}
+		v := r.value.(byte)
+		if first {
+			ref, first = v, false
+		} else if ref != v {
+			return 0, fmt.Errorf("agreement violated: party %d output %d, expected %d", id, v, ref)
+		}
+	}
+	return ref, nil
+}
+
+func agreeBytes(res map[int]result) ([]byte, error) {
+	var ref []byte
+	first := true
+	ids := make([]int, 0, len(res))
+	for id := range res {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := res[id]
+		if r.err != nil {
+			return nil, fmt.Errorf("party %d: %w", id, r.err)
+		}
+		v := r.value.([]byte)
+		if first {
+			ref, first = v, false
+		} else if string(ref) != string(v) {
+			return nil, fmt.Errorf("agreement violated: party %d output %q, expected %q", id, v, ref)
+		}
+	}
+	return ref, nil
+}
+
+var _ adversary.Behavior = behaviorFunc{}
+
+// SecureSum runs asynchronous secure aggregation (internal/securesum):
+// every honest party contributes its private input from the map, and the
+// cluster returns the agreed sum over the agreed core set of contributors
+// — without any individual honest input ever being opened.
+func (c *Cluster) SecureSum(session string, inputs map[int]uint64) (uint64, []int, error) {
+	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return securesum.Run(ctx, c.ctx, env, "ss/"+session, field.New(inputs[env.ID]), c.core)
+	})
+	var ref *securesum.Result
+	ids := make([]int, 0, len(res))
+	for id := range res {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := res[id]
+		if r.err != nil {
+			return 0, nil, fmt.Errorf("party %d: %w", id, r.err)
+		}
+		got := r.value.(*securesum.Result)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if ref.Sum != got.Sum || len(ref.Contributors) != len(got.Contributors) {
+			return 0, nil, fmt.Errorf("agreement violated: party %d sum %v set %v, expected %v %v",
+				id, got.Sum, got.Contributors, ref.Sum, ref.Contributors)
+		}
+	}
+	return ref.Sum.Uint64(), ref.Contributors, nil
+}
+
+// RandomInt draws an agreed random value in [0, m) from a beacon built on
+// the strong common coin (rejection-sampled, so the only bias is the
+// per-bit ε).
+func (c *Cluster) RandomInt(session string, m int) (int, error) {
+	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		b := beacon.New(c.ctx, env, "bc/"+session, c.core)
+		return b.Intn(ctx, m)
+	})
+	var ref int
+	first := true
+	ids := make([]int, 0, len(res))
+	for id := range res {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := res[id]
+		if r.err != nil {
+			return 0, fmt.Errorf("party %d: %w", id, r.err)
+		}
+		v := r.value.(int)
+		if first {
+			ref, first = v, false
+		} else if v != ref {
+			return 0, fmt.Errorf("agreement violated: %d vs %d", v, ref)
+		}
+	}
+	return ref, nil
+}

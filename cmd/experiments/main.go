@@ -1,0 +1,65 @@
+// Command experiments regenerates the full evaluation of EXPERIMENTS.md:
+// one table per quantitative claim of the paper (E1–E9) plus the design
+// ablations. Use -scale to trade statistical resolution for wall time and
+// -only to run a single experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"asyncft/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "trial-count multiplier (0.1 = smoke run, 1.0 = full)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E8); empty = all")
+	flag.Parse()
+
+	type exp struct {
+		id string
+		fn func(experiments.Scale) (*experiments.Table, error)
+	}
+	all := []exp{
+		{"E1", experiments.E1CoinBias},
+		{"E2", experiments.E2CoinAgreement},
+		{"E3", experiments.E3ShunBound},
+		{"E4", experiments.E4FairValidity},
+		{"E5", experiments.E5Unanimity},
+		{"E6", experiments.E6Scaling},
+		{"E7", experiments.E7CoinComparison},
+		{"E8", experiments.E8LowerBound},
+		{"E9", experiments.E9FairChoice},
+		{"A1", experiments.AblationReconstruct},
+		{"A2", experiments.AblationPolicy},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	failures := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		tbl, err := e.fn(experiments.Scale(*scale))
+		if tbl != nil {
+			tbl.Fprint(os.Stdout)
+		}
+		if err != nil {
+			failures++
+			log.Printf("%s FAILED: %v", e.id, err)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d experiment(s) falsified their claim\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+// Package asyncft is a Go implementation of "Revisiting Asynchronous Fault
+// Tolerant Computation with Optimal Resilience" (Abraham, Dolev, Stern,
+// PODC 2020): asynchronous fault-tolerant protocols with optimal resilience
+// n ≥ 3t+1 in the information-theoretic setting, built entirely on the Go
+// standard library.
+//
+// The library provides:
+//
+//   - CoinFlip — an ε-biased, almost-surely terminating strong common coin
+//     (the paper's Algorithm 1): all parties always agree on the outcome,
+//     and each outcome has probability ≥ 1/2 − ε.
+//   - FairChoice — agreement on one of m elements such that any majority
+//     subset wins with probability ≥ 1/2 (Algorithm 2).
+//   - FairBA — multivalued Byzantine agreement with fair validity: a
+//     unanimous honest input always wins, and otherwise some honest party's
+//     input wins with probability ≥ 1/2 (Algorithm 3) — the first such
+//     protocol in the information-theoretic setting.
+//   - The full substrate stack: Bracha reliable broadcast, shunning
+//     verifiable secret sharing, weak common coins, almost-surely
+//     terminating binary agreement, and the CommonSubset protocol
+//     (Algorithm 4), each usable on its own.
+//   - An executable rendition of the paper's Section 2 lower bound
+//     (Theorem 2.2): a terminating AVSS for n = 4, t = 1 together with the
+//     attacks that break its correctness, demonstrating why the upper-bound
+//     protocols must be "almost surely" rather than "surely" terminating.
+//
+// Everything runs over a simulated asynchronous network (package
+// internal/network) whose message scheduling the test harness fully
+// controls — FIFO, seeded random reordering, or targeted adversarial holds —
+// plus a library of Byzantine party behaviors.
+//
+// # Quick start
+//
+//	cluster, err := asyncft.New(asyncft.Config{N: 4, T: 1, Seed: 42})
+//	if err != nil { ... }
+//	defer cluster.Close()
+//	coin, err := cluster.CoinFlip("demo")       // strong common coin
+//	winner, err := cluster.FairBA("election", map[int][]byte{
+//		0: []byte("a"), 1: []byte("b"), 2: []byte("c"), 3: []byte("d"),
+//	})
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the harness
+// that reproduces every quantitative claim of the paper.
+package asyncft

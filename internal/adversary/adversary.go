@@ -1,0 +1,181 @@
+// Package adversary is a library of Byzantine behaviors used by the test
+// suite, the experiment harness, and the public Cluster API. A Behavior
+// replaces the honest protocol code of a corrupted party; the network
+// scheduler remains a separate adversarial lever (see network.Targeted).
+//
+// Behaviors deliberately speak the raw wire protocol of the modules they
+// attack — a Byzantine party is not obliged to run any particular code.
+package adversary
+
+import (
+	"context"
+	"math/rand"
+
+	"asyncft/internal/field"
+	"asyncft/internal/network"
+	"asyncft/internal/runtime"
+	"asyncft/internal/svss"
+	"asyncft/internal/wire"
+)
+
+// Behavior is a Byzantine strategy for one corrupted party.
+type Behavior interface {
+	// Name identifies the strategy in experiment tables.
+	Name() string
+	// Run executes the strategy until the context ends. Implementations
+	// must not panic on any input.
+	Run(ctx context.Context, env *runtime.Env) error
+}
+
+// Crash is the silent adversary: the party sends nothing at all.
+type Crash struct{}
+
+// Name implements Behavior.
+func (Crash) Name() string { return "crash" }
+
+// Run implements Behavior.
+func (Crash) Run(ctx context.Context, env *runtime.Env) error {
+	<-ctx.Done()
+	return nil
+}
+
+// Noise floods random sessions with structurally valid-looking garbage: a
+// robustness fuzzer that honest protocols must shrug off (every malformed-
+// message path in the codebase exists because of this adversary).
+type Noise struct {
+	// Sessions are the session IDs to pollute. Empty means a small default
+	// set of plausible prefixes.
+	Sessions []string
+	// Messages is the number of garbage messages to emit (default 256).
+	Messages int
+}
+
+// Name implements Behavior.
+func (Noise) Name() string { return "noise" }
+
+// Run implements Behavior.
+func (a Noise) Run(ctx context.Context, env *runtime.Env) error {
+	sessions := a.Sessions
+	if len(sessions) == 0 {
+		sessions = []string{"svss", "ba", "cs", "cf", "rbc", "wc"}
+	}
+	msgs := a.Messages
+	if msgs <= 0 {
+		msgs = 256
+	}
+	rng := env.Rand
+	for i := 0; i < msgs; i++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		sess := sessions[rng.Intn(len(sessions))]
+		to := rng.Intn(env.N)
+		typ := uint8(rng.Intn(6))
+		payload := make([]byte, rng.Intn(24))
+		rng.Read(payload)
+		env.Send(to, sess, typ, payload)
+	}
+	<-ctx.Done()
+	return nil
+}
+
+// EquivocatingDealer mounts the SVSS binding attack: as dealer of the given
+// share session it distributes rows drawn from two different bivariate
+// polynomials (secrets 0 and 1), splitting the honest parties into two
+// camps, and equivocates its reveals the same way. The SVSS contract then
+// forces a shun event whenever binding would otherwise break.
+type EquivocatingDealer struct {
+	// Session is the SVSS share session to corrupt.
+	Session string
+	// Camp maps party → 0 or 1, the world each victim is shown. Parties
+	// missing from the map receive nothing (treated as the silenced camp).
+	Camp map[int]int
+	// Rand seeds the two polynomials.
+	Seed int64
+}
+
+// Name implements Behavior.
+func (EquivocatingDealer) Name() string { return "equivocating-dealer" }
+
+// Run implements Behavior.
+func (a EquivocatingDealer) Run(ctx context.Context, env *runtime.Env) error {
+	rng := rand.New(rand.NewSource(a.Seed))
+	worlds := [2]*field.Bivariate{
+		field.NewBivariate(rng, env.T, 0),
+		field.NewBivariate(rng, env.T, 1),
+	}
+	for to, camp := range a.Camp {
+		if camp < 0 || camp > 1 {
+			continue
+		}
+		f := worlds[camp]
+		var w wire.Writer
+		w.Poly(f.Row(field.X(to)))
+		env.Send(to, a.Session, svss.MsgRow, w.Bytes())
+		// Cross point consistent with the victim's world so the victim's
+		// check against the dealer passes.
+		var wp wire.Writer
+		wp.Elem(f.Eval(field.X(env.ID), field.X(to)))
+		env.Send(to, a.Session, svss.MsgPoint, wp.Bytes())
+		env.Send(to, a.Session, svss.MsgReady, nil)
+		// Equivocated reveal for the reconstruction phase.
+		var wr wire.Writer
+		wr.Poly(f.Row(field.X(env.ID)))
+		env.Send(to, a.Session+svss.RecSuffix, svss.MsgReveal, wr.Bytes())
+	}
+	<-ctx.Done()
+	return nil
+}
+
+// LyingRevealer participates honestly in an SVSS share phase and then
+// reveals a fabricated row during reconstruction — the reconstruction-time
+// lie that Reed–Solomon decoding must identify and shun.
+type LyingRevealer struct {
+	// Session is the SVSS share session.
+	Session string
+	// Dealer of that session.
+	Dealer int
+}
+
+// Name implements Behavior.
+func (LyingRevealer) Name() string { return "lying-revealer" }
+
+// Run implements Behavior.
+func (a LyingRevealer) Run(ctx context.Context, env *runtime.Env) error {
+	_, err := svss.RunShare(ctx, env, a.Session, a.Dealer, 0)
+	if err != nil {
+		return err
+	}
+	junk := field.RandomPoly(env.Rand, env.T, field.Random(env.Rand))
+	var w wire.Writer
+	w.Poly(junk)
+	env.SendAll(a.Session+svss.RecSuffix, svss.MsgReveal, w.Bytes())
+	<-ctx.Done()
+	return nil
+}
+
+// ScheduleAttack pairs a Behavior with targeted network holds, modeling the
+// full adversary of the asynchronous model (corruptions + scheduling).
+type ScheduleAttack struct {
+	Inner Behavior
+	Holds []network.Rule
+	// Policy must be the cluster's Targeted policy.
+	Policy *network.Targeted
+}
+
+// Name implements Behavior.
+func (a ScheduleAttack) Name() string { return a.Inner.Name() + "+scheduling" }
+
+// Run implements Behavior.
+func (a ScheduleAttack) Run(ctx context.Context, env *runtime.Env) error {
+	ids := make([]int, 0, len(a.Holds))
+	for _, r := range a.Holds {
+		ids = append(ids, a.Policy.Hold(r))
+	}
+	defer func() {
+		for _, id := range ids {
+			a.Policy.Lift(id)
+		}
+	}()
+	return a.Inner.Run(ctx, env)
+}

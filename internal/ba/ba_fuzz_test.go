@@ -1,0 +1,92 @@
+package ba
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"asyncft/internal/network"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+	"asyncft/internal/wire"
+)
+
+// TestAgreementUnderMessageFuzz floods a live BA instance with random,
+// structurally plausible Byzantine messages from the corrupted party while
+// the network reorders aggressively. Agreement among honest parties is the
+// invariant; validity cannot be asserted (inputs are split).
+func TestAgreementUnderMessageFuzz(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c := testkit.New(4, 1,
+				testkit.WithSeed(seed),
+				testkit.WithPolicy(network.NewRandomReorder(seed*7+1, 0.6, 12)),
+				testkit.WithTimeout(60*time.Second))
+			defer c.Close()
+			sess := "ba/fuzz"
+			stop := make(chan struct{})
+			go func() {
+				rng := c.Envs[3].Rand
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var w wire.Writer
+					typ := uint8(1 + rng.Intn(3))
+					switch typ {
+					case msgReport, msgPropose:
+						w.Int(1 + rng.Intn(6)).Byte(byte(rng.Intn(3)))
+					case msgDecided:
+						w.Byte(byte(rng.Intn(2)))
+					}
+					c.Router.Send(wire.Envelope{From: 3, To: rng.Intn(4),
+						Session: sess, Type: typ, Payload: w.Bytes()})
+					if i > 400 {
+						return
+					}
+				}
+			}()
+			inputs := map[int]byte{0: 0, 1: 1, 2: 0}
+			res := c.Run([]int{0, 1, 2}, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				return Run(ctx, env, sess, inputs[env.ID], LocalCoin(env), Options{})
+			})
+			close(stop)
+			if _, err := testkit.AgreeByte(res); err != nil {
+				t.Fatalf("agreement violated under fuzz: %v", err)
+			}
+		})
+	}
+}
+
+// TestDecidedGadgetAdoption: a party whose coin stalls forever still halts
+// once its peers decide, via the DECIDED amplification gadget.
+func TestDecidedGadgetAdoption(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithSeed(9))
+	defer c.Close()
+	blockedCoin := func(ctx context.Context, round int) (byte, error) {
+		if round >= 2 {
+			<-ctx.Done() // this party's coin hangs from round 2 on
+			return 0, ctx.Err()
+		}
+		return 0, nil
+	}
+	inputs := map[int]byte{0: 1, 1: 1, 2: 1, 3: 1}
+	res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		coin := LocalCoin(env)
+		if env.ID == 0 {
+			coin = blockedCoin
+		}
+		return Run(ctx, env, "ba/gadget", inputs[env.ID], coin, Options{})
+	})
+	got, err := testkit.AgreeByte(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("validity violated: %d", got)
+	}
+}

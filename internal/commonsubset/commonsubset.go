@@ -1,0 +1,160 @@
+// Package commonsubset implements the CommonSubset protocol of the paper's
+// Appendix C (Algorithm 4), the agreement-on-a-set primitive used by both
+// the strong common coin (Algorithm 1) and fair Byzantine agreement
+// (Algorithm 3).
+//
+// Each party holds a dynamic predicate Q: Q(j) monotonically flips from 0
+// to 1 when some irreversible condition about party j is locally observed
+// (an SVSS share completed, an A-Cast delivered). CommonSubset(Q, k) makes
+// all parties output one common set S of size ≥ k such that every j ∈ S has
+// Q(j) = 1 at some nonfaulty party.
+//
+// Construction, verbatim from Algorithm 4: one binary BA instance per
+// party; input 1 to BA_j once Q(j) holds (while fewer than k BAs have
+// output 1), input 0 to all unjoined BAs once k have output 1; output
+// {j : BA_j = 1}.
+package commonsubset
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"asyncft/internal/ba"
+	"asyncft/internal/runtime"
+)
+
+// Predicate is a dynamic, monotone predicate over party indices: bits flip
+// from 0 to 1 and never back. It is safe for concurrent use; Set may be
+// called from protocol goroutines while CommonSubset waits on it.
+type Predicate struct {
+	mu      sync.Mutex
+	set     map[int]bool
+	changed chan struct{}
+}
+
+// NewPredicate returns an all-false predicate.
+func NewPredicate() *Predicate {
+	return &Predicate{set: make(map[int]bool), changed: make(chan struct{}, 1)}
+}
+
+// Set marks Q(j) = 1.
+func (p *Predicate) Set(j int) {
+	p.mu.Lock()
+	p.set[j] = true
+	p.mu.Unlock()
+	select {
+	case p.changed <- struct{}{}:
+	default:
+	}
+}
+
+// True reports Q(j).
+func (p *Predicate) True(j int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.set[j]
+}
+
+// Snapshot returns the currently-true indices.
+func (p *Predicate) Snapshot() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.set))
+	for j := range p.set {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Changed returns a channel that receives a signal after some Set call.
+func (p *Predicate) Changed() <-chan struct{} { return p.changed }
+
+// CoinFactory builds the coin for BA instance j — distinct instances need
+// independent randomness sessions.
+type CoinFactory func(j int) ba.Coin
+
+// Options tune the protocol.
+type Options struct {
+	// BA configures the underlying agreement instances.
+	BA ba.Options
+}
+
+// Run executes one CommonSubset instance. All nonfaulty parties must call
+// Run with the same session and k. It returns the agreed set, sorted.
+func Run(ctx context.Context, env *runtime.Env, session string, pred *Predicate, k int, coins CoinFactory, opts Options) ([]int, error) {
+	n := env.N
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("commonsubset %s: k=%d out of range", session, k)
+	}
+
+	type baOut struct {
+		j   int
+		v   byte
+		err error
+	}
+	results := make(chan baOut, n)
+	started := make([]bool, n)
+
+	start := func(j int, input byte) {
+		if started[j] {
+			return
+		}
+		started[j] = true
+		sess := runtime.Sub(session, "ba", j)
+		go func() {
+			v, err := ba.Run(ctx, env, sess, input, coins(j), opts.BA)
+			results <- baOut{j, v, err}
+		}()
+	}
+
+	ones := 0
+	done := 0
+	member := make([]bool, n)
+	lowGear := false // true once we have input 0 everywhere else
+
+	for done < n {
+		// Join BAs for newly-true predicate entries while ones < k.
+		if ones < k {
+			for _, j := range pred.Snapshot() {
+				start(j, 1)
+			}
+		} else if !lowGear {
+			lowGear = true
+			for j := 0; j < n; j++ {
+				start(j, 0)
+			}
+		}
+		if done == n {
+			break
+		}
+		select {
+		case r := <-results:
+			if r.err != nil {
+				return nil, fmt.Errorf("commonsubset %s: ba %d: %w", session, r.j, r.err)
+			}
+			done++
+			if r.v == 1 {
+				ones++
+				member[r.j] = true
+			}
+		case <-pred.Changed():
+		case <-ctx.Done():
+			return nil, fmt.Errorf("commonsubset %s: %w", session, ctx.Err())
+		}
+	}
+	var out []int
+	for j, m := range member {
+		if m {
+			out = append(out, j)
+		}
+	}
+	if len(out) < k {
+		// Unreachable under the protocol's correctness argument (Appendix
+		// C); reported loudly if an adversary model ever falsifies it.
+		return nil, fmt.Errorf("commonsubset %s: only %d members < k=%d", session, len(out), k)
+	}
+	return out, nil
+}

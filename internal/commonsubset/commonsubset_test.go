@@ -1,0 +1,184 @@
+package commonsubset
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"asyncft/internal/ba"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+func localCoins(env *runtime.Env) CoinFactory {
+	return func(j int) ba.Coin { return ba.LocalCoin(env) }
+}
+
+func TestPredicate(t *testing.T) {
+	p := NewPredicate()
+	if p.True(3) {
+		t.Fatal("fresh predicate true")
+	}
+	p.Set(3)
+	p.Set(1)
+	p.Set(3) // idempotent
+	if !p.True(3) || !p.True(1) || p.True(0) {
+		t.Fatal("wrong predicate state")
+	}
+	if got := p.Snapshot(); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("Snapshot = %v", got)
+	}
+	select {
+	case <-p.Changed():
+	default:
+		t.Fatal("Changed did not signal")
+	}
+}
+
+func TestAllPredicatesTrueImmediately(t *testing.T) {
+	for _, n := range []int{4, 7} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			tf := (n - 1) / 3
+			c := testkit.New(n, tf)
+			defer c.Close()
+			res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				pred := NewPredicate()
+				for j := 0; j < n; j++ {
+					pred.Set(j)
+				}
+				return Run(ctx, env, "cs/all", pred, n-tf, localCoins(env), Options{})
+			})
+			var ref []int
+			for id, r := range res {
+				if r.Err != nil {
+					t.Fatalf("party %d: %v", id, r.Err)
+				}
+				got := r.Value.([]int)
+				if len(got) < n-tf {
+					t.Fatalf("party %d: |S| = %d < %d", id, len(got), n-tf)
+				}
+				if ref == nil {
+					ref = got
+				} else if !reflect.DeepEqual(ref, got) {
+					t.Fatalf("outputs differ: %v vs %v", ref, got)
+				}
+			}
+		})
+	}
+}
+
+func TestStaggeredPredicates(t *testing.T) {
+	// Predicates become true at different times at different parties —
+	// the realistic SVSS-completion pattern.
+	const n, tf = 4, 1
+	c := testkit.New(n, tf, testkit.WithSeed(5))
+	defer c.Close()
+	res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		pred := NewPredicate()
+		go func() {
+			// Each party learns about j after a delay skewed by identity.
+			for i := 0; i < n; i++ {
+				j := (i + env.ID) % n
+				time.Sleep(time.Duration(1+i) * time.Millisecond)
+				pred.Set(j)
+			}
+		}()
+		return Run(ctx, env, "cs/st", pred, n-tf, localCoins(env), Options{})
+	})
+	var ref []int
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+		got := r.Value.([]int)
+		if ref == nil {
+			ref = got
+		} else if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("outputs differ: %v vs %v", ref, got)
+		}
+	}
+	if len(ref) < n-tf {
+		t.Fatalf("|S| = %d", len(ref))
+	}
+}
+
+func TestMissingPartyExcludable(t *testing.T) {
+	// Party 3 crashed: predicates for it never fire, the subset must still
+	// come out (of size ≥ n−t) and must not require j=3.
+	const n, tf = 4, 1
+	c := testkit.New(n, tf, testkit.WithCrashed(3), testkit.WithSeed(2))
+	defer c.Close()
+	res := c.Run([]int{0, 1, 2}, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		pred := NewPredicate()
+		for j := 0; j < 3; j++ {
+			pred.Set(j)
+		}
+		return Run(ctx, env, "cs/miss", pred, n-tf, localCoins(env), Options{})
+	})
+	var ref []int
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+		got := r.Value.([]int)
+		if ref == nil {
+			ref = got
+		} else if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("outputs differ: %v vs %v", ref, got)
+		}
+	}
+	sort.Ints(ref)
+	if len(ref) < 3 {
+		t.Fatalf("|S| = %d < 3", len(ref))
+	}
+	// Correctness: every member of S has Q true at some honest party; only
+	// 0,1,2 ever became true.
+	for _, j := range ref {
+		if j == 3 {
+			t.Fatalf("S contains crashed party with universally false predicate: %v", ref)
+		}
+	}
+}
+
+func TestKOutOfRange(t *testing.T) {
+	c := testkit.New(4, 1)
+	defer c.Close()
+	if _, err := Run(c.Ctx, c.Envs[0], "cs/bad", NewPredicate(), 0, localCoins(c.Envs[0]), Options{}); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := Run(c.Ctx, c.Envs[0], "cs/bad2", NewPredicate(), 5, localCoins(c.Envs[0]), Options{}); err == nil {
+		t.Fatal("expected error for k>n")
+	}
+}
+
+func TestRepeatedRunsIndependentSessions(t *testing.T) {
+	const n, tf = 4, 1
+	c := testkit.New(n, tf, testkit.WithSeed(9))
+	defer c.Close()
+	for round := 0; round < 3; round++ {
+		sess := fmt.Sprintf("cs/rep/%d", round)
+		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			pred := NewPredicate()
+			for j := 0; j < n; j++ {
+				pred.Set(j)
+			}
+			return Run(ctx, env, sess, pred, n-tf, localCoins(env), Options{})
+		})
+		var ref []int
+		for id, r := range res {
+			if r.Err != nil {
+				t.Fatalf("round %d party %d: %v", round, id, r.Err)
+			}
+			got := r.Value.([]int)
+			if ref == nil {
+				ref = got
+			} else if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("round %d disagreement", round)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package core implements the paper's contributions: the ε-biased
+// almost-surely terminating strong common coin (Algorithm 1, CoinFlip), the
+// fair-choice protocol (Algorithm 2, FairChoice), and fair Byzantine
+// agreement (Algorithm 3, FBA), over the substrates in internal/svss,
+// internal/ba, internal/commonsubset and internal/rbc.
+package core
+
+import (
+	"context"
+	"math"
+
+	"asyncft/internal/ba"
+	"asyncft/internal/commonsubset"
+	"asyncft/internal/runtime"
+	"asyncft/internal/svss"
+	"asyncft/internal/weakcoin"
+)
+
+// InnerCoinKind selects the coin used by the binary BA instances inside
+// CommonSubset and the final BA of CoinFlip.
+type InnerCoinKind int
+
+const (
+	// InnerCoinWeak is the SVSS-based weak common coin of [2] — the
+	// information-theoretically faithful choice, giving almost-surely
+	// terminating inner BAs.
+	InnerCoinWeak InnerCoinKind = iota
+	// InnerCoinLocal is Ben-Or's private coin: much cheaper, exponential
+	// worst-case expectation (fine at small n; used for large sweeps).
+	InnerCoinLocal
+)
+
+// Config tunes the core protocols. The zero value is a faithful,
+// test-friendly configuration.
+type Config struct {
+	// K is the number of coin rounds per CoinFlip. Zero means use the
+	// paper's constant PaperK(Eps, N) — astronomically conservative (see
+	// DESIGN.md §2); experiments sweep practical values.
+	K int
+	// Eps is the target coin bias ε ∈ (0, 1/2); used by PaperK and
+	// FairChoice's internal parameterization. Default 0.1.
+	Eps float64
+	// InnerCoin selects the BA-level coin (default: weak coin).
+	InnerCoin InnerCoinKind
+	// SVSS configures secret-sharing reconstruction behavior.
+	SVSS svss.Options
+	// BA configures the binary agreement instances.
+	BA ba.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Eps <= 0 || c.Eps >= 0.5 {
+		c.Eps = 0.1
+	}
+	return c
+}
+
+// PaperK returns the paper's round count k = 4·⌈(e/(ε·π))²·n⁴⌉ for
+// Algorithm 1. The result saturates at math.MaxInt32 to stay usable in
+// arithmetic even for parameters where the paper's constant is absurd.
+func PaperK(eps float64, n int) int {
+	c := math.E / (eps * math.Pi)
+	v := 4 * math.Ceil(c*c*math.Pow(float64(n), 4))
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(v)
+}
+
+// roundsFor resolves the configured K.
+func (c Config) roundsFor(n int) int {
+	if c.K > 0 {
+		return c.K
+	}
+	return PaperK(c.Eps, n)
+}
+
+// innerCoins builds the per-BA-instance coin factory for a CommonSubset (or
+// any collection of BA instances) rooted at session.
+func (c Config) innerCoins(helperCtx context.Context, env *runtime.Env, session string) commonsubset.CoinFactory {
+	if c.InnerCoin == InnerCoinLocal {
+		return func(j int) ba.Coin { return ba.LocalCoin(env) }
+	}
+	return func(j int) ba.Coin {
+		return func(ctx context.Context, round int) (byte, error) {
+			sess := runtime.Sub(session, "ba", j, "wc", round)
+			return weakcoin.Flip(ctx, helperCtx, env.Fork(sess), sess, c.SVSS)
+		}
+	}
+}
+
+// innerCoin builds the coin for a single BA instance rooted at session.
+func (c Config) innerCoin(helperCtx context.Context, env *runtime.Env, session string) ba.Coin {
+	return c.innerCoins(helperCtx, env, session)(0)
+}
+
+// InnerCoinFor exposes the configured BA coin for a standalone agreement
+// instance rooted at session (used by the public Cluster API).
+func (c Config) InnerCoinFor(helperCtx context.Context, env *runtime.Env, session string) ba.Coin {
+	return c.withDefaults().innerCoin(helperCtx, env, session)
+}
+
+// CoinsFor exposes the configured per-instance coin factory for a
+// CommonSubset rooted at session (used by protocols layered on this
+// package, e.g. internal/securesum and internal/beacon).
+func (c Config) CoinsFor(helperCtx context.Context, env *runtime.Env, session string) commonsubset.CoinFactory {
+	return c.withDefaults().innerCoins(helperCtx, env, session)
+}

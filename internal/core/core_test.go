@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+func TestPaperK(t *testing.T) {
+	// k = 4⌈(e/(επ))² n⁴⌉, monotone in 1/ε and n; saturates instead of
+	// overflowing.
+	k1 := PaperK(0.1, 4)
+	want := 4 * int(math.Ceil(math.Pow(math.E/(0.1*math.Pi), 2)*256))
+	if k1 != want {
+		t.Fatalf("PaperK(0.1,4) = %d, want %d", k1, want)
+	}
+	if PaperK(0.2, 4) >= k1 {
+		t.Fatal("PaperK not decreasing in eps")
+	}
+	if PaperK(0.1, 7) <= k1 {
+		t.Fatal("PaperK not increasing in n")
+	}
+	if PaperK(0.001, 1000) != math.MaxInt32 {
+		t.Fatal("PaperK did not saturate")
+	}
+}
+
+func TestChoiceBits(t *testing.T) {
+	cases := []struct{ m, l int }{
+		{3, 5},  // 2m²=18 → 32
+		{4, 5},  // 32 → 32
+		{5, 6},  // 50 → 64
+		{9, 8},  // 162 → 256
+		{16, 9}, // 512 → 512
+	}
+	for _, c := range cases {
+		if got := choiceBits(c.m); got != c.l {
+			t.Errorf("choiceBits(%d) = %d, want %d", c.m, got, c.l)
+		}
+		// Paper constraint: 2m² ≤ 2^l ≤ 4m².
+		n := 1 << choiceBits(c.m)
+		if n < 2*c.m*c.m || n > 4*c.m*c.m {
+			t.Errorf("m=%d: N=%d outside [2m², 4m²]", c.m, n)
+		}
+	}
+}
+
+func fastCfg() Config {
+	return Config{K: 2, Eps: 0.1, InnerCoin: InnerCoinLocal}
+}
+
+func runCoinFlip(c *testkit.Cluster, sess string, cfg Config, parties []int) map[int]testkit.Result {
+	return c.Run(parties, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return CoinFlip(ctx, c.Ctx, env, sess, cfg)
+	})
+}
+
+func TestCoinFlipAgreement(t *testing.T) {
+	seen := map[byte]bool{}
+	for seed := int64(0); seed < 6; seed++ {
+		c := testkit.New(4, 1, testkit.WithSeed(seed))
+		res := runCoinFlip(c, "cf/a", fastCfg(), c.Honest())
+		got, err := testkit.AgreeByte(res)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got > 1 {
+			t.Fatalf("seed %d: non-binary coin %d", seed, got)
+		}
+		seen[got] = true
+		c.Close()
+	}
+	if len(seen) != 2 {
+		t.Fatalf("coin constant across seeds: %v (increase seeds if flaky)", seen)
+	}
+}
+
+func TestCoinFlipWithCrashedParty(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithCrashed(3), testkit.WithSeed(4))
+	defer c.Close()
+	res := runCoinFlip(c, "cf/crash", fastCfg(), []int{0, 1, 2})
+	if _, err := testkit.AgreeByte(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoinFlipLargerCluster(t *testing.T) {
+	c := testkit.New(7, 2, testkit.WithSeed(8))
+	defer c.Close()
+	cfg := fastCfg()
+	cfg.K = 1
+	res := runCoinFlip(c, "cf/n7", cfg, c.Honest())
+	if _, err := testkit.AgreeByte(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoinFlipWeakInnerCoinFullStack(t *testing.T) {
+	// The information-theoretically faithful configuration: inner BAs are
+	// driven by the SVSS-based weak coin.
+	c := testkit.New(4, 1, testkit.WithSeed(2), testkit.WithTimeout(120*time.Second))
+	defer c.Close()
+	cfg := Config{K: 1, Eps: 0.1, InnerCoin: InnerCoinWeak}
+	res := runCoinFlip(c, "cf/full", cfg, c.Honest())
+	if _, err := testkit.AgreeByte(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFairChoiceAgreementAndRange(t *testing.T) {
+	const m = 3
+	for seed := int64(0); seed < 3; seed++ {
+		c := testkit.New(4, 1, testkit.WithSeed(seed), testkit.WithTimeout(60*time.Second))
+		cfg := fastCfg()
+		cfg.K = 1
+		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			return FairChoice(ctx, c.Ctx, env, "fc/a", m, cfg)
+		})
+		var ref = -1
+		for id, r := range res {
+			if r.Err != nil {
+				t.Fatalf("seed %d party %d: %v", seed, id, r.Err)
+			}
+			got := r.Value.(int)
+			if got < 0 || got >= m {
+				t.Fatalf("output %d outside [0,%d)", got, m)
+			}
+			if ref == -1 {
+				ref = got
+			} else if ref != got {
+				t.Fatalf("seed %d: disagreement %d vs %d", seed, ref, got)
+			}
+		}
+		c.Close()
+	}
+}
+
+func TestFairChoiceRejectsSmallM(t *testing.T) {
+	c := testkit.New(4, 1)
+	defer c.Close()
+	if _, err := FairChoice(c.Ctx, c.Ctx, c.Envs[0], "fc/bad", 2, fastCfg()); err == nil {
+		t.Fatal("expected error for m < 3")
+	}
+}
+
+func runFBA(c *testkit.Cluster, sess string, inputs map[int][]byte, cfg Config, parties []int) map[int]testkit.Result {
+	return c.Run(parties, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return FBA(ctx, c.Ctx, env, sess, inputs[env.ID], cfg)
+	})
+}
+
+func TestFBAUnanimousValidity(t *testing.T) {
+	for _, n := range []int{4, 7} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			c := testkit.New(n, (n-1)/3, testkit.WithSeed(int64(n)))
+			defer c.Close()
+			inputs := map[int][]byte{}
+			for i := 0; i < n; i++ {
+				inputs[i] = []byte("consensus-value")
+			}
+			res := runFBA(c, "fba/u", inputs, fastCfg(), c.Honest())
+			got, err := testkit.AgreeBytes(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "consensus-value" {
+				t.Fatalf("validity violated: %q", got)
+			}
+		})
+	}
+}
+
+func TestFBASplitInputsAgreeOnSomeInput(t *testing.T) {
+	cfg := fastCfg()
+	cfg.K = 1
+	for seed := int64(0); seed < 3; seed++ {
+		c := testkit.New(4, 1, testkit.WithSeed(seed), testkit.WithTimeout(90*time.Second))
+		inputs := map[int][]byte{
+			0: []byte("alpha"), 1: []byte("beta"), 2: []byte("gamma"), 3: []byte("delta"),
+		}
+		res := runFBA(c, "fba/s", inputs, cfg, c.Honest())
+		got, err := testkit.AgreeBytes(res)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		valid := false
+		for _, v := range inputs {
+			if string(v) == string(got) {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("seed %d: output %q is nobody's input", seed, got)
+		}
+		c.Close()
+	}
+}
+
+func TestFBAMajorityShortCircuit(t *testing.T) {
+	// 3 of 4 parties share an input: S (size ≥ 3) must contain a strict
+	// majority for it whenever at least 2 of them land in S... not
+	// guaranteed in general, but with all four honest and input split 3:1
+	// the majority path usually triggers; the invariant tested is stronger:
+	// the output must be the majority value OR some party's input.
+	c := testkit.New(4, 1, testkit.WithSeed(6), testkit.WithTimeout(90*time.Second))
+	defer c.Close()
+	cfg := fastCfg()
+	cfg.K = 1
+	inputs := map[int][]byte{
+		0: []byte("maj"), 1: []byte("maj"), 2: []byte("maj"), 3: []byte("odd"),
+	}
+	res := runFBA(c, "fba/m", inputs, cfg, c.Honest())
+	got, err := testkit.AgreeBytes(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "maj" && string(got) != "odd" {
+		t.Fatalf("output %q is nobody's input", got)
+	}
+}
+
+func TestFBAWithCrashedParty(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithCrashed(3), testkit.WithSeed(3), testkit.WithTimeout(90*time.Second))
+	defer c.Close()
+	cfg := fastCfg()
+	cfg.K = 1
+	inputs := map[int][]byte{0: []byte("x"), 1: []byte("x"), 2: []byte("x")}
+	res := runFBA(c, "fba/c", inputs, cfg, []int{0, 1, 2})
+	got, err := testkit.AgreeBytes(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "x" {
+		t.Fatalf("got %q", got)
+	}
+}

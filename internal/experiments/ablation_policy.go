@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"asyncft/internal/ba"
+	"asyncft/internal/core"
+	"asyncft/internal/network"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+// AblationPolicy sweeps the network scheduling policy (the adversary's
+// delivery control) for two representative protocols: split-input binary
+// BA and the strong coin. It shows what asynchrony actually costs — and
+// that correctness never depends on the schedule, only latency and round
+// counts do (DESIGN.md §4).
+func AblationPolicy(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "A2",
+		Title:   "ablation: network scheduling policy (n=4, t=1)",
+		Claim:   "safety is schedule-independent; hostile reordering costs only rounds/latency",
+		Columns: []string{"protocol", "policy", "trials", "ok", "mean rounds", "mean wall"},
+	}
+	trials := scale.trials(10)
+	policies := []struct {
+		name string
+		mk   func(seed int64) network.Policy
+	}{
+		{"fifo", func(int64) network.Policy { return network.FIFO{} }},
+		{"reorder", func(seed int64) network.Policy { return network.NewRandomReorder(seed, 0.3, 6) }},
+		{"hostile", func(seed int64) network.Policy { return network.NewRandomReorder(seed, 0.7, 16) }},
+	}
+
+	for _, pol := range policies {
+		// Split-input BA with local coin: rounds are the sensitive metric.
+		okBA, totalRounds := 0, 0
+		var wallBA time.Duration
+		for i := 0; i < trials; i++ {
+			seed := int64(12000 + i)
+			c := testkit.New(4, 1, testkit.WithSeed(seed),
+				testkit.WithPolicy(pol.mk(seed)), testkit.WithTimeout(60*time.Second))
+			roundsCh := make(chan int, 4)
+			start := time.Now()
+			res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				var st ba.Stats
+				out, err := ba.Run(ctx, env, "a2/ba", byte(env.ID%2), ba.LocalCoin(env),
+					ba.Options{Stats: &st})
+				roundsCh <- st.Rounds
+				return out, err
+			})
+			wallBA += time.Since(start)
+			if _, err := testkit.AgreeByte(res); err == nil {
+				okBA++
+			}
+			max := 0
+			for range c.Honest() {
+				if r := <-roundsCh; r > max {
+					max = r
+				}
+			}
+			totalRounds += max
+			c.Close()
+		}
+		t.Rows = append(t.Rows, []string{"ba(split)", pol.name, itoa(trials),
+			fmt.Sprintf("%d/%d", okBA, trials),
+			f2(float64(totalRounds) / float64(trials)),
+			ms(wallBA / time.Duration(trials))})
+
+		// Strong coin, one flip.
+		okCF := 0
+		var wallCF time.Duration
+		cfg := core.Config{K: 1, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
+		for i := 0; i < trials; i++ {
+			seed := int64(13000 + i)
+			c := testkit.New(4, 1, testkit.WithSeed(seed),
+				testkit.WithPolicy(pol.mk(seed)), testkit.WithTimeout(60*time.Second))
+			start := time.Now()
+			res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				return core.CoinFlip(ctx, c.Ctx, env, "a2/cf", cfg)
+			})
+			wallCF += time.Since(start)
+			if _, err := testkit.AgreeByte(res); err == nil {
+				okCF++
+			}
+			c.Close()
+		}
+		t.Rows = append(t.Rows, []string{"coinflip(k=1)", pol.name, itoa(trials),
+			fmt.Sprintf("%d/%d", okCF, trials), "-",
+			ms(wallCF / time.Duration(trials))})
+
+		if okBA != trials || okCF != trials {
+			return t, fmt.Errorf("A2: safety violated under policy %s", pol.name)
+		}
+	}
+	t.Headline, t.HeadlineName = 1, "all policies safe (1=yes)"
+	return t, nil
+}

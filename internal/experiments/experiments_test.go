@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiments are statistical sweeps; the tests here verify harness
+// mechanics (table construction, claim-checking, scale clamping) at tiny
+// scale, and that each experiment's claim holds at smoke resolution.
+
+func TestScaleTrials(t *testing.T) {
+	cases := []struct {
+		s    Scale
+		full int
+		want int
+	}{
+		{1.0, 60, 60},
+		{0.5, 60, 30},
+		{0.0, 60, 60}, // zero means full
+		{0.01, 60, 4}, // clamped to the minimum
+	}
+	for _, c := range cases {
+		if got := c.s.trials(c.full); got != c.want {
+			t.Errorf("Scale(%v).trials(%d) = %d, want %d", c.s, c.full, got, c.want)
+		}
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{
+		ID: "EX", Title: "title", Claim: "claim",
+		Columns:  []string{"a", "long-column"},
+		Rows:     [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:    "note text",
+		Headline: 0.5, HeadlineName: "h",
+	}
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"EX — title", "claim: claim", "long-column", "333", "note: note text", "headline: h = 0.5000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fprint missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func smoke(t *testing.T, fn func(Scale) (*Table, error)) *Table {
+	t.Helper()
+	tbl, err := fn(0.05)
+	if err != nil {
+		t.Fatalf("experiment falsified its claim at smoke scale: %v", err)
+	}
+	if tbl == nil || len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	return tbl
+}
+
+func TestE2SmokeStrongCoinAlwaysAgrees(t *testing.T) {
+	tbl := smoke(t, E2CoinAgreement)
+	if tbl.Headline != 1.0 {
+		t.Fatalf("strong coin agreement %v != 1", tbl.Headline)
+	}
+}
+
+func TestE3SmokeShunBound(t *testing.T) {
+	tbl := smoke(t, E3ShunBound)
+	if tbl.Headline >= 16 {
+		t.Fatalf("shun bound: %v", tbl.Headline)
+	}
+}
+
+func TestE5SmokeUnanimity(t *testing.T) {
+	tbl := smoke(t, E5Unanimity)
+	if tbl.Headline != 1 {
+		t.Fatalf("unanimity violated: %v", tbl.Headline)
+	}
+}
+
+func TestE8SmokeLowerBound(t *testing.T) {
+	tbl := smoke(t, E8LowerBound)
+	if tbl.Headline >= 2.0/3.0 {
+		t.Fatalf("claim-2 correctness %v not below 2/3", tbl.Headline)
+	}
+}
+
+func TestA1SmokeAblation(t *testing.T) {
+	tbl := smoke(t, AblationReconstruct)
+	for _, row := range tbl.Rows {
+		if !strings.Contains(row[2], "/") {
+			t.Fatalf("unexpected recovered cell: %v", row)
+		}
+		parts := strings.Split(row[2], "/")
+		if parts[0] != parts[1] {
+			t.Fatalf("reconstruction failed in ablation row %v", row)
+		}
+	}
+}
+
+func TestE1SmokeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical sweep")
+	}
+	tbl := smoke(t, E1CoinBias)
+	// At smoke scale the bias estimate is noisy; just require sane bounds.
+	if tbl.Headline < 0 || tbl.Headline > 0.5 {
+		t.Fatalf("bias out of range: %v", tbl.Headline)
+	}
+}
+
+func TestE4SmokeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical sweep")
+	}
+	tbl := smoke(t, E4FairValidity)
+	if tbl.Headline < 0 || tbl.Headline > 1 {
+		t.Fatalf("share out of range: %v", tbl.Headline)
+	}
+}
+
+func TestNamedPolicies(t *testing.T) {
+	ps := NamedPolicies(1)
+	for _, name := range []string{"fifo", "reorder", "hostile"} {
+		if ps[name] == nil {
+			t.Fatalf("missing policy %q", name)
+		}
+	}
+}

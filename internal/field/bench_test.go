@@ -1,0 +1,86 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMul(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := Random(r), Random(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	sinkElem = x
+}
+
+func BenchmarkAdd(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	x, y := Random(r), Random(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = Add(x, y)
+	}
+	sinkElem = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	x := RandomNonZero(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = Inv(x)
+	}
+	sinkElem = x
+}
+
+func BenchmarkPolyEvalDeg8(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	p := RandomPoly(r, 8, Random(r))
+	x := Random(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkElem = p.Eval(x)
+	}
+}
+
+func BenchmarkInterpolateDeg8(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	p := RandomPoly(r, 8, Random(r))
+	pts := make([]Point, 9)
+	for i := range pts {
+		pts[i] = Point{X(i), p.Eval(X(i))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkPoly = Interpolate(pts)
+	}
+}
+
+func BenchmarkInterpolateAtDeg8(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	p := RandomPoly(r, 8, Random(r))
+	pts := make([]Point, 9)
+	for i := range pts {
+		pts[i] = Point{X(i), p.Eval(X(i))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkElem = InterpolateAt(pts, 0)
+	}
+}
+
+func BenchmarkBivariateRowT4(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	f := NewBivariate(r, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkPoly = f.Row(X(i % 16))
+	}
+}
+
+var (
+	sinkElem Elem
+	sinkPoly Poly
+)

@@ -1,0 +1,120 @@
+package field
+
+import "math/rand"
+
+// Bivariate is a symmetric bivariate polynomial F(x, y) of degree at most t
+// in each variable, with F(x, y) = F(y, x). Symmetric bivariate sharing is
+// the classical substrate for verifiable secret sharing: the dealer embeds
+// the secret at F(0,0), hands party i the univariate row f_i(y) = F(x_i, y),
+// and symmetry lets parties i and j cross-check each other's shares because
+// f_i(x_j) = F(x_i, x_j) = f_j(x_i).
+type Bivariate struct {
+	t int
+	// c[i][j] is the coefficient of x^i y^j; kept symmetric (c[i][j]==c[j][i]).
+	c [][]Elem
+}
+
+// NewBivariate returns a uniformly random symmetric bivariate polynomial of
+// degree t in each variable with F(0,0) = secret.
+func NewBivariate(rng *rand.Rand, t int, secret Elem) *Bivariate {
+	b := &Bivariate{t: t, c: make([][]Elem, t+1)}
+	for i := range b.c {
+		b.c[i] = make([]Elem, t+1)
+	}
+	for i := 0; i <= t; i++ {
+		for j := i; j <= t; j++ {
+			v := Random(rng)
+			b.c[i][j] = v
+			b.c[j][i] = v
+		}
+	}
+	b.c[0][0] = secret
+	return b
+}
+
+// Degree returns t, the per-variable degree bound.
+func (b *Bivariate) Degree() int { return b.t }
+
+// Secret returns F(0, 0).
+func (b *Bivariate) Secret() Elem { return b.c[0][0] }
+
+// Eval evaluates F(x, y).
+func (b *Bivariate) Eval(x, y Elem) Elem {
+	// Horner in x of polynomials in y.
+	var acc Elem
+	for i := b.t; i >= 0; i-- {
+		var row Elem
+		for j := b.t; j >= 0; j-- {
+			row = Add(Mul(row, y), b.c[i][j])
+		}
+		acc = Add(Mul(acc, x), row)
+	}
+	return acc
+}
+
+// Row returns the univariate polynomial f(y) = F(x, y) for fixed x. By
+// symmetry this is also the column polynomial at x.
+func (b *Bivariate) Row(x Elem) Poly {
+	row := make(Poly, b.t+1)
+	// row[j] = Σ_i c[i][j] x^i.
+	xp := Elem(1)
+	for i := 0; i <= b.t; i++ {
+		for j := 0; j <= b.t; j++ {
+			row[j] = Add(row[j], Mul(b.c[i][j], xp))
+		}
+		xp = Mul(xp, x)
+	}
+	return row
+}
+
+// Clone returns a deep copy of the polynomial.
+func (b *Bivariate) Clone() *Bivariate {
+	c := &Bivariate{t: b.t, c: make([][]Elem, len(b.c))}
+	for i := range b.c {
+		c.c[i] = append([]Elem(nil), b.c[i]...)
+	}
+	return c
+}
+
+// AddSymmetricTensor adds λ·Z(x)·Z(y) to F in place, where Z has degree at
+// most t. The result stays symmetric with the same per-variable degree
+// bound. This is the standard construction for demonstrating perfect hiding:
+// choosing Z to vanish on the adversary's evaluation points yields a
+// polynomial with identical adversary-visible rows but a different secret.
+func (b *Bivariate) AddSymmetricTensor(lambda Elem, z Poly) {
+	if z.Degree() > b.t {
+		panic("field: tensor degree exceeds bivariate degree bound")
+	}
+	for i := 0; i <= b.t; i++ {
+		var zi Elem
+		if i < len(z) {
+			zi = z[i]
+		}
+		for j := 0; j <= b.t; j++ {
+			var zj Elem
+			if j < len(z) {
+				zj = z[j]
+			}
+			b.c[i][j] = Add(b.c[i][j], Mul(lambda, Mul(zi, zj)))
+		}
+	}
+}
+
+// VanishingPoly returns Z(x) = Π (x - x_i) over the given points.
+func VanishingPoly(points []Elem) Poly {
+	z := Poly{1}
+	for _, x := range points {
+		z = MulPoly(z, Poly{Neg(x), 1})
+	}
+	return z
+}
+
+// ZeroPoly returns g(x) = F(x, 0), the polynomial whose constant term is the
+// secret and whose evaluations g(x_i) = f_i(0) are revealed at reconstruction.
+func (b *Bivariate) ZeroPoly() Poly {
+	g := make(Poly, b.t+1)
+	for i := 0; i <= b.t; i++ {
+		g[i] = b.c[i][0]
+	}
+	return g
+}

@@ -1,0 +1,144 @@
+// Package field implements arithmetic over the prime field GF(p) with
+// p = 2^61 - 1 (a Mersenne prime), together with univariate and symmetric
+// bivariate polynomials and Lagrange interpolation.
+//
+// It is the algebraic substrate for all secret-sharing protocols in this
+// repository: shares are polynomial evaluations, secrets are constant terms,
+// and reconstruction is interpolation (optionally error-corrected by package
+// rs). The Mersenne modulus makes reduction branch-light and keeps every
+// element in a single uint64.
+package field
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// P is the field modulus, the Mersenne prime 2^61 - 1.
+const P uint64 = (1 << 61) - 1
+
+// Elem is an element of GF(P). The zero value is the field's zero. All
+// arithmetic assumes operands are already reduced (< P); constructors and
+// decoders enforce this.
+type Elem uint64
+
+// New reduces an arbitrary uint64 into the field.
+func New(v uint64) Elem {
+	// Two folds suffice for any uint64: v < 2^64 = 8*2^61.
+	v = (v & P) + (v >> 61)
+	if v >= P {
+		v -= P
+	}
+	return Elem(v)
+}
+
+// NewInt reduces a (possibly negative) int64 into the field.
+func NewInt(v int64) Elem {
+	if v >= 0 {
+		return New(uint64(v))
+	}
+	m := uint64(-v) % P
+	if m == 0 {
+		return 0
+	}
+	return Elem(P - m)
+}
+
+// Uint64 returns the canonical representative in [0, P).
+func (e Elem) Uint64() uint64 { return uint64(e) }
+
+// Bit returns the low bit of the canonical representative. Protocols use it
+// to turn a shared field element into a coin value.
+func (e Elem) Bit() byte { return byte(e & 1) }
+
+// String implements fmt.Stringer.
+func (e Elem) String() string { return fmt.Sprintf("%d", uint64(e)) }
+
+// Add returns a + b mod P.
+func Add(a, b Elem) Elem {
+	s := uint64(a) + uint64(b)
+	if s >= P {
+		s -= P
+	}
+	return Elem(s)
+}
+
+// Sub returns a - b mod P.
+func Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return a + Elem(P) - b
+}
+
+// Neg returns -a mod P.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return Elem(P) - a
+}
+
+// Mul returns a * b mod P using 128-bit multiplication and Mersenne folding.
+func Mul(a, b Elem) Elem {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	// a,b < 2^61 so hi < 2^58. Value = hi*2^64 + lo = hi*8*2^61 + lo.
+	// Fold: 2^61 ≡ 1 (mod P).
+	r := (lo & P) + (lo >> 61) + hi*8
+	r = (r & P) + (r >> 61)
+	if r >= P {
+		r -= P
+	}
+	return Elem(r)
+}
+
+// Pow returns a^e mod P by square-and-multiply.
+func Pow(a Elem, e uint64) Elem {
+	result := Elem(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a. It panics on zero, which is
+// always a programming error in this codebase (evaluation points are nonzero
+// by construction).
+func Inv(a Elem) Elem {
+	if a == 0 {
+		panic("field: inverse of zero")
+	}
+	return Pow(a, P-2)
+}
+
+// Div returns a / b mod P. Panics if b is zero.
+func Div(a, b Elem) Elem { return Mul(a, Inv(b)) }
+
+// Random returns a uniformly random field element drawn from rng.
+func Random(rng *rand.Rand) Elem {
+	for {
+		v := rng.Uint64() & ((1 << 61) - 1)
+		if v < P {
+			return Elem(v)
+		}
+	}
+}
+
+// RandomNonZero returns a uniformly random nonzero field element.
+func RandomNonZero(rng *rand.Rand) Elem {
+	for {
+		if e := Random(rng); e != 0 {
+			return e
+		}
+	}
+}
+
+// X returns the canonical evaluation point for party index i (0-based):
+// party i evaluates polynomials at x = i+1, which is nonzero for all i ≥ 0.
+func X(i int) Elem { return New(uint64(i) + 1) }

@@ -1,0 +1,192 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestNewReduces(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want Elem
+	}{
+		{0, 0},
+		{1, 1},
+		{P - 1, Elem(P - 1)},
+		{P, 0},
+		{P + 1, 1},
+		{^uint64(0), New(^uint64(0))}, // self-consistent; checked below
+	}
+	for _, c := range cases {
+		got := New(c.in)
+		if uint64(got) >= P {
+			t.Fatalf("New(%d) = %d not reduced", c.in, got)
+		}
+		if got != c.want {
+			t.Errorf("New(%d) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// 2^64 - 1 mod (2^61 - 1): 2^64 ≡ 8, so 2^64 - 1 ≡ 7.
+	if got := New(^uint64(0)); got != 7 {
+		t.Errorf("New(MaxUint64) = %v, want 7", got)
+	}
+}
+
+func TestNewInt(t *testing.T) {
+	if got := NewInt(-1); got != Elem(P-1) {
+		t.Errorf("NewInt(-1) = %v, want P-1", got)
+	}
+	if got := NewInt(5); got != 5 {
+		t.Errorf("NewInt(5) = %v", got)
+	}
+	if got := NewInt(0); got != 0 {
+		t.Errorf("NewInt(0) = %v", got)
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	r := rng(1)
+	for i := 0; i < 1000; i++ {
+		a, b := Random(r), Random(r)
+		if Sub(Add(a, b), b) != a {
+			t.Fatalf("(a+b)-b != a for a=%v b=%v", a, b)
+		}
+		if Add(a, Neg(a)) != 0 {
+			t.Fatalf("a + (-a) != 0 for a=%v", a)
+		}
+	}
+}
+
+func TestMulMatchesBigIntSemantics(t *testing.T) {
+	// Cross-check Mul against repeated addition for small operands and
+	// against known identities for large ones.
+	r := rng(2)
+	for i := 0; i < 200; i++ {
+		a := Random(r)
+		if Mul(a, 1) != a {
+			t.Fatalf("a*1 != a")
+		}
+		if Mul(a, 0) != 0 {
+			t.Fatalf("a*0 != 0")
+		}
+		if Mul(a, 2) != Add(a, a) {
+			t.Fatalf("a*2 != a+a")
+		}
+		if Mul(a, 3) != Add(Add(a, a), a) {
+			t.Fatalf("a*3 != a+a+a")
+		}
+	}
+	// (P-1)^2 mod P = 1 since P-1 ≡ -1.
+	if Mul(Elem(P-1), Elem(P-1)) != 1 {
+		t.Errorf("(P-1)^2 != 1")
+	}
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	assoc := func(x, y, z uint64) bool {
+		a, b, c := New(x), New(y), New(z)
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) &&
+			Add(Add(a, b), c) == Add(a, Add(b, c))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error(err)
+	}
+	distrib := func(x, y, z uint64) bool {
+		a, b, c := New(x), New(y), New(z)
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Error(err)
+	}
+	comm := func(x, y uint64) bool {
+		a, b := New(x), New(y)
+		return Mul(a, b) == Mul(b, a) && Add(a, b) == Add(b, a)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvQuick(t *testing.T) {
+	inv := func(x uint64) bool {
+		a := New(x)
+		if a == 0 {
+			return true
+		}
+		return Mul(a, Inv(a)) == 1
+	}
+	if err := quick.Check(inv, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestPow(t *testing.T) {
+	r := rng(3)
+	for i := 0; i < 50; i++ {
+		a := RandomNonZero(r)
+		if Pow(a, 0) != 1 {
+			t.Fatalf("a^0 != 1")
+		}
+		if Pow(a, 1) != a {
+			t.Fatalf("a^1 != a")
+		}
+		if Pow(a, 5) != Mul(Mul(Mul(Mul(a, a), a), a), a) {
+			t.Fatalf("a^5 mismatch")
+		}
+		// Fermat: a^(P-1) = 1.
+		if Pow(a, P-1) != 1 {
+			t.Fatalf("a^(P-1) != 1 for a=%v", a)
+		}
+	}
+}
+
+func TestDivRoundTrip(t *testing.T) {
+	r := rng(4)
+	for i := 0; i < 200; i++ {
+		a, b := Random(r), RandomNonZero(r)
+		if Mul(Div(a, b), b) != a {
+			t.Fatalf("(a/b)*b != a")
+		}
+	}
+}
+
+func TestRandomInRange(t *testing.T) {
+	r := rng(5)
+	for i := 0; i < 1000; i++ {
+		if v := Random(r); uint64(v) >= P {
+			t.Fatalf("Random out of range: %v", v)
+		}
+	}
+}
+
+func TestXDistinctNonzero(t *testing.T) {
+	seen := map[Elem]bool{}
+	for i := 0; i < 100; i++ {
+		x := X(i)
+		if x == 0 {
+			t.Fatalf("X(%d) == 0", i)
+		}
+		if seen[x] {
+			t.Fatalf("X(%d) duplicate", i)
+		}
+		seen[x] = true
+	}
+}
+
+func TestBit(t *testing.T) {
+	if Elem(4).Bit() != 0 || Elem(5).Bit() != 1 {
+		t.Error("Bit parity wrong")
+	}
+}

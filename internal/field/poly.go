@@ -1,0 +1,206 @@
+package field
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Poly is a univariate polynomial over GF(P), stored as coefficients in
+// ascending degree order: Poly{c0, c1, c2} is c0 + c1·x + c2·x².
+// The zero polynomial may be represented by an empty (or all-zero) slice.
+type Poly []Elem
+
+// NewPoly returns a polynomial with the given coefficients (ascending order).
+func NewPoly(coeffs ...Elem) Poly { return Poly(coeffs) }
+
+// RandomPoly returns a uniformly random polynomial of the given degree with
+// the given constant term (the "secret" in Shamir sharing).
+func RandomPoly(rng *rand.Rand, degree int, secret Elem) Poly {
+	p := make(Poly, degree+1)
+	p[0] = secret
+	for i := 1; i <= degree; i++ {
+		p[i] = Random(rng)
+	}
+	return p
+}
+
+// Degree returns the degree of p, ignoring trailing zero coefficients.
+// The zero polynomial has degree -1.
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Eval evaluates p at x by Horner's rule.
+func (p Poly) Eval(x Elem) Elem {
+	var acc Elem
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = Add(Mul(acc, x), p[i])
+	}
+	return acc
+}
+
+// Secret returns p(0), the constant term.
+func (p Poly) Secret() Elem {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
+}
+
+// Clone returns a deep copy of p.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q define the same polynomial (trailing zeros
+// ignored).
+func (p Poly) Equal(q Poly) bool {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		var a, b Elem
+		if i < len(p) {
+			a = p[i]
+		}
+		if i < len(q) {
+			b = q[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// AddPoly returns p + q.
+func AddPoly(p, q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	r := make(Poly, n)
+	for i := range r {
+		var a, b Elem
+		if i < len(p) {
+			a = p[i]
+		}
+		if i < len(q) {
+			b = q[i]
+		}
+		r[i] = Add(a, b)
+	}
+	return r
+}
+
+// MulPoly returns p · q by schoolbook multiplication (degrees here are tiny).
+func MulPoly(p, q Poly) Poly {
+	if len(p) == 0 || len(q) == 0 {
+		return Poly{}
+	}
+	r := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			r[i+j] = Add(r[i+j], Mul(a, b))
+		}
+	}
+	return r
+}
+
+// ScalePoly returns c · p.
+func ScalePoly(c Elem, p Poly) Poly {
+	r := make(Poly, len(p))
+	for i, a := range p {
+		r[i] = Mul(c, a)
+	}
+	return r
+}
+
+// String implements fmt.Stringer for debugging.
+func (p Poly) String() string {
+	return fmt.Sprintf("poly%v", []Elem(p))
+}
+
+// Point is an (x, y) evaluation pair used by interpolation.
+type Point struct {
+	X, Y Elem
+}
+
+// Interpolate returns the unique polynomial of degree < len(points) passing
+// through the given points (Lagrange interpolation). It panics if two points
+// share an x-coordinate, which callers must rule out (evaluation points are
+// distinct party indices).
+func Interpolate(points []Point) Poly {
+	n := len(points)
+	if n == 0 {
+		return Poly{}
+	}
+	result := make(Poly, n)
+	// Accumulate y_i * Π_{j≠i} (x - x_j)/(x_i - x_j).
+	for i := 0; i < n; i++ {
+		basis := Poly{1}
+		denom := Elem(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if points[i].X == points[j].X {
+				panic("field: Interpolate: duplicate x-coordinate")
+			}
+			basis = MulPoly(basis, Poly{Neg(points[j].X), 1})
+			denom = Mul(denom, Sub(points[i].X, points[j].X))
+		}
+		scale := Mul(points[i].Y, Inv(denom))
+		for k, c := range basis {
+			result[k] = Add(result[k], Mul(scale, c))
+		}
+	}
+	// Trim trailing zeros to the true degree.
+	d := Poly(result).Degree()
+	return result[:d+1]
+}
+
+// InterpolateAt evaluates the interpolating polynomial of the given points at
+// x without materializing the polynomial (direct Lagrange evaluation).
+func InterpolateAt(points []Point, x Elem) Elem {
+	var acc Elem
+	for i := range points {
+		num, den := Elem(1), Elem(1)
+		for j := range points {
+			if j == i {
+				continue
+			}
+			num = Mul(num, Sub(x, points[j].X))
+			den = Mul(den, Sub(points[i].X, points[j].X))
+		}
+		acc = Add(acc, Mul(points[i].Y, Div(num, den)))
+	}
+	return acc
+}
+
+// FitsDegree reports whether all points lie on a single polynomial of degree
+// at most d. It interpolates through the first d+1 points and checks the
+// rest. Callers use it to validate claimed shares during reconstruction.
+func FitsDegree(points []Point, d int) bool {
+	if len(points) <= d+1 {
+		return true
+	}
+	p := Interpolate(points[:d+1])
+	for _, pt := range points[d+1:] {
+		if p.Eval(pt.X) != pt.Y {
+			return false
+		}
+	}
+	return true
+}

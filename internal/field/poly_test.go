@@ -1,0 +1,235 @@
+package field
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyEvalHorner(t *testing.T) {
+	// p(x) = 3 + 2x + x^2; p(2) = 3 + 4 + 4 = 11.
+	p := NewPoly(3, 2, 1)
+	if got := p.Eval(2); got != 11 {
+		t.Errorf("Eval = %v, want 11", got)
+	}
+	if got := p.Eval(0); got != 3 {
+		t.Errorf("Eval(0) = %v, want 3", got)
+	}
+	if got := p.Secret(); got != 3 {
+		t.Errorf("Secret = %v, want 3", got)
+	}
+}
+
+func TestPolyDegree(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want int
+	}{
+		{Poly{}, -1},
+		{Poly{0}, -1},
+		{Poly{5}, 0},
+		{Poly{0, 1}, 1},
+		{Poly{1, 2, 0, 0}, 1},
+	}
+	for _, c := range cases {
+		if got := c.p.Degree(); got != c.want {
+			t.Errorf("Degree(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRandomPolyProperties(t *testing.T) {
+	r := rng(10)
+	for deg := 0; deg < 6; deg++ {
+		p := RandomPoly(r, deg, 42)
+		if p.Secret() != 42 {
+			t.Fatalf("secret not embedded")
+		}
+		if len(p) != deg+1 {
+			t.Fatalf("wrong coefficient count")
+		}
+	}
+}
+
+func TestAddMulPolyAlgebra(t *testing.T) {
+	r := rng(11)
+	for i := 0; i < 50; i++ {
+		p := RandomPoly(r, 3, Random(r))
+		q := RandomPoly(r, 2, Random(r))
+		x := Random(r)
+		if AddPoly(p, q).Eval(x) != Add(p.Eval(x), q.Eval(x)) {
+			t.Fatal("(p+q)(x) != p(x)+q(x)")
+		}
+		if MulPoly(p, q).Eval(x) != Mul(p.Eval(x), q.Eval(x)) {
+			t.Fatal("(p*q)(x) != p(x)*q(x)")
+		}
+		c := Random(r)
+		if ScalePoly(c, p).Eval(x) != Mul(c, p.Eval(x)) {
+			t.Fatal("(c*p)(x) != c*p(x)")
+		}
+	}
+}
+
+func TestInterpolateRoundTrip(t *testing.T) {
+	r := rng(12)
+	for deg := 0; deg <= 7; deg++ {
+		p := RandomPoly(r, deg, Random(r))
+		pts := make([]Point, deg+1)
+		for i := range pts {
+			pts[i] = Point{X(i), p.Eval(X(i))}
+		}
+		q := Interpolate(pts)
+		if !p.Equal(q) {
+			t.Fatalf("deg %d: interpolation mismatch: %v vs %v", deg, p, q)
+		}
+	}
+}
+
+func TestInterpolateAtMatchesInterpolate(t *testing.T) {
+	r := rng(13)
+	p := RandomPoly(r, 4, Random(r))
+	pts := make([]Point, 5)
+	for i := range pts {
+		pts[i] = Point{X(i), p.Eval(X(i))}
+	}
+	for i := 0; i < 20; i++ {
+		x := Random(r)
+		if InterpolateAt(pts, x) != p.Eval(x) {
+			t.Fatalf("InterpolateAt mismatch at %v", x)
+		}
+	}
+	// Secret recovery at zero.
+	if InterpolateAt(pts, 0) != p.Secret() {
+		t.Fatal("InterpolateAt(0) != secret")
+	}
+}
+
+func TestInterpolateDuplicateXPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate x")
+		}
+	}()
+	Interpolate([]Point{{1, 2}, {1, 3}})
+}
+
+func TestFitsDegree(t *testing.T) {
+	r := rng(14)
+	p := RandomPoly(r, 2, Random(r))
+	pts := make([]Point, 6)
+	for i := range pts {
+		pts[i] = Point{X(i), p.Eval(X(i))}
+	}
+	if !FitsDegree(pts, 2) {
+		t.Fatal("honest points rejected")
+	}
+	// Corrupt one point beyond the interpolation prefix.
+	bad := make([]Point, len(pts))
+	copy(bad, pts)
+	bad[5].Y = Add(bad[5].Y, 1)
+	if FitsDegree(bad, 2) {
+		t.Fatal("corrupted point accepted")
+	}
+	// Few points always fit.
+	if !FitsDegree(pts[:2], 2) {
+		t.Fatal("underdetermined points rejected")
+	}
+}
+
+func TestInterpolateQuickProperty(t *testing.T) {
+	// Property: for random degree-2 polys, interpolation through any 3 of 5
+	// evaluation points recovers the same polynomial.
+	r := rng(15)
+	f := func(seed int64) bool {
+		p := RandomPoly(r, 2, Random(r))
+		pts := make([]Point, 5)
+		for i := range pts {
+			pts[i] = Point{X(i), p.Eval(X(i))}
+		}
+		q := Interpolate([]Point{pts[4], pts[1], pts[3]})
+		return p.Equal(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyEqualAndClone(t *testing.T) {
+	p := NewPoly(1, 2, 3)
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not equal")
+	}
+	q[0] = 9
+	if p.Equal(q) {
+		t.Fatal("clone aliases original")
+	}
+	if !NewPoly(1, 2).Equal(NewPoly(1, 2, 0)) {
+		t.Fatal("trailing zeros should be ignored")
+	}
+}
+
+func TestBivariateSymmetry(t *testing.T) {
+	r := rng(16)
+	for trial := 0; trial < 20; trial++ {
+		b := NewBivariate(r, 3, 77)
+		if b.Secret() != 77 {
+			t.Fatal("secret not embedded")
+		}
+		x, y := Random(r), Random(r)
+		if b.Eval(x, y) != b.Eval(y, x) {
+			t.Fatal("not symmetric")
+		}
+	}
+}
+
+func TestBivariateRowConsistency(t *testing.T) {
+	r := rng(17)
+	b := NewBivariate(r, 2, 5)
+	for i := 0; i < 6; i++ {
+		row := b.Row(X(i))
+		for j := 0; j < 6; j++ {
+			if row.Eval(X(j)) != b.Eval(X(i), X(j)) {
+				t.Fatalf("Row(%d)(%d) != F(%d,%d)", i, j, i, j)
+			}
+		}
+	}
+	// Cross-check: f_i(x_j) == f_j(x_i).
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if b.Row(X(i)).Eval(X(j)) != b.Row(X(j)).Eval(X(i)) {
+				t.Fatalf("cross-check failed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestBivariateZeroPoly(t *testing.T) {
+	r := rng(18)
+	b := NewBivariate(r, 3, 123)
+	g := b.ZeroPoly()
+	if g.Secret() != 123 {
+		t.Fatal("ZeroPoly constant term != secret")
+	}
+	for i := 0; i < 8; i++ {
+		// g(x_i) must equal f_i(0).
+		if g.Eval(X(i)) != b.Row(X(i)).Eval(0) {
+			t.Fatalf("g(x_%d) != f_%d(0)", i, i)
+		}
+	}
+	if g.Degree() > 3 {
+		t.Fatal("ZeroPoly degree too high")
+	}
+}
+
+func TestBivariateRowInterpolation(t *testing.T) {
+	// t+1 rows determine the secret: interpolate f_i(0) values at x=0.
+	r := rng(19)
+	b := NewBivariate(r, 2, 999)
+	pts := []Point{}
+	for i := 0; i < 3; i++ {
+		pts = append(pts, Point{X(i), b.Row(X(i)).Eval(0)})
+	}
+	if InterpolateAt(pts, 0) != 999 {
+		t.Fatal("secret not recoverable from t+1 rows")
+	}
+}

@@ -1,0 +1,139 @@
+package lowerbound
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"asyncft/internal/field"
+	"asyncft/internal/network"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+	"asyncft/internal/wire"
+)
+
+// GeneralClaim2Trial runs the Claim 2 attack for any parameters in the
+// theorem's range 3t+1 ≤ n ≤ 4t — the generalization the paper's Appendix B
+// obtains by simulation, realized here directly: t colluding Byzantine
+// parties fabricate mutually consistent shares of a secret-1 polynomial
+// while the scheduler delays every honest-to-honest reveal, so each honest
+// party's first t+1 reconstruction points are its own share plus the t
+// coordinated lies.
+//
+// The dealer is party n-1 (honest, sharing 0); the Byzantine parties are
+// n-1-t .. n-2. Outcome.Correct is the paper's correctness event.
+func GeneralClaim2Trial(n, tf int, seed int64) (Outcome, error) {
+	if 3*tf+1 > n || n > 4*tf {
+		return Outcome{}, fmt.Errorf("lowerbound: (n=%d, t=%d) outside 3t+1 ≤ n ≤ 4t", n, tf)
+	}
+	dealer := n - 1
+	byz := map[int]bool{}
+	for i := n - 1 - tf; i < n-1; i++ {
+		byz[i] = true
+	}
+	var honest []int
+	for i := 0; i < n; i++ {
+		if !byz[i] {
+			honest = append(honest, i)
+		}
+	}
+
+	policy := network.NewTargeted()
+	c := testkit.New(n, tf, testkit.WithSeed(seed), testkit.WithPolicy(policy))
+	defer c.Close()
+
+	// Hold every honest→honest reveal between distinct parties; self
+	// reveals and the Byzantine lies flow freely.
+	var holds []int
+	for _, a := range honest {
+		for _, b := range honest {
+			if a != b {
+				holds = append(holds, policy.Hold(network.Rule{From: a, To: b, SessionPrefix: "lbg/rec"}))
+			}
+		}
+	}
+
+	liesSent := make(chan struct{}, tf)
+	go func() {
+		for range byz {
+			select {
+			case <-liesSent:
+			case <-c.Ctx.Done():
+				return
+			}
+		}
+		// All lies are in flight; give them a beat to land, then release
+		// the honest corroboration.
+		time.Sleep(20 * time.Millisecond)
+		for _, h := range holds {
+			policy.Lift(h)
+		}
+	}()
+
+	// The colluders agree on one fake polynomial with secret 1 ahead of
+	// time (they are a single adversary).
+	advRng := c.Envs[dealer].Fork("adv").Rand
+	fake := field.RandomPoly(advRng, tf, 1)
+
+	parties := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		parties = append(parties, i)
+	}
+	res := c.Run(parties, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		// Everyone (honest and Byzantine) behaves honestly in the share
+		// phase; the dealer shares 0.
+		sh, err := generalNaiveShare(ctx, env, "lbg", dealer, 0)
+		if err != nil {
+			return nil, err
+		}
+		if byz[env.ID] {
+			var w wire.Writer
+			w.Elem(fake.Eval(field.X(env.ID)))
+			env.SendAll("lbg/rec", msgReveal, w.Bytes())
+			liesSent <- struct{}{}
+			return field.Elem(1), nil
+		}
+		return NaiveRec(ctx, env, "lbg", sh, true)
+	})
+	return collect(res, honest, 0), nil
+}
+
+// generalNaiveShare is NaiveShare with a parameterized dealer (the original
+// fixes the dealer to PartyD for the 4-party exposition).
+func generalNaiveShare(ctx context.Context, env *runtime.Env, session string, dealer int, secret field.Elem) (field.Elem, error) {
+	if env.ID == dealer {
+		f := field.RandomPoly(env.Rand, env.T, secret)
+		for i := 0; i < env.N; i++ {
+			var w wire.Writer
+			w.Elem(f.Eval(field.X(i)))
+			env.Send(i, session, msgShare, w.Bytes())
+		}
+	}
+	var share field.Elem
+	haveShare := false
+	echoes := map[int]bool{}
+	for {
+		m, err := env.Recv(ctx, session)
+		if err != nil {
+			return 0, fmt.Errorf("naive share %s: %w", session, err)
+		}
+		switch m.Type {
+		case msgShare:
+			if m.From != dealer || haveShare {
+				continue
+			}
+			r := wire.NewReader(m.Payload)
+			share = r.Elem()
+			if r.Err() != nil {
+				continue
+			}
+			haveShare = true
+			env.SendAll(session, msgEcho, nil)
+		case msgEcho:
+			echoes[m.From] = true
+		}
+		if haveShare && len(echoes) >= env.N-env.T {
+			return share, nil
+		}
+	}
+}

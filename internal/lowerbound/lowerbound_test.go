@@ -1,0 +1,107 @@
+package lowerbound
+
+import (
+	"fmt"
+	"testing"
+
+	"asyncft/internal/field"
+)
+
+func TestHonestTrialCorrect(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		for _, secret := range []uint64{0, 1} {
+			o := HonestTrial(seed, field.Elem(secret))
+			if !o.Terminated {
+				t.Fatalf("seed %d secret %d: honest run did not terminate", seed, secret)
+			}
+			if !o.Correct {
+				t.Fatalf("seed %d secret %d: honest run incorrect: %v", seed, secret, o.Outputs)
+			}
+			if !o.Agreement {
+				t.Fatalf("seed %d secret %d: honest run disagreed", seed, secret)
+			}
+		}
+	}
+}
+
+func TestClaim1AttackCompletesWithConflictingViews(t *testing.T) {
+	// The equivocated share phase must complete (that is Claim 1's point),
+	// and the reconstruction still terminates for every honest party.
+	terminated := 0
+	for seed := int64(0); seed < 10; seed++ {
+		o := Claim1Trial(seed)
+		if o.Terminated {
+			terminated++
+		}
+	}
+	if terminated < 8 {
+		t.Fatalf("claim-1 runs terminated only %d/10 times", terminated)
+	}
+}
+
+func TestClaim2AttackBreaksCorrectness(t *testing.T) {
+	// Theorem 2.2: a terminating AVSS cannot be (2/3+ε)-correct. Under the
+	// Claim 2 attack the naive protocol's correctness probability collapses
+	// — far below 2/3 — while termination is preserved.
+	const trials = 20
+	correct, terminated := 0, 0
+	for seed := int64(0); seed < trials; seed++ {
+		o := Claim2Trial(seed)
+		if o.Terminated {
+			terminated++
+		}
+		if o.Correct {
+			correct++
+		}
+	}
+	if terminated < trials-2 {
+		t.Fatalf("termination broke: %d/%d", terminated, trials)
+	}
+	if 3*correct >= 2*trials {
+		t.Fatalf("attack failed: correctness %d/%d not below 2/3", correct, trials)
+	}
+	t.Logf("claim-2: terminated %d/%d, correct %d/%d", terminated, trials, correct, trials)
+}
+
+func TestGeneralClaim2ParameterValidation(t *testing.T) {
+	if _, err := GeneralClaim2Trial(9, 2, 1); err == nil {
+		t.Fatal("n=9,t=2 is outside 3t+1 ≤ n ≤ 4t; expected error")
+	}
+	if _, err := GeneralClaim2Trial(4, 0, 1); err == nil {
+		t.Fatal("t=0 should be rejected")
+	}
+}
+
+func TestGeneralClaim2MatchesTheoremRange(t *testing.T) {
+	// Theorem 2.2 covers every (n, t) with 3t+1 ≤ n ≤ 4t; the attack must
+	// break correctness in each regime, not just the n=4 exposition.
+	cases := []struct{ n, tf int }{
+		{4, 1}, {7, 2}, {8, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("n=%d,t=%d", tc.n, tc.tf), func(t *testing.T) {
+			const trials = 8
+			terminated, correct := 0, 0
+			for seed := int64(0); seed < trials; seed++ {
+				o, err := GeneralClaim2Trial(tc.n, tc.tf, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if o.Terminated {
+					terminated++
+				}
+				if o.Correct {
+					correct++
+				}
+			}
+			if terminated < trials-1 {
+				t.Fatalf("termination broke: %d/%d", terminated, trials)
+			}
+			if 3*correct >= 2*trials {
+				t.Fatalf("attack failed at (n=%d,t=%d): correctness %d/%d not below 2/3",
+					tc.n, tc.tf, correct, trials)
+			}
+		})
+	}
+}

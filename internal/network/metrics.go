@@ -1,0 +1,71 @@
+package network
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"asyncft/internal/wire"
+)
+
+// Metrics counts traffic by top-level protocol (the first segment of the
+// session path), feeding the scaling experiments (E6 in EXPERIMENTS.md).
+type Metrics struct {
+	mu       sync.Mutex
+	messages uint64
+	bytes    uint64
+	byProto  map[string]*protoCounter
+}
+
+type protoCounter struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+func (m *Metrics) init() {
+	m.byProto = make(map[string]*protoCounter)
+}
+
+func (m *Metrics) record(env wire.Envelope) {
+	size := uint64(len(env.Payload) + len(env.Session) + 8)
+	proto := env.Session
+	if i := strings.IndexByte(proto, '/'); i >= 0 {
+		proto = proto[:i]
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.messages++
+	m.bytes += size
+	c := m.byProto[proto]
+	if c == nil {
+		c = &protoCounter{}
+		m.byProto[proto] = c
+	}
+	c.Messages++
+	c.Bytes += size
+}
+
+// ProtoStat is one row of a metrics snapshot.
+type ProtoStat struct {
+	Proto    string
+	Messages uint64
+	Bytes    uint64
+}
+
+// MetricsSnapshot is an immutable copy of the counters.
+type MetricsSnapshot struct {
+	Messages uint64
+	Bytes    uint64
+	ByProto  []ProtoStat
+}
+
+func (m *Metrics) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{Messages: m.messages, Bytes: m.bytes}
+	for name, c := range m.byProto {
+		s.ByProto = append(s.ByProto, ProtoStat{Proto: name, Messages: c.Messages, Bytes: c.Bytes})
+	}
+	sort.Slice(s.ByProto, func(i, j int) bool { return s.ByProto[i].Proto < s.ByProto[j].Proto })
+	return s
+}

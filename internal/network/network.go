@@ -1,0 +1,280 @@
+// Package network simulates the asynchronous message-passing model of the
+// paper: every message is eventually delivered, but the adversary controls
+// the order and (finite) delay of each delivery.
+//
+// A Router connects n parties. Each Send is handed to a scheduling Policy
+// that may deliver it immediately, hold it, or reorder it against other
+// in-flight messages; held messages are flushed by a background ticker and at
+// Close, so eventual delivery always holds. Policies implement the schedules
+// the paper's proofs quantify over: FIFO (effectively synchronous), seeded
+// random reordering, and targeted adversarial holds ("delay everything from
+// C until A and B finish the share phase") used by the lower-bound attacks.
+package network
+
+import (
+	"sync"
+	"time"
+
+	"asyncft/internal/wire"
+)
+
+// Handler consumes a delivered message on behalf of a party. Handlers must
+// not block for long: the router delivers to each party from a dedicated
+// goroutine, so a blocked handler stalls that party's queue (which the
+// asynchronous model permits, but tests do not appreciate).
+type Handler func(wire.Envelope)
+
+// Policy decides the fate of in-flight messages. Implementations are called
+// from a single scheduler goroutine and need no internal locking.
+type Policy interface {
+	// OnSend is invoked for each newly sent message. It returns the batch of
+	// messages to deliver now; the policy may retain env (and previously
+	// retained messages) for later.
+	OnSend(env wire.Envelope) []wire.Envelope
+	// OnTick is invoked periodically and must make progress: messages held
+	// beyond their policy-defined horizon must be released. Returning nil
+	// when messages are still held is allowed only if a later tick will
+	// release them.
+	OnTick() []wire.Envelope
+	// Drain releases every held message unconditionally.
+	Drain() []wire.Envelope
+}
+
+// Router is the simulated network fabric.
+type Router struct {
+	n        int
+	tick     time.Duration
+	handlers []Handler
+
+	observer Observer
+
+	mu      sync.Mutex
+	policy  Policy
+	metrics Metrics
+	closed  bool
+
+	in     chan wire.Envelope
+	queues []*queue
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Option configures a Router.
+type Option func(*Router)
+
+// WithTick overrides the scheduler flush interval (default 200µs).
+func WithTick(d time.Duration) Option {
+	return func(r *Router) { r.tick = d }
+}
+
+// Observer receives network lifecycle callbacks: stage is "send" when a
+// message enters the fabric and "deliver" when it reaches its destination
+// handler. Observers must be fast and concurrency-safe.
+type Observer func(stage string, env wire.Envelope)
+
+// WithObserver attaches an observer (e.g. a trace.Recorder adapter).
+func WithObserver(obs Observer) Option {
+	return func(r *Router) { r.observer = obs }
+}
+
+// NewRouter creates a router for parties 0..n-1 using the given policy.
+// Handlers are registered with Register before any traffic flows.
+func NewRouter(n int, policy Policy, opts ...Option) *Router {
+	r := &Router{
+		n:        n,
+		tick:     200 * time.Microsecond,
+		handlers: make([]Handler, n),
+		policy:   policy,
+		in:       make(chan wire.Envelope, 1024),
+		queues:   make([]*queue, n),
+		done:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	for i := range r.queues {
+		r.queues[i] = newQueue()
+	}
+	r.metrics.init()
+	r.wg.Add(1)
+	go r.schedule()
+	for i := 0; i < n; i++ {
+		r.wg.Add(1)
+		go r.deliverLoop(i)
+	}
+	return r
+}
+
+// Register installs the delivery handler for party id. A nil handler (never
+// registered) models a crashed party: its messages are discarded.
+func (r *Router) Register(id int, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers[id] = h
+}
+
+// N returns the number of parties.
+func (r *Router) N() int { return r.n }
+
+// Send injects a message into the network. It never blocks indefinitely and
+// never drops: every sent message is eventually delivered unless the
+// destination never registered a handler or the router is closed.
+func (r *Router) Send(env wire.Envelope) {
+	if env.To < 0 || env.To >= r.n {
+		return
+	}
+	r.metrics.record(env)
+	if r.observer != nil {
+		r.observer("send", env)
+	}
+	select {
+	case r.in <- env:
+	case <-r.done:
+	}
+}
+
+// Metrics returns a snapshot of traffic counters.
+func (r *Router) Metrics() MetricsSnapshot { return r.metrics.snapshot() }
+
+// SetPolicy swaps the scheduling policy mid-run (used by adaptive
+// adversaries). Held messages in the old policy are drained first.
+func (r *Router) SetPolicy(p Policy) {
+	r.mu.Lock()
+	old := r.policy
+	r.policy = p
+	r.mu.Unlock()
+	for _, env := range old.Drain() {
+		r.enqueue(env)
+	}
+}
+
+// Close drains all held messages, stops the router, and waits for delivery
+// goroutines to exit. Messages sent after Close are discarded.
+func (r *Router) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.done)
+	r.wg.Wait()
+}
+
+func (r *Router) schedule() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case env := <-r.in:
+			r.mu.Lock()
+			p := r.policy
+			r.mu.Unlock()
+			for _, e := range p.OnSend(env) {
+				r.enqueue(e)
+			}
+		case <-ticker.C:
+			r.mu.Lock()
+			p := r.policy
+			r.mu.Unlock()
+			for _, e := range p.OnTick() {
+				r.enqueue(e)
+			}
+		case <-r.done:
+			// Final drain: deliver everything still in flight so that
+			// blocked protocol goroutines can observe eventual delivery
+			// before their contexts cancel.
+			r.mu.Lock()
+			p := r.policy
+			r.mu.Unlock()
+			for {
+				select {
+				case env := <-r.in:
+					for _, e := range p.OnSend(env) {
+						r.enqueue(e)
+					}
+					continue
+				default:
+				}
+				break
+			}
+			for _, e := range p.Drain() {
+				r.enqueue(e)
+			}
+			for _, q := range r.queues {
+				q.close()
+			}
+			return
+		}
+	}
+}
+
+func (r *Router) enqueue(env wire.Envelope) {
+	r.queues[env.To].push(env)
+}
+
+func (r *Router) deliverLoop(id int) {
+	defer r.wg.Done()
+	q := r.queues[id]
+	for {
+		env, ok := q.pop()
+		if !ok {
+			return
+		}
+		r.mu.Lock()
+		h := r.handlers[id]
+		r.mu.Unlock()
+		if h != nil {
+			if r.observer != nil {
+				r.observer("deliver", env)
+			}
+			h(env)
+		}
+	}
+}
+
+// queue is an unbounded MPSC queue.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []wire.Envelope
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(env wire.Envelope) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, env)
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *queue) pop() (wire.Envelope, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return wire.Envelope{}, false
+	}
+	env := q.items[0]
+	q.items = q.items[1:]
+	return env, true
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

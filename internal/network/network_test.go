@@ -1,0 +1,253 @@
+package network
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"asyncft/internal/wire"
+)
+
+// collector accumulates delivered envelopes for assertions.
+type collector struct {
+	mu   sync.Mutex
+	got  []wire.Envelope
+	done chan struct{} // closed when want messages have arrived
+	want int
+}
+
+func newCollector(want int) *collector {
+	return &collector{done: make(chan struct{}), want: want}
+}
+
+func (c *collector) handle(env wire.Envelope) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, env)
+	if len(c.got) == c.want {
+		close(c.done)
+	}
+}
+
+func (c *collector) wait(t *testing.T) []wire.Envelope {
+	t.Helper()
+	select {
+	case <-c.done:
+	case <-time.After(5 * time.Second):
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		t.Fatalf("timeout: got %d/%d messages", len(c.got), c.want)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]wire.Envelope(nil), c.got...)
+}
+
+func env(from, to int, sess string, typ uint8) wire.Envelope {
+	return wire.Envelope{From: from, To: to, Session: sess, Type: typ}
+}
+
+func TestFIFODeliversInOrder(t *testing.T) {
+	r := NewRouter(2, FIFO{})
+	defer r.Close()
+	c := newCollector(10)
+	r.Register(1, c.handle)
+	for i := 0; i < 10; i++ {
+		r.Send(env(0, 1, "s", uint8(i)))
+	}
+	got := c.wait(t)
+	for i, e := range got {
+		if e.Type != uint8(i) {
+			t.Fatalf("out of order at %d: %v", i, e.Type)
+		}
+	}
+}
+
+func TestSendToInvalidPartyIgnored(t *testing.T) {
+	r := NewRouter(2, FIFO{})
+	defer r.Close()
+	r.Send(env(0, 5, "s", 0))  // out of range: dropped silently
+	r.Send(env(0, -1, "s", 0)) // negative: dropped silently
+}
+
+func TestUnregisteredPartyDiscards(t *testing.T) {
+	r := NewRouter(2, FIFO{})
+	defer r.Close()
+	c := newCollector(1)
+	r.Register(1, c.handle)
+	r.Send(env(0, 0, "s", 1)) // party 0 crashed (no handler)
+	r.Send(env(0, 1, "s", 2))
+	got := c.wait(t)
+	if len(got) != 1 || got[0].Type != 2 {
+		t.Fatalf("unexpected deliveries: %v", got)
+	}
+}
+
+func TestRandomReorderDeliversEverything(t *testing.T) {
+	r := NewRouter(3, NewRandomReorder(42, 0.6, 8))
+	defer r.Close()
+	const total = 200
+	c := newCollector(total)
+	r.Register(2, c.handle)
+	for i := 0; i < total; i++ {
+		r.Send(env(i%2, 2, "s", uint8(i)))
+	}
+	got := c.wait(t)
+	seen := map[uint8]int{}
+	for _, e := range got {
+		seen[e.Type]++
+	}
+	if len(got) != total {
+		t.Fatalf("delivered %d, want %d", len(got), total)
+	}
+	for i := 0; i < total; i++ {
+		if seen[uint8(i)] != 1 {
+			// Types wrap at 256 but total=200 < 256, so each is unique.
+			t.Fatalf("message %d delivered %d times", i, seen[uint8(i)])
+		}
+	}
+}
+
+func TestRandomReorderActuallyReorders(t *testing.T) {
+	r := NewRouter(2, NewRandomReorder(7, 0.5, 16))
+	defer r.Close()
+	const total = 100
+	c := newCollector(total)
+	r.Register(1, c.handle)
+	for i := 0; i < total; i++ {
+		r.Send(env(0, 1, "s", uint8(i)))
+	}
+	got := c.wait(t)
+	inOrder := true
+	for i := 1; i < len(got); i++ {
+		if got[i].Type < got[i-1].Type {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("random reorder policy delivered strictly in order (seed produced no reordering?)")
+	}
+}
+
+func TestTargetedHoldAndLift(t *testing.T) {
+	p := NewTargeted()
+	r := NewRouter(3, p, WithTick(100*time.Microsecond))
+	defer r.Close()
+	cBlocked := newCollector(1)
+	cOther := newCollector(1)
+	r.Register(2, cBlocked.handle)
+	r.Register(1, cOther.handle)
+
+	rule := p.Hold(Rule{From: 0, To: 2, SessionPrefix: ""})
+	r.Send(env(0, 2, "s", 9)) // held
+	r.Send(env(0, 1, "s", 3)) // flows
+
+	cOther.wait(t)
+	// The held message must not be delivered while the rule is active.
+	time.Sleep(5 * time.Millisecond)
+	cBlocked.mu.Lock()
+	held := len(cBlocked.got)
+	cBlocked.mu.Unlock()
+	if held != 0 {
+		t.Fatal("held message was delivered while rule active")
+	}
+	p.Lift(rule)
+	got := cBlocked.wait(t)
+	if got[0].Type != 9 {
+		t.Fatalf("wrong message released: %v", got[0])
+	}
+}
+
+func TestTargetedSessionPrefix(t *testing.T) {
+	p := NewTargeted()
+	r := NewRouter(2, p, WithTick(100*time.Microsecond))
+	defer r.Close()
+	c := newCollector(1)
+	r.Register(1, c.handle)
+	p.Hold(Rule{From: -1, To: -1, SessionPrefix: "svss/"})
+	r.Send(env(0, 1, "svss/d0", 1)) // held
+	r.Send(env(0, 1, "ba/0", 2))    // flows
+	got := c.wait(t)
+	if got[0].Session != "ba/0" {
+		t.Fatalf("prefix rule failed: %v", got[0])
+	}
+}
+
+func TestCloseDrainsHeldMessages(t *testing.T) {
+	p := NewTargeted()
+	r := NewRouter(2, p)
+	c := newCollector(1)
+	r.Register(1, c.handle)
+	p.Hold(Rule{From: 0, To: 1})
+	r.Send(env(0, 1, "s", 5))
+	// Eventual delivery: Close must flush the adversary's held messages.
+	r.Close()
+	got := c.wait(t)
+	if got[0].Type != 5 {
+		t.Fatalf("drain failed: %v", got)
+	}
+}
+
+func TestMetricsCounts(t *testing.T) {
+	r := NewRouter(2, FIFO{})
+	defer r.Close()
+	c := newCollector(3)
+	r.Register(1, c.handle)
+	r.Send(wire.Envelope{From: 0, To: 1, Session: "rbc/1", Payload: []byte{1, 2}})
+	r.Send(wire.Envelope{From: 0, To: 1, Session: "rbc/2", Payload: []byte{1}})
+	r.Send(wire.Envelope{From: 0, To: 1, Session: "ba/1"})
+	c.wait(t)
+	m := r.Metrics()
+	if m.Messages != 3 {
+		t.Fatalf("messages = %d", m.Messages)
+	}
+	var rbc, ba uint64
+	for _, s := range m.ByProto {
+		switch s.Proto {
+		case "rbc":
+			rbc = s.Messages
+		case "ba":
+			ba = s.Messages
+		}
+	}
+	if rbc != 2 || ba != 1 {
+		t.Fatalf("per-proto counts rbc=%d ba=%d", rbc, ba)
+	}
+}
+
+func TestSetPolicyDrainsOld(t *testing.T) {
+	p := NewTargeted()
+	r := NewRouter(2, p, WithTick(100*time.Microsecond))
+	defer r.Close()
+	c := newCollector(1)
+	r.Register(1, c.handle)
+	p.Hold(Rule{From: 0, To: 1})
+	r.Send(env(0, 1, "s", 8))
+	r.SetPolicy(FIFO{})
+	got := c.wait(t)
+	if got[0].Type != 8 {
+		t.Fatal("held message lost on policy swap")
+	}
+}
+
+func TestRuleMatches(t *testing.T) {
+	cases := []struct {
+		rule Rule
+		env  wire.Envelope
+		want bool
+	}{
+		{Rule{From: -1, To: -1}, env(0, 1, "x", 0), true},
+		{Rule{From: 0, To: -1}, env(0, 1, "x", 0), true},
+		{Rule{From: 1, To: -1}, env(0, 1, "x", 0), false},
+		{Rule{From: -1, To: 1}, env(0, 1, "x", 0), true},
+		{Rule{From: -1, To: 0}, env(0, 1, "x", 0), false},
+		{Rule{From: -1, To: -1, SessionPrefix: "x"}, env(0, 1, "xyz", 0), true},
+		{Rule{From: -1, To: -1, SessionPrefix: "y"}, env(0, 1, "xyz", 0), false},
+	}
+	for i, c := range cases {
+		if got := c.rule.Matches(c.env); got != c.want {
+			t.Errorf("case %d: Matches = %v, want %v", i, got, c.want)
+		}
+	}
+}

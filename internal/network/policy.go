@@ -1,0 +1,228 @@
+package network
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+
+	"asyncft/internal/wire"
+)
+
+// FIFO delivers every message immediately in send order. With fast local
+// handlers this approximates a synchronous network.
+type FIFO struct{}
+
+// OnSend implements Policy.
+func (FIFO) OnSend(env wire.Envelope) []wire.Envelope { return []wire.Envelope{env} }
+
+// OnTick implements Policy.
+func (FIFO) OnTick() []wire.Envelope { return nil }
+
+// Drain implements Policy.
+func (FIFO) Drain() []wire.Envelope { return nil }
+
+var _ Policy = FIFO{}
+
+// RandomReorder holds each message with probability HoldProb and releases
+// held messages in random order as later traffic arrives, bounding every
+// hold by MaxHold subsequent events. This exercises arbitrary (finite)
+// asynchrony: any interleaving the adversary can force with bounded patience.
+type RandomReorder struct {
+	rng      *rand.Rand
+	holdProb float64
+	maxHold  int
+	held     []agedEnvelope
+}
+
+type agedEnvelope struct {
+	env wire.Envelope
+	age int
+}
+
+// NewRandomReorder builds a RandomReorder policy. holdProb in [0,1); maxHold
+// ≥ 1 bounds how many send events a message may be held across.
+func NewRandomReorder(seed int64, holdProb float64, maxHold int) *RandomReorder {
+	if maxHold < 1 {
+		maxHold = 1
+	}
+	return &RandomReorder{
+		rng:      rand.New(rand.NewSource(seed)),
+		holdProb: holdProb,
+		maxHold:  maxHold,
+	}
+}
+
+// OnSend implements Policy.
+func (p *RandomReorder) OnSend(env wire.Envelope) []wire.Envelope {
+	var out []wire.Envelope
+	// Age held messages; force out expired ones, randomly release others.
+	kept := p.held[:0]
+	for _, h := range p.held {
+		h.age++
+		if h.age >= p.maxHold || p.rng.Float64() < 0.3 {
+			out = append(out, h.env)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	p.held = kept
+	if p.rng.Float64() < p.holdProb {
+		p.held = append(p.held, agedEnvelope{env: env})
+	} else {
+		out = append(out, env)
+	}
+	// Shuffle the release batch so same-destination order is scrambled too.
+	p.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// OnTick implements Policy: release everything held (traffic has gone
+// quiet, and eventual delivery must hold).
+func (p *RandomReorder) OnTick() []wire.Envelope { return p.Drain() }
+
+// Drain implements Policy.
+func (p *RandomReorder) Drain() []wire.Envelope {
+	out := make([]wire.Envelope, 0, len(p.held))
+	for _, h := range p.held {
+		out = append(out, h.env)
+	}
+	p.held = p.held[:0]
+	p.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+var _ Policy = (*RandomReorder)(nil)
+
+// Rule matches messages for targeted scheduling.
+type Rule struct {
+	// From/To restrict the matched link; -1 matches any party.
+	From, To int
+	// SessionPrefix restricts matches to sessions with this prefix; empty
+	// matches all sessions.
+	SessionPrefix string
+}
+
+// Matches reports whether the rule applies to env.
+func (r Rule) Matches(env wire.Envelope) bool {
+	if r.From >= 0 && env.From != r.From {
+		return false
+	}
+	if r.To >= 0 && env.To != r.To {
+		return false
+	}
+	if r.SessionPrefix != "" && !strings.HasPrefix(env.Session, r.SessionPrefix) {
+		return false
+	}
+	return true
+}
+
+// Targeted is an adversarial scheduler: messages matching any active rule
+// are held until the rule is lifted. All other traffic flows FIFO. The
+// lower-bound attacks in Section 2 use it to run A, B, D synchronously while
+// delaying everything to and from C until the share phase completes.
+//
+// Targeted is safe for concurrent rule updates (the adversary acts from
+// other goroutines), while OnSend/OnTick/Drain are called by the scheduler.
+type Targeted struct {
+	mu    sync.Mutex
+	rules map[int]Rule
+	next  int
+	held  []heldEnvelope
+}
+
+type heldEnvelope struct {
+	env   wire.Envelope
+	rules []int
+}
+
+// NewTargeted returns a Targeted policy with no active rules.
+func NewTargeted() *Targeted {
+	return &Targeted{rules: make(map[int]Rule)}
+}
+
+// Hold installs a rule and returns its id for Lift.
+func (p *Targeted) Hold(r Rule) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.next
+	p.next++
+	p.rules[id] = r
+	return id
+}
+
+// Lift removes a rule; messages held only by that rule become deliverable at
+// the next tick.
+func (p *Targeted) Lift(id int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.rules, id)
+}
+
+// LiftAll removes every rule.
+func (p *Targeted) LiftAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = make(map[int]Rule)
+}
+
+func (p *Targeted) matching(env wire.Envelope) []int {
+	var ids []int
+	for id, r := range p.rules {
+		if r.Matches(env) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// OnSend implements Policy.
+func (p *Targeted) OnSend(env wire.Envelope) []wire.Envelope {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ids := p.matching(env); len(ids) > 0 {
+		p.held = append(p.held, heldEnvelope{env: env, rules: ids})
+		return nil
+	}
+	return []wire.Envelope{env}
+}
+
+// OnTick implements Policy: releases messages whose rules were all lifted.
+func (p *Targeted) OnTick() []wire.Envelope {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []wire.Envelope
+	kept := p.held[:0]
+	for _, h := range p.held {
+		active := false
+		for _, id := range h.rules {
+			if _, ok := p.rules[id]; ok {
+				active = true
+				break
+			}
+		}
+		// Re-check surviving rules against current rule set (a new rule
+		// could also match, but held messages keep their original binding:
+		// the adversary lifted what it installed).
+		if active {
+			kept = append(kept, h)
+		} else {
+			out = append(out, h.env)
+		}
+	}
+	p.held = kept
+	return out
+}
+
+// Drain implements Policy.
+func (p *Targeted) Drain() []wire.Envelope {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]wire.Envelope, 0, len(p.held))
+	for _, h := range p.held {
+		out = append(out, h.env)
+	}
+	p.held = nil
+	return out
+}
+
+var _ Policy = (*Targeted)(nil)

@@ -1,0 +1,97 @@
+// Package rbc implements Bracha's asynchronous reliable broadcast, the
+// Broadcast primitive the paper calls A-Cast (Definition 4.4, citing
+// Bracha [6]).
+//
+// Guarantees with n ≥ 3t+1 under any message scheduling:
+//
+//   - Termination: a nonfaulty sender's broadcast completes at every
+//     nonfaulty party; if any nonfaulty party completes, all participating
+//     nonfaulty parties complete.
+//   - Validity: a nonfaulty sender's value is the output.
+//   - Correctness: no two nonfaulty parties output different values.
+//
+// The protocol is the classical three-phase echo protocol: the sender
+// disperses INIT, parties echo the first INIT they see, send READY on a
+// 2t+1 ECHO quorum (or t+1 READY amplification), and output on a 2t+1
+// READY quorum.
+package rbc
+
+import (
+	"context"
+	"fmt"
+
+	"asyncft/internal/runtime"
+)
+
+// Message types within a broadcast session.
+const (
+	msgInit  uint8 = 1
+	msgEcho  uint8 = 2
+	msgReady uint8 = 3
+)
+
+// MaxValueSize bounds the payload accepted from the wire; larger claims are
+// discarded as Byzantine garbage.
+const MaxValueSize = 1 << 20
+
+// Run executes one reliable-broadcast instance identified by session.
+// If env.ID == sender, value is broadcast; other parties pass value == nil.
+// Every nonfaulty party must call Run for the instance to terminate.
+// The returned bytes are the agreed value.
+func Run(ctx context.Context, env *runtime.Env, session string, sender int, value []byte) ([]byte, error) {
+	if sender < 0 || sender >= env.N {
+		return nil, fmt.Errorf("rbc %s: invalid sender %d", session, sender)
+	}
+	if env.ID == sender {
+		env.SendAll(session, msgInit, value)
+	}
+
+	type valueKey string
+	echoes := make(map[valueKey]map[int]bool)
+	readies := make(map[valueKey]map[int]bool)
+	echoed := false
+	readied := false
+
+	mark := func(m map[valueKey]map[int]bool, v valueKey, from int) int {
+		set := m[v]
+		if set == nil {
+			set = make(map[int]bool)
+			m[v] = set
+		}
+		set[from] = true
+		return len(set)
+	}
+
+	for {
+		msg, err := env.Recv(ctx, session)
+		if err != nil {
+			return nil, fmt.Errorf("rbc %s: %w", session, err)
+		}
+		if len(msg.Payload) > MaxValueSize {
+			continue
+		}
+		v := valueKey(msg.Payload)
+		switch msg.Type {
+		case msgInit:
+			if msg.From != sender || echoed {
+				continue
+			}
+			echoed = true
+			env.SendAll(session, msgEcho, msg.Payload)
+		case msgEcho:
+			if mark(echoes, v, msg.From) == 2*env.T+1 && !readied {
+				readied = true
+				env.SendAll(session, msgReady, msg.Payload)
+			}
+		case msgReady:
+			n := mark(readies, v, msg.From)
+			if n == env.T+1 && !readied {
+				readied = true
+				env.SendAll(session, msgReady, msg.Payload)
+			}
+			if n == 2*env.T+1 {
+				return []byte(v), nil
+			}
+		}
+	}
+}

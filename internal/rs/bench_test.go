@@ -1,0 +1,31 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+
+	"asyncft/internal/field"
+)
+
+func benchDecode(b *testing.B, t, errs int) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	n := 3*t + 1
+	p := field.RandomPoly(r, t, field.Random(r))
+	pts := encode(p, n)
+	for i := 0; i < errs; i++ {
+		pts[i].Y = field.Add(pts[i].Y, field.RandomNonZero(r))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, err := Decode(pts, t, t)
+		if err != nil || !got.Equal(p) {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkDecodeT1Clean(b *testing.B)     { benchDecode(b, 1, 0) }
+func BenchmarkDecodeT1OneError(b *testing.B)  { benchDecode(b, 1, 1) }
+func BenchmarkDecodeT3Clean(b *testing.B)     { benchDecode(b, 3, 0) }
+func BenchmarkDecodeT3MaxErrors(b *testing.B) { benchDecode(b, 3, 3) }

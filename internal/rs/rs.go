@@ -1,0 +1,198 @@
+// Package rs implements Reed–Solomon decoding over the field in
+// internal/field using the Berlekamp–Welch algorithm.
+//
+// In asynchronous verifiable secret sharing with n = 3t+1 parties, honest
+// reconstruction receives claimed polynomial evaluations of which up to t may
+// be Byzantine lies. Berlekamp–Welch recovers the unique degree-≤k polynomial
+// through m points with at most e errors whenever m ≥ k + 1 + 2e. The SVSS
+// reconstruction path first tries optimistic interpolation and falls back to
+// error-corrected decoding; the two strategies are ablated in the benchmark
+// suite (DESIGN.md §4).
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"asyncft/internal/field"
+)
+
+// ErrDecode is returned when no codeword of the requested degree lies within
+// the correctable radius of the received points.
+var ErrDecode = errors.New("rs: decoding failed")
+
+// Decode recovers the unique polynomial of degree ≤ degree through the given
+// points, tolerating up to maxErrors erroneous points. It requires
+// len(points) ≥ degree + 1 + 2·maxErrors; otherwise it returns an error
+// immediately. On success it returns the polynomial and the indices (into
+// points) of the erroneous points.
+func Decode(points []field.Point, degree, maxErrors int) (field.Poly, []int, error) {
+	m := len(points)
+	if m < degree+1+2*maxErrors {
+		return nil, nil, fmt.Errorf("rs: need %d points for degree %d with %d errors, have %d",
+			degree+1+2*maxErrors, degree, maxErrors, m)
+	}
+	// Fast path: no errors claimed.
+	if maxErrors == 0 {
+		if !field.FitsDegree(points, degree) {
+			return nil, nil, ErrDecode
+		}
+		p := field.Interpolate(points[:degree+1])
+		return p, nil, nil
+	}
+	// Try increasing error counts: smallest e wins (maximum-likelihood for
+	// the adversarial setting: fewest parties accused).
+	for e := 0; e <= maxErrors; e++ {
+		p, bad, ok := tryDecode(points, degree, e)
+		if ok {
+			return p, bad, nil
+		}
+	}
+	return nil, nil, ErrDecode
+}
+
+// tryDecode attempts Berlekamp–Welch with exactly ≤ e errors.
+//
+// Solve for E(x) monic of degree e and Q(x) of degree ≤ degree+e with
+// Q(x_i) = y_i · E(x_i) for all i. Then P = Q / E if the division is exact.
+func tryDecode(points []field.Point, degree, e int) (field.Poly, []int, bool) {
+	m := len(points)
+	// Unknowns: e coefficients of E (E is monic, x^e implicit) and
+	// degree+e+1 coefficients of Q.
+	nq := degree + e + 1
+	unknowns := e + nq
+	if m < unknowns {
+		return nil, nil, false
+	}
+	// Build the linear system A·u = b over the field.
+	// Row i: Σ_{j<e} E_j x_i^j y_i − Σ_{j<nq} Q_j x_i^j = −y_i x_i^e.
+	a := make([][]field.Elem, m)
+	b := make([]field.Elem, m)
+	for i, pt := range points {
+		row := make([]field.Elem, unknowns)
+		xp := field.Elem(1)
+		for j := 0; j < e; j++ {
+			row[j] = field.Mul(pt.Y, xp)
+			xp = field.Mul(xp, pt.X)
+		}
+		// xp is now x_i^e.
+		b[i] = field.Neg(field.Mul(pt.Y, xp))
+		xq := field.Elem(1)
+		for j := 0; j < nq; j++ {
+			row[e+j] = field.Neg(xq)
+			xq = field.Mul(xq, pt.X)
+		}
+		a[i] = row
+	}
+	u, ok := solve(a, b, unknowns)
+	if !ok {
+		return nil, nil, false
+	}
+	ePoly := make(field.Poly, e+1)
+	copy(ePoly, u[:e])
+	ePoly[e] = 1 // monic
+	qPoly := field.Poly(u[e:])
+
+	p, rem := divPoly(qPoly, ePoly)
+	if rem.Degree() >= 0 {
+		return nil, nil, false
+	}
+	if p.Degree() > degree {
+		return nil, nil, false
+	}
+	// Verify and collect error locations.
+	var bad []int
+	for i, pt := range points {
+		if p.Eval(pt.X) != pt.Y {
+			bad = append(bad, i)
+		}
+	}
+	if len(bad) > e {
+		return nil, nil, false
+	}
+	return p, bad, true
+}
+
+// solve performs Gaussian elimination on the (possibly overdetermined)
+// system a·u = b, returning any solution. It reports failure if the system
+// is inconsistent.
+func solve(a [][]field.Elem, b []field.Elem, unknowns int) ([]field.Elem, bool) {
+	m := len(a)
+	row := 0
+	where := make([]int, unknowns)
+	for i := range where {
+		where[i] = -1
+	}
+	for col := 0; col < unknowns && row < m; col++ {
+		// Find pivot.
+		sel := -1
+		for r := row; r < m; r++ {
+			if a[r][col] != 0 {
+				sel = r
+				break
+			}
+		}
+		if sel == -1 {
+			continue
+		}
+		a[row], a[sel] = a[sel], a[row]
+		b[row], b[sel] = b[sel], b[row]
+		inv := field.Inv(a[row][col])
+		for r := 0; r < m; r++ {
+			if r == row || a[r][col] == 0 {
+				continue
+			}
+			factor := field.Mul(a[r][col], inv)
+			for c := col; c < unknowns; c++ {
+				a[r][c] = field.Sub(a[r][c], field.Mul(factor, a[row][c]))
+			}
+			b[r] = field.Sub(b[r], field.Mul(factor, b[row]))
+		}
+		where[col] = row
+		row++
+	}
+	u := make([]field.Elem, unknowns)
+	for col, r := range where {
+		if r >= 0 {
+			u[col] = field.Div(b[r], a[r][col])
+		}
+	}
+	// Consistency check for leftover rows.
+	for r := 0; r < m; r++ {
+		var acc field.Elem
+		for c := 0; c < unknowns; c++ {
+			acc = field.Add(acc, field.Mul(a[r][c], u[c]))
+		}
+		if acc != b[r] {
+			return nil, false
+		}
+	}
+	return u, true
+}
+
+// divPoly returns quotient and remainder of num / den. den must be nonzero.
+func divPoly(num, den field.Poly) (quot, rem field.Poly) {
+	dd := den.Degree()
+	if dd < 0 {
+		panic("rs: division by zero polynomial")
+	}
+	rem = num.Clone()
+	dn := rem.Degree()
+	if dn < dd {
+		return field.Poly{}, rem
+	}
+	quot = make(field.Poly, dn-dd+1)
+	lead := field.Inv(den[dd])
+	for d := dn; d >= dd; d-- {
+		if rem[d] == 0 {
+			continue
+		}
+		c := field.Mul(rem[d], lead)
+		quot[d-dd] = c
+		for i := 0; i <= dd; i++ {
+			rem[d-dd+i] = field.Sub(rem[d-dd+i], field.Mul(c, den[i]))
+		}
+	}
+	r := rem.Degree()
+	return quot, rem[:r+1]
+}

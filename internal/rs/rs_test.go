@@ -1,0 +1,164 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asyncft/internal/field"
+)
+
+func encode(p field.Poly, n int) []field.Point {
+	pts := make([]field.Point, n)
+	for i := range pts {
+		pts[i] = field.Point{X: field.X(i), Y: p.Eval(field.X(i))}
+	}
+	return pts
+}
+
+func TestDecodeNoErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for deg := 0; deg <= 4; deg++ {
+		p := field.RandomPoly(r, deg, field.Random(r))
+		pts := encode(p, deg+1+4)
+		got, bad, err := Decode(pts, deg, 2)
+		if err != nil {
+			t.Fatalf("deg %d: %v", deg, err)
+		}
+		if len(bad) != 0 {
+			t.Fatalf("deg %d: spurious errors %v", deg, bad)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("deg %d: wrong polynomial", deg)
+		}
+	}
+}
+
+func TestDecodeWithErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	// n = 3t+1 AVSS regime: degree t, up to t errors, 3t+1 points.
+	for tt := 1; tt <= 3; tt++ {
+		n := 3*tt + 1
+		p := field.RandomPoly(r, tt, field.Random(r))
+		pts := encode(p, n)
+		// Corrupt exactly tt points.
+		corrupted := map[int]bool{}
+		for len(corrupted) < tt {
+			i := r.Intn(n)
+			if !corrupted[i] {
+				corrupted[i] = true
+				pts[i].Y = field.Add(pts[i].Y, field.RandomNonZero(r))
+			}
+		}
+		got, bad, err := Decode(pts, tt, tt)
+		if err != nil {
+			t.Fatalf("t=%d: %v", tt, err)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("t=%d: wrong polynomial recovered", tt)
+		}
+		if len(bad) != tt {
+			t.Fatalf("t=%d: located %d errors, want %d", tt, len(bad), tt)
+		}
+		for _, i := range bad {
+			if !corrupted[i] {
+				t.Fatalf("t=%d: wrongly accused point %d", tt, i)
+			}
+		}
+	}
+}
+
+func TestDecodeFewerErrorsThanBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := field.RandomPoly(r, 2, 42)
+	pts := encode(p, 9) // degree 2, budget 2 errors needs 7 points
+	pts[4].Y = field.Add(pts[4].Y, 1)
+	got, bad, err := Decode(pts, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p) {
+		t.Fatal("wrong polynomial")
+	}
+	if len(bad) != 1 || bad[0] != 4 {
+		t.Fatalf("bad = %v, want [4]", bad)
+	}
+}
+
+func TestDecodeInsufficientPoints(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	p := field.RandomPoly(r, 2, 0)
+	pts := encode(p, 4)
+	if _, _, err := Decode(pts, 2, 1); err == nil {
+		t.Fatal("expected error: 4 points cannot correct 1 error at degree 2")
+	}
+}
+
+func TestDecodeTooManyErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p := field.RandomPoly(r, 1, 7)
+	pts := encode(p, 4) // degree 1, can correct 1 error
+	// Corrupt 2 points with a consistent different line? Just corrupt both
+	// randomly; decoder must either fail or return a polynomial consistent
+	// with ≥3 of the 4 points (impossible with 2 random corruptions w.h.p.).
+	pts[0].Y = field.Add(pts[0].Y, field.RandomNonZero(r))
+	pts[1].Y = field.Add(pts[1].Y, field.RandomNonZero(r))
+	if _, _, err := Decode(pts, 1, 1); err == nil {
+		t.Fatal("expected decoding failure with 2 errors, budget 1")
+	}
+}
+
+func TestDecodeZeroMaxErrorsDetectsCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	p := field.RandomPoly(r, 2, 1)
+	pts := encode(p, 5)
+	pts[3].Y = field.Add(pts[3].Y, 1)
+	if _, _, err := Decode(pts, 2, 0); err == nil {
+		t.Fatal("expected failure with corruption and zero error budget")
+	}
+}
+
+func TestDecodeQuickProperty(t *testing.T) {
+	// Property: for random degree-t polys with ≤ t random corruptions among
+	// 3t+1 points, decoding always recovers the original.
+	r := rand.New(rand.NewSource(7))
+	f := func(seed uint32) bool {
+		tt := 1 + int(seed%3)
+		n := 3*tt + 1
+		p := field.RandomPoly(r, tt, field.Random(r))
+		pts := encode(p, n)
+		ne := int(seed) % (tt + 1)
+		for i := 0; i < ne; i++ {
+			pts[i].Y = field.Add(pts[i].Y, field.RandomNonZero(r))
+		}
+		got, _, err := Decode(pts, tt, tt)
+		return err == nil && got.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivPoly(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		a := field.RandomPoly(r, 4, field.Random(r))
+		b := field.RandomPoly(r, 2, field.RandomNonZero(r))
+		prod := field.MulPoly(a, b)
+		q, rem := divPoly(prod, b)
+		if rem.Degree() >= 0 {
+			t.Fatal("exact division left remainder")
+		}
+		if !q.Equal(a) {
+			t.Fatal("quotient mismatch")
+		}
+	}
+	// Division with remainder.
+	q, rem := divPoly(field.NewPoly(1, 0, 0, 1), field.NewPoly(1, 1)) // x^3+1 / x+1
+	if !q.Equal(field.NewPoly(1, field.Neg(1), 1)) {
+		t.Fatalf("quotient = %v", q)
+	}
+	if rem.Degree() >= 0 {
+		t.Fatalf("x^3+1 divisible by x+1, got rem %v", rem)
+	}
+}

@@ -1,0 +1,299 @@
+// Package runtime provides the per-party execution substrate: session-
+// addressed unbounded mailboxes, the protocol environment handed to every
+// protocol instance, and the shun registry required by the SVSS contract.
+//
+// Protocols are written in blocking style: each instance runs in its own
+// goroutine, owns a hierarchical session ID, and receives exactly the
+// messages addressed to that session. Mailboxes are created on demand by
+// either the first incoming message or the first local receive, so messages
+// that arrive before the local instance starts are buffered — a hard
+// requirement of the asynchronous model, where a fast peer may be several
+// protocol phases ahead.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"asyncft/internal/wire"
+)
+
+// ErrClosed is returned by Recv when the node shuts down.
+var ErrClosed = errors.New("runtime: node closed")
+
+// Node is one party's runtime state.
+type Node struct {
+	id, n, t int
+
+	mu      sync.Mutex
+	boxes   map[string]*Mailbox
+	shunGen map[int]uint64 // party -> generation at which it was shunned
+	gen     uint64         // monotonically increases with each new mailbox
+	shuns   int            // total shun events recorded by this node
+	closed  bool
+}
+
+// NewNode creates a node for party id among n parties tolerating t faults.
+func NewNode(id, n, t int) *Node {
+	return &Node{
+		id:      id,
+		n:       n,
+		t:       t,
+		boxes:   make(map[string]*Mailbox),
+		shunGen: make(map[int]uint64),
+	}
+}
+
+// ID returns this party's index.
+func (nd *Node) ID() int { return nd.id }
+
+// Dispatch routes an incoming envelope to its session mailbox, applying the
+// shun filter. It is the network.Handler for this node.
+func (nd *Node) Dispatch(env wire.Envelope) {
+	nd.mu.Lock()
+	box := nd.box(env.Session)
+	if g, shunned := nd.shunGen[env.From]; shunned && box.gen > g {
+		// Shunned parties are ignored in interactions that began after the
+		// shun event; mailboxes opened earlier keep accepting (the paper:
+		// "accepted messages from it in the current invocation, but won't
+		// accept any messages from it in future interactions").
+		nd.mu.Unlock()
+		return
+	}
+	nd.mu.Unlock()
+	box.push(env)
+}
+
+// box returns (creating if needed) the mailbox for a session. Caller holds mu.
+func (nd *Node) box(session string) *Mailbox {
+	b := nd.boxes[session]
+	if b == nil {
+		nd.gen++
+		b = newMailbox(nd.gen)
+		if nd.closed {
+			b.close()
+		}
+		nd.boxes[session] = b
+	}
+	return b
+}
+
+// Mailbox returns the mailbox for a session, creating it if necessary.
+func (nd *Node) Mailbox(session string) *Mailbox {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.box(session)
+}
+
+// Shun records that this party shuns party j from now on: j's messages are
+// dropped for all sessions opened after this call. Shunning is idempotent;
+// only the first call per peer counts as a shun event.
+func (nd *Node) Shun(j int) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if _, ok := nd.shunGen[j]; ok {
+		return
+	}
+	nd.shunGen[j] = nd.gen
+	nd.shuns++
+}
+
+// Shunned reports whether party j is currently shunned.
+func (nd *Node) Shunned(j int) bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	_, ok := nd.shunGen[j]
+	return ok
+}
+
+// ShunCount returns the number of shun events this node has recorded.
+func (nd *Node) ShunCount() int {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.shuns
+}
+
+// Close releases every mailbox; blocked receivers return ErrClosed.
+func (nd *Node) Close() {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.closed = true
+	for _, b := range nd.boxes {
+		b.close()
+	}
+}
+
+// Mailbox is an unbounded FIFO of envelopes for one session.
+type Mailbox struct {
+	gen uint64
+
+	mu     sync.Mutex
+	items  []wire.Envelope
+	notify chan struct{}
+	closed bool
+}
+
+func newMailbox(gen uint64) *Mailbox {
+	return &Mailbox{gen: gen, notify: make(chan struct{}, 1)}
+}
+
+func (b *Mailbox) push(env wire.Envelope) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.items = append(b.items, env)
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (b *Mailbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Recv blocks until a message is available, the context is cancelled, or the
+// node closes.
+func (b *Mailbox) Recv(ctx context.Context) (wire.Envelope, error) {
+	for {
+		b.mu.Lock()
+		if len(b.items) > 0 {
+			env := b.items[0]
+			b.items = b.items[1:]
+			if len(b.items) > 0 {
+				// Re-arm for the next receiver.
+				select {
+				case b.notify <- struct{}{}:
+				default:
+				}
+			}
+			b.mu.Unlock()
+			return env, nil
+		}
+		closed := b.closed
+		b.mu.Unlock()
+		if closed {
+			return wire.Envelope{}, ErrClosed
+		}
+		select {
+		case <-b.notify:
+		case <-ctx.Done():
+			return wire.Envelope{}, ctx.Err()
+		}
+	}
+}
+
+// Env is the capability bundle handed to each protocol instance.
+type Env struct {
+	ID int // this party's index
+	N  int // total parties
+	T  int // fault tolerance (3T+1 ≤ N)
+
+	Node *Node
+	Net  Sender
+	// Rand is this party's private randomness source. It is backed by a
+	// locked source and safe for concurrent use: protocol instances spawn
+	// coin goroutines and Fork sub-environments from arbitrary goroutines.
+	Rand *rand.Rand
+}
+
+// lockedSource makes a math/rand source safe for concurrent use. The
+// protocol stack flips coins and forks randomness streams from many
+// goroutines of the same party; determinism per seed is preserved up to
+// goroutine scheduling (which the asynchronous model treats as adversarial
+// anyway).
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
+}
+
+// newLockedRand builds a concurrency-safe *rand.Rand from a seed.
+func newLockedRand(seed int64) *rand.Rand {
+	return rand.New(&lockedSource{src: rand.NewSource(seed).(rand.Source64)})
+}
+
+// Sender is the transmit half of a transport: the in-memory simulated
+// router (internal/network) and the TCP transport (internal/transport)
+// both implement it.
+type Sender interface {
+	Send(env wire.Envelope)
+}
+
+// NewEnv builds the root environment for a party.
+func NewEnv(id, n, t int, node *Node, net Sender, seed int64) *Env {
+	return &Env{ID: id, N: n, T: t, Node: node, Net: net, Rand: newLockedRand(seed)}
+}
+
+// Fork derives an independent environment (fresh randomness stream) for a
+// concurrently running subprotocol. The label decorrelates streams between
+// siblings. Safe to call from any goroutine.
+func (e *Env) Fork(label string) *Env {
+	var h uint64 = 14695981039346656037 // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	clone := *e
+	clone.Rand = newLockedRand(e.Rand.Int63() ^ int64(h))
+	return &clone
+}
+
+// Quorum returns N - T, the standard completion quorum.
+func (e *Env) Quorum() int { return e.N - e.T }
+
+// Send transmits a payload to one party (self-sends are delivered through
+// the network like any other message).
+func (e *Env) Send(to int, session string, typ uint8, payload []byte) {
+	e.Net.Send(wire.Envelope{From: e.ID, To: to, Session: session, Type: typ, Payload: payload})
+}
+
+// SendAll transmits the same payload to every party, including self.
+func (e *Env) SendAll(session string, typ uint8, payload []byte) {
+	for to := 0; to < e.N; to++ {
+		e.Send(to, session, typ, payload)
+	}
+}
+
+// Recv receives the next message for a session.
+func (e *Env) Recv(ctx context.Context, session string) (wire.Envelope, error) {
+	return e.Node.Mailbox(session).Recv(ctx)
+}
+
+// Sub builds a child session ID.
+func Sub(parent string, parts ...interface{}) string {
+	s := parent
+	for _, p := range parts {
+		s += "/" + fmt.Sprint(p)
+	}
+	return s
+}

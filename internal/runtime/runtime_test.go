@@ -1,0 +1,234 @@
+package runtime
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"asyncft/internal/network"
+	"asyncft/internal/wire"
+)
+
+func TestMailboxBuffersBeforeReceiver(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	// Message arrives before any protocol instance opened the session.
+	nd.Dispatch(wire.Envelope{From: 1, To: 0, Session: "early", Type: 7})
+	env, err := nd.Mailbox("early").Recv(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != 7 {
+		t.Fatalf("got %v", env)
+	}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	for i := 0; i < 5; i++ {
+		nd.Dispatch(wire.Envelope{From: 1, To: 0, Session: "s", Type: uint8(i)})
+	}
+	for i := 0; i < 5; i++ {
+		env, err := nd.Mailbox("s").Recv(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Type != uint8(i) {
+			t.Fatalf("order violated at %d: %d", i, env.Type)
+		}
+	}
+}
+
+func TestRecvBlocksUntilPush(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	done := make(chan wire.Envelope, 1)
+	go func() {
+		env, err := nd.Mailbox("s").Recv(context.Background())
+		if err == nil {
+			done <- env
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("Recv returned before push")
+	default:
+	}
+	nd.Dispatch(wire.Envelope{From: 1, To: 0, Session: "s", Type: 3})
+	select {
+	case env := <-done:
+		if env.Type != 3 {
+			t.Fatalf("got %v", env)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not wake")
+	}
+}
+
+func TestRecvContextCancel(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := nd.Mailbox("s").Recv(ctx)
+		errc <- err
+	}()
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not observe cancellation")
+	}
+}
+
+func TestNodeCloseWakesReceivers(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := nd.Mailbox("s").Recv(context.Background())
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	nd.Close()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not wake receiver")
+	}
+	// Mailboxes created after Close are born closed.
+	if _, err := nd.Mailbox("new").Recv(context.Background()); err != ErrClosed {
+		t.Fatalf("post-close mailbox err = %v", err)
+	}
+}
+
+func TestConcurrentRecvSingleDelivery(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	const total = 100
+	var mu sync.Mutex
+	seen := map[uint8]int{}
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				env, err := nd.Mailbox("s").Recv(ctx)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				seen[env.Type]++
+				if len(seen) == total {
+					nd.Close()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		nd.Dispatch(wire.Envelope{From: 1, To: 0, Session: "s", Type: uint8(i)})
+	}
+	wg.Wait()
+	for i := 0; i < total; i++ {
+		if seen[uint8(i)] != 1 {
+			t.Fatalf("message %d seen %d times", i, seen[uint8(i)])
+		}
+	}
+}
+
+func TestShunSemantics(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	// Open a session before the shun: it keeps accepting.
+	pre := nd.Mailbox("pre")
+	nd.Shun(2)
+	if !nd.Shunned(2) {
+		t.Fatal("Shunned(2) = false")
+	}
+	nd.Dispatch(wire.Envelope{From: 2, To: 0, Session: "pre", Type: 1})
+	if env, err := pre.Recv(context.Background()); err != nil || env.Type != 1 {
+		t.Fatalf("pre-shun session rejected message: %v %v", env, err)
+	}
+	// Sessions opened after the shun drop the peer's traffic...
+	nd.Dispatch(wire.Envelope{From: 2, To: 0, Session: "post", Type: 2}) // creates box post-shun: dropped
+	nd.Dispatch(wire.Envelope{From: 1, To: 0, Session: "post", Type: 3})
+	env, err := nd.Mailbox("post").Recv(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.From == 2 {
+		t.Fatal("shunned party's message delivered in new session")
+	}
+	if env.Type != 3 {
+		t.Fatalf("got %v", env)
+	}
+}
+
+func TestShunIdempotent(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	nd.Shun(1)
+	nd.Shun(1)
+	nd.Shun(2)
+	if got := nd.ShunCount(); got != 2 {
+		t.Fatalf("ShunCount = %d, want 2", got)
+	}
+}
+
+func TestEnvSendAllThroughRouter(t *testing.T) {
+	const n = 4
+	r := network.NewRouter(n, network.FIFO{})
+	defer r.Close()
+	nodes := make([]*Node, n)
+	envs := make([]*Env, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NewNode(i, n, 1)
+		r.Register(i, nodes[i].Dispatch)
+		envs[i] = NewEnv(i, n, 1, nodes[i], r, int64(i))
+	}
+	envs[0].SendAll("hello", 1, []byte{42})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		env, err := envs[i].Recv(ctx, "hello")
+		if err != nil {
+			t.Fatalf("party %d: %v", i, err)
+		}
+		if env.From != 0 || len(env.Payload) != 1 || env.Payload[0] != 42 {
+			t.Fatalf("party %d got %v", i, env)
+		}
+	}
+}
+
+func TestEnvForkIndependentRandomness(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	e := NewEnv(0, 4, 1, nd, nil, 99)
+	a := e.Fork("a")
+	b := e.Fork("b")
+	// Streams should differ from each other (overwhelmingly likely).
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Rand.Uint64() != b.Rand.Uint64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("forked randomness streams identical")
+	}
+	if e.Quorum() != 3 {
+		t.Fatalf("Quorum = %d", e.Quorum())
+	}
+}
+
+func TestSubSessionBuilder(t *testing.T) {
+	if got := Sub("cf", "r", 3, "svss", 2); got != "cf/r/3/svss/2" {
+		t.Fatalf("Sub = %q", got)
+	}
+}

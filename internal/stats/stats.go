@@ -1,0 +1,116 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to report results honestly: binomial confidence intervals
+// for rate estimates and a chi-square uniformity check for coin and
+// fair-choice output distributions. Everything is closed-form on the
+// standard library — no external numerics.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// WilsonInterval returns the 95% Wilson score interval for a binomial
+// proportion with k successes out of n trials. It behaves sensibly at the
+// extremes (k = 0 or k = n), unlike the normal approximation.
+func WilsonInterval(k, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054 // 97.5th percentile of the standard normal
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	margin := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	lo, hi = center-margin, center+margin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// FormatRate renders "k/n = p [lo, hi]" with the Wilson interval.
+func FormatRate(k, n int) string {
+	lo, hi := WilsonInterval(k, n)
+	return fmt.Sprintf("%d/%d = %.3f [%.3f, %.3f]", k, n, float64(k)/float64(max(n, 1)), lo, hi)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ChiSquareUniform returns the chi-square statistic of the observed counts
+// against the uniform distribution, together with the degrees of freedom.
+func ChiSquareUniform(counts []int) (chi2 float64, dof int) {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(counts) < 2 {
+		return 0, 0
+	}
+	expected := float64(total) / float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2, len(counts) - 1
+}
+
+// ChiSquareUniformOK reports whether the observed counts are consistent
+// with uniformity at the 1% significance level (i.e. it returns false only
+// on strong evidence of non-uniformity). Critical values cover the degrees
+// of freedom the harness uses.
+func ChiSquareUniformOK(counts []int) bool {
+	chi2, dof := ChiSquareUniform(counts)
+	if dof == 0 {
+		return true
+	}
+	crit, ok := chi2Crit01[dof]
+	if !ok {
+		// Wilson–Hilferty approximation for uncommon dof.
+		d := float64(dof)
+		crit = d * math.Pow(1-2/(9*d)+2.3263*math.Sqrt(2/(9*d)), 3)
+	}
+	return chi2 <= crit
+}
+
+// chi2Crit01 holds 99th-percentile chi-square critical values by dof.
+var chi2Crit01 = map[int]float64{
+	1: 6.635, 2: 9.210, 3: 11.345, 4: 13.277, 5: 15.086,
+	6: 16.812, 7: 18.475, 8: 20.090, 9: 21.666, 10: 23.209,
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}

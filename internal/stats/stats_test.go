@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilsonIntervalBasics(t *testing.T) {
+	lo, hi := WilsonInterval(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("interval [%v, %v] should contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("interval too wide for n=100: [%v, %v]", lo, hi)
+	}
+	// Extremes stay in [0, 1] and exclude the far end.
+	lo, hi = WilsonInterval(0, 20)
+	if lo != 0 || hi > 0.3 {
+		t.Fatalf("k=0 interval [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(20, 20)
+	if hi != 1 || lo < 0.7 {
+		t.Fatalf("k=n interval [%v, %v]", lo, hi)
+	}
+	// Degenerate.
+	lo, hi = WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("n=0 interval [%v, %v]", lo, hi)
+	}
+}
+
+func TestWilsonIntervalQuick(t *testing.T) {
+	f := func(k16, n16 uint16) bool {
+		n := int(n16%1000) + 1
+		k := int(k16) % (n + 1)
+		lo, hi := WilsonInterval(k, n)
+		p := float64(k) / float64(n)
+		return lo >= 0 && hi <= 1 && lo <= hi && lo <= p+1e-9 && hi >= p-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWilsonIntervalShrinksWithN(t *testing.T) {
+	lo1, hi1 := WilsonInterval(10, 20)
+	lo2, hi2 := WilsonInterval(500, 1000)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatalf("interval did not shrink: n=20 width %v, n=1000 width %v", hi1-lo1, hi2-lo2)
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	s := FormatRate(3, 10)
+	for _, want := range []string{"3/10", "0.300", "["} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("FormatRate = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	chi2, dof := ChiSquareUniform([]int{25, 25, 25, 25})
+	if chi2 != 0 || dof != 3 {
+		t.Fatalf("perfect uniform: chi2=%v dof=%d", chi2, dof)
+	}
+	chi2, _ = ChiSquareUniform([]int{100, 0, 0, 0})
+	if chi2 < 100 {
+		t.Fatalf("degenerate distribution chi2=%v too small", chi2)
+	}
+	if _, dof := ChiSquareUniform(nil); dof != 0 {
+		t.Fatal("empty input dof != 0")
+	}
+}
+
+func TestChiSquareUniformOK(t *testing.T) {
+	// Genuinely uniform samples should pass almost always.
+	rng := rand.New(rand.NewSource(1))
+	pass := 0
+	const reps = 50
+	for r := 0; r < reps; r++ {
+		counts := make([]int, 4)
+		for i := 0; i < 400; i++ {
+			counts[rng.Intn(4)]++
+		}
+		if ChiSquareUniformOK(counts) {
+			pass++
+		}
+	}
+	if pass < reps-3 {
+		t.Fatalf("uniform samples rejected too often: %d/%d", pass, reps)
+	}
+	// A heavily skewed distribution must fail.
+	if ChiSquareUniformOK([]int{390, 4, 3, 3}) {
+		t.Fatal("skewed distribution accepted")
+	}
+	// Large dof path (Wilson–Hilferty).
+	big := make([]int, 20)
+	for i := range big {
+		big[i] = 50
+	}
+	if !ChiSquareUniformOK(big) {
+		t.Fatal("perfect uniform rejected at dof=19")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("StdDev single")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("StdDev = %v", got)
+	}
+}

@@ -1,0 +1,160 @@
+package svss
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"asyncft/internal/field"
+	"asyncft/internal/network"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+	"asyncft/internal/wire"
+)
+
+// Property: share→reconstruct is the identity for arbitrary secrets, any
+// dealer, both cluster sizes, under random network schedules.
+func TestShareRecIdentityQuick(t *testing.T) {
+	type params struct {
+		Secret uint64
+		Dealer uint8
+		Seed   int64
+		Big    bool
+	}
+	trial := func(p params) bool {
+		n, tf := 4, 1
+		if p.Big {
+			n, tf = 7, 2
+		}
+		dealer := int(p.Dealer) % n
+		secret := field.New(p.Secret)
+		c := testkit.New(n, tf, testkit.WithSeed(p.Seed))
+		defer c.Close()
+		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			sh, err := RunShare(ctx, env, "q", dealer, secret)
+			if err != nil {
+				return nil, err
+			}
+			return RunRec(ctx, env, sh, Options{})
+		})
+		for _, r := range res {
+			if r.Err != nil || r.Value.(field.Elem) != secret {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(trial, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Failure injection: a party crashes between the share phase and
+// reconstruction. The remaining parties must still reconstruct (they are
+// n−t−... ≥ 2t+1 reveals... with one silent party, n−1 ≥ n−t reveals).
+func TestCrashBetweenShareAndRec(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithSeed(21))
+	defer c.Close()
+	shares := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return RunShare(ctx, env, "crash2", 0, 606)
+	})
+	for id, r := range shares {
+		if r.Err != nil {
+			t.Fatalf("share %d: %v", id, r.Err)
+		}
+	}
+	// Party 3 "crashes": it never calls RunRec.
+	res := c.Run([]int{0, 1, 2}, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return RunRec(ctx, env, shares[env.ID].Value.(*Share), Options{})
+	})
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("rec %d: %v", id, r.Err)
+		}
+		if r.Value.(field.Elem) != 606 {
+			t.Fatalf("party %d got %v", id, r.Value)
+		}
+	}
+}
+
+// Failure injection: hostile reordering plus a garbage-flooding Byzantine
+// party at the same time.
+func TestHostileNetworkWithNoise(t *testing.T) {
+	c := testkit.New(4, 1,
+		testkit.WithSeed(23),
+		testkit.WithPolicy(network.NewRandomReorder(99, 0.7, 16)),
+		testkit.WithTimeout(60*time.Second))
+	defer c.Close()
+	// Byzantine party 3 floods both phases with garbage.
+	go func() {
+		rng := c.Envs[3].Rand
+		for i := 0; i < 300; i++ {
+			payload := make([]byte, rng.Intn(16))
+			rng.Read(payload)
+			sess := "hostile"
+			if i%2 == 0 {
+				sess += RecSuffix
+			}
+			c.Router.Send(wire.Envelope{From: 3, To: rng.Intn(4), Session: sess,
+				Type: uint8(rng.Intn(5)), Payload: payload})
+		}
+	}()
+	res := c.Run([]int{0, 1, 2}, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		sh, err := RunShare(ctx, env, "hostile", 0, 1234)
+		if err != nil {
+			return nil, err
+		}
+		return RunRec(ctx, env, sh, Options{})
+	})
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+		if r.Value.(field.Elem) != 1234 {
+			t.Fatalf("party %d got %v", id, r.Value)
+		}
+	}
+}
+
+// Property: with an honest dealer, the adversary's t rows plus all cross
+// points it receives are consistent with EVERY candidate secret (perfect
+// hiding, checked algebraically for random instances).
+func TestHidingQuick(t *testing.T) {
+	trial := func(seed int64, s0, s1 uint64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tf := 1 + int(uint64(seed)%3)
+		f := field.NewBivariate(rng, tf, field.New(s0))
+		// Adversary corrupts parties 0..tf-1.
+		pts := make([]field.Elem, tf)
+		for i := range pts {
+			pts[i] = field.X(i)
+		}
+		z := field.VanishingPoly(pts)
+		z0 := z.Eval(0)
+		lambda := field.Div(field.Sub(field.New(s1), field.New(s0)), field.Mul(z0, z0))
+		g := f.Clone()
+		g.AddSymmetricTensor(lambda, z)
+		if g.Secret() != field.New(s1) {
+			return false
+		}
+		for i := 0; i < tf; i++ {
+			if !f.Row(field.X(i)).Equal(g.Row(field.X(i))) {
+				return false
+			}
+			// Cross points received from honest parties j are f_j(x_i) =
+			// F(x_j, x_i) = row_i(x_j) — determined by the adversary's own
+			// rows, hence also equal under g.
+			for j := tf; j < 3*tf+1; j++ {
+				if f.Eval(field.X(j), field.X(i)) != g.Eval(field.X(j), field.X(i)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(trial, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,345 @@
+package svss
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"asyncft/internal/field"
+	"asyncft/internal/network"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+	"asyncft/internal/wire"
+)
+
+func shareRec(c *testkit.Cluster, sess string, dealer int, secret field.Elem, parties []int) map[int]testkit.Result {
+	return c.Run(parties, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		sh, err := RunShare(ctx, env, sess, dealer, secret)
+		if err != nil {
+			return nil, err
+		}
+		return RunRec(ctx, env, sh, Options{})
+	})
+}
+
+func TestHonestDealerShareRec(t *testing.T) {
+	for _, n := range []int{4, 7} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			c := testkit.New(n, (n-1)/3)
+			defer c.Close()
+			res := shareRec(c, "svss/a", 0, 12345, c.Honest())
+			for id, r := range res {
+				if r.Err != nil {
+					t.Fatalf("party %d: %v", id, r.Err)
+				}
+				if got := r.Value.(field.Elem); got != 12345 {
+					t.Fatalf("party %d reconstructed %v, want 12345", id, got)
+				}
+			}
+		})
+	}
+}
+
+func TestHonestDealerCrashReceivers(t *testing.T) {
+	// t crashed parties: protocol still completes with the right value.
+	c := testkit.New(7, 2, testkit.WithCrashed(5, 6))
+	defer c.Close()
+	res := shareRec(c, "svss/b", 1, 777, []int{0, 1, 2, 3, 4})
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+		if got := r.Value.(field.Elem); got != 777 {
+			t.Fatalf("party %d got %v", id, got)
+		}
+	}
+}
+
+func TestShareOnlyDoesNotRevealThenRecWorks(t *testing.T) {
+	// Share, pause, then Rec: two-phase usage as CoinFlip requires.
+	c := testkit.New(4, 1)
+	defer c.Close()
+	shares := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return RunShare(ctx, env, "svss/two", 2, 999)
+	})
+	for id, r := range shares {
+		if r.Err != nil {
+			t.Fatalf("share party %d: %v", id, r.Err)
+		}
+	}
+	res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return RunRec(ctx, env, shares[env.ID].Value.(*Share), Options{})
+	})
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("rec party %d: %v", id, r.Err)
+		}
+		if got := r.Value.(field.Elem); got != 999 {
+			t.Fatalf("party %d got %v", id, got)
+		}
+	}
+}
+
+func TestLyingRevealGetsCorrectedAndShunned(t *testing.T) {
+	// All four parties share honestly; at reconstruction, party 3 reveals a
+	// corrupted row that passes no cross-check... to make it interesting the
+	// liar reveals a row that lies only at zero (so cross checks with honest
+	// parties fail and the row is filtered). Then honest parties resolve
+	// from the remaining rows.
+	const n, tf, dealer = 4, 1, 0
+	c := testkit.New(n, tf)
+	defer c.Close()
+	shares := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return RunShare(ctx, env, "svss/liar", dealer, 4242)
+	})
+	for id, r := range shares {
+		if r.Err != nil {
+			t.Fatalf("share %d: %v", id, r.Err)
+		}
+	}
+	// Party 3 turns Byzantine for reconstruction: it reveals a junk row.
+	res := c.Run([]int{0, 1, 2, 3}, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		sh := shares[env.ID].Value.(*Share)
+		if env.ID == 3 {
+			junk := field.RandomPoly(env.Rand, env.T, field.Random(env.Rand))
+			var w wire.Writer
+			w.Poly(junk)
+			env.SendAll(sh.Session+RecSuffix, MsgReveal, w.Bytes())
+			return field.Elem(0), nil
+		}
+		return RunRec(ctx, env, sh, Options{})
+	})
+	for _, id := range []int{0, 1, 2} {
+		r := res[id]
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+		if got := r.Value.(field.Elem); got != 4242 {
+			t.Fatalf("party %d got %v, want 4242", id, got)
+		}
+	}
+}
+
+// byzantineDealerEquivocate mounts the binding attack: the dealer (a real
+// party in the cluster) distributes rows from two different bivariate
+// polynomials and equivocates its reveals. The SVSS contract demands that
+// either all honest parties reconstruct the same value or a shun event
+// occurs.
+func TestByzantineDealerBindingOrShun(t *testing.T) {
+	const n, tf, dealer = 4, 1, 3
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c := testkit.New(n, tf, testkit.WithSeed(seed))
+			defer c.Close()
+			rng := rand.New(rand.NewSource(seed))
+			f0 := field.NewBivariate(rng, tf, 0)
+			f1 := field.NewBivariate(rng, tf, 1)
+			sess := "svss/eq"
+
+			// Dealer behavior, performed inline (it is party 3): rows of f0
+			// to parties 0 and 1, row of f1 to party 2. Cross points are
+			// sent per-recipient so each victim's check against the dealer
+			// passes. READY is broadcast unconditionally.
+			sendRow := func(to int, f *field.Bivariate) {
+				var w wire.Writer
+				w.Poly(f.Row(field.X(to)))
+				c.Router.Send(wire.Envelope{From: dealer, To: to, Session: sess, Type: MsgRow, Payload: w.Bytes()})
+			}
+			sendRow(0, f0)
+			sendRow(1, f0)
+			sendRow(2, f1)
+			polyFor := func(to int) *field.Bivariate {
+				if to == 2 {
+					return f1
+				}
+				return f0
+			}
+			for to := 0; to < 3; to++ {
+				var w wire.Writer
+				// Dealer's own row evaluated at the victim: match the
+				// victim's world.
+				w.Elem(polyFor(to).Eval(field.X(dealer), field.X(to)))
+				c.Router.Send(wire.Envelope{From: dealer, To: to, Session: sess, Type: MsgPoint, Payload: w.Bytes()})
+				c.Router.Send(wire.Envelope{From: dealer, To: to, Session: sess, Type: MsgReady})
+			}
+
+			shares := c.Run([]int{0, 1, 2}, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				return RunShare(ctx, env, sess, dealer, 0)
+			})
+			for id, r := range shares {
+				if r.Err != nil {
+					t.Fatalf("share %d: %v", id, r.Err)
+				}
+			}
+
+			// Reconstruction: dealer equivocates reveals the same way.
+			for to := 0; to < 3; to++ {
+				var w wire.Writer
+				w.Poly(polyFor(to).Row(field.X(dealer)))
+				c.Router.Send(wire.Envelope{From: dealer, To: to, Session: sess + RecSuffix, Type: MsgReveal, Payload: w.Bytes()})
+			}
+			res := c.Run([]int{0, 1, 2}, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				return RunRec(ctx, env, shares[env.ID].Value.(*Share), Options{RecIdleTimeout: 100 * time.Millisecond})
+			})
+
+			// Contract: all honest outputs equal, or some shun event happened.
+			values := map[field.Elem]bool{}
+			completed := 0
+			for _, id := range []int{0, 1, 2} {
+				if res[id].Err == nil {
+					values[res[id].Value.(field.Elem)] = true
+					completed++
+				}
+			}
+			shuns := 0
+			for _, id := range []int{0, 1, 2} {
+				shuns += c.Nodes[id].ShunCount()
+			}
+			if len(values) > 1 && shuns == 0 {
+				t.Fatalf("binding violated without shun: values=%v", values)
+			}
+			if completed == 0 && shuns == 0 {
+				t.Fatalf("no party completed and no shun event")
+			}
+		})
+	}
+}
+
+func TestSilentDealerShareDoesNotFalselyComplete(t *testing.T) {
+	// A dealer that never sends anything: Share must not complete (no READY
+	// quorum is reachable), and contexts expire cleanly.
+	c := testkit.New(4, 1, testkit.WithTimeout(300*time.Millisecond))
+	defer c.Close()
+	res := c.Run([]int{0, 1, 2}, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return RunShare(ctx, env, "svss/silent", 3, 0)
+	})
+	for id, r := range res {
+		if r.Err == nil {
+			t.Fatalf("party %d completed share with a silent dealer", id)
+		}
+	}
+}
+
+func TestHidingTRowsDetermineNothing(t *testing.T) {
+	// Perfect hiding, shown constructively: for any adversary set C of t
+	// parties and any target secret s', there is a bivariate polynomial
+	// agreeing with F on every row in C whose secret is s'. Hence the
+	// adversary's share-phase view (its rows, and cross points derived from
+	// them) is consistent with every possible secret.
+	rng := rand.New(rand.NewSource(5))
+	for _, tf := range []int{1, 2, 3} {
+		f := field.NewBivariate(rng, tf, 1000)
+		adversary := make([]field.Elem, tf)
+		for i := range adversary {
+			adversary[i] = field.X(i) // parties 0..t-1 corrupted
+		}
+		z := field.VanishingPoly(adversary)
+		z0 := z.Eval(0)
+		// Choose λ so the new secret is 2000: s + λ z(0)^2 = 2000.
+		lambda := field.Div(field.Sub(2000, 1000), field.Mul(z0, z0))
+		g := f.Clone()
+		g.AddSymmetricTensor(lambda, z)
+		if g.Secret() != 2000 {
+			t.Fatalf("t=%d: constructed secret = %v", tf, g.Secret())
+		}
+		for i := 0; i < tf; i++ {
+			rf, rg := f.Row(field.X(i)), g.Row(field.X(i))
+			if !rf.Equal(rg) {
+				t.Fatalf("t=%d: adversary row %d differs", tf, i)
+			}
+		}
+		// Honest rows differ (they must: the secret changed).
+		if f.Row(field.X(tf)).Equal(g.Row(field.X(tf))) {
+			t.Fatalf("t=%d: honest rows unexpectedly identical", tf)
+		}
+	}
+}
+
+func TestMalformedMessagesIgnored(t *testing.T) {
+	// Garbage payloads from a Byzantine party must not crash or corrupt an
+	// honest run.
+	c := testkit.New(4, 1)
+	defer c.Close()
+	sess := "svss/garbage"
+	for to := 0; to < 4; to++ {
+		c.Router.Send(wire.Envelope{From: 3, To: to, Session: sess, Type: MsgRow, Payload: []byte{0xff, 0x01}})
+		c.Router.Send(wire.Envelope{From: 3, To: to, Session: sess, Type: MsgPoint, Payload: []byte{1}})
+		c.Router.Send(wire.Envelope{From: 3, To: to, Session: sess, Type: 99, Payload: nil})
+	}
+	res := shareRec(c, sess, 0, 55, c.Honest())
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+		if got := r.Value.(field.Elem); got != 55 {
+			t.Fatalf("party %d got %v", id, got)
+		}
+	}
+}
+
+func TestShareInvalidDealer(t *testing.T) {
+	c := testkit.New(4, 1)
+	defer c.Close()
+	if _, err := RunShare(c.Ctx, c.Envs[0], "svss/x", -1, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestConcurrentSVSSInstances(t *testing.T) {
+	// Every party deals one secret concurrently — the CoinFlip workload.
+	const n, tf = 4, 1
+	c := testkit.New(n, tf)
+	defer c.Close()
+	res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		secrets := make([]field.Elem, n)
+		errc := make(chan error, n)
+		for d := 0; d < n; d++ {
+			d := d
+			go func() {
+				sh, err := RunShare(ctx, env, fmt.Sprintf("svss/multi/%d", d), d, field.Elem(100+d))
+				if err != nil {
+					errc <- err
+					return
+				}
+				v, err := RunRec(ctx, env, sh, Options{})
+				secrets[d] = v
+				errc <- err
+			}()
+		}
+		for i := 0; i < n; i++ {
+			if err := <-errc; err != nil {
+				return nil, err
+			}
+		}
+		return secrets, nil
+	})
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+		got := r.Value.([]field.Elem)
+		for d := 0; d < n; d++ {
+			if got[d] != field.Elem(100+d) {
+				t.Fatalf("party %d dealer %d: got %v", id, d, got[d])
+			}
+		}
+	}
+}
+
+func TestUnderFIFO(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithPolicy(network.FIFO{}))
+	defer c.Close()
+	res := shareRec(c, "svss/fifo", 0, 31337, c.Honest())
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+		if got := r.Value.(field.Elem); got != 31337 {
+			t.Fatalf("party %d got %v", id, got)
+		}
+	}
+}

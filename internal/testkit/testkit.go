@@ -1,0 +1,178 @@
+// Package testkit provides a compact harness for protocol tests: it wires n
+// nodes to a simulated router, runs one function per party, and collects
+// results with a deadline. It is used only from _test files and experiment
+// drivers.
+package testkit
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"asyncft/internal/network"
+	"asyncft/internal/runtime"
+)
+
+// Cluster is a set of wired parties over one simulated network.
+type Cluster struct {
+	N, T   int
+	Router *network.Router
+	Nodes  []*runtime.Node
+	Envs   []*runtime.Env
+	cancel context.CancelFunc
+	Ctx    context.Context
+}
+
+// Option configures a Cluster.
+type Option func(*config)
+
+type config struct {
+	policy  network.Policy
+	seed    int64
+	timeout time.Duration
+	silent  map[int]bool
+}
+
+// WithPolicy sets the network scheduling policy (default: seeded random
+// reordering, the adversarial-but-fair asynchronous schedule).
+func WithPolicy(p network.Policy) Option { return func(c *config) { c.policy = p } }
+
+// WithSeed sets the root randomness seed (default 1).
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithTimeout sets the run deadline (default 30s).
+func WithTimeout(d time.Duration) Option { return func(c *config) { c.timeout = d } }
+
+// WithCrashed marks parties as crashed: they are never registered with the
+// router, so all their traffic is dropped and they run no code.
+func WithCrashed(ids ...int) Option {
+	return func(c *config) {
+		for _, id := range ids {
+			c.silent[id] = true
+		}
+	}
+}
+
+// New builds a cluster of n parties tolerating t faults.
+func New(n, t int, opts ...Option) *Cluster {
+	cfg := &config{
+		seed:    1,
+		timeout: 30 * time.Second,
+		silent:  map[int]bool{},
+	}
+	for _, o := range opts {
+		o(cfg)
+	}
+	if cfg.policy == nil {
+		cfg.policy = network.NewRandomReorder(cfg.seed, 0.3, 6)
+	}
+	r := network.NewRouter(n, cfg.policy)
+	c := &Cluster{N: n, T: t, Router: r}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+	c.Ctx, c.cancel = ctx, cancel
+	for i := 0; i < n; i++ {
+		node := runtime.NewNode(i, n, t)
+		c.Nodes = append(c.Nodes, node)
+		if !cfg.silent[i] {
+			r.Register(i, node.Dispatch)
+		}
+		c.Envs = append(c.Envs, runtime.NewEnv(i, n, t, node, r, cfg.seed*1000003+int64(i)))
+	}
+	return c
+}
+
+// Close tears the cluster down.
+func (c *Cluster) Close() {
+	c.cancel()
+	for _, nd := range c.Nodes {
+		nd.Close()
+	}
+	c.Router.Close()
+}
+
+// Result is one party's outcome.
+type Result struct {
+	ID    int
+	Value interface{}
+	Err   error
+}
+
+// Run executes fn for every party in parties concurrently and returns the
+// results indexed by party. It waits for all to finish or the cluster
+// deadline.
+func (c *Cluster) Run(parties []int, fn func(ctx context.Context, env *runtime.Env) (interface{}, error)) map[int]Result {
+	resc := make(chan Result, len(parties))
+	for _, id := range parties {
+		id := id
+		go func() {
+			v, err := fn(c.Ctx, c.Envs[id])
+			resc <- Result{ID: id, Value: v, Err: err}
+		}()
+	}
+	out := make(map[int]Result, len(parties))
+	for range parties {
+		r := <-resc
+		out[r.ID] = r
+	}
+	return out
+}
+
+// Honest returns party ids 0..n-1 excluding the given faulty set.
+func (c *Cluster) Honest(faulty ...int) []int {
+	bad := map[int]bool{}
+	for _, f := range faulty {
+		bad[f] = true
+	}
+	var ids []int
+	for i := 0; i < c.N; i++ {
+		if !bad[i] {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// AgreeBytes asserts all results succeeded with the same []byte value and
+// returns it.
+func AgreeBytes(results map[int]Result) ([]byte, error) {
+	var ref []byte
+	first := true
+	for id, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("party %d: %w", id, r.Err)
+		}
+		b, ok := r.Value.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("party %d: not bytes: %T", id, r.Value)
+		}
+		if first {
+			ref = b
+			first = false
+		} else if string(ref) != string(b) {
+			return nil, fmt.Errorf("disagreement: party %d has %q, another has %q", id, b, ref)
+		}
+	}
+	return ref, nil
+}
+
+// AgreeByte asserts all results succeeded with the same byte value.
+func AgreeByte(results map[int]Result) (byte, error) {
+	var ref byte
+	first := true
+	for id, r := range results {
+		if r.Err != nil {
+			return 0, fmt.Errorf("party %d: %w", id, r.Err)
+		}
+		b, ok := r.Value.(byte)
+		if !ok {
+			return 0, fmt.Errorf("party %d: not byte: %T", id, r.Value)
+		}
+		if first {
+			ref = b
+			first = false
+		} else if ref != b {
+			return 0, fmt.Errorf("disagreement: party %d has %d, another has %d", id, b, ref)
+		}
+	}
+	return ref, nil
+}

@@ -1,0 +1,130 @@
+// Package trace records structured protocol events into a bounded ring
+// buffer: message sends and deliveries, shun events, protocol milestones.
+// Tests and the experiment harness attach a Recorder to the network router
+// to reconstruct what an adversarial schedule actually did; failures dump
+// the tail of the trace instead of leaving the reader to guess the
+// interleaving.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one recorded protocol occurrence.
+type Event struct {
+	Seq     uint64
+	Time    time.Time
+	Party   int    // acting party (-1 for network-level events)
+	Session string // protocol session, empty if not applicable
+	Kind    string // "send", "deliver", "shun", "milestone", ...
+	Detail  string
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s p%d %s %s %s",
+		e.Seq, e.Time.Format("15:04:05.000000"), e.Party, e.Kind, e.Session, e.Detail)
+}
+
+// Recorder is a bounded, concurrency-safe event ring.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	seq   uint64
+	drops uint64
+}
+
+// New creates a Recorder holding up to capacity events (older events are
+// overwritten once full).
+func New(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Record appends an event.
+func (r *Recorder) Record(party int, session, kind, detail string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	e := Event{Seq: r.seq, Time: time.Now(), Party: party, Session: session, Kind: kind, Detail: detail}
+	if r.full {
+		r.drops++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Recordf is Record with formatting.
+func (r *Recorder) Recordf(party int, session, kind, format string, args ...interface{}) {
+	r.Record(party, session, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Filter returns retained events matching the predicate.
+func (r *Recorder) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SessionEvents returns retained events whose session has the prefix.
+func (r *Recorder) SessionEvents(prefix string) []Event {
+	return r.Filter(func(e Event) bool { return strings.HasPrefix(e.Session, prefix) })
+}
+
+// Len reports the number of retained events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Dropped reports how many events were overwritten.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.drops
+}
+
+// Dump writes the retained events to w, one per line.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintln(w, e.String())
+	}
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(w, "(%d earlier events overwritten)\n", d)
+	}
+}

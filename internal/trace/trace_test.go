@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndEventsOrder(t *testing.T) {
+	r := New(10)
+	r.Record(0, "s/a", "send", "x")
+	r.Record(1, "s/b", "deliver", "y")
+	r.Recordf(2, "s/c", "shun", "party %d", 3)
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Kind != "send" || evs[1].Kind != "deliver" || evs[2].Kind != "shun" {
+		t.Fatalf("order wrong: %v", evs)
+	}
+	if evs[2].Detail != "party 3" {
+		t.Fatalf("Recordf detail = %q", evs[2].Detail)
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("seq %d = %d", i, e.Seq)
+		}
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Recordf(i, "s", "k", "%d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	// Chronological: the last four events, oldest first.
+	for i, e := range evs {
+		want := uint64(7 + i)
+		if e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d", r.Dropped())
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestFilterAndSessionEvents(t *testing.T) {
+	r := New(16)
+	r.Record(0, "svss/1", "send", "")
+	r.Record(0, "svss/2", "send", "")
+	r.Record(0, "ba/1", "send", "")
+	if got := len(r.SessionEvents("svss/")); got != 2 {
+		t.Fatalf("SessionEvents = %d", got)
+	}
+	if got := len(r.Filter(func(e Event) bool { return e.Session == "ba/1" })); got != 1 {
+		t.Fatalf("Filter = %d", got)
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := New(2)
+	r.Record(0, "s", "send", "a")
+	r.Record(1, "s", "send", "b")
+	r.Record(2, "s", "send", "c") // overwrites
+	var sb strings.Builder
+	r.Dump(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "p1") || !strings.Contains(out, "p2") {
+		t.Fatalf("dump missing events: %q", out)
+	}
+	if !strings.Contains(out, "overwritten") {
+		t.Fatalf("dump missing drop notice: %q", out)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Recordf(w, "s", "k", "%d", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 128 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// Sequence numbers in Events() must be strictly increasing.
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("seq not increasing at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	r := New(0)
+	r.Record(0, "s", "k", "d")
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}

@@ -1,0 +1,268 @@
+// Package transport is a TCP transport for running the protocol stack
+// across real sockets (one OS process per party, or several parties in one
+// process for tests), as an alternative to the simulated router in
+// internal/network. It implements runtime.Sender, so every protocol in the
+// repository runs unchanged over it.
+//
+// Framing: each message is a uvarint length followed by a wire.Marshal'd
+// envelope. Connections are dialed lazily per destination with exponential
+// backoff and re-dialed on failure; outbound messages queue unboundedly in
+// the meantime (the asynchronous model's eventual delivery, within the
+// process lifetime). There is no peer authentication — the transport
+// trusts the envelope's From field, which is adequate for a research
+// testbed and stated here so nobody mistakes it for a deployment artifact.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"asyncft/internal/wire"
+)
+
+// MaxFrame bounds accepted frames; larger ones indicate garbage or abuse.
+const MaxFrame = 4 << 20
+
+// Handler consumes inbound envelopes (typically runtime.Node.Dispatch).
+type Handler func(wire.Envelope)
+
+// TCP is one party's transport endpoint.
+type TCP struct {
+	id    int
+	addrs map[int]string
+	ln    net.Listener
+
+	handler Handler
+
+	mu     sync.Mutex
+	peers  map[int]*peer
+	closed bool
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// peer is the outbound side of one link.
+type peer struct {
+	mu     sync.Mutex
+	queue  [][]byte
+	notify chan struct{}
+}
+
+func (p *peer) push(frame []byte) {
+	p.mu.Lock()
+	p.queue = append(p.queue, frame)
+	p.mu.Unlock()
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (p *peer) pop() ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
+		return nil, false
+	}
+	f := p.queue[0]
+	p.queue = p.queue[1:]
+	return f, true
+}
+
+// Listen starts a transport for party id. addrs maps every party id to its
+// host:port; addrs[id] is the local listen address. handler receives all
+// inbound messages.
+func Listen(id int, addrs map[int]string, handler Handler) (*TCP, error) {
+	local, ok := addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for self (%d)", id)
+	}
+	ln, err := net.Listen("tcp", local)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", local, err)
+	}
+	t := &TCP{
+		id:      id,
+		addrs:   addrs,
+		ln:      ln,
+		handler: handler,
+		peers:   make(map[int]*peer),
+		done:    make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" ports).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Send implements runtime.Sender. Self-sends short-circuit to the handler;
+// everything else is queued to the destination's writer goroutine.
+func (t *TCP) Send(env wire.Envelope) {
+	if env.To == t.id {
+		t.handler(env)
+		return
+	}
+	if _, ok := t.addrs[env.To]; !ok {
+		return // unknown destination: drop, like the simulated router
+	}
+	frame := encodeFrame(env)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	p := t.peers[env.To]
+	if p == nil {
+		p = &peer{notify: make(chan struct{}, 1)}
+		t.peers[env.To] = p
+		t.wg.Add(1)
+		go t.writeLoop(env.To, p)
+	}
+	t.mu.Unlock()
+	p.push(frame)
+}
+
+// Close stops the transport. Queued-but-unsent messages are dropped (the
+// process is ending; eventual delivery is scoped to the process lifetime).
+func (t *TCP) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.done)
+	t.ln.Close()
+	t.wg.Wait()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	go func() { // tear the connection down on shutdown to unblock reads
+		<-t.done
+		conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		env, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		t.handler(env)
+	}
+}
+
+func (t *TCP) writeLoop(to int, p *peer) {
+	defer t.wg.Done()
+	var conn net.Conn
+	var bw *bufio.Writer
+	backoff := 10 * time.Millisecond
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		frame, ok := p.pop()
+		if !ok {
+			if bw != nil {
+				bw.Flush()
+			}
+			select {
+			case <-p.notify:
+				continue
+			case <-t.done:
+				return
+			}
+		}
+		for {
+			if conn == nil {
+				var err error
+				conn, err = net.DialTimeout("tcp", t.addrs[to], 2*time.Second)
+				if err != nil {
+					select {
+					case <-time.After(backoff):
+					case <-t.done:
+						return
+					}
+					if backoff < time.Second {
+						backoff *= 2
+					}
+					continue
+				}
+				backoff = 10 * time.Millisecond
+				bw = bufio.NewWriter(conn)
+			}
+			if _, err := bw.Write(frame); err != nil {
+				conn.Close()
+				conn, bw = nil, nil
+				continue // retry the same frame on a fresh connection
+			}
+			break
+		}
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+	}
+}
+
+func encodeFrame(env wire.Envelope) []byte {
+	body := wire.Marshal(env)
+	frame := binary.AppendUvarint(nil, uint64(len(body)))
+	return append(frame, body...)
+}
+
+// frameSource is the reader interface readFrame needs (satisfied by
+// *bufio.Reader and by test fakes).
+type frameSource interface {
+	io.Reader
+	io.ByteReader
+}
+
+func readFrame(br frameSource) (wire.Envelope, error) {
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return wire.Envelope{}, err
+	}
+	if size > MaxFrame {
+		return wire.Envelope{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return wire.Envelope{}, err
+	}
+	return wire.Unmarshal(body)
+}

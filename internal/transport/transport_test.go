@@ -1,0 +1,282 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"asyncft/internal/field"
+	"asyncft/internal/rbc"
+	"asyncft/internal/runtime"
+	"asyncft/internal/svss"
+	"asyncft/internal/wire"
+)
+
+// tcpCluster wires n parties over loopback TCP.
+type tcpCluster struct {
+	n, t  int
+	tcps  []*TCP
+	nodes []*runtime.Node
+	envs  []*runtime.Env
+}
+
+func newTCPCluster(t *testing.T, n, tf int) *tcpCluster {
+	t.Helper()
+	c := &tcpCluster{n: n, t: tf}
+	addrs := map[int]string{}
+	// First pass: bind every listener on :0 to learn ports.
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, runtime.NewNode(i, n, tf))
+	}
+	for i := 0; i < n; i++ {
+		node := c.nodes[i]
+		tcp, err := Listen(i, map[int]string{i: "127.0.0.1:0"}, node.Dispatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.tcps = append(c.tcps, tcp)
+		addrs[i] = tcp.Addr()
+	}
+	// Second pass: install the full address book (the maps are read-only
+	// after this point, before any traffic flows).
+	for i := 0; i < n; i++ {
+		c.tcps[i].addrs = addrs
+		c.envs = append(c.envs, runtime.NewEnv(i, n, tf, c.nodes[i], c.tcps[i], int64(100+i)))
+	}
+	return c
+}
+
+func (c *tcpCluster) close() {
+	for _, nd := range c.nodes {
+		nd.Close()
+	}
+	for _, tc := range c.tcps {
+		tc.Close()
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	env := wire.Envelope{From: 1, To: 2, Session: "s/x", Type: 7, Payload: []byte{1, 2, 3}}
+	frame := encodeFrame(env)
+	br := newReaderFromBytes(frame)
+	got, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 1 || got.To != 2 || got.Session != "s/x" || got.Type != 7 || len(got.Payload) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	frame := encodeFrameSize(MaxFrame + 1)
+	if _, err := readFrame(newReaderFromBytes(frame)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestPointToPointDelivery(t *testing.T) {
+	c := newTCPCluster(t, 2, 0)
+	defer c.close()
+	c.envs[0].Send(1, "tcp/x", 9, []byte("hello"))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	env, err := c.envs[1].Recv(ctx, "tcp/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.From != 0 || string(env.Payload) != "hello" {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestSelfSendShortCircuits(t *testing.T) {
+	c := newTCPCluster(t, 2, 0)
+	defer c.close()
+	c.envs[0].Send(0, "tcp/self", 1, []byte("me"))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	env, err := c.envs[0].Recv(ctx, "tcp/self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(env.Payload) != "me" {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestManyMessagesAllDelivered(t *testing.T) {
+	c := newTCPCluster(t, 2, 0)
+	defer c.close()
+	const total = 500
+	for i := 0; i < total; i++ {
+		c.envs[0].Send(1, "tcp/many", uint8(i%250), []byte{byte(i), byte(i >> 8)})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < total; i++ {
+		env, err := c.envs[1].Recv(ctx, "tcp/many")
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		// TCP per-link delivery is FIFO.
+		if int(env.Payload[0]) != i&0xff || int(env.Payload[1]) != i>>8 {
+			t.Fatalf("message %d out of order: %v", i, env.Payload)
+		}
+	}
+}
+
+func TestRBCOverTCP(t *testing.T) {
+	const n, tf = 4, 1
+	c := newTCPCluster(t, n, tf)
+	defer c.close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var in []byte
+			if i == 0 {
+				in = []byte("over-tcp")
+			}
+			results[i], errs[i] = rbc.Run(ctx, c.envs[i], "rbc/tcp", 0, in)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("party %d: %v", i, errs[i])
+		}
+		if string(results[i]) != "over-tcp" {
+			t.Fatalf("party %d got %q", i, results[i])
+		}
+	}
+}
+
+func TestSVSSOverTCP(t *testing.T) {
+	const n, tf = 4, 1
+	c := newTCPCluster(t, n, tf)
+	defer c.close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	vals := make([]field.Elem, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh, err := svss.RunShare(ctx, c.envs[i], "svss/tcp", 2, 31415)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			vals[i], errs[i] = svss.RunRec(ctx, c.envs[i], sh, svss.Options{})
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("party %d: %v", i, errs[i])
+		}
+		if vals[i] != 31415 {
+			t.Fatalf("party %d reconstructed %v", i, vals[i])
+		}
+	}
+}
+
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	// Messages sent while the destination is down are retried until the
+	// peer comes back (within the process lifetime).
+	node := runtime.NewNode(1, 2, 0)
+	// Receiver not yet listening: pick a fixed port by binding and closing.
+	probe, err := Listen(1, map[int]string{1: "127.0.0.1:0"}, node.Dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr()
+	probe.Close()
+
+	senderNode := runtime.NewNode(0, 2, 0)
+	sender, err := Listen(0, map[int]string{0: "127.0.0.1:0", 1: addr}, senderNode.Dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	sender.Send(wire.Envelope{From: 0, To: 1, Session: "late", Type: 3, Payload: []byte("queued")})
+	time.Sleep(50 * time.Millisecond) // dial attempts fail meanwhile
+
+	recv, err := Listen(1, map[int]string{1: addr}, node.Dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	defer node.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	env, err := node.Mailbox("late").Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(env.Payload) != "queued" {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	c := newTCPCluster(t, 2, 0)
+	defer c.close()
+	c.envs[0].Send(7, "tcp/x", 1, nil) // no address: silently dropped
+}
+
+func TestListenRequiresSelfAddress(t *testing.T) {
+	if _, err := Listen(0, map[int]string{1: "127.0.0.1:0"}, func(wire.Envelope) {}); err == nil {
+		t.Fatal("expected error when self address missing")
+	}
+}
+
+// Helpers for frame tests.
+
+func newReaderFromBytes(b []byte) *frameReader { return &frameReader{b: b} }
+
+type frameReader struct {
+	b []byte
+	i int
+}
+
+func (r *frameReader) ReadByte() (byte, error) {
+	if r.i >= len(r.b) {
+		return 0, fmt.Errorf("EOF")
+	}
+	c := r.b[r.i]
+	r.i++
+	return c, nil
+}
+
+func (r *frameReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, fmt.Errorf("EOF")
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+func encodeFrameSize(size uint64) []byte {
+	var buf []byte
+	for size >= 0x80 {
+		buf = append(buf, byte(size)|0x80)
+		size >>= 7
+	}
+	return append(buf, byte(size))
+}

@@ -1,0 +1,60 @@
+package wire
+
+import (
+	"testing"
+
+	"asyncft/internal/field"
+)
+
+func BenchmarkMarshalEnvelope(b *testing.B) {
+	e := Envelope{From: 3, To: 1, Session: "cf/r3/svss/d2/sh", Type: 2, Payload: make([]byte, 64)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = Marshal(e)
+	}
+}
+
+func BenchmarkUnmarshalEnvelope(b *testing.B) {
+	buf := Marshal(Envelope{From: 3, To: 1, Session: "cf/r3/svss/d2/sh", Type: 2, Payload: make([]byte, 64)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := Unmarshal(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkEnv = e
+	}
+}
+
+func BenchmarkWriterPolyT4(b *testing.B) {
+	p := field.NewPoly(1, 2, 3, 4, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var w Writer
+		w.Poly(p)
+		sink = w.Bytes()
+	}
+}
+
+func BenchmarkReaderPolyT4(b *testing.B) {
+	var w Writer
+	w.Poly(field.NewPoly(1, 2, 3, 4, 5))
+	buf := w.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		sinkPoly = r.Poly(8)
+		if r.Err() != nil {
+			b.Fatal(r.Err())
+		}
+	}
+}
+
+var (
+	sink     []byte
+	sinkEnv  Envelope
+	sinkPoly field.Poly
+)

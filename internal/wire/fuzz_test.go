@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal: arbitrary bytes must never panic the envelope decoder, and
+// every successful decode must re-encode to an equivalent envelope.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Marshal(Envelope{From: 1, To: 2, Session: "a/b", Type: 3, Payload: []byte{4}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		round, err2 := Unmarshal(Marshal(env))
+		if err2 != nil {
+			t.Fatalf("re-decode failed: %v", err2)
+		}
+		if round.From != env.From || round.To != env.To || round.Session != env.Session ||
+			round.Type != env.Type || !bytes.Equal(round.Payload, env.Payload) {
+			t.Fatalf("round trip changed envelope: %+v vs %+v", env, round)
+		}
+	})
+}
+
+// FuzzReader: arbitrary bytes through every Reader accessor must never
+// panic, and after an error all reads stay zero-valued.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, mode uint8) {
+		r := NewReader(data)
+		switch mode % 6 {
+		case 0:
+			r.Uint()
+			r.Int()
+		case 1:
+			r.Byte()
+			r.Elem()
+		case 2:
+			r.Elems(16)
+		case 3:
+			r.Poly(16)
+		case 4:
+			r.BytesField(16)
+		case 5:
+			r.Ints(16)
+		}
+		if r.Err() != nil {
+			if r.Uint() != 0 || r.Byte() != 0 || r.Elem() != 0 {
+				t.Fatal("reads after error not zero")
+			}
+		}
+	})
+}

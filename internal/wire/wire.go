@@ -1,0 +1,263 @@
+// Package wire defines the message envelope exchanged between parties and a
+// compact binary payload codec.
+//
+// Every protocol message travels as an Envelope: (from, to, session, type,
+// payload). Sessions are hierarchical strings ("cf/r3/svss/d2/sh") that the
+// runtime uses to route messages to the protocol instance that owns them.
+// Payloads are encoded with the helpers in this package so the same bytes can
+// cross an in-memory router or a TCP connection unchanged.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"asyncft/internal/field"
+)
+
+// Envelope is a single protocol message.
+type Envelope struct {
+	From    int
+	To      int
+	Session string
+	Type    uint8
+	Payload []byte
+}
+
+// String implements fmt.Stringer for tracing.
+func (e Envelope) String() string {
+	return fmt.Sprintf("%d->%d %s/%d (%dB)", e.From, e.To, e.Session, e.Type, len(e.Payload))
+}
+
+// ErrTruncated is returned by decoders when the input ends early.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// Marshal encodes the envelope into a self-delimiting byte string.
+func Marshal(e Envelope) []byte {
+	buf := make([]byte, 0, 16+len(e.Session)+len(e.Payload))
+	buf = binary.AppendUvarint(buf, uint64(e.From))
+	buf = binary.AppendUvarint(buf, uint64(e.To))
+	buf = binary.AppendUvarint(buf, uint64(len(e.Session)))
+	buf = append(buf, e.Session...)
+	buf = append(buf, e.Type)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Payload)))
+	buf = append(buf, e.Payload...)
+	return buf
+}
+
+// Unmarshal decodes an envelope produced by Marshal.
+func Unmarshal(data []byte) (Envelope, error) {
+	var e Envelope
+	from, n := binary.Uvarint(data)
+	if n <= 0 {
+		return e, ErrTruncated
+	}
+	data = data[n:]
+	to, n := binary.Uvarint(data)
+	if n <= 0 {
+		return e, ErrTruncated
+	}
+	data = data[n:]
+	slen, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < slen {
+		return e, ErrTruncated
+	}
+	data = data[n:]
+	e.Session = string(data[:slen])
+	data = data[slen:]
+	if len(data) < 1 {
+		return e, ErrTruncated
+	}
+	e.Type = data[0]
+	data = data[1:]
+	plen, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < plen {
+		return e, ErrTruncated
+	}
+	data = data[n:]
+	e.From = int(from)
+	e.To = int(to)
+	e.Payload = append([]byte(nil), data[:plen]...)
+	return e, nil
+}
+
+// Writer builds payloads. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Uint appends an unsigned varint.
+func (w *Writer) Uint(v uint64) *Writer {
+	w.buf = binary.AppendUvarint(w.buf, v)
+	return w
+}
+
+// Int appends a non-negative int as a varint.
+func (w *Writer) Int(v int) *Writer { return w.Uint(uint64(v)) }
+
+// Byte appends a single byte.
+func (w *Writer) Byte(b byte) *Writer {
+	w.buf = append(w.buf, b)
+	return w
+}
+
+// Elem appends a field element as a fixed 8-byte value.
+func (w *Writer) Elem(e field.Elem) *Writer {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, e.Uint64())
+	return w
+}
+
+// Elems appends a length-prefixed slice of field elements.
+func (w *Writer) Elems(es []field.Elem) *Writer {
+	w.Int(len(es))
+	for _, e := range es {
+		w.Elem(e)
+	}
+	return w
+}
+
+// Poly appends a polynomial (as its coefficient slice).
+func (w *Writer) Poly(p field.Poly) *Writer { return w.Elems(p) }
+
+// BytesField appends a length-prefixed byte string.
+func (w *Writer) BytesField(b []byte) *Writer {
+	w.Int(len(b))
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// Ints appends a length-prefixed slice of non-negative ints.
+func (w *Writer) Ints(vs []int) *Writer {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.Int(v)
+	}
+	return w
+}
+
+// Reader parses payloads produced by Writer. Errors are sticky: after the
+// first failure every subsequent read reports failure, so protocol code can
+// parse a whole message and check Err once (malformed messages from
+// Byzantine parties must never panic an honest party).
+type Reader struct {
+	buf []byte
+	err error
+}
+
+// NewReader wraps a payload.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+// Uint reads an unsigned varint.
+func (r *Reader) Uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// Int reads a non-negative int, failing on values that overflow int.
+func (r *Reader) Int() int {
+	v := r.Uint()
+	if v > uint64(int(^uint(0)>>1)) {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+// Byte reads a single byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 1 {
+		r.fail()
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+// Elem reads a field element, reducing untrusted input into the field.
+func (r *Reader) Elem() field.Elem {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return field.New(v)
+}
+
+// Elems reads a length-prefixed slice of field elements. The cap argument
+// bounds the length a Byzantine sender can claim.
+func (r *Reader) Elems(maxLen int) []field.Elem {
+	n := r.Int()
+	if r.err != nil || n > maxLen {
+		r.fail()
+		return nil
+	}
+	es := make([]field.Elem, n)
+	for i := range es {
+		es[i] = r.Elem()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return es
+}
+
+// Poly reads a polynomial with at most maxLen coefficients.
+func (r *Reader) Poly(maxLen int) field.Poly { return field.Poly(r.Elems(maxLen)) }
+
+// BytesField reads a length-prefixed byte string of at most maxLen bytes.
+func (r *Reader) BytesField(maxLen int) []byte {
+	n := r.Int()
+	if r.err != nil || n > maxLen || n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := append([]byte(nil), r.buf[:n]...)
+	r.buf = r.buf[n:]
+	return b
+}
+
+// Ints reads a length-prefixed slice of ints with at most maxLen entries.
+func (r *Reader) Ints(maxLen int) []int {
+	n := r.Int()
+	if r.err != nil || n > maxLen {
+		r.fail()
+		return nil
+	}
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = r.Int()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return vs
+}

@@ -1,0 +1,152 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"asyncft/internal/field"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	cases := []Envelope{
+		{},
+		{From: 3, To: 1, Session: "cf/r3/svss/d2/sh", Type: 9, Payload: []byte{1, 2, 3}},
+		{From: 0, To: 0, Session: "", Type: 0, Payload: nil},
+		{From: 1000, To: 2000, Session: "x", Type: 255, Payload: bytes.Repeat([]byte{7}, 1000)},
+	}
+	for _, e := range cases {
+		got, err := Unmarshal(Marshal(e))
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if got.From != e.From || got.To != e.To || got.Session != e.Session || got.Type != e.Type {
+			t.Fatalf("round trip mismatch: %v vs %v", got, e)
+		}
+		if !bytes.Equal(got.Payload, e.Payload) && !(len(got.Payload) == 0 && len(e.Payload) == 0) {
+			t.Fatalf("payload mismatch")
+		}
+	}
+}
+
+func TestEnvelopeRoundTripQuick(t *testing.T) {
+	f := func(from, to uint16, session string, typ uint8, payload []byte) bool {
+		e := Envelope{From: int(from), To: int(to), Session: session, Type: typ, Payload: payload}
+		got, err := Unmarshal(Marshal(e))
+		if err != nil {
+			return false
+		}
+		return got.From == e.From && got.To == e.To && got.Session == e.Session &&
+			got.Type == e.Type && bytes.Equal(got.Payload, e.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	full := Marshal(Envelope{From: 1, To: 2, Session: "abc", Type: 3, Payload: []byte{4, 5}})
+	for i := 0; i < len(full); i++ {
+		if _, err := Unmarshal(full[:i]); err == nil {
+			t.Fatalf("prefix of length %d decoded without error", i)
+		}
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	p := field.NewPoly(10, 20, 30)
+	var w Writer
+	w.Uint(77).Int(5).Byte(9).Elem(field.New(123)).
+		Elems([]field.Elem{1, 2, 3}).Poly(p).
+		BytesField([]byte("hi")).Ints([]int{4, 5, 6})
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint(); got != 77 {
+		t.Fatalf("Uint = %d", got)
+	}
+	if got := r.Int(); got != 5 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := r.Byte(); got != 9 {
+		t.Fatalf("Byte = %d", got)
+	}
+	if got := r.Elem(); got != 123 {
+		t.Fatalf("Elem = %v", got)
+	}
+	es := r.Elems(10)
+	if len(es) != 3 || es[0] != 1 || es[2] != 3 {
+		t.Fatalf("Elems = %v", es)
+	}
+	if got := r.Poly(10); !got.Equal(p) {
+		t.Fatalf("Poly = %v", got)
+	}
+	if got := r.BytesField(10); string(got) != "hi" {
+		t.Fatalf("BytesField = %q", got)
+	}
+	ints := r.Ints(10)
+	if len(ints) != 3 || ints[1] != 5 {
+		t.Fatalf("Ints = %v", ints)
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err = %v", r.Err())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{})
+	_ = r.Byte() // fails
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+	// Subsequent reads return zero values without panicking.
+	if r.Uint() != 0 || r.Int() != 0 || r.Elem() != 0 {
+		t.Fatal("reads after error should be zero")
+	}
+	if r.Elems(5) != nil || r.Poly(5) != nil || r.BytesField(5) != nil || r.Ints(5) != nil {
+		t.Fatal("slice reads after error should be nil")
+	}
+}
+
+func TestReaderLengthCaps(t *testing.T) {
+	// Byzantine sender claims a huge slice; the cap must reject it without
+	// allocating.
+	var w Writer
+	w.Int(1 << 40)
+	r := NewReader(w.Bytes())
+	if got := r.Elems(16); got != nil || r.Err() == nil {
+		t.Fatal("oversized Elems accepted")
+	}
+
+	var w2 Writer
+	w2.Ints([]int{1, 2, 3, 4})
+	r2 := NewReader(w2.Bytes())
+	if got := r2.Ints(3); got != nil || r2.Err() == nil {
+		t.Fatal("Ints above cap accepted")
+	}
+
+	var w3 Writer
+	w3.BytesField(bytes.Repeat([]byte{1}, 100))
+	r3 := NewReader(w3.Bytes())
+	if got := r3.BytesField(50); got != nil || r3.Err() == nil {
+		t.Fatal("BytesField above cap accepted")
+	}
+}
+
+func TestReaderElemReducesUntrustedInput(t *testing.T) {
+	// A Byzantine sender can put any 8 bytes on the wire; the decoded value
+	// must land inside the field.
+	var w Writer
+	w.buf = append(w.buf, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	r := NewReader(w.Bytes())
+	e := r.Elem()
+	if uint64(e) >= field.P {
+		t.Fatalf("unreduced element: %v", e)
+	}
+}
+
+func TestEnvelopeString(t *testing.T) {
+	e := Envelope{From: 1, To: 2, Session: "s", Type: 3, Payload: []byte{1}}
+	if e.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
