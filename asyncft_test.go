@@ -409,3 +409,64 @@ func TestClusterLyingRevealerRecovered(t *testing.T) {
 		t.Fatalf("honest dealer's secret lost: %d", got)
 	}
 }
+
+func TestClusterRunBatchMixed(t *testing.T) {
+	cfg := fastConfig(23)
+	cfg.CoinRounds = 1
+	cfg.Timeout = 120 * time.Second
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	specs := []BatchSpec{
+		CoinFlipSpec("batch/0"),
+		CoinFlipSpec("batch/1"),
+		ShareAndReconstructSpec("batch/sr", 0, 987654321),
+		BinaryAgreementSpec("batch/ba", map[int]byte{0: 0, 1: 1, 2: 0, 3: 1}),
+	}
+	res, err := c.RunBatch(0, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(res), len(specs))
+	}
+	for _, i := range []int{0, 1} {
+		if v := res[i].Value.(byte); v > 1 {
+			t.Fatalf("instance %s: non-binary coin %d", res[i].Session, v)
+		}
+	}
+	if v := res[2].Value.(uint64); v != 987654321 {
+		t.Fatalf("batched SVSS reconstructed %d, want 987654321", v)
+	}
+	if v := res[3].Value.(byte); v > 1 {
+		t.Fatalf("batched BA output %d not a bit", v)
+	}
+}
+
+func TestClusterRunBatchWidthAndEquivalence(t *testing.T) {
+	// A width-bounded batch must complete and each instance must agree,
+	// exactly as sequential runs of the same sessions would.
+	cfg := fastConfig(29)
+	cfg.CoinRounds = 1
+	cfg.Timeout = 120 * time.Second
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var specs []BatchSpec
+	for k := 0; k < 6; k++ {
+		specs = append(specs, CoinFlipSpec(fmt.Sprintf("bw/%d", k)))
+	}
+	res, err := c.RunBatch(2, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if v := r.Value.(byte); v > 1 {
+			t.Fatalf("instance %s: non-binary coin %d", r.Session, v)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package asyncft
 // cmd/experiments for full-resolution tables).
 
 import (
+	"fmt"
 	"testing"
 
 	"asyncft/internal/experiments"
@@ -60,6 +61,10 @@ func BenchmarkE6Scaling(b *testing.B)        { runExperiment(b, experiments.E6Sc
 func BenchmarkE7CoinComparison(b *testing.B) { runExperiment(b, experiments.E7CoinComparison) }
 func BenchmarkE8LowerBound(b *testing.B)     { runExperiment(b, experiments.E8LowerBound) }
 func BenchmarkE9FairChoice(b *testing.B)     { runExperiment(b, experiments.E9FairChoice) }
+
+func BenchmarkE10BatchThroughput(b *testing.B) {
+	runExperiment(b, experiments.E10BatchThroughput)
+}
 
 func BenchmarkAblationReconstruct(b *testing.B) {
 	runExperiment(b, experiments.AblationReconstruct)
@@ -122,6 +127,29 @@ func BenchmarkProtoStrongCoin(b *testing.B) {
 		}
 		c.Close()
 	}
+}
+
+// BenchmarkBatchCoin measures the batched pipeline through the public API:
+// K strong coin flips multiplexed over one cluster via Cluster.RunBatch,
+// reported as flips per second. Contrast with BenchmarkProtoStrongCoin,
+// which pays cluster setup and full protocol latency for every flip.
+func BenchmarkBatchCoin(b *testing.B) {
+	const K = 8
+	for i := 0; i < b.N; i++ {
+		c, err := New(Config{N: 4, T: 1, Seed: int64(i + 1), Coin: CoinLocal, CoinRounds: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs := make([]BatchSpec, K)
+		for k := range specs {
+			specs[k] = CoinFlipSpec(fmt.Sprintf("bench/%d", k))
+		}
+		if _, err := c.RunBatch(0, specs...); err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+	b.ReportMetric(float64(K*b.N)/b.Elapsed().Seconds(), "flips/s")
 }
 
 func BenchmarkProtoFairBA(b *testing.B) {

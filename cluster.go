@@ -8,6 +8,7 @@ import (
 
 	"asyncft/internal/adversary"
 	"asyncft/internal/ba"
+	"asyncft/internal/batch"
 	"asyncft/internal/beacon"
 	"asyncft/internal/core"
 	"asyncft/internal/field"
@@ -228,13 +229,25 @@ type result struct {
 	err   error
 }
 
+// runSpec executes one BatchSpec sequentially across all honest parties —
+// the single source of truth shared by the sequential protocol methods and
+// RunBatch, so batched and sequential instances are indistinguishable on
+// the wire by construction.
+func (c *Cluster) runSpec(spec BatchSpec) (interface{}, error) {
+	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return spec.run(c, ctx, env)
+	})
+	return spec.agree(res)
+}
+
 // CoinFlip runs the strong common coin (Algorithm 1) across all honest
 // parties and returns the agreed bit.
 func (c *Cluster) CoinFlip(session string) (byte, error) {
-	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
-		return core.CoinFlip(ctx, c.ctx, env, "cf/"+session, c.core)
-	})
-	return agreeByte(res)
+	v, err := c.runSpec(CoinFlipSpec(session))
+	if err != nil {
+		return 0, err
+	}
+	return v.(byte), nil
 }
 
 // FairChoice runs Algorithm 2 across all honest parties: agreement on one
@@ -243,20 +256,7 @@ func (c *Cluster) FairChoice(session string, m int) (int, error) {
 	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 		return core.FairChoice(ctx, c.ctx, env, "fc/"+session, m, c.core)
 	})
-	var ref int
-	first := true
-	for id, r := range res {
-		if r.err != nil {
-			return 0, fmt.Errorf("party %d: %w", id, r.err)
-		}
-		v := r.value.(int)
-		if first {
-			ref, first = v, false
-		} else if ref != v {
-			return 0, fmt.Errorf("agreement violated: %d vs %d", ref, v)
-		}
-	}
-	return ref, nil
+	return agreeVal[int](res)
 }
 
 // FairBA runs fair Byzantine agreement (Algorithm 3). inputs maps party →
@@ -273,12 +273,11 @@ func (c *Cluster) FairBA(session string, inputs map[int][]byte) ([]byte, error) 
 // (Definition 3.3) with the configured coin. inputs maps party → bit;
 // missing honest parties default to 0.
 func (c *Cluster) BinaryAgreement(session string, inputs map[int]byte) (byte, error) {
-	sess := "ba/" + session
-	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
-		coin := c.core.InnerCoinFor(c.ctx, env, sess)
-		return ba.Run(ctx, env, sess, inputs[env.ID], coin, c.core.BA)
-	})
-	return agreeByte(res)
+	v, err := c.runSpec(BinaryAgreementSpec(session, inputs))
+	if err != nil {
+		return 0, err
+	}
+	return v.(byte), nil
 }
 
 // ReliableBroadcast runs one A-Cast from sender with the given value and
@@ -299,31 +298,124 @@ func (c *Cluster) ReliableBroadcast(session string, sender int, value []byte) ([
 // the full share→reconstruct pipeline, including binding-or-shun behavior
 // under the configured adversary.
 func (c *Cluster) ShareAndReconstruct(session string, dealer int, secret uint64) (uint64, error) {
-	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
-		sh, err := svss.RunShare(ctx, env, "svss/"+session, dealer, field.New(secret))
-		if err != nil {
-			return nil, err
-		}
-		v, err := svss.RunRec(ctx, env, sh, c.core.SVSS)
-		if err != nil {
-			return nil, err
-		}
-		return v.Uint64(), nil
-	})
-	var ref uint64
-	first := true
-	for id, r := range res {
-		if r.err != nil {
-			return 0, fmt.Errorf("party %d: %w", id, r.err)
-		}
-		v := r.value.(uint64)
-		if first {
-			ref, first = v, false
-		} else if ref != v {
-			return 0, fmt.Errorf("agreement violated: %d vs %d", ref, v)
+	v, err := c.runSpec(ShareAndReconstructSpec(session, dealer, secret))
+	if err != nil {
+		return 0, err
+	}
+	return v.(uint64), nil
+}
+
+// BatchSpec describes one protocol instance for RunBatch. Construct specs
+// with CoinFlipSpec, BinaryAgreementSpec, or ShareAndReconstructSpec; each
+// instance uses the same session namespace as the corresponding standalone
+// Cluster method, so a batched coin flip is indistinguishable on the wire
+// from a sequential one.
+type BatchSpec struct {
+	session string
+	run     func(c *Cluster, ctx context.Context, env *runtime.Env) (interface{}, error)
+	agree   func(res map[int]result) (interface{}, error)
+}
+
+// CoinFlipSpec is a strong-common-coin instance (see Cluster.CoinFlip).
+// The batched result value is the agreed byte.
+func CoinFlipSpec(session string) BatchSpec {
+	sess := "cf/" + session
+	return BatchSpec{
+		session: sess,
+		run: func(c *Cluster, ctx context.Context, env *runtime.Env) (interface{}, error) {
+			return core.CoinFlip(ctx, c.ctx, env, sess, c.core)
+		},
+		agree: func(res map[int]result) (interface{}, error) { return agreeByte(res) },
+	}
+}
+
+// BinaryAgreementSpec is a binary-BA instance (see Cluster.BinaryAgreement).
+// The batched result value is the agreed bit as a byte.
+func BinaryAgreementSpec(session string, inputs map[int]byte) BatchSpec {
+	sess := "ba/" + session
+	return BatchSpec{
+		session: sess,
+		run: func(c *Cluster, ctx context.Context, env *runtime.Env) (interface{}, error) {
+			coin := c.core.InnerCoinFor(c.ctx, env, sess)
+			return ba.Run(ctx, env, sess, inputs[env.ID], coin, c.core.BA)
+		},
+		agree: func(res map[int]result) (interface{}, error) { return agreeByte(res) },
+	}
+}
+
+// ShareAndReconstructSpec is an SVSS share-then-reconstruct instance (see
+// Cluster.ShareAndReconstruct). The batched result value is the commonly
+// reconstructed uint64.
+func ShareAndReconstructSpec(session string, dealer int, secret uint64) BatchSpec {
+	sess := "svss/" + session
+	return BatchSpec{
+		session: sess,
+		run: func(c *Cluster, ctx context.Context, env *runtime.Env) (interface{}, error) {
+			sh, err := svss.RunShare(ctx, env, sess, dealer, field.New(secret))
+			if err != nil {
+				return nil, err
+			}
+			v, err := svss.RunRec(ctx, env, sh, c.core.SVSS)
+			if err != nil {
+				return nil, err
+			}
+			return v.Uint64(), nil
+		},
+		agree: func(res map[int]result) (interface{}, error) { return agreeVal[uint64](res) },
+	}
+}
+
+// BatchResult is the agreed output of one RunBatch instance.
+type BatchResult struct {
+	// Session is the instance's fully qualified session ID.
+	Session string
+	// Value is the agreed output; its type depends on the spec constructor
+	// (byte for coins and BAs, uint64 for SVSS reconstructions).
+	Value interface{}
+}
+
+// RunBatch executes all specs as concurrent protocol instances multiplexed
+// over the cluster's single network by session namespacing, keeping every
+// party's pipeline full instead of paying per-instance cluster setup and
+// full protocol latency K times. width bounds how many instances are in
+// flight per party (0 = the whole batch); every party admits instances in
+// spec order, so any width is deadlock-free.
+//
+// Results are returned in spec order. Agreement is verified per instance
+// exactly as the corresponding sequential Cluster method does; the first
+// violated instance aborts with an error naming its session.
+func (c *Cluster) RunBatch(width int, specs ...BatchSpec) ([]BatchResult, error) {
+	instances := make([]batch.Instance, len(specs))
+	for i, s := range specs {
+		s := s
+		instances[i] = batch.Instance{
+			Session: s.session,
+			Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				return s.run(c, ctx, env)
+			},
 		}
 	}
-	return ref, nil
+	envs := make(map[int]*runtime.Env)
+	for _, id := range c.Honest() {
+		envs[id] = c.envs[id]
+	}
+	res, err := batch.Run(c.ctx, envs, instances, batch.Options{Width: width})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchResult, len(specs))
+	for i, s := range specs {
+		m := make(map[int]result, len(res[i]))
+		for id, r := range res[i] {
+			m[id] = result{id: id, value: r.Value, err: r.Err}
+		}
+		v, err := s.agree(m)
+		if err != nil {
+			return nil, fmt.Errorf("batch instance %s: %w", s.session, err)
+		}
+		out[i] = BatchResult{Session: s.session, Value: v}
+	}
+	return out, nil
 }
 
 // PartyIDs returns 0..N-1, a convenience for building input maps.
@@ -335,8 +427,11 @@ func (c *Cluster) PartyIDs() []int {
 	return ids
 }
 
-func agreeByte(res map[int]result) (byte, error) {
-	var ref byte
+// agreeVal asserts all parties succeeded with the same value of type T and
+// returns it. Parties are checked in ID order so a violation always blames
+// the same party deterministically.
+func agreeVal[T comparable](res map[int]result) (T, error) {
+	var ref, zero T
 	first := true
 	ids := make([]int, 0, len(res))
 	for id := range res {
@@ -346,17 +441,19 @@ func agreeByte(res map[int]result) (byte, error) {
 	for _, id := range ids {
 		r := res[id]
 		if r.err != nil {
-			return 0, fmt.Errorf("party %d: %w", id, r.err)
+			return zero, fmt.Errorf("party %d: %w", id, r.err)
 		}
-		v := r.value.(byte)
+		v := r.value.(T)
 		if first {
 			ref, first = v, false
 		} else if ref != v {
-			return 0, fmt.Errorf("agreement violated: party %d output %d, expected %d", id, v, ref)
+			return zero, fmt.Errorf("agreement violated: party %d output %v, expected %v", id, v, ref)
 		}
 	}
 	return ref, nil
 }
+
+func agreeByte(res map[int]result) (byte, error) { return agreeVal[byte](res) }
 
 func agreeBytes(res map[int]result) ([]byte, error) {
 	var ref []byte

@@ -33,6 +33,7 @@ func main() {
 		{"E7", experiments.E7CoinComparison},
 		{"E8", experiments.E8LowerBound},
 		{"E9", experiments.E9FairChoice},
+		{"E10", experiments.E10BatchThroughput},
 		{"A1", experiments.AblationReconstruct},
 		{"A2", experiments.AblationPolicy},
 	}

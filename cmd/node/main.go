@@ -12,6 +12,12 @@
 //
 // Protocols: rbc (party 0 broadcasts -input), svss (party 0 deals -secret),
 // ba (binary agreement on -bit), coinflip (strong common coin, -k rounds).
+//
+// -batch K runs K independent instances of the selected protocol
+// concurrently over the same TCP transport, multiplexed by session
+// namespacing (internal/batch) — the pipeline that keeps the sockets full
+// instead of paying full protocol latency K times. All processes must use
+// the same -batch value.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"time"
 
 	"asyncft/internal/ba"
+	"asyncft/internal/batch"
 	"asyncft/internal/core"
 	"asyncft/internal/field"
 	"asyncft/internal/rbc"
@@ -40,6 +47,7 @@ func main() {
 	secret := flag.Uint64("secret", 42, "svss: secret dealt by party 0")
 	bit := flag.Int("bit", 0, "ba: this party's input bit")
 	k := flag.Int("k", 2, "coinflip: coin rounds")
+	batchK := flag.Int("batch", 1, "concurrent protocol instances pipelined over the transport (same value at every party)")
 	seed := flag.Int64("seed", 0, "randomness seed (default: derived from id)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "protocol deadline")
 	flag.Parse()
@@ -51,6 +59,9 @@ func main() {
 	}
 	if *id < 0 || *id >= n {
 		log.Fatalf("id %d out of range for %d peers", *id, n)
+	}
+	if *batchK < 1 {
+		log.Fatalf("-batch must be ≥ 1, got %d", *batchK)
 	}
 	addrs := map[int]string{}
 	for i, a := range addrList {
@@ -72,45 +83,78 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	log.Printf("party %d/%d listening on %s, running %s", *id, n, tcp.Addr(), *protocol)
-	start := time.Now()
-	switch *protocol {
-	case "rbc":
-		var in []byte
-		if *id == 0 {
-			in = []byte(*input)
+	// One instance body per protocol; -batch builds K of them on
+	// namespaced sessions and pipelines them over the single transport.
+	mkInstance := func(sess string) batch.Instance {
+		switch *protocol {
+		case "rbc":
+			return batch.Instance{Session: sess, Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				var in []byte
+				if *id == 0 {
+					in = []byte(*input)
+				}
+				out, err := rbc.Run(ctx, env, sess, 0, in)
+				return fmt.Sprintf("delivered: %q", out), err
+			}}
+		case "svss":
+			return batch.Instance{Session: sess, Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				sh, err := svss.RunShare(ctx, env, sess, 0, field.New(*secret))
+				if err != nil {
+					return nil, fmt.Errorf("share: %w", err)
+				}
+				v, err := svss.RunRec(ctx, env, sh, svss.Options{})
+				if err != nil {
+					return nil, err
+				}
+				return fmt.Sprintf("reconstructed: %d", v.Uint64()), nil
+			}}
+		case "ba":
+			return batch.Instance{Session: sess, Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				out, err := ba.Run(ctx, env, sess, byte(*bit&1), ba.LocalCoin(env), ba.Options{})
+				return fmt.Sprintf("agreed: %d", out), err
+			}}
+		case "coinflip":
+			return batch.Instance{Session: sess, Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				cfg := core.Config{K: *k, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
+				out, err := core.CoinFlip(ctx, ctx, env, sess, cfg)
+				return fmt.Sprintf("coin: %d", out), err
+			}}
+		default:
+			log.Fatalf("unknown protocol %q", *protocol)
+			return batch.Instance{}
 		}
-		out, err := rbc.Run(ctx, env, "node/rbc", 0, in)
-		report(err, start)
-		fmt.Printf("delivered: %q\n", out)
-	case "svss":
-		sh, err := svss.RunShare(ctx, env, "node/svss", 0, field.New(*secret))
-		if err != nil {
-			log.Fatalf("share: %v", err)
-		}
-		v, err := svss.RunRec(ctx, env, sh, svss.Options{})
-		report(err, start)
-		fmt.Printf("reconstructed: %d\n", v.Uint64())
-	case "ba":
-		out, err := ba.Run(ctx, env, "node/ba", byte(*bit&1), ba.LocalCoin(env), ba.Options{})
-		report(err, start)
-		fmt.Printf("agreed: %d\n", out)
-	case "coinflip":
-		cfg := core.Config{K: *k, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
-		out, err := core.CoinFlip(ctx, ctx, env, "node/cf", cfg)
-		report(err, start)
-		fmt.Printf("coin: %d\n", out)
-	default:
-		log.Fatalf("unknown protocol %q", *protocol)
 	}
+
+	// Session roots match the pre-batch wire format ("node/cf" for the
+	// coin), so a -batch 1 run interoperates with older binaries.
+	root := "node/" + *protocol
+	if *protocol == "coinflip" {
+		root = "node/cf"
+	}
+	instances := make([]batch.Instance, *batchK)
+	for i := range instances {
+		sess := root
+		if *batchK > 1 {
+			sess = fmt.Sprintf("%s/%d", root, i)
+		}
+		instances[i] = mkInstance(sess)
+	}
+
+	log.Printf("party %d/%d listening on %s, running %s ×%d", *id, n, tcp.Addr(), *protocol, *batchK)
+	start := time.Now()
+	res, err := batch.Run(ctx, map[int]*runtime.Env{*id: env}, instances, batch.Options{})
+	if err != nil {
+		log.Fatalf("batch setup: %v", err)
+	}
+	for i, m := range res {
+		r := m[*id]
+		if r.Err != nil {
+			log.Fatalf("instance %s failed: %v", instances[i].Session, r.Err)
+		}
+		fmt.Printf("[%s] %v\n", instances[i].Session, r.Value)
+	}
+	log.Printf("completed %d instance(s) in %v", *batchK, time.Since(start).Round(time.Millisecond))
 	// Give lingering helper goroutines a beat to flush their final sends so
 	// slower peers can finish too.
 	time.Sleep(500 * time.Millisecond)
-}
-
-func report(err error, start time.Time) {
-	if err != nil {
-		log.Fatalf("protocol failed: %v", err)
-	}
-	log.Printf("completed in %v", time.Since(start).Round(time.Millisecond))
 }

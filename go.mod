@@ -1,0 +1,3 @@
+module asyncft
+
+go 1.21

@@ -1,0 +1,125 @@
+// Package batch multiplexes K independent protocol instances over one
+// router or transport by session namespacing — the pipeline layer that
+// keeps all n parties busy while individual instances wait on the network.
+//
+// The runtime already isolates protocol instances by hierarchical session
+// ID, so independent instances can share a cluster with no extra machinery;
+// what this package adds is the execution discipline that makes batching
+// safe and fast:
+//
+//   - every party admits instances in the same index order, so two
+//     parties' in-flight windows always overlap on the oldest unfinished
+//     instance and no admission-order deadlock can arise;
+//   - a per-party width bound caps how many instances run concurrently,
+//     trading peak memory for pipeline depth;
+//   - each instance body receives a Fork of the party environment keyed by
+//     the instance session, so randomness streams stay decorrelated exactly
+//     as they do for nested subprotocols.
+//
+// Skewed progress between parties is safe for the same reason sequential
+// reuse of a cluster is: protocols keep participating in lingering peers'
+// reconstructions and share phases under the cluster-lifetime helper
+// context after their own call returns.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"asyncft/internal/runtime"
+)
+
+// Instance is one protocol instance of a batch: a unique root session and
+// the body every party runs for it.
+type Instance struct {
+	// Session is the instance's root session ID. It must be unique within
+	// the batch and identical at every party, exactly as for a standalone
+	// protocol run.
+	Session string
+	// Run executes one party's side of the instance. The env is already
+	// forked for this instance's session.
+	Run func(ctx context.Context, env *runtime.Env) (interface{}, error)
+}
+
+// Result is one party's outcome for one instance.
+type Result struct {
+	Party int
+	Value interface{}
+	Err   error
+}
+
+// Options tune batch execution.
+type Options struct {
+	// Width bounds the number of instances in flight per party; 0 (or a
+	// value ≥ len(instances)) runs the whole batch concurrently.
+	Width int
+}
+
+// Run executes every instance at every party in envs and returns results
+// indexed by instance (same order as instances), then keyed by party. It
+// blocks until every admitted instance finished or ctx is cancelled;
+// instances never admitted because of cancellation report ctx's error.
+//
+// envs maps party ID to that party's root environment. A single-party map
+// is valid — cmd/node batches one process's instances over TCP that way.
+func Run(ctx context.Context, envs map[int]*runtime.Env, instances []Instance, opts Options) ([]map[int]Result, error) {
+	seen := make(map[string]bool, len(instances))
+	for _, inst := range instances {
+		if inst.Session == "" {
+			return nil, fmt.Errorf("batch: empty instance session")
+		}
+		if seen[inst.Session] {
+			return nil, fmt.Errorf("batch: duplicate instance session %q", inst.Session)
+		}
+		if inst.Run == nil {
+			return nil, fmt.Errorf("batch: instance %q has no body", inst.Session)
+		}
+		seen[inst.Session] = true
+	}
+	width := opts.Width
+	if width <= 0 || width > len(instances) {
+		width = len(instances)
+	}
+
+	out := make([]map[int]Result, len(instances))
+	for i := range out {
+		out[i] = make(map[int]Result, len(envs))
+	}
+	var mu sync.Mutex
+	record := func(k, id int, v interface{}, err error) {
+		mu.Lock()
+		out[k][id] = Result{Party: id, Value: v, Err: err}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for id, env := range envs {
+		id, env := id, env
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem := make(chan struct{}, width)
+			var pwg sync.WaitGroup
+			for k, inst := range instances {
+				k, inst := k, inst
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					record(k, id, nil, ctx.Err())
+					continue
+				}
+				pwg.Add(1)
+				go func() {
+					defer pwg.Done()
+					defer func() { <-sem }()
+					v, err := inst.Run(ctx, env.Fork(inst.Session))
+					record(k, id, v, err)
+				}()
+			}
+			pwg.Wait()
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,198 @@
+package batch_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asyncft/internal/ba"
+	"asyncft/internal/batch"
+	"asyncft/internal/core"
+	"asyncft/internal/field"
+	"asyncft/internal/runtime"
+	"asyncft/internal/svss"
+	"asyncft/internal/testkit"
+	"asyncft/internal/wire"
+)
+
+func coinInstance(c *testkit.Cluster, sess string) batch.Instance {
+	cfg := core.Config{K: 1, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
+	return batch.Instance{
+		Session: sess,
+		Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			return core.CoinFlip(ctx, c.Ctx, env, sess, cfg)
+		},
+	}
+}
+
+func TestBatchCoinFlips(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithSeed(42), testkit.WithTimeout(120*time.Second))
+	defer c.Close()
+	const K = 8
+	instances := make([]batch.Instance, K)
+	for k := range instances {
+		instances[k] = coinInstance(c, fmt.Sprintf("cf/batch/%d", k))
+	}
+	res, err := c.RunBatch(c.Honest(), 0, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != K {
+		t.Fatalf("got %d instance results, want %d", len(res), K)
+	}
+	for k, m := range res {
+		v, err := testkit.AgreeByte(m)
+		if err != nil {
+			t.Fatalf("instance %d: %v", k, err)
+		}
+		if v > 1 {
+			t.Fatalf("instance %d: non-binary coin %d", k, v)
+		}
+	}
+}
+
+func TestBatchWidthBoundsConcurrency(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithSeed(7), testkit.WithTimeout(120*time.Second))
+	defer c.Close()
+	const K, width = 6, 2
+	var inFlight, peak int64
+	var mu sync.Mutex
+	instances := make([]batch.Instance, K)
+	for k := range instances {
+		sess := fmt.Sprintf("cf/width/%d", k)
+		inner := coinInstance(c, sess)
+		instances[k] = batch.Instance{
+			Session: sess,
+			Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				cur := atomic.AddInt64(&inFlight, 1)
+				mu.Lock()
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				defer atomic.AddInt64(&inFlight, -1)
+				return inner.Run(ctx, env)
+			},
+		}
+	}
+	res, err := c.RunBatch(c.Honest(), width, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, m := range res {
+		if _, err := testkit.AgreeByte(m); err != nil {
+			t.Fatalf("instance %d: %v", k, err)
+		}
+	}
+	// 4 parties × width 2 = at most 8 bodies in flight at once.
+	if peak > 4*width {
+		t.Fatalf("peak in-flight bodies %d exceeds parties×width = %d", peak, 4*width)
+	}
+}
+
+func TestBatchMixedProtocols(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithSeed(11), testkit.WithTimeout(120*time.Second))
+	defer c.Close()
+	instances := []batch.Instance{
+		coinInstance(c, "mix/cf"),
+		{
+			Session: "mix/svss",
+			Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				sh, err := svss.RunShare(ctx, env, "mix/svss", 0, field.New(4242))
+				if err != nil {
+					return nil, err
+				}
+				v, err := svss.RunRec(ctx, env, sh, svss.Options{})
+				if err != nil {
+					return nil, err
+				}
+				return byte(v.Uint64() & 0xff), nil // truncated; fine for agreement
+			},
+		},
+		{
+			Session: "mix/ba",
+			Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				return ba.Run(ctx, env, "mix/ba", byte(env.ID%2), ba.LocalCoin(env), ba.Options{})
+			},
+		},
+	}
+	res, err := c.RunBatch(c.Honest(), 0, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testkit.AgreeByte(res[0]); err != nil {
+		t.Fatalf("coin: %v", err)
+	}
+	v, err := testkit.AgreeByte(res[1])
+	if err != nil {
+		t.Fatalf("svss: %v", err)
+	}
+	if v != byte(4242&0xff) {
+		t.Fatalf("svss reconstructed %d, want %d", v, byte(4242&0xff))
+	}
+	if _, err := testkit.AgreeByte(res[2]); err != nil {
+		t.Fatalf("ba: %v", err)
+	}
+}
+
+func TestBatchValidatesInstances(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithSeed(3))
+	defer c.Close()
+	noop := func(ctx context.Context, env *runtime.Env) (interface{}, error) { return nil, nil }
+	cases := []struct {
+		name      string
+		instances []batch.Instance
+	}{
+		{"empty session", []batch.Instance{{Session: "", Run: noop}}},
+		{"duplicate session", []batch.Instance{{Session: "a", Run: noop}, {Session: "a", Run: noop}}},
+		{"nil body", []batch.Instance{{Session: "a"}}},
+	}
+	for _, tc := range cases {
+		if _, err := c.RunBatch(c.Honest(), 0, tc.instances); err == nil {
+			t.Errorf("%s: RunBatch accepted invalid batch", tc.name)
+		}
+	}
+}
+
+func TestBatchCancelledContext(t *testing.T) {
+	// Instances never admitted because of cancellation must report the
+	// context error rather than hanging or being silently dropped.
+	nd := runtime.NewNode(0, 1, 0)
+	defer nd.Close()
+	env := runtime.NewEnv(0, 1, 0, nd, sinkSender{}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := batch.Instance{
+		Session: "blocked",
+		Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	}
+	never := batch.Instance{
+		Session: "never",
+		Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			return nil, ctx.Err()
+		},
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	res, err := batch.Run(ctx, map[int]*runtime.Env{0: env},
+		[]batch.Instance{blocked, never}, batch.Options{Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, m := range res {
+		if m[0].Err == nil {
+			t.Fatalf("instance %d: expected a context error after cancellation", k)
+		}
+	}
+}
+
+type sinkSender struct{}
+
+func (sinkSender) Send(wire.Envelope) {}

@@ -100,6 +100,25 @@ func TestCoinFlipLargerCluster(t *testing.T) {
 	}
 }
 
+func TestCoinFlipFastPathCrossCheck(t *testing.T) {
+	// Coin values are reconstructed SVSS secrets; with the Domain fast path
+	// disabled the protocol must still produce an agreed binary coin (the
+	// interpolation paths are bit-identical, proven exhaustively in
+	// internal/field; this pins the wiring end to end).
+	c := testkit.New(4, 1, testkit.WithSeed(21))
+	defer c.Close()
+	cfg := fastCfg()
+	cfg.SVSS.NoDomainFastPath = true
+	res := runCoinFlip(c, "cf/xchk", cfg, c.Honest())
+	got, err := testkit.AgreeByte(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1 {
+		t.Fatalf("non-binary coin %d", got)
+	}
+}
+
 func TestCoinFlipWeakInnerCoinFullStack(t *testing.T) {
 	// The information-theoretically faithful configuration: inner BAs are
 	// driven by the SVSS-based weak coin.

@@ -411,6 +411,7 @@ func All(scale Scale) ([]*Table, error) {
 		{"E1", E1CoinBias}, {"E2", E2CoinAgreement}, {"E3", E3ShunBound},
 		{"E4", E4FairValidity}, {"E5", E5Unanimity}, {"E6", E6Scaling},
 		{"E7", E7CoinComparison}, {"E8", E8LowerBound}, {"E9", E9FairChoice},
+		{"E10", E10BatchThroughput},
 		{"A1", AblationReconstruct}, {"A2", AblationPolicy},
 	}
 	var out []*Table

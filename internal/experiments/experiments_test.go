@@ -127,3 +127,13 @@ func TestNamedPolicies(t *testing.T) {
 		}
 	}
 }
+
+func TestE10SmokeBatchPipeline(t *testing.T) {
+	tbl := smoke(t, E10BatchThroughput)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("expected 3 modes, got %d rows", len(tbl.Rows))
+	}
+	if tbl.Headline <= 0 {
+		t.Fatalf("speedup not positive: %v", tbl.Headline)
+	}
+}

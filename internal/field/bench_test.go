@@ -71,6 +71,51 @@ func BenchmarkInterpolateAtDeg8(b *testing.B) {
 	}
 }
 
+// The n=16 pair below contrasts the reconstruction hot path with and
+// without the precomputed-Lagrange Domain: same 16 points on a degree-5
+// curve (t = 5 at n = 16), evaluated at 0 as every secret opening does.
+
+func BenchmarkInterpolateAtN16(b *testing.B) {
+	r := rand.New(rand.NewSource(8))
+	p := RandomPoly(r, 5, Random(r))
+	pts := make([]Point, 16)
+	for i := range pts {
+		pts[i] = Point{X(i), p.Eval(X(i))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkElem = InterpolateAt(pts, 0)
+	}
+}
+
+func BenchmarkDomainInterpolate(b *testing.B) {
+	r := rand.New(rand.NewSource(8))
+	p := RandomPoly(r, 5, Random(r))
+	pts := make([]Point, 16)
+	for i := range pts {
+		pts[i] = Point{X(i), p.Eval(X(i))}
+	}
+	dom := DomainFor(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkElem = dom.InterpolateAt(pts, 0)
+	}
+}
+
+func BenchmarkDomainInterpolatePoly(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	p := RandomPoly(r, 8, Random(r))
+	pts := make([]Point, 9)
+	for i := range pts {
+		pts[i] = Point{X(i), p.Eval(X(i))}
+	}
+	dom := DomainFor(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkPoly = dom.Interpolate(pts)
+	}
+}
+
 func BenchmarkBivariateRowT4(b *testing.B) {
 	r := rand.New(rand.NewSource(7))
 	f := NewBivariate(r, 4, 1)

@@ -1,0 +1,144 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSubsetPoints evaluates p at a random subset of the n-point domain,
+// in shuffled order — the shape reconstruction hands to interpolation.
+func randomSubsetPoints(r *rand.Rand, p Poly, n, m int) []Point {
+	perm := r.Perm(n)[:m]
+	pts := make([]Point, m)
+	for k, i := range perm {
+		pts[k] = Point{X: X(i), Y: p.Eval(X(i))}
+	}
+	return pts
+}
+
+func TestDomainInterpolateMatchesGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(20)
+		dom := DomainFor(n)
+		deg := r.Intn(n)
+		p := RandomPoly(r, deg, Random(r))
+		m := deg + 1 + r.Intn(n-deg)
+		pts := randomSubsetPoints(r, p, n, m)
+
+		got := dom.Interpolate(pts)
+		want := Interpolate(pts)
+		if !got.Equal(want) {
+			t.Fatalf("n=%d deg=%d m=%d: Domain.Interpolate = %v, generic = %v", n, deg, m, got, want)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d deg=%d m=%d: trailing-zero trim differs: %d vs %d coeffs", n, deg, m, len(got), len(want))
+		}
+	}
+}
+
+func TestDomainInterpolateAtMatchesGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(20)
+		dom := DomainFor(n)
+		deg := r.Intn(n)
+		p := RandomPoly(r, deg, Random(r))
+		m := deg + 1 + r.Intn(n-deg)
+		pts := randomSubsetPoints(r, p, n, m)
+
+		// The hot-path point x = 0 plus arbitrary x, including x inside the
+		// domain (where one numerator factor vanishes).
+		xs := []Elem{0, Random(r), X(r.Intn(n))}
+		for _, x := range xs {
+			got := dom.InterpolateAt(pts, x)
+			want := InterpolateAt(pts, x)
+			if got != want {
+				t.Fatalf("n=%d deg=%d m=%d x=%v: Domain.InterpolateAt = %v, generic = %v", n, deg, m, x, got, want)
+			}
+			if want2 := p.Eval(x); got != want2 {
+				t.Fatalf("n=%d deg=%d m=%d x=%v: Domain.InterpolateAt = %v, p(x) = %v", n, deg, m, x, got, want2)
+			}
+		}
+	}
+}
+
+func TestDomainFitsDegreeMatchesGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(15)
+		dom := DomainFor(n)
+		deg := r.Intn(n - 1)
+		p := RandomPoly(r, deg, Random(r))
+		pts := randomSubsetPoints(r, p, n, n)
+		if r.Intn(2) == 0 {
+			// Corrupt one point so the sets disagree with the curve.
+			pts[r.Intn(len(pts))].Y = Add(pts[0].Y, 1)
+		}
+		if got, want := dom.FitsDegree(pts, deg), FitsDegree(pts, deg); got != want {
+			t.Fatalf("n=%d deg=%d: Domain.FitsDegree = %v, generic = %v", n, deg, got, want)
+		}
+	}
+}
+
+func TestDomainFallbacks(t *testing.T) {
+	dom := DomainFor(4)
+	r := rand.New(rand.NewSource(104))
+	p := RandomPoly(r, 2, 77)
+
+	// Out-of-domain point: must silently use the generic path.
+	out := []Point{{X: 1, Y: p.Eval(1)}, {X: 2, Y: p.Eval(2)}, {X: 100, Y: p.Eval(100)}}
+	if got := dom.InterpolateAt(out, 0); got != 77 {
+		t.Fatalf("out-of-domain InterpolateAt = %v, want 77", got)
+	}
+	if got := dom.Interpolate(out); !got.Equal(p) {
+		t.Fatalf("out-of-domain Interpolate = %v, want %v", got, p)
+	}
+
+	// Nil receiver: the disabled-fast-path spelling.
+	var nildom *Domain
+	in := []Point{{X: 1, Y: p.Eval(1)}, {X: 2, Y: p.Eval(2)}, {X: 3, Y: p.Eval(3)}}
+	if got := nildom.InterpolateAt(in, 0); got != 77 {
+		t.Fatalf("nil-domain InterpolateAt = %v, want 77", got)
+	}
+	if got := nildom.Interpolate(in); !got.Equal(p) {
+		t.Fatalf("nil-domain Interpolate = %v, want %v", got, p)
+	}
+	if !nildom.FitsDegree(in, 2) {
+		t.Fatal("nil-domain FitsDegree rejected consistent points")
+	}
+
+	// Empty input mirrors the generic zero values.
+	if got := dom.InterpolateAt(nil, 5); got != 0 {
+		t.Fatalf("empty InterpolateAt = %v, want 0", got)
+	}
+	if got := dom.Interpolate(nil); len(got) != 0 {
+		t.Fatalf("empty Interpolate = %v, want empty", got)
+	}
+}
+
+func TestDomainDuplicateXPanicsLikeGeneric(t *testing.T) {
+	dom := DomainFor(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Domain.Interpolate with duplicate x did not panic")
+		}
+	}()
+	dom.Interpolate([]Point{{X: 1, Y: 2}, {X: 1, Y: 3}})
+}
+
+func TestDomainForIsCachedAndConcurrencySafe(t *testing.T) {
+	done := make(chan *Domain, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- DomainFor(16) }()
+	}
+	ref := <-done
+	for i := 1; i < 8; i++ {
+		if d := <-done; d != ref {
+			t.Fatal("DomainFor(16) returned distinct instances")
+		}
+	}
+	if DomainFor(16).Size() != 16 {
+		t.Fatal("Size mismatch")
+	}
+}

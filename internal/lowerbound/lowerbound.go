@@ -129,7 +129,7 @@ func NaiveRec(ctx context.Context, env *runtime.Env, session string, share field
 			pts = append(pts, field.Point{X: field.X(m.From), Y: v})
 		}
 	}
-	return field.InterpolateAt(pts, 0), nil
+	return field.DomainFor(env.N).InterpolateAt(pts, 0), nil
 }
 
 // Outcome records one trial.

@@ -108,6 +108,42 @@ func TestRandomReorderDeliversEverything(t *testing.T) {
 	}
 }
 
+func TestDelayDeliversEverythingLater(t *testing.T) {
+	const lat = 2 * time.Millisecond
+	r := NewRouter(2, NewDelay(7, lat, lat))
+	defer r.Close()
+	const total = 50
+	c := newCollector(total)
+	r.Register(1, c.handle)
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		r.Send(env(0, 1, "s", uint8(i)))
+	}
+	got := c.wait(t)
+	if len(got) != total {
+		t.Fatalf("delivered %d, want %d", len(got), total)
+	}
+	// All messages entered within microseconds, so the batch cannot finish
+	// before one link latency has elapsed.
+	if el := time.Since(start); el < lat {
+		t.Fatalf("delivery finished in %v, before the %v link delay", el, lat)
+	}
+	seen := map[uint8]bool{}
+	for _, e := range got {
+		seen[e.Type] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("lost messages: %d unique of %d", len(seen), total)
+	}
+}
+
+func TestDelayClamps(t *testing.T) {
+	p := NewDelay(1, 0, -time.Second)
+	if p.min <= 0 || p.max < p.min {
+		t.Fatalf("bad clamping: min=%v max=%v", p.min, p.max)
+	}
+}
+
 func TestRandomReorderActuallyReorders(t *testing.T) {
 	r := NewRouter(2, NewRandomReorder(7, 0.5, 16))
 	defer r.Close()

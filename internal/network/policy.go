@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"time"
 
 	"asyncft/internal/wire"
 )
@@ -92,6 +93,76 @@ func (p *RandomReorder) Drain() []wire.Envelope {
 }
 
 var _ Policy = (*RandomReorder)(nil)
+
+// Delay models a latency-bound network: every message is held for an
+// independent uniformly random delay in [Min, Max] and released by the
+// scheduler's tick once due. Unlike RandomReorder — whose holds are
+// released by subsequent traffic, so it degenerates to a CPU-bound schedule
+// under load — Delay keeps per-hop latency constant regardless of traffic,
+// which is what real deployments look like and what makes pipelining
+// measurable (experiment E10). Messages coming due within the same tick are
+// released in send order, so differing random delays reorder traffic at
+// tick granularity.
+type Delay struct {
+	rng      *rand.Rand
+	min, max time.Duration
+	held     []timedEnvelope
+}
+
+type timedEnvelope struct {
+	env wire.Envelope
+	due time.Time
+}
+
+// NewDelay builds a Delay policy with per-message latency uniform in
+// [min, max]. min > 0; max < min is clamped to min.
+func NewDelay(seed int64, min, max time.Duration) *Delay {
+	if min <= 0 {
+		min = time.Millisecond
+	}
+	if max < min {
+		max = min
+	}
+	return &Delay{rng: rand.New(rand.NewSource(seed)), min: min, max: max}
+}
+
+// OnSend implements Policy.
+func (p *Delay) OnSend(env wire.Envelope) []wire.Envelope {
+	d := p.min
+	if p.max > p.min {
+		d += time.Duration(p.rng.Int63n(int64(p.max - p.min)))
+	}
+	p.held = append(p.held, timedEnvelope{env: env, due: time.Now().Add(d)})
+	return nil
+}
+
+// OnTick implements Policy: releases every message whose delay has elapsed.
+func (p *Delay) OnTick() []wire.Envelope {
+	now := time.Now()
+	var out []wire.Envelope
+	kept := p.held[:0]
+	for _, h := range p.held {
+		if !h.due.After(now) {
+			out = append(out, h.env)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	p.held = kept
+	return out
+}
+
+// Drain implements Policy.
+func (p *Delay) Drain() []wire.Envelope {
+	out := make([]wire.Envelope, 0, len(p.held))
+	for _, h := range p.held {
+		out = append(out, h.env)
+	}
+	p.held = nil
+	return out
+}
+
+var _ Policy = (*Delay)(nil)
 
 // Rule matches messages for targeted scheduling.
 type Rule struct {

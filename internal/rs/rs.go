@@ -27,6 +27,16 @@ var ErrDecode = errors.New("rs: decoding failed")
 // immediately. On success it returns the polynomial and the indices (into
 // points) of the erroneous points.
 func Decode(points []field.Point, degree, maxErrors int) (field.Poly, []int, error) {
+	return DecodeIn(nil, points, degree, maxErrors)
+}
+
+// DecodeIn is Decode using a precomputed interpolation domain for the
+// maxErrors == 0 fast path (its consistency check and interpolation) — the
+// reconstruction hot path hands in the shared field.DomainFor(n). The
+// Berlekamp–Welch branch solves a linear system and has no Lagrange step to
+// accelerate, so dom is unused there. A nil domain (or points outside it)
+// recomputes Lagrange weights per call; results are identical either way.
+func DecodeIn(dom *field.Domain, points []field.Point, degree, maxErrors int) (field.Poly, []int, error) {
 	m := len(points)
 	if m < degree+1+2*maxErrors {
 		return nil, nil, fmt.Errorf("rs: need %d points for degree %d with %d errors, have %d",
@@ -34,10 +44,10 @@ func Decode(points []field.Point, degree, maxErrors int) (field.Poly, []int, err
 	}
 	// Fast path: no errors claimed.
 	if maxErrors == 0 {
-		if !field.FitsDegree(points, degree) {
+		if !dom.FitsDegree(points, degree) {
 			return nil, nil, ErrDecode
 		}
-		p := field.Interpolate(points[:degree+1])
+		p := dom.Interpolate(points[:degree+1])
 		return p, nil, nil
 	}
 	// Try increasing error counts: smallest e wins (maximum-likelihood for

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -101,16 +102,19 @@ func TestIndividualInputsNeverOpened(t *testing.T) {
 	// the aggregate session, never to individual share sessions.
 	c := testkit.New(4, 1, testkit.WithSeed(5))
 	defer c.Close()
-	type seen struct{ session string }
-	reveals := make(chan seen, 4096)
-	// Snoop every delivery via a wrapped dispatch on one node.
+	// Snoop every delivery via a wrapped dispatch on one node. The Router's
+	// deliverLoop keeps invoking this dispatch after runSum returns (helper
+	// reconstructions linger under the cluster context), so the sink must
+	// stay writable for the node's whole lifetime: a mutex-guarded slice,
+	// not a channel the test closes.
+	var mu sync.Mutex
+	var reveals []string
 	orig := c.Nodes[0]
 	c.Router.Register(0, func(env wire.Envelope) {
 		if env.Type == svss.MsgReveal {
-			select {
-			case reveals <- seen{env.Session}:
-			default:
-			}
+			mu.Lock()
+			reveals = append(reveals, env.Session)
+			mu.Unlock()
 		}
 		orig.Dispatch(env)
 	})
@@ -121,11 +125,52 @@ func TestIndividualInputsNeverOpened(t *testing.T) {
 			t.Fatalf("party %d: %v", id, r.Err)
 		}
 	}
-	close(reveals)
-	for s := range reveals {
-		if s.session != "ss/priv/open"+svss.RecSuffix {
-			t.Fatalf("individual share revealed on session %q", s.session)
+	mu.Lock()
+	defer mu.Unlock()
+	for _, s := range reveals {
+		if s != "ss/priv/open"+svss.RecSuffix {
+			t.Fatalf("individual share revealed on session %q", s)
 		}
+	}
+	if len(reveals) == 0 {
+		t.Fatal("snoop saw no aggregate reveals at all")
+	}
+}
+
+func TestSumFastPathCrossCheck(t *testing.T) {
+	// The Domain fast path must not change protocol outputs: the aggregate
+	// opened with it disabled is the same exact field sum.
+	for _, disable := range []bool{false, true} {
+		disable := disable
+		t.Run(fmt.Sprintf("noFastPath=%v", disable), func(t *testing.T) {
+			c := testkit.New(4, 1, testkit.WithSeed(13))
+			defer c.Close()
+			cfg := cfg()
+			cfg.SVSS = svss.Options{NoDomainFastPath: disable}
+			inputs := map[int]field.Elem{0: 100, 1: 200, 2: 300, 3: 400}
+			res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				return Run(ctx, c.Ctx, env, "ss/xchk", inputs[env.ID], cfg)
+			})
+			var ref *Result
+			for id, r := range res {
+				if r.Err != nil {
+					t.Fatalf("party %d: %v", id, r.Err)
+				}
+				got := r.Value.(*Result)
+				if ref == nil {
+					ref = got
+				} else if ref.Sum != got.Sum {
+					t.Fatalf("sum disagreement: %v vs %v", ref.Sum, got.Sum)
+				}
+			}
+			var want field.Elem
+			for _, j := range ref.Contributors {
+				want = field.Add(want, inputs[j])
+			}
+			if ref.Sum != want {
+				t.Fatalf("sum = %v, want exactly %v over %v", ref.Sum, want, ref.Contributors)
+			}
+		})
 	}
 }
 

@@ -70,6 +70,12 @@ type Options struct {
 	// dealer was Byzantine, outputting the default value, and shunning the
 	// dealer. Only reachable when binding is already broken.
 	RecIdleTimeout time.Duration
+	// NoDomainFastPath disables the precomputed-Lagrange fast path
+	// (field.Domain) during reconstruction, recomputing interpolation
+	// weights per call as the seed implementation did. The fast path is
+	// exact — outputs are bit-identical either way — so this exists only
+	// for cross-checking tests and ablation benchmarks.
+	NoDomainFastPath bool
 }
 
 func (o Options) withDefaults() Options {
@@ -212,6 +218,14 @@ func RunRec(ctx context.Context, env *runtime.Env, sh *Share, opts Options) (fie
 	seen := map[int]bool{}       // any reveal (accepted or not) by sender
 	var accepted []int           // acceptance order, for deterministic points
 
+	// Reconstruction interpolates over the fixed domain {1..n}; the shared
+	// precomputed Domain makes each attempt inversion-free. A nil Domain
+	// falls back to generic per-call interpolation (bit-identical results).
+	dom := field.DomainFor(env.N)
+	if opts.NoDomainFastPath {
+		dom = nil
+	}
+
 	tryResolve := func() (field.Elem, bool) {
 		if len(accepted) < 2*env.T+1 {
 			return 0, false
@@ -221,12 +235,12 @@ func RunRec(ctx context.Context, env *runtime.Env, sh *Share, opts Options) (fie
 			pts = append(pts, field.Point{X: field.X(j), Y: rows[j].Secret()})
 		}
 		// Optimistic path: every accepted zero-value on one degree-t curve.
-		if field.FitsDegree(pts, env.T) {
-			return field.InterpolateAt(pts, 0), true
+		if dom.FitsDegree(pts, env.T) {
+			return dom.InterpolateAt(pts, 0), true
 		}
 		// Error-corrected path.
 		maxE := (len(pts) - env.T - 1) / 2
-		g, bad, err := rs.Decode(pts, env.T, maxE)
+		g, bad, err := rs.DecodeIn(dom, pts, env.T, maxE)
 		if err != nil {
 			return 0, false
 		}

@@ -123,6 +123,58 @@ func TestLyingRevealGetsCorrectedAndShunned(t *testing.T) {
 	}
 }
 
+// TestFastPathCrossCheck pins the exactness claim of the precomputed-
+// Lagrange fast path at the protocol level: reconstruction with the Domain
+// fast path (the default) and with it disabled (NoDomainFastPath) both
+// output exactly the dealt secret — on the optimistic interpolation path
+// and on the error-corrected Reed–Solomon path forced by a lying revealer.
+func TestFastPathCrossCheck(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+		liar    bool
+	}{
+		{"fast/optimistic", false, false},
+		{"slow/optimistic", true, false},
+		{"fast/rs", false, true},
+		{"slow/rs", true, true},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c := testkit.New(4, 1, testkit.WithSeed(99))
+			defer c.Close()
+			opts := Options{NoDomainFastPath: tc.disable}
+			shares := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				return RunShare(ctx, env, "svss/xchk", 0, 31337)
+			})
+			for id, r := range shares {
+				if r.Err != nil {
+					t.Fatalf("share %d: %v", id, r.Err)
+				}
+			}
+			res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				sh := shares[env.ID].Value.(*Share)
+				if tc.liar && env.ID == 3 {
+					junk := field.RandomPoly(env.Rand, env.T, field.Random(env.Rand))
+					var w wire.Writer
+					w.Poly(junk)
+					env.SendAll(sh.Session+RecSuffix, MsgReveal, w.Bytes())
+					return field.Elem(31337), nil
+				}
+				return RunRec(ctx, env, sh, opts)
+			})
+			for _, id := range []int{0, 1, 2} {
+				if res[id].Err != nil {
+					t.Fatalf("party %d: %v", id, res[id].Err)
+				}
+				if got := res[id].Value.(field.Elem); got != 31337 {
+					t.Fatalf("party %d reconstructed %v, want 31337", id, got)
+				}
+			}
+		})
+	}
+}
+
 // byzantineDealerEquivocate mounts the binding attack: the dealer (a real
 // party in the cluster) distributes rows from two different bivariate
 // polynomials and equivocates its reveals. The SVSS contract demands that

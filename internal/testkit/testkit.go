@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"asyncft/internal/batch"
 	"asyncft/internal/network"
 	"asyncft/internal/runtime"
 )
@@ -115,6 +116,29 @@ func (c *Cluster) Run(parties []int, fn func(ctx context.Context, env *runtime.E
 		out[r.ID] = r
 	}
 	return out
+}
+
+// RunBatch multiplexes the given protocol instances across parties over the
+// cluster's single router (internal/batch), with at most width instances in
+// flight per party (0 = whole batch). Results are indexed by instance, then
+// keyed by party, mirroring Run's per-party Result shape.
+func (c *Cluster) RunBatch(parties []int, width int, instances []batch.Instance) ([]map[int]Result, error) {
+	envs := make(map[int]*runtime.Env, len(parties))
+	for _, id := range parties {
+		envs[id] = c.Envs[id]
+	}
+	res, err := batch.Run(c.Ctx, envs, instances, batch.Options{Width: width})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[int]Result, len(res))
+	for k, m := range res {
+		out[k] = make(map[int]Result, len(m))
+		for id, r := range m {
+			out[k][id] = Result{ID: id, Value: r.Value, Err: r.Err}
+		}
+	}
+	return out, nil
 }
 
 // Honest returns party ids 0..n-1 excluding the given faulty set.
