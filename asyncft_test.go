@@ -470,3 +470,161 @@ func TestClusterRunBatchWidthAndEquivalence(t *testing.T) {
 		}
 	}
 }
+
+func abcPayloads(party, slot int) []byte {
+	return []byte(fmt.Sprintf("tx/p%d/s%d", party, slot))
+}
+
+func TestClusterAtomicBroadcast(t *testing.T) {
+	cfg := fastConfig(21)
+	cfg.CoinRounds = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ledger, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{
+		Session: "ledger", Slots: 4, Width: 2, Payloads: abcPayloads,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ledger) < 4*(cfg.N-cfg.T) {
+		t.Fatalf("ledger has %d entries, want ≥ %d", len(ledger), 4*(cfg.N-cfg.T))
+	}
+	lastSlot := -1
+	for _, e := range ledger {
+		if e.Slot < lastSlot {
+			t.Fatalf("ledger out of slot order: %v", ledger)
+		}
+		lastSlot = e.Slot
+		if want := string(abcPayloads(e.Party, e.Slot)); string(e.Payload) != want {
+			t.Fatalf("entry %v: payload %q, want %q", e, e.Payload, want)
+		}
+	}
+}
+
+func TestClusterAtomicBroadcastRejectsBadSpec(t *testing.T) {
+	c, err := New(fastConfig(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{Session: "bad", Slots: 0}); err == nil {
+		t.Fatal("Slots=0 accepted")
+	}
+}
+
+func TestClusterAtomicBroadcastWithCrash(t *testing.T) {
+	cfg := fastConfig(23)
+	cfg.CoinRounds = 1
+	cfg.Byzantine = map[int]Behavior{3: Crash()}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ledger, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{
+		Session: "crash", Slots: 3, Payloads: abcPayloads,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ledger {
+		if e.Party == 3 {
+			t.Fatalf("crashed party's batch committed: %v", e)
+		}
+	}
+	if len(ledger) < 3*(cfg.N-cfg.T-1) {
+		t.Fatalf("ledger has %d entries, want ≥ %d", len(ledger), 3*(cfg.N-cfg.T-1))
+	}
+}
+
+func TestClusterAtomicBroadcastWithNoise(t *testing.T) {
+	cfg := fastConfig(24)
+	cfg.CoinRounds = 1
+	cfg.Byzantine = map[int]Behavior{2: Noise(
+		"abc/n/slot/0/rbc/0", "abc/n/slot/0/rbc/2", "abc/n/slot/0/cs/ba/1",
+		"abc/n/slot/1/rbc/1", "abc/n/slot/1/cs/ba/0",
+	)}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ledger, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{
+		Session: "n", Slots: 2, Payloads: abcPayloads,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ledger) < 2*(cfg.N-cfg.T-1) {
+		t.Fatalf("ledger has %d entries, want ≥ %d", len(ledger), 2*(cfg.N-cfg.T-1))
+	}
+}
+
+// TestClusterAtomicBroadcastTargetedSchedule delays one party's broadcasts
+// behind everyone else's agreement phase — the scheduling adversary the
+// asynchronous model grants — and checks the ledgers still replicate.
+func TestClusterAtomicBroadcastTargetedSchedule(t *testing.T) {
+	cfg := fastConfig(25)
+	cfg.CoinRounds = 1
+	cfg.Scheduling = SchedulingTargeted
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hold, err := c.Hold(0, -1, "abc/held/slot/0/rbc/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		// Lift the hold only after the other parties have had ample time
+		// to drive CommonSubset to a decision without party 0's batch.
+		time.Sleep(300 * time.Millisecond)
+		if err := c.Lift(hold); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	ledger, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{
+		Session: "held", Slots: 2, Payloads: abcPayloads,
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ledger) < 2*(cfg.N-cfg.T) {
+		t.Fatalf("ledger has %d entries, want ≥ %d", len(ledger), 2*(cfg.N-cfg.T))
+	}
+}
+
+// TestClusterAtomicBroadcastSeedSweep is the public-API replication
+// property test: across seeds, the agreement check inside
+// RunAtomicBroadcast must never trip.
+func TestClusterAtomicBroadcastSeedSweep(t *testing.T) {
+	seeds := []int64{31, 32, 33, 34}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := fastConfig(seed)
+			cfg.CoinRounds = 1
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{
+				Session: "sweep", Slots: 3, Payloads: abcPayloads,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -66,6 +66,10 @@ func BenchmarkE10BatchThroughput(b *testing.B) {
 	runExperiment(b, experiments.E10BatchThroughput)
 }
 
+func BenchmarkE11LedgerThroughput(b *testing.B) {
+	runExperiment(b, experiments.E11LedgerThroughput)
+}
+
 func BenchmarkAblationReconstruct(b *testing.B) {
 	runExperiment(b, experiments.AblationReconstruct)
 }
@@ -150,6 +154,33 @@ func BenchmarkBatchCoin(b *testing.B) {
 		c.Close()
 	}
 	b.ReportMetric(float64(K*b.N)/b.Elapsed().Seconds(), "flips/s")
+}
+
+// BenchmarkProtoAtomicBroadcast measures the full ACS-based atomic
+// broadcast path through the public API: 4 pipelined slots per iteration
+// on a fresh 4-party cluster, reported as committed ledger entries per
+// second (each slot commits ≥ n−t batches).
+func BenchmarkProtoAtomicBroadcast(b *testing.B) {
+	const slots = 4
+	entries := 0
+	for i := 0; i < b.N; i++ {
+		c, err := New(Config{N: 4, T: 1, Seed: int64(i + 1), Coin: CoinLocal, CoinRounds: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ledger, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{
+			Session: "b", Slots: slots,
+			Payloads: func(party, slot int) []byte {
+				return []byte(fmt.Sprintf("p%d/s%d", party, slot))
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries += len(ledger)
+		c.Close()
+	}
+	b.ReportMetric(float64(entries)/b.Elapsed().Seconds(), "entries/s")
 }
 
 func BenchmarkProtoFairBA(b *testing.B) {

@@ -1,0 +1,230 @@
+// Command benchgate turns `go test -bench` output into a committed JSON
+// baseline and gates CI on performance regressions against it.
+//
+// Two modes:
+//
+//	go test -run '^$' -bench 'E10|E11|DomainInterpolate' -benchtime 1x -count 3 ./... \
+//	    | benchgate -write BENCH_PR.json
+//	benchgate -baseline BENCH_BASELINE.json -against BENCH_PR.json -threshold 0.30
+//
+// For every benchmark, the gated metric is its headline: a reported custom
+// metric when one exists (a "speedup" or rate unit — machine-independent,
+// exactly what the experiment benchmarks report via b.ReportMetric),
+// otherwise ns/op. Rates and speedups regress by dropping, ns/op by
+// rising; with -count > 1 the best run is kept, damping scheduler noise.
+// The compare mode exits nonzero iff any baseline benchmark regressed
+// beyond the threshold or disappeared.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric is one benchmark's gated headline in the JSON files.
+type Metric struct {
+	// Unit is the metric's unit ("ns/op", "flips/s", a speedup label…).
+	Unit string `json:"unit"`
+	// Value is the best observation across -count runs.
+	Value float64 `json:"value"`
+	// HigherIsBetter fixes the regression direction for Unit.
+	HigherIsBetter bool `json:"higher_is_better"`
+	// Runs is how many observations Value was selected from.
+	Runs int `json:"runs"`
+}
+
+func main() {
+	write := flag.String("write", "", "parse `go test -bench` output from stdin and write the metrics JSON here")
+	baseline := flag.String("baseline", "", "committed baseline JSON to gate against")
+	against := flag.String("against", "", "candidate metrics JSON (produced by -write)")
+	threshold := flag.Float64("threshold", 0.30, "allowed relative regression (0.30 = 30%)")
+	flag.Parse()
+
+	switch {
+	case *write != "":
+		metrics, err := Parse(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(metrics) == 0 {
+			log.Fatal("benchgate: no benchmark lines on stdin")
+		}
+		buf, err := json.MarshalIndent(metrics, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*write, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d benchmark metric(s) to %s\n", len(metrics), *write)
+	case *baseline != "" && *against != "":
+		base, err := load(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cand, err := load(*against)
+		if err != nil {
+			log.Fatal(err)
+		}
+		regressions := Compare(os.Stdout, base, cand, *threshold)
+		if regressions > 0 {
+			log.Fatalf("benchgate: %d benchmark(s) regressed more than %.0f%%", regressions, *threshold*100)
+		}
+	default:
+		log.Fatal("benchgate: need either -write FILE, or -baseline FILE -against FILE")
+	}
+}
+
+func load(path string) (map[string]Metric, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]Metric
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// standardUnits are go test's own per-op measurements; anything else on a
+// benchmark line came from b.ReportMetric and is the headline.
+var standardUnits = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true, "MB/s": true}
+
+// higherIsBetter classifies a unit's regression direction: rates and
+// speedups drop when they regress, everything else (times, bytes, allocs)
+// rises.
+func higherIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/s") || strings.Contains(unit, "speedup")
+}
+
+// Parse extracts per-benchmark headline metrics from `go test -bench`
+// output. Lines that are not benchmark results (package headers, PASS/ok,
+// experiment tables) are ignored. The trailing -P GOMAXPROCS suffix is
+// stripped from names so baselines transfer between machines.
+func Parse(r io.Reader) (map[string]Metric, error) {
+	type obs struct {
+		unit   string
+		values []float64
+	}
+	perBench := make(map[string]*obs)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count — not a result line
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// Value/unit pairs follow the iteration count; pick the headline:
+		// the first custom metric if any, else ns/op.
+		var nsPerOp float64
+		var haveNs bool
+		var custom string
+		var customVal float64
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				nsPerOp, haveNs = v, true
+			} else if !standardUnits[unit] && custom == "" {
+				custom, customVal = unit, v
+			}
+		}
+		unit, val := "ns/op", nsPerOp
+		if custom != "" {
+			unit, val = custom, customVal
+		} else if !haveNs {
+			continue
+		}
+		o := perBench[name]
+		if o == nil {
+			o = &obs{unit: unit}
+			perBench[name] = o
+		}
+		if o.unit == unit {
+			o.values = append(o.values, val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Metric, len(perBench))
+	for name, o := range perBench {
+		m := Metric{Unit: o.unit, HigherIsBetter: higherIsBetter(o.unit), Runs: len(o.values)}
+		m.Value = o.values[0]
+		for _, v := range o.values[1:] {
+			if (m.HigherIsBetter && v > m.Value) || (!m.HigherIsBetter && v < m.Value) {
+				m.Value = v
+			}
+		}
+		out[name] = m
+	}
+	return out, nil
+}
+
+// Compare prints a verdict table and returns the number of regressions: a
+// baseline benchmark that disappeared, or whose candidate metric moved in
+// the bad direction by more than threshold. New benchmarks only present in
+// the candidate pass (they become gated once the baseline is refreshed).
+func Compare(w io.Writer, base, cand map[string]Metric, threshold float64) int {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		b := base[name]
+		c, ok := cand[name]
+		if !ok {
+			fmt.Fprintf(w, "FAIL %-40s missing from candidate (baseline %.4g %s)\n", name, b.Value, b.Unit)
+			regressions++
+			continue
+		}
+		if c.Unit != b.Unit {
+			fmt.Fprintf(w, "FAIL %-40s unit changed %s -> %s; refresh the baseline\n", name, b.Unit, c.Unit)
+			regressions++
+			continue
+		}
+		delta := 0.0
+		if b.Value != 0 {
+			delta = (c.Value - b.Value) / b.Value
+		}
+		bad := delta < -threshold
+		if !b.HigherIsBetter {
+			bad = delta > threshold
+		}
+		verdict := "ok  "
+		if bad {
+			verdict = "FAIL"
+			regressions++
+		}
+		fmt.Fprintf(w, "%s %-40s %10.4g -> %10.4g %-10s (%+.1f%%)\n", verdict, name, b.Value, c.Value, b.Unit, delta*100)
+	}
+	for name, c := range cand {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(w, "new  %-40s %10.4g %s (not gated yet)\n", name, c.Value, c.Unit)
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: asyncft
+BenchmarkE10BatchThroughput-8      	       1	 180000000 ns/op	         5.500 batched_speedup_over_sequential_shared_cluster
+BenchmarkE10BatchThroughput-8      	       1	 190000000 ns/op	         5.100 batched_speedup_over_sequential_shared_cluster
+BenchmarkE11LedgerThroughput-8     	       1	 250000000 ns/op	         4.400 pipelined_speedup_over_slot-at-a-time_K8
+PASS
+ok  	asyncft	1.2s
+pkg: asyncft/internal/field
+BenchmarkDomainInterpolate-8       	     100	      1500 ns/op
+BenchmarkDomainInterpolate-8       	     100	      1400 ns/op
+BenchmarkDomainInterpolate-8       	     100	      1600 ns/op
+ok  	asyncft/internal/field	0.5s
+`
+
+func TestParse(t *testing.T) {
+	m, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(m), m)
+	}
+	e10 := m["BenchmarkE10BatchThroughput"]
+	if !e10.HigherIsBetter || e10.Value != 5.5 || e10.Runs != 2 {
+		t.Fatalf("E10 metric wrong: %+v", e10)
+	}
+	if !strings.Contains(e10.Unit, "speedup") {
+		t.Fatalf("E10 kept unit %q, want the custom speedup metric", e10.Unit)
+	}
+	dom := m["BenchmarkDomainInterpolate"]
+	if dom.HigherIsBetter || dom.Unit != "ns/op" || dom.Value != 1400 || dom.Runs != 3 {
+		t.Fatalf("DomainInterpolate metric wrong: %+v", dom)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	m, err := Parse(strings.NewReader("hello\nBenchmarkBroken-8 notanint 12 ns/op\nBenchmark 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 0 {
+		t.Fatalf("garbage parsed as benchmarks: %v", m)
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	base := map[string]Metric{
+		"Rate":   {Unit: "flips/s", Value: 100, HigherIsBetter: true},
+		"Time":   {Unit: "ns/op", Value: 1000},
+		"Gone":   {Unit: "ns/op", Value: 10},
+		"Units":  {Unit: "ns/op", Value: 10},
+		"Steady": {Unit: "ns/op", Value: 1000},
+	}
+	cand := map[string]Metric{
+		"Rate":   {Unit: "flips/s", Value: 60, HigherIsBetter: true}, // -40% rate: regression
+		"Time":   {Unit: "ns/op", Value: 1400},                       // +40% time: regression
+		"Units":  {Unit: "flips/s", Value: 10, HigherIsBetter: true},
+		"Steady": {Unit: "ns/op", Value: 1200}, // +20%: within threshold
+		"New":    {Unit: "ns/op", Value: 5},
+	}
+	var sb strings.Builder
+	if got := Compare(&sb, base, cand, 0.30); got != 4 {
+		t.Fatalf("Compare found %d regressions, want 4 (rate drop, time rise, missing, unit change):\n%s", got, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"FAIL Rate", "FAIL Time", "FAIL Gone", "FAIL Units", "ok   Steady", "new  New"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("verdict table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareImprovementsPass(t *testing.T) {
+	base := map[string]Metric{
+		"Rate": {Unit: "flips/s", Value: 100, HigherIsBetter: true},
+		"Time": {Unit: "ns/op", Value: 1000},
+	}
+	cand := map[string]Metric{
+		"Rate": {Unit: "flips/s", Value: 500, HigherIsBetter: true},
+		"Time": {Unit: "ns/op", Value: 100},
+	}
+	var sb strings.Builder
+	if got := Compare(&sb, base, cand, 0.30); got != 0 {
+		t.Fatalf("improvements flagged as regressions:\n%s", sb.String())
+	}
+}

@@ -1,5 +1,6 @@
 // Command experiments regenerates the full evaluation of EXPERIMENTS.md:
-// one table per quantitative claim of the paper (E1–E9) plus the design
+// one table per quantitative claim of the paper (E1–E9), the batching and
+// atomic-broadcast throughput studies (E10, E11), and the design
 // ablations. Use -scale to trade statistical resolution for wall time and
 // -only to run a single experiment.
 package main
@@ -34,6 +35,7 @@ func main() {
 		{"E8", experiments.E8LowerBound},
 		{"E9", experiments.E9FairChoice},
 		{"E10", experiments.E10BatchThroughput},
+		{"E11", experiments.E11LedgerThroughput},
 		{"A1", experiments.AblationReconstruct},
 		{"A2", experiments.AblationPolicy},
 	}

@@ -18,16 +18,25 @@
 // namespacing (internal/batch) — the pipeline that keeps the sockets full
 // instead of paying full protocol latency K times. All processes must use
 // the same -batch value.
+//
+// -mode abc switches the node to ACS-based atomic broadcast (internal/acs):
+// every party contributes one batch per slot (derived from -input), -slots
+// slots pipeline -width wide, and the node prints the replicated ledger
+// plus its SHA-256 digest — identical at every party, which is the whole
+// point. All processes must use the same -slots and -width values.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 	"time"
 
+	"asyncft/internal/acs"
 	"asyncft/internal/ba"
 	"asyncft/internal/batch"
 	"asyncft/internal/core"
@@ -38,67 +47,144 @@ import (
 	"asyncft/internal/transport"
 )
 
+// options collects every flag so the node body is callable from tests.
+type options struct {
+	id       int
+	peers    []string
+	t        int
+	mode     string
+	protocol string
+	input    string
+	secret   uint64
+	bit      int
+	k        int
+	batch    int
+	slots    int
+	width    int
+	seed     int64
+	timeout  time.Duration
+}
+
 func main() {
 	id := flag.Int("id", 0, "this party's index")
 	peers := flag.String("peers", "", "comma-separated host:port for parties 0..n-1")
 	tf := flag.Int("t", 1, "fault tolerance (3t+1 ≤ n)")
+	mode := flag.String("mode", "proto", "proto (single-protocol instances) | abc (atomic broadcast ledger)")
 	protocol := flag.String("protocol", "coinflip", "rbc | svss | ba | coinflip")
-	input := flag.String("input", "hello", "rbc: value broadcast by party 0")
+	input := flag.String("input", "hello", "rbc: value broadcast by party 0; abc: batch prefix")
 	secret := flag.Uint64("secret", 42, "svss: secret dealt by party 0")
 	bit := flag.Int("bit", 0, "ba: this party's input bit")
 	k := flag.Int("k", 2, "coinflip: coin rounds")
 	batchK := flag.Int("batch", 1, "concurrent protocol instances pipelined over the transport (same value at every party)")
+	slots := flag.Int("slots", 4, "abc: number of atomic-broadcast slots (same value at every party)")
+	width := flag.Int("width", 0, "abc: slots in flight at once (0 = all; same value at every party)")
 	seed := flag.Int64("seed", 0, "randomness seed (default: derived from id)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "protocol deadline")
 	flag.Parse()
 
-	addrList := strings.Split(*peers, ",")
-	n := len(addrList)
-	if n < 3**tf+1 {
-		log.Fatalf("need n ≥ 3t+1 peers, got n=%d t=%d", n, *tf)
+	o := options{
+		id: *id, t: *tf, mode: *mode, protocol: *protocol, input: *input,
+		secret: *secret, bit: *bit, k: *k, batch: *batchK, slots: *slots,
+		width: *width, seed: *seed, timeout: *timeout,
 	}
-	if *id < 0 || *id >= n {
-		log.Fatalf("id %d out of range for %d peers", *id, n)
+	for _, a := range strings.Split(*peers, ",") {
+		o.peers = append(o.peers, strings.TrimSpace(a))
 	}
-	if *batchK < 1 {
-		log.Fatalf("-batch must be ≥ 1, got %d", *batchK)
+	if err := runNode(o, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runNode executes one party end to end and writes its outputs to out. It
+// is the whole node behind the flags, factored out so the e2e test can run
+// n parties in-process over loopback TCP.
+func runNode(o options, out io.Writer) error {
+	n := len(o.peers)
+	if n < 3*o.t+1 {
+		return fmt.Errorf("need n ≥ 3t+1 peers, got n=%d t=%d", n, o.t)
+	}
+	if o.id < 0 || o.id >= n {
+		return fmt.Errorf("id %d out of range for %d peers", o.id, n)
+	}
+	if o.batch < 1 {
+		return fmt.Errorf("-batch must be ≥ 1, got %d", o.batch)
+	}
+	if o.mode != "proto" && o.mode != "abc" {
+		return fmt.Errorf("unknown mode %q (want proto or abc)", o.mode)
 	}
 	addrs := map[int]string{}
-	for i, a := range addrList {
-		addrs[i] = strings.TrimSpace(a)
+	for i, a := range o.peers {
+		addrs[i] = a
 	}
-	if *seed == 0 {
-		*seed = int64(*id + 1)
+	if o.seed == 0 {
+		o.seed = int64(o.id + 1)
 	}
 
-	node := runtime.NewNode(*id, n, *tf)
-	tcp, err := transport.Listen(*id, addrs, node.Dispatch)
+	node := runtime.NewNode(o.id, n, o.t)
+	tcp, err := transport.Listen(o.id, addrs, node.Dispatch)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer tcp.Close()
 	defer node.Close()
-	env := runtime.NewEnv(*id, n, *tf, node, tcp, *seed)
+	env := runtime.NewEnv(o.id, n, o.t, node, tcp, o.seed)
 
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
 	defer cancel()
 
+	start := time.Now()
+	if o.mode == "abc" {
+		if err := runLedger(ctx, env, o, out); err != nil {
+			return err
+		}
+	} else if err := runProtocol(ctx, env, o, out); err != nil {
+		return err
+	}
+	log.Printf("party %d completed in %v", o.id, time.Since(start).Round(time.Millisecond))
+	// Give lingering helper goroutines a beat to flush their final sends so
+	// slower peers can finish too.
+	time.Sleep(500 * time.Millisecond)
+	return nil
+}
+
+// runLedger is -mode abc: the ACS-based atomic broadcast ledger.
+func runLedger(ctx context.Context, env *runtime.Env, o options, out io.Writer) error {
+	if o.slots < 1 {
+		return fmt.Errorf("-slots must be ≥ 1, got %d", o.slots)
+	}
+	cfg := core.Config{K: o.k, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
+	log.Printf("party %d/%d on %s: atomic broadcast, %d slot(s) width %d", env.ID, env.N, addrOf(env), o.slots, o.width)
+	ledger, err := acs.Run(ctx, ctx, env, "node/abc", o.slots, o.width, func(slot int) []byte {
+		return []byte(fmt.Sprintf("%s/p%d/s%d", o.input, env.ID, slot))
+	}, cfg)
+	if err != nil {
+		return err
+	}
+	for i, e := range ledger {
+		fmt.Fprintf(out, "ledger[%d] slot=%d party=%d payload=%q\n", i, e.Slot, e.Party, e.Payload)
+	}
+	fmt.Fprintf(out, "ledger digest: %x (%d entries)\n", acs.Digest(ledger), len(ledger))
+	return nil
+}
+
+// runProtocol is -mode proto: -batch K instances of one protocol.
+func runProtocol(ctx context.Context, env *runtime.Env, o options, out io.Writer) error {
 	// One instance body per protocol; -batch builds K of them on
 	// namespaced sessions and pipelines them over the single transport.
-	mkInstance := func(sess string) batch.Instance {
-		switch *protocol {
+	mkInstance := func(sess string) (batch.Instance, error) {
+		switch o.protocol {
 		case "rbc":
 			return batch.Instance{Session: sess, Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 				var in []byte
-				if *id == 0 {
-					in = []byte(*input)
+				if env.ID == 0 {
+					in = []byte(o.input)
 				}
-				out, err := rbc.Run(ctx, env, sess, 0, in)
-				return fmt.Sprintf("delivered: %q", out), err
-			}}
+				v, err := rbc.Run(ctx, env, sess, 0, in)
+				return fmt.Sprintf("delivered: %q", v), err
+			}}, nil
 		case "svss":
 			return batch.Instance{Session: sess, Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
-				sh, err := svss.RunShare(ctx, env, sess, 0, field.New(*secret))
+				sh, err := svss.RunShare(ctx, env, sess, 0, field.New(o.secret))
 				if err != nil {
 					return nil, fmt.Errorf("share: %w", err)
 				}
@@ -107,54 +193,61 @@ func main() {
 					return nil, err
 				}
 				return fmt.Sprintf("reconstructed: %d", v.Uint64()), nil
-			}}
+			}}, nil
 		case "ba":
 			return batch.Instance{Session: sess, Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
-				out, err := ba.Run(ctx, env, sess, byte(*bit&1), ba.LocalCoin(env), ba.Options{})
-				return fmt.Sprintf("agreed: %d", out), err
-			}}
+				v, err := ba.Run(ctx, env, sess, byte(o.bit&1), ba.LocalCoin(env), ba.Options{})
+				return fmt.Sprintf("agreed: %d", v), err
+			}}, nil
 		case "coinflip":
 			return batch.Instance{Session: sess, Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
-				cfg := core.Config{K: *k, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
-				out, err := core.CoinFlip(ctx, ctx, env, sess, cfg)
-				return fmt.Sprintf("coin: %d", out), err
-			}}
+				cfg := core.Config{K: o.k, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
+				v, err := core.CoinFlip(ctx, ctx, env, sess, cfg)
+				return fmt.Sprintf("coin: %d", v), err
+			}}, nil
 		default:
-			log.Fatalf("unknown protocol %q", *protocol)
-			return batch.Instance{}
+			return batch.Instance{}, fmt.Errorf("unknown protocol %q", o.protocol)
 		}
 	}
 
 	// Session roots match the pre-batch wire format ("node/cf" for the
 	// coin), so a -batch 1 run interoperates with older binaries.
-	root := "node/" + *protocol
-	if *protocol == "coinflip" {
+	root := "node/" + o.protocol
+	if o.protocol == "coinflip" {
 		root = "node/cf"
 	}
-	instances := make([]batch.Instance, *batchK)
+	instances := make([]batch.Instance, o.batch)
 	for i := range instances {
 		sess := root
-		if *batchK > 1 {
+		if o.batch > 1 {
 			sess = fmt.Sprintf("%s/%d", root, i)
 		}
-		instances[i] = mkInstance(sess)
+		inst, err := mkInstance(sess)
+		if err != nil {
+			return err
+		}
+		instances[i] = inst
 	}
 
-	log.Printf("party %d/%d listening on %s, running %s ×%d", *id, n, tcp.Addr(), *protocol, *batchK)
-	start := time.Now()
-	res, err := batch.Run(ctx, map[int]*runtime.Env{*id: env}, instances, batch.Options{})
+	log.Printf("party %d/%d on %s: running %s ×%d", env.ID, env.N, addrOf(env), o.protocol, o.batch)
+	res, err := batch.Run(ctx, map[int]*runtime.Env{env.ID: env}, instances, batch.Options{})
 	if err != nil {
-		log.Fatalf("batch setup: %v", err)
+		return fmt.Errorf("batch setup: %w", err)
 	}
 	for i, m := range res {
-		r := m[*id]
+		r := m[env.ID]
 		if r.Err != nil {
-			log.Fatalf("instance %s failed: %v", instances[i].Session, r.Err)
+			return fmt.Errorf("instance %s failed: %w", instances[i].Session, r.Err)
 		}
-		fmt.Printf("[%s] %v\n", instances[i].Session, r.Value)
+		fmt.Fprintf(out, "[%s] %v\n", instances[i].Session, r.Value)
 	}
-	log.Printf("completed %d instance(s) in %v", *batchK, time.Since(start).Round(time.Millisecond))
-	// Give lingering helper goroutines a beat to flush their final sends so
-	// slower peers can finish too.
-	time.Sleep(500 * time.Millisecond)
+	return nil
+}
+
+// addrOf names the transport endpoint for logs (best effort).
+func addrOf(env *runtime.Env) string {
+	if t, ok := env.Net.(*transport.TCP); ok {
+		return t.Addr()
+	}
+	return "?"
 }

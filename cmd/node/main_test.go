@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeAddrs reserves n distinct loopback ports by listening on :0, then
+// releases them for the transports to claim. The tiny window between close
+// and re-listen is acceptable in a loopback test.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// launch runs one in-process node per party with the given options template
+// (id and peers filled in per party) and returns each party's output.
+func launch(t *testing.T, n int, mk func(id int, peers []string) options) []string {
+	t.Helper()
+	peers := freeAddrs(t, n)
+	outs := make([]bytes.Buffer, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[id] = runNode(mk(id, peers), &outs[id])
+		}()
+	}
+	wg.Wait()
+	res := make([]string, n)
+	for id := 0; id < n; id++ {
+		if errs[id] != nil {
+			t.Fatalf("party %d: %v", id, errs[id])
+		}
+		res[id] = outs[id].String()
+	}
+	return res
+}
+
+// TestE2EAtomicBroadcastLedger runs 4 in-process nodes over loopback TCP in
+// -mode abc and asserts every party printed the byte-identical ledger.
+func TestE2EAtomicBroadcastLedger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP listeners")
+	}
+	const n, slots = 4, 3
+	outs := launch(t, n, func(id int, peers []string) options {
+		return options{
+			id: id, peers: peers, t: 1, mode: "abc", input: "tx",
+			k: 1, batch: 1, slots: slots, width: 0, timeout: 90 * time.Second,
+		}
+	})
+	var digest string
+	for id, out := range outs {
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		last := lines[len(lines)-1]
+		if !strings.HasPrefix(last, "ledger digest: ") {
+			t.Fatalf("party %d: no digest line in output:\n%s", id, out)
+		}
+		if digest == "" {
+			digest = last
+		} else if digest != last {
+			t.Fatalf("ledger digests differ:\nparty 0: %s\nparty %d: %s", digest, id, last)
+		}
+		// The full entry listing must replicate too, not just the digest.
+		if outs[0] != out {
+			t.Fatalf("ledger listings differ:\nparty 0:\n%s\nparty %d:\n%s", outs[0], id, out)
+		}
+		if got := strings.Count(out, "ledger["); got < slots*(n-1) {
+			t.Fatalf("party %d: %d ledger entries, want ≥ %d", id, got, slots*(n-1))
+		}
+	}
+}
+
+// TestE2EBatchedCoinFlips runs 4 in-process nodes over loopback TCP with
+// -batch 3 coin flips and asserts per-instance agreement across parties.
+func TestE2EBatchedCoinFlips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP listeners")
+	}
+	const n, batchK = 4, 3
+	outs := launch(t, n, func(id int, peers []string) options {
+		return options{
+			id: id, peers: peers, t: 1, mode: "proto", protocol: "coinflip",
+			k: 1, batch: batchK, timeout: 90 * time.Second,
+		}
+	})
+	var ref []string
+	for id, out := range outs {
+		var coins []string
+		for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+			if strings.HasPrefix(line, "[node/cf/") {
+				coins = append(coins, line)
+			}
+		}
+		sort.Strings(coins)
+		if len(coins) != batchK {
+			t.Fatalf("party %d: %d coin lines, want %d:\n%s", id, len(coins), batchK, out)
+		}
+		if ref == nil {
+			ref = coins
+		} else if fmt.Sprint(ref) != fmt.Sprint(coins) {
+			t.Fatalf("coin outputs differ:\nparty 0: %v\nparty %d: %v", ref, id, coins)
+		}
+	}
+}
+
+func TestRunNodeRejectsBadOptions(t *testing.T) {
+	base := options{peers: []string{"a", "b", "c", "d"}, t: 1, mode: "proto", protocol: "rbc", batch: 1}
+	cases := []struct {
+		name string
+		mut  func(o options) options
+	}{
+		{"too-few-peers", func(o options) options { o.peers = o.peers[:2]; return o }},
+		{"id-range", func(o options) options { o.id = 9; return o }},
+		{"bad-batch", func(o options) options { o.batch = 0; return o }},
+		{"bad-mode", func(o options) options { o.mode = "nope"; return o }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := runNode(c.mut(base), &bytes.Buffer{}); err == nil {
+				t.Fatal("invalid options accepted")
+			}
+		})
+	}
+}

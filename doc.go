@@ -23,6 +23,12 @@
 //     (Theorem 2.2): a terminating AVSS for n = 4, t = 1 together with the
 //     attacks that break its correctness, demonstrating why the upper-bound
 //     protocols must be "almost surely" rather than "surely" terminating.
+//   - ACS-based atomic broadcast (RunAtomicBroadcast, internal/acs):
+//     asynchronous total-order broadcast in the BKR/HoneyBadgerBFT lineage
+//     — per slot, every party A-Casts its payload batch, CommonSubset
+//     agrees on ≥ n−t contributors, and the agreed batches form one
+//     replicated, deduplicated ledger, with slots pipelined over the
+//     batch engine.
 //   - A batched multi-session pipeline (RunBatch with CoinFlipSpec,
 //     BinaryAgreementSpec, ShareAndReconstructSpec): K independent protocol
 //     instances multiplexed over one network by session namespacing, so the

@@ -1,0 +1,58 @@
+// Command ledger demonstrates ACS-based asynchronous atomic broadcast: a
+// 4-party cluster turns per-party transaction batches into one replicated,
+// totally ordered log. Each slot, every party A-Casts its batch, the
+// CommonSubset protocol (the paper's Algorithm 4) agrees on which ≥ n−t
+// batches made it in, and the agreed batches are appended in party order —
+// no timing assumptions, optimal resilience, and slots pipelined so the
+// broadcast phase of slot k+1 overlaps the agreement phase of slot k.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asyncft"
+)
+
+func main() {
+	cluster, err := asyncft.New(asyncft.Config{
+		N:          4,
+		T:          1,
+		Seed:       7,
+		Coin:       asyncft.CoinLocal, // cheap BA substrate for a demo
+		CoinRounds: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Each party batches its own clients' transactions per slot. Party 3
+	// re-submits its slot-0 batch in slot 1 (as a real node would after
+	// losing a slot race): deduplication commits it exactly once.
+	payloads := func(party, slot int) []byte {
+		if party == 3 && slot == 1 {
+			return []byte("transfer/p3/s0")
+		}
+		return []byte(fmt.Sprintf("transfer/p%d/s%d", party, slot))
+	}
+
+	const slots = 4
+	ledger, err := cluster.RunAtomicBroadcast(asyncft.AtomicBroadcastSpec{
+		Session:  "demo",
+		Slots:    slots,
+		Width:    2, // pipeline depth: 2 slots in flight per party
+		Payloads: payloads,
+	})
+	if err != nil {
+		log.Fatalf("atomic broadcast: %v", err)
+	}
+
+	fmt.Printf("replicated ledger (%d slots, %d committed batches, identical at every party):\n", slots, len(ledger))
+	for i, e := range ledger {
+		fmt.Printf("  %2d. slot %d, party %d: %s\n", i, e.Slot, e.Party, e.Payload)
+	}
+
+	m := cluster.Metrics()
+	fmt.Printf("network traffic: %d messages, %d bytes\n", m.Messages, m.Bytes)
+}

@@ -1,0 +1,268 @@
+// Package acs implements agreement on a common subset (ACS) driving
+// asynchronous atomic broadcast: total-order broadcast in the BKR/
+// HoneyBadgerBFT lineage, assembled from the repository's A-Cast
+// (internal/rbc) and CommonSubset (Appendix C, Algorithm 4) primitives.
+//
+// One slot works as follows. Every party A-Casts its payload batch; a
+// commonsubset.Predicate flips Q(j) = 1 as party j's broadcast delivers
+// locally; CommonSubset(Q, n−t) agrees on the slot's contributor set; and
+// the slot's output is the agreed contributors' payloads sorted by party
+// index. The contributor set is common to all nonfaulty parties, and every
+// member's A-Cast delivers the same bytes everywhere (a member is in the
+// set only if its broadcast delivered at some nonfaulty party, which by
+// A-Cast termination means it delivers at all), so all nonfaulty parties
+// append identical slot outputs — a replicated log, with no timing
+// assumptions and optimal resilience n ≥ 3t+1.
+//
+// Multiple slots pipeline over the internal/batch session-namespacing
+// engine: slot k+1's broadcast phase overlaps slot k's agreement phase, so
+// K slots pay the slot latency chain roughly once instead of K times
+// (experiment E11 quantifies the gain under latency-bound schedules).
+package acs
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"asyncft/internal/batch"
+	"asyncft/internal/commonsubset"
+	"asyncft/internal/core"
+	"asyncft/internal/rbc"
+	"asyncft/internal/runtime"
+	"asyncft/internal/wire"
+)
+
+// Entry is one committed payload of the replicated log.
+type Entry struct {
+	// Slot is the slot that committed the payload. Party is the payload's
+	// first committer — the lowest party index in the earliest slot whose
+	// A-Cast carried these bytes. It is NOT a verified author: a Byzantine
+	// party can copy another party's batch into its own A-Cast, and
+	// content-deduplication then credits whichever committed first.
+	Slot, Party int
+	// Payload is the committed batch, byte-identical at every party.
+	Payload []byte
+}
+
+// MaxPayloadSize bounds one party's per-slot batch (the A-Cast value cap).
+const MaxPayloadSize = rbc.MaxValueSize
+
+// RunSlot executes one atomic-broadcast slot rooted at session: this
+// party's side of n concurrent A-Casts plus the CommonSubset instance that
+// picks the slot's contributor set. payload is this party's batch (nil or
+// empty = participate without contributing). All nonfaulty parties must
+// call RunSlot with the same session and slot.
+//
+// ctx bounds this party's slot; helperCtx (typically the cluster-lifetime
+// context) keeps broadcast and coin helpers alive after the local slot
+// returns, so slower peers can still finish — the same discipline every
+// other protocol in the repository follows.
+//
+// The returned entries are the slot's committed batches in increasing
+// party order; empty batches of agreed contributors are elided. The slice
+// is identical at every nonfaulty party.
+func RunSlot(ctx, helperCtx context.Context, env *runtime.Env, session string, slot int, payload []byte, cfg core.Config) ([]Entry, error) {
+	if len(payload) > MaxPayloadSize {
+		return nil, fmt.Errorf("acs %s: payload %d bytes exceeds cap %d", session, len(payload), MaxPayloadSize)
+	}
+	n := env.N
+
+	// Phase 1: n concurrent A-Casts, one per proposer. They run under
+	// helperCtx because peers may need our echoes after we return, and
+	// broadcasts outside the agreed set may never deliver at all.
+	type deliv struct {
+		j   int
+		val []byte
+		err error
+	}
+	delivc := make(chan deliv, n)
+	pred := commonsubset.NewPredicate()
+	for j := 0; j < n; j++ {
+		j := j
+		var in []byte
+		if j == env.ID {
+			in = payload
+		}
+		sess := runtime.Sub(session, "rbc", j)
+		go func() {
+			v, err := rbc.Run(helperCtx, env, sess, j, in)
+			delivc <- deliv{j: j, val: v, err: err}
+		}()
+	}
+
+	// Phase 2: CommonSubset over the delivery predicate picks ≥ n−t
+	// contributors every nonfaulty party agrees on.
+	csSess := runtime.Sub(session, "cs")
+	type csOut struct {
+		set []int
+		err error
+	}
+	csc := make(chan csOut, 1)
+	go func() {
+		set, err := commonsubset.Run(ctx, env, csSess, pred, n-env.T,
+			cfg.CoinsFor(helperCtx, env, csSess), commonsubset.Options{BA: cfg.BA})
+		csc <- csOut{set: set, err: err}
+	}()
+
+	// Phase 3: wait for the agreed set, then for delivery of every member's
+	// broadcast (guaranteed: membership implies delivery at some nonfaulty
+	// party, hence eventually here).
+	got := make(map[int][]byte, n)
+	errs := make(map[int]error, n)
+	var set []int
+	for {
+		if set != nil {
+			missing := false
+			for _, j := range set {
+				if err := errs[j]; err != nil {
+					return nil, fmt.Errorf("acs %s: broadcast %d: %w", session, j, err)
+				}
+				if _, ok := got[j]; !ok {
+					missing = true
+				}
+			}
+			if !missing {
+				break
+			}
+		}
+		select {
+		case d := <-delivc:
+			if d.err != nil {
+				// A broadcast fails only when the runtime shuts down; it is
+				// fatal to the slot iff the agreed set needs that proposer.
+				errs[d.j] = d.err
+				continue
+			}
+			got[d.j] = d.val
+			pred.Set(d.j)
+		case r := <-csc:
+			if r.err != nil {
+				return nil, fmt.Errorf("acs %s: %w", session, r.err)
+			}
+			set = r.set
+		case <-ctx.Done():
+			return nil, fmt.Errorf("acs %s: %w", session, ctx.Err())
+		}
+	}
+
+	entries := make([]Entry, 0, len(set))
+	for _, j := range set { // CommonSubset returns the set sorted
+		if len(got[j]) == 0 {
+			continue // an agreed contributor with an empty batch adds nothing
+		}
+		entries = append(entries, Entry{Slot: slot, Party: j, Payload: got[j]})
+	}
+	return entries, nil
+}
+
+// Run executes slots 0..slots−1 of one atomic-broadcast session at this
+// party, pipelined over internal/batch with at most width slots in flight
+// (0 = all slots concurrently), and returns this party's ledger: slot
+// outputs concatenated in slot order and deduplicated across slots by
+// payload bytes (see BuildLedger). input(k) yields this party's batch for
+// slot k; a nil input contributes nothing anywhere.
+//
+// All nonfaulty parties must call Run with the same session, slots and
+// width; the returned ledger is byte-identical at every one of them.
+func Run(ctx, helperCtx context.Context, env *runtime.Env, session string, slots, width int, input func(slot int) []byte, cfg core.Config) ([]Entry, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("acs %s: slots=%d out of range", session, slots)
+	}
+	instances := make([]batch.Instance, slots)
+	for k := range instances {
+		k := k
+		sess := runtime.Sub(session, "slot", k)
+		var payload []byte
+		if input != nil {
+			payload = input(k)
+		}
+		instances[k] = batch.Instance{Session: sess, Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			return RunSlot(ctx, helperCtx, env, sess, k, payload, cfg)
+		}}
+	}
+	res, err := batch.Run(ctx, map[int]*runtime.Env{env.ID: env}, instances, batch.Options{Width: width})
+	if err != nil {
+		return nil, err
+	}
+	perSlot := make([][]Entry, slots)
+	for k, m := range res {
+		r := m[env.ID]
+		if r.Err != nil {
+			return nil, fmt.Errorf("acs %s: slot %d: %w", session, k, r.Err)
+		}
+		perSlot[k] = r.Value.([]Entry)
+	}
+	return BuildLedger(perSlot), nil
+}
+
+// BuildLedger flattens per-slot outputs into the final ordered ledger:
+// slots in increasing order, entries within a slot in increasing party
+// order (RunSlot's invariant), and payloads deduplicated across the whole
+// log — the first occurrence wins, so a batch re-proposed after losing a
+// slot race (or submitted to several parties) lands exactly once.
+// Deduplication keys on payload bytes alone; see Entry.Party for the
+// attribution caveat that follows. Determinism of the input slices makes
+// the result deterministic, hence identical at every nonfaulty party.
+func BuildLedger(slots [][]Entry) []Entry {
+	seen := make(map[string]bool)
+	var out []Entry
+	for _, entries := range slots {
+		for _, e := range entries {
+			key := string(e.Payload)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// AgreeLedgers asserts every party's ledger is byte-identical and returns
+// the common ledger. Parties are checked in ascending ID order so a
+// violation blames the same party deterministically. It is the one shared
+// replication check used by the public Cluster API and the experiment
+// harness alike.
+func AgreeLedgers(ledgers map[int][]Entry) ([]Entry, error) {
+	ids := make([]int, 0, len(ledgers))
+	for id := range ledgers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var ref []Entry
+	var refEnc []byte
+	first := true
+	for _, id := range ids {
+		entries := ledgers[id]
+		enc := Encode(entries)
+		if first {
+			ref, refEnc, first = entries, enc, false
+		} else if !bytes.Equal(refEnc, enc) {
+			return nil, fmt.Errorf("acs: ledger disagreement at party %d (%d entries vs %d)", id, len(entries), len(ref))
+		}
+	}
+	return ref, nil
+}
+
+// Encode serializes a ledger canonically (wire format): two ledgers are
+// equal iff their encodings are byte-identical.
+func Encode(entries []Entry) []byte {
+	var w wire.Writer
+	w.Int(len(entries))
+	for _, e := range entries {
+		w.Int(e.Slot)
+		w.Int(e.Party)
+		w.BytesField(e.Payload)
+	}
+	return w.Bytes()
+}
+
+// Digest is the SHA-256 of the canonical encoding — the fingerprint
+// parties (and the cmd/node e2e harness) compare to check replication.
+func Digest(entries []Entry) [sha256.Size]byte {
+	return sha256.Sum256(Encode(entries))
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"asyncft/internal/acs"
+	"asyncft/internal/core"
+	"asyncft/internal/network"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+// E11LedgerThroughput measures the ACS-based atomic broadcast ledger
+// (internal/acs) under the latency-bound network.Delay schedule, sweeping
+// slot count K and per-party batch size B. Each configuration runs twice:
+// slot-at-a-time (pipeline width 1 — every slot pays its full A-Cast +
+// CommonSubset latency chain before the next begins) and pipelined (width
+// 0 — slot k+1's broadcast phase overlaps slot k's agreement phase over
+// the internal/batch engine). The headline is the worst pipelined speedup
+// at the largest K; every run also re-verifies the replication property
+// (all parties' ledgers byte-identical) because a throughput number from a
+// forked ledger would be meaningless.
+func E11LedgerThroughput(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E11",
+		Title:   "atomic-broadcast ledger: pipelined slots vs slot-at-a-time (n=4, t=1, 0.2–1ms link delay)",
+		Claim:   "pipelining slots over the batch engine overlaps broadcast and agreement phases, beating slot-at-a-time wall-clock ≥2× from K=8 slots",
+		Columns: []string{"slots", "batch", "seq wall", "pipe wall", "speedup", "entries/s"},
+	}
+	cfg := core.Config{K: 1, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
+	ks := []int{4}
+	if top := scale.trials(8); top > ks[0] {
+		ks = append(ks, top)
+	}
+	batchSizes := []int{16, 256}
+
+	runLedger := func(k, bsz, width int, seed int64) (time.Duration, int, error) {
+		c := testkit.New(4, 1, testkit.WithSeed(seed),
+			testkit.WithPolicy(network.NewDelay(seed, 200*time.Microsecond, time.Millisecond)),
+			testkit.WithTimeout(600*time.Second))
+		defer c.Close()
+		input := func(id int) func(int) []byte {
+			return func(slot int) []byte {
+				p := []byte(fmt.Sprintf("p%d/s%d/", id, slot))
+				for len(p) < bsz {
+					p = append(p, byte('a'+len(p)%26))
+				}
+				return p[:bsz]
+			}
+		}
+		sess := fmt.Sprintf("e11/%d/%d/%d", k, bsz, width)
+		start := time.Now()
+		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			return acs.Run(ctx, c.Ctx, env, sess, k, width, input(env.ID), cfg)
+		})
+		wall := time.Since(start)
+		ledgers := make(map[int][]acs.Entry, len(res))
+		for id, r := range res {
+			if r.Err != nil {
+				return 0, 0, fmt.Errorf("party %d: %w", id, r.Err)
+			}
+			ledgers[id] = r.Value.([]acs.Entry)
+		}
+		ref, err := acs.AgreeLedgers(ledgers)
+		if err != nil {
+			return 0, 0, err
+		}
+		return wall, len(ref), nil
+	}
+
+	topK := ks[len(ks)-1]
+	worstTopSpeedup := 0.0
+	seed := int64(13000)
+	for _, k := range ks {
+		for _, bsz := range batchSizes {
+			// Both modes run from the same seed so protocol randomness (BA
+			// round luck, link delays) is comparable; only the pipeline
+			// width differs.
+			seed++
+			seqWall, _, err := runLedger(k, bsz, 1, seed)
+			if err != nil {
+				return nil, fmt.Errorf("E11 slot-at-a-time K=%d B=%d: %w", k, bsz, err)
+			}
+			pipeWall, entries, err := runLedger(k, bsz, 0, seed)
+			if err != nil {
+				return nil, fmt.Errorf("E11 pipelined K=%d B=%d: %w", k, bsz, err)
+			}
+			speedup := seqWall.Seconds() / pipeWall.Seconds()
+			if k == topK && (worstTopSpeedup == 0 || speedup < worstTopSpeedup) {
+				worstTopSpeedup = speedup
+			}
+			t.Rows = append(t.Rows, []string{
+				itoa(k), fmt.Sprintf("%dB", bsz), ms(seqWall), ms(pipeWall),
+				f2(speedup), f2(float64(entries) / pipeWall.Seconds()),
+			})
+		}
+	}
+	t.Notes = fmt.Sprintf("worst pipelined speedup at K=%d: %.2fx — the pipeline overlaps the per-slot broadcast/agreement latency the slot-at-a-time loop serializes; every run verified byte-identical ledgers at all parties", topK, worstTopSpeedup)
+	t.Headline, t.HeadlineName = worstTopSpeedup, fmt.Sprintf("pipelined speedup over slot-at-a-time (K=%d)", topK)
+	if scale >= 1 && topK >= 8 && worstTopSpeedup < 2 {
+		return t, fmt.Errorf("E11: pipelined speedup %.2fx < 2x at K=%d", worstTopSpeedup, topK)
+	}
+	return t, nil
+}

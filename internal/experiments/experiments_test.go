@@ -128,6 +128,19 @@ func TestNamedPolicies(t *testing.T) {
 	}
 }
 
+func TestE11SmokeLedgerPipeline(t *testing.T) {
+	tbl := smoke(t, E11LedgerThroughput)
+	if tbl.Headline <= 0 {
+		t.Fatalf("speedup not positive: %v", tbl.Headline)
+	}
+	// Every row carries a positive throughput figure.
+	for _, row := range tbl.Rows {
+		if row[5] == "0.00" {
+			t.Fatalf("zero throughput row: %v", row)
+		}
+	}
+}
+
 func TestE10SmokeBatchPipeline(t *testing.T) {
 	tbl := smoke(t, E10BatchThroughput)
 	if len(tbl.Rows) != 3 {
