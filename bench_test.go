@@ -70,6 +70,13 @@ func BenchmarkE11LedgerThroughput(b *testing.B) {
 	runExperiment(b, experiments.E11LedgerThroughput)
 }
 
+// BenchmarkCodedBroadcast runs E12 at smoke scale: coded vs classic A-Cast
+// dispersal inside the pipelined ledger, reporting the measured per-party
+// bandwidth reduction at |m| = 64KiB as the gated headline.
+func BenchmarkCodedBroadcast(b *testing.B) {
+	runExperiment(b, experiments.E12CodedBroadcast)
+}
+
 func BenchmarkAblationReconstruct(b *testing.B) {
 	runExperiment(b, experiments.AblationReconstruct)
 }

@@ -282,14 +282,17 @@ func (c *Cluster) BinaryAgreement(session string, inputs map[int]byte) (byte, er
 }
 
 // ReliableBroadcast runs one A-Cast from sender with the given value and
-// returns the commonly delivered value.
+// returns the commonly delivered value. Values of at least
+// rbc.DefaultCodedThreshold bytes are dispersed erasure-coded (fragments +
+// digest instead of full-value echoes); the delivered bytes are identical
+// either way.
 func (c *Cluster) ReliableBroadcast(session string, sender int, value []byte) ([]byte, error) {
 	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 		var in []byte
 		if env.ID == sender {
 			in = value
 		}
-		return rbc.Run(ctx, env, "rbc/"+session, sender, in)
+		return rbc.RunCoded(ctx, env, "rbc/"+session, sender, in, rbc.Options{})
 	})
 	return agreeBytes(res)
 }
@@ -452,6 +455,12 @@ type AtomicBroadcastSpec struct {
 	// and for multiple slots at once when pipelined — so it must be safe
 	// for concurrent use.
 	Payloads func(party, slot int) []byte
+	// NoCodedBroadcast forces every slot A-Cast onto classic full-value
+	// echo, disabling the erasure-coded dispersal fast path that batches
+	// at or above rbc.DefaultCodedThreshold bytes otherwise use. The two
+	// paths produce bit-identical ledgers; this toggle exists for
+	// cross-checks and bandwidth comparisons (experiment E12).
+	NoCodedBroadcast bool
 }
 
 // RunAtomicBroadcast runs ACS-based asynchronous atomic broadcast
@@ -467,13 +476,17 @@ func (c *Cluster) RunAtomicBroadcast(spec AtomicBroadcastSpec) ([]LedgerEntry, e
 		return nil, fmt.Errorf("asyncft: RunAtomicBroadcast needs Slots ≥ 1, got %d", spec.Slots)
 	}
 	sess := "abc/" + spec.Session
+	cfg := c.core
+	if spec.NoCodedBroadcast {
+		cfg.RBC.CodedThreshold = -1
+	}
 	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 		var input func(int) []byte
 		if spec.Payloads != nil {
 			id := env.ID
 			input = func(slot int) []byte { return spec.Payloads(id, slot) }
 		}
-		return acs.Run(ctx, c.ctx, env, sess, spec.Slots, spec.Width, input, c.core)
+		return acs.Run(ctx, c.ctx, env, sess, spec.Slots, spec.Width, input, cfg)
 	})
 	ids := make([]int, 0, len(res))
 	for id := range res {

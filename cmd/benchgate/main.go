@@ -99,11 +99,12 @@ func load(path string) (map[string]Metric, error) {
 // benchmark line came from b.ReportMetric and is the headline.
 var standardUnits = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true, "MB/s": true}
 
-// higherIsBetter classifies a unit's regression direction: rates and
-// speedups drop when they regress, everything else (times, bytes, allocs)
-// rises.
+// higherIsBetter classifies a unit's regression direction: rates,
+// speedups and reduction factors drop when they regress, everything else
+// (times, bytes, allocs) rises.
 func higherIsBetter(unit string) bool {
-	return strings.HasSuffix(unit, "/s") || strings.Contains(unit, "speedup")
+	return strings.HasSuffix(unit, "/s") || strings.Contains(unit, "speedup") ||
+		strings.Contains(unit, "reduction")
 }
 
 // Parse extracts per-benchmark headline metrics from `go test -bench`
@@ -213,6 +214,12 @@ func Compare(w io.Writer, base, cand map[string]Metric, threshold float64) int {
 		bad := delta < -threshold
 		if !b.HigherIsBetter {
 			bad = delta > threshold
+			// A zero baseline means "this must stay at zero" (e.g. an
+			// allocs-per-op metric): any positive candidate is a regression
+			// the relative delta cannot express.
+			if b.Value == 0 && c.Value > 0 {
+				bad = true
+			}
 		}
 		verdict := "ok  "
 		if bad {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -90,5 +91,33 @@ func TestCompareImprovementsPass(t *testing.T) {
 	var sb strings.Builder
 	if got := Compare(&sb, base, cand, 0.30); got != 0 {
 		t.Fatalf("improvements flagged as regressions:\n%s", sb.String())
+	}
+}
+
+func TestHigherIsBetterClassification(t *testing.T) {
+	cases := map[string]bool{
+		"ns/op":                                  false,
+		"B/op":                                   false,
+		"flips/s":                                true,
+		"entries/s":                              true,
+		"batched_speedup_over_sequential":        true,
+		"per-party_bandwidth_reduction_at_64KiB": true,
+	}
+	for unit, want := range cases {
+		if got := higherIsBetter(unit); got != want {
+			t.Fatalf("higherIsBetter(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestCompareZeroBaselineLowerIsBetter(t *testing.T) {
+	base := map[string]Metric{"BenchmarkWireAppend": {Unit: "allocs_per_op", Value: 0, HigherIsBetter: false, Runs: 3}}
+	good := map[string]Metric{"BenchmarkWireAppend": {Unit: "allocs_per_op", Value: 0, HigherIsBetter: false, Runs: 3}}
+	bad := map[string]Metric{"BenchmarkWireAppend": {Unit: "allocs_per_op", Value: 1, HigherIsBetter: false, Runs: 3}}
+	if n := Compare(io.Discard, base, good, 0.30); n != 0 {
+		t.Fatalf("zero -> zero flagged as %d regression(s)", n)
+	}
+	if n := Compare(io.Discard, base, bad, 0.30); n != 1 {
+		t.Fatalf("zero -> 1 alloc/op not flagged (got %d)", n)
 	}
 }

@@ -1,6 +1,7 @@
 // Command experiments regenerates the full evaluation of EXPERIMENTS.md:
 // one table per quantitative claim of the paper (E1–E9), the batching and
-// atomic-broadcast throughput studies (E10, E11), and the design
+// atomic-broadcast throughput studies (E10, E11), the coded-dispersal
+// bandwidth study (E12), and the design
 // ablations. Use -scale to trade statistical resolution for wall time and
 // -only to run a single experiment.
 package main
@@ -36,6 +37,7 @@ func main() {
 		{"E9", experiments.E9FairChoice},
 		{"E10", experiments.E10BatchThroughput},
 		{"E11", experiments.E11LedgerThroughput},
+		{"E12", experiments.E12CodedBroadcast},
 		{"A1", experiments.AblationReconstruct},
 		{"A2", experiments.AblationPolicy},
 	}

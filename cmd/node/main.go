@@ -23,7 +23,11 @@
 // every party contributes one batch per slot (derived from -input), -slots
 // slots pipeline -width wide, and the node prints the replicated ledger
 // plus its SHA-256 digest — identical at every party, which is the whole
-// point. All processes must use the same -slots and -width values.
+// point. All processes must use the same -slots and -width values. Batches
+// of at least rbc.DefaultCodedThreshold bytes are A-Cast via erasure-coded
+// dispersal (fragments + digest); -no-coded forces classic full-value echo
+// for this node's own proposals (the flag is sender-local — mixed
+// configurations interoperate and still replicate identically).
 package main
 
 import (
@@ -61,6 +65,7 @@ type options struct {
 	batch    int
 	slots    int
 	width    int
+	noCoded  bool
 	seed     int64
 	timeout  time.Duration
 }
@@ -78,6 +83,7 @@ func main() {
 	batchK := flag.Int("batch", 1, "concurrent protocol instances pipelined over the transport (same value at every party)")
 	slots := flag.Int("slots", 4, "abc: number of atomic-broadcast slots (same value at every party)")
 	width := flag.Int("width", 0, "abc: slots in flight at once (0 = all; same value at every party)")
+	noCoded := flag.Bool("no-coded", false, "abc: disable erasure-coded A-Cast dispersal (classic full-value echo)")
 	seed := flag.Int64("seed", 0, "randomness seed (default: derived from id)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "protocol deadline")
 	flag.Parse()
@@ -85,7 +91,7 @@ func main() {
 	o := options{
 		id: *id, t: *tf, mode: *mode, protocol: *protocol, input: *input,
 		secret: *secret, bit: *bit, k: *k, batch: *batchK, slots: *slots,
-		width: *width, seed: *seed, timeout: *timeout,
+		width: *width, noCoded: *noCoded, seed: *seed, timeout: *timeout,
 	}
 	for _, a := range strings.Split(*peers, ",") {
 		o.peers = append(o.peers, strings.TrimSpace(a))
@@ -153,7 +159,10 @@ func runLedger(ctx context.Context, env *runtime.Env, o options, out io.Writer) 
 		return fmt.Errorf("-slots must be ≥ 1, got %d", o.slots)
 	}
 	cfg := core.Config{K: o.k, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
-	log.Printf("party %d/%d on %s: atomic broadcast, %d slot(s) width %d", env.ID, env.N, addrOf(env), o.slots, o.width)
+	if o.noCoded {
+		cfg.RBC.CodedThreshold = -1
+	}
+	log.Printf("party %d/%d on %s: atomic broadcast, %d slot(s) width %d coded=%v", env.ID, env.N, addrOf(env), o.slots, o.width, !o.noCoded)
 	ledger, err := acs.Run(ctx, ctx, env, "node/abc", o.slots, o.width, func(slot int) []byte {
 		return []byte(fmt.Sprintf("%s/p%d/s%d", o.input, env.ID, slot))
 	}, cfg)

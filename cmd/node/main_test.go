@@ -94,6 +94,33 @@ func TestE2EAtomicBroadcastLedger(t *testing.T) {
 	}
 }
 
+// TestE2ECodedLedgerOverTCP drives the erasure-coded dispersal fast path
+// over real sockets: batch prefixes longer than rbc.DefaultCodedThreshold
+// force every slot A-Cast coded, and one party runs -no-coded to prove
+// mixed configurations still replicate byte-identically.
+func TestE2ECodedLedgerOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP listeners")
+	}
+	const n, slots = 4, 2
+	big := strings.Repeat("x", 2048) // every batch crosses the coded threshold
+	outs := launch(t, n, func(id int, peers []string) options {
+		return options{
+			id: id, peers: peers, t: 1, mode: "abc", input: big,
+			noCoded: id == 3, // sender-local toggle: mixed flavors must interoperate
+			k:       1, batch: 1, slots: slots, width: 0, timeout: 90 * time.Second,
+		}
+	})
+	for id, out := range outs {
+		if outs[0] != out {
+			t.Fatalf("coded ledger outputs differ between party 0 and party %d", id)
+		}
+		if got := strings.Count(out, "ledger["); got < slots*(n-1) {
+			t.Fatalf("party %d: %d ledger entries, want ≥ %d", id, got, slots*(n-1))
+		}
+	}
+}
+
 // TestE2EBatchedCoinFlips runs 4 in-process nodes over loopback TCP with
 // -batch 3 coin flips and asserts per-instance agreement across parties.
 func TestE2EBatchedCoinFlips(t *testing.T) {

@@ -18,6 +18,12 @@
 // engine: slot k+1's broadcast phase overlaps slot k's agreement phase, so
 // K slots pay the slot latency chain roughly once instead of K times
 // (experiment E11 quantifies the gain under latency-bound schedules).
+//
+// Slot broadcasts run through rbc.RunCoded: batches at or above the
+// configured coded threshold (core.Config.RBC) are dispersed as
+// Reed–Solomon fragments + digest instead of full-value echoes, cutting
+// per-party broadcast bandwidth to O(|m| + n·digest) per slot (experiment
+// E12 measures the reduction; set RBC.CodedThreshold < 0 for classic echo).
 package acs
 
 import (
@@ -88,7 +94,7 @@ func RunSlot(ctx, helperCtx context.Context, env *runtime.Env, session string, s
 		}
 		sess := runtime.Sub(session, "rbc", j)
 		go func() {
-			v, err := rbc.Run(helperCtx, env, sess, j, in)
+			v, err := rbc.RunCoded(helperCtx, env, sess, j, in, cfg.RBC)
 			delivc <- deliv{j: j, val: v, err: err}
 		}()
 	}

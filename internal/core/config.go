@@ -11,6 +11,7 @@ import (
 
 	"asyncft/internal/ba"
 	"asyncft/internal/commonsubset"
+	"asyncft/internal/rbc"
 	"asyncft/internal/runtime"
 	"asyncft/internal/svss"
 	"asyncft/internal/weakcoin"
@@ -46,6 +47,9 @@ type Config struct {
 	SVSS svss.Options
 	// BA configures the binary agreement instances.
 	BA ba.Options
+	// RBC configures reliable-broadcast dispersal (the erasure-coded
+	// fast-path threshold used by the atomic-broadcast slots).
+	RBC rbc.Options
 }
 
 func (c Config) withDefaults() Config {

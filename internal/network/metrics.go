@@ -9,12 +9,15 @@ import (
 )
 
 // Metrics counts traffic by top-level protocol (the first segment of the
-// session path), feeding the scaling experiments (E6 in EXPERIMENTS.md).
+// session path) and by directed link (from → to), feeding the scaling
+// experiments (E6) and the bandwidth measurements of the coded-broadcast
+// study (E12 in EXPERIMENTS.md).
 type Metrics struct {
 	mu       sync.Mutex
 	messages uint64
 	bytes    uint64
 	byProto  map[string]*protoCounter
+	byLink   map[linkKey]*protoCounter
 }
 
 type protoCounter struct {
@@ -22,8 +25,11 @@ type protoCounter struct {
 	Bytes    uint64
 }
 
+type linkKey struct{ from, to int }
+
 func (m *Metrics) init() {
 	m.byProto = make(map[string]*protoCounter)
+	m.byLink = make(map[linkKey]*protoCounter)
 }
 
 func (m *Metrics) record(env wire.Envelope) {
@@ -43,11 +49,28 @@ func (m *Metrics) record(env wire.Envelope) {
 	}
 	c.Messages++
 	c.Bytes += size
+	lk := linkKey{from: env.From, to: env.To}
+	l := m.byLink[lk]
+	if l == nil {
+		l = &protoCounter{}
+		m.byLink[lk] = l
+	}
+	l.Messages++
+	l.Bytes += size
 }
 
-// ProtoStat is one row of a metrics snapshot.
+// ProtoStat is one per-protocol row of a metrics snapshot.
 type ProtoStat struct {
 	Proto    string
+	Messages uint64
+	Bytes    uint64
+}
+
+// LinkStat is one directed-link row of a metrics snapshot: everything sent
+// from party From to party To (self-links included — parties send to
+// themselves through the fabric like to anyone else).
+type LinkStat struct {
+	From, To int
 	Messages uint64
 	Bytes    uint64
 }
@@ -57,6 +80,19 @@ type MetricsSnapshot struct {
 	Messages uint64
 	Bytes    uint64
 	ByProto  []ProtoStat
+	ByLink   []LinkStat
+}
+
+// SentBy sums the bytes party id injected into the fabric across all its
+// outbound links — the per-party bandwidth number E12 reports.
+func (s MetricsSnapshot) SentBy(id int) uint64 {
+	var total uint64
+	for _, l := range s.ByLink {
+		if l.From == id {
+			total += l.Bytes
+		}
+	}
+	return total
 }
 
 func (m *Metrics) snapshot() MetricsSnapshot {
@@ -67,5 +103,14 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		s.ByProto = append(s.ByProto, ProtoStat{Proto: name, Messages: c.Messages, Bytes: c.Bytes})
 	}
 	sort.Slice(s.ByProto, func(i, j int) bool { return s.ByProto[i].Proto < s.ByProto[j].Proto })
+	for lk, c := range m.byLink {
+		s.ByLink = append(s.ByLink, LinkStat{From: lk.from, To: lk.to, Messages: c.Messages, Bytes: c.Bytes})
+	}
+	sort.Slice(s.ByLink, func(i, j int) bool {
+		if s.ByLink[i].From != s.ByLink[j].From {
+			return s.ByLink[i].From < s.ByLink[j].From
+		}
+		return s.ByLink[i].To < s.ByLink[j].To
+	})
 	return s
 }

@@ -252,6 +252,46 @@ func TestMetricsCounts(t *testing.T) {
 	}
 }
 
+func TestMetricsPerLinkBytes(t *testing.T) {
+	r := NewRouter(3, FIFO{})
+	defer r.Close()
+	c1 := newCollector(2)
+	c2 := newCollector(1)
+	r.Register(1, c1.handle)
+	r.Register(2, c2.handle)
+	// Two messages 0→1 and one 0→2 with known sizes:
+	// size = len(Payload) + len(Session) + 8.
+	r.Send(wire.Envelope{From: 0, To: 1, Session: "abc/s", Payload: []byte{1, 2, 3}}) // 3+5+8 = 16
+	r.Send(wire.Envelope{From: 0, To: 1, Session: "abc/s", Payload: []byte{1}})       // 1+5+8 = 14
+	r.Send(wire.Envelope{From: 0, To: 2, Session: "abc/s", Payload: nil})             // 0+5+8 = 13
+	c1.wait(t)
+	c2.wait(t)
+	m := r.Metrics()
+	want := map[[2]int][2]uint64{ // (from,to) -> (messages, bytes)
+		{0, 1}: {2, 30},
+		{0, 2}: {1, 13},
+	}
+	if len(m.ByLink) != len(want) {
+		t.Fatalf("link rows = %d, want %d (%+v)", len(m.ByLink), len(want), m.ByLink)
+	}
+	for _, l := range m.ByLink {
+		w, ok := want[[2]int{l.From, l.To}]
+		if !ok {
+			t.Fatalf("unexpected link %d->%d", l.From, l.To)
+		}
+		if l.Messages != w[0] || l.Bytes != w[1] {
+			t.Fatalf("link %d->%d: got %d msgs / %d bytes, want %d / %d",
+				l.From, l.To, l.Messages, l.Bytes, w[0], w[1])
+		}
+	}
+	if got := m.SentBy(0); got != 43 {
+		t.Fatalf("SentBy(0) = %d, want 43", got)
+	}
+	if got := m.SentBy(1); got != 0 {
+		t.Fatalf("SentBy(1) = %d, want 0", got)
+	}
+}
+
 func TestSetPolicyDrainsOld(t *testing.T) {
 	p := NewTargeted()
 	r := NewRouter(2, p, WithTick(100*time.Microsecond))

@@ -1,0 +1,50 @@
+package rbc
+
+import (
+	"context"
+	"crypto/sha256"
+
+	"asyncft/internal/field"
+	"asyncft/internal/rs"
+	"asyncft/internal/runtime"
+	"asyncft/internal/wire"
+)
+
+// EchoCorruptedFragment is a Byzantine behavior for adversarial tests: it
+// waits for the coded INIT of session, perturbs every element of the
+// received fragment, and echoes the corrupted fragment to all parties
+// under the correct digest — the wrong-fragment attack that coded
+// reconstruction (rs.DecodeIn error correction plus the digest check) must
+// absorb. It returns once the corrupted echo is sent, or with the context
+// error if no coded INIT arrives.
+func EchoCorruptedFragment(ctx context.Context, env *runtime.Env, session string) error {
+	coder, err := rs.NewCoder(env.N, env.T+1)
+	if err != nil {
+		return err
+	}
+	for {
+		msg, err := env.Recv(ctx, session)
+		if err != nil {
+			return err
+		}
+		if msg.Type != msgCInit {
+			continue
+		}
+		r := wire.NewReader(msg.Payload)
+		d := r.BytesField(sha256.Size)
+		total := r.Int()
+		frag := r.Elems(coder.FragmentLen(total))
+		if r.Err() != nil || len(d) != sha256.Size {
+			continue
+		}
+		for i := range frag {
+			frag[i] = field.Add(frag[i], field.New(uint64(i)+1))
+		}
+		var w wire.Writer
+		w.BytesField(d)
+		w.Int(total)
+		w.Elems(frag)
+		env.SendAll(session, msgCEcho, w.Bytes())
+		return nil
+	}
+}

@@ -1,0 +1,319 @@
+package rbc
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"asyncft/internal/field"
+	"asyncft/internal/network"
+	"asyncft/internal/rs"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+	"asyncft/internal/wire"
+)
+
+func runCoded(t *testing.T, c *testkit.Cluster, sess string, sender int, value []byte, parties []int, opts Options) map[int]testkit.Result {
+	t.Helper()
+	return c.Run(parties, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		var in []byte
+		if env.ID == sender {
+			in = value
+		}
+		return RunCoded(ctx, env, sess, sender, in, opts)
+	})
+}
+
+func TestCodedBroadcastAllHonest(t *testing.T) {
+	for _, n := range []int{4, 7, 10} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			c := testkit.New(n, (n-1)/3)
+			defer c.Close()
+			value := bytes.Repeat([]byte("coded!"), 500) // 3000 B, above default threshold
+			res := runCoded(t, c, "rbc/c", 0, value, c.Honest(), Options{})
+			got, err := testkit.AgreeBytes(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, value) {
+				t.Fatalf("coded broadcast corrupted the value (%d vs %d bytes)", len(got), len(value))
+			}
+		})
+	}
+}
+
+// TestCodedMatchesClassicProperty is the bit-identical cross-check of the
+// two dispersal flavors: for random payload sizes straddling the coded
+// threshold and random/delay schedules, every party runs one classic and
+// one coded instance of the same payload and must deliver identical bytes
+// from both.
+func TestCodedMatchesClassicProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		seed := int64(trial * 31)
+		size := []int{0, 1, 100, 511, 512, 513, 2048, 16384}[trial%8]
+		var opt testkit.Option
+		if trial%3 == 0 {
+			opt = testkit.WithPolicy(network.NewDelay(seed, 50*time.Microsecond, 300*time.Microsecond))
+		} else {
+			opt = testkit.WithPolicy(network.NewRandomReorder(seed, 0.4, 8))
+		}
+		c := testkit.New(4, 1, testkit.WithSeed(seed), opt)
+		value := make([]byte, size)
+		rng.Read(value)
+		sender := trial % 4
+		type pair struct{ classic, coded []byte }
+		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			var in []byte
+			if env.ID == sender {
+				in = value
+			}
+			outc := make(chan []byte, 1)
+			errc := make(chan error, 1)
+			go func() {
+				v, err := RunCoded(ctx, env, "rbc/coded", sender, in, Options{CodedThreshold: 512})
+				outc <- v
+				errc <- err
+			}()
+			cl, err := Run(ctx, env, "rbc/classic", sender, in)
+			if err != nil {
+				return nil, err
+			}
+			cv := <-outc
+			if err := <-errc; err != nil {
+				return nil, err
+			}
+			return pair{classic: cl, coded: cv}, nil
+		})
+		for id, r := range res {
+			if r.Err != nil {
+				t.Fatalf("trial %d party %d: %v", trial, id, r.Err)
+			}
+			p := r.Value.(pair)
+			if !bytes.Equal(p.classic, p.coded) {
+				t.Fatalf("trial %d party %d: classic and coded outputs differ", trial, id)
+			}
+			if !bytes.Equal(p.coded, value) {
+				t.Fatalf("trial %d party %d: delivered value differs from input", trial, id)
+			}
+		}
+		c.Close()
+	}
+}
+
+func TestCodedBroadcastWithCrashedReceiver(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithCrashed(3))
+	defer c.Close()
+	value := bytes.Repeat([]byte{7}, 4096)
+	res := runCoded(t, c, "rbc/cc", 0, value, []int{0, 1, 2}, Options{})
+	got, err := testkit.AgreeBytes(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Fatal("value corrupted with crashed receiver")
+	}
+}
+
+func TestCodedWrongFragmentAdversary(t *testing.T) {
+	for _, tc := range []struct{ n, tf int }{{4, 1}, {7, 2}} {
+		tc := tc
+		t.Run(fmt.Sprintf("n=%d", tc.n), func(t *testing.T) {
+			c := testkit.New(tc.n, tc.tf)
+			defer c.Close()
+			sess := "rbc/wf"
+			// The top tf parties echo corrupted fragments with the correct digest.
+			bad := make([]int, 0, tc.tf)
+			for id := tc.n - tc.tf; id < tc.n; id++ {
+				bad = append(bad, id)
+				id := id
+				go func() { _ = EchoCorruptedFragment(c.Ctx, c.Envs[id], sess) }()
+			}
+			value := bytes.Repeat([]byte("fragile payload "), 1024) // 16 KiB
+			res := runCoded(t, c, sess, 0, value, c.Honest(bad...), Options{CodedThreshold: 1})
+			got, err := testkit.AgreeBytes(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, value) {
+				t.Fatal("wrong-fragment adversary corrupted the reconstruction")
+			}
+		})
+	}
+}
+
+// TestCodedGarbageMessagesIgnored floods a coded session with malformed
+// coded frames before the honest broadcast; honest parties must be
+// unaffected (and must not panic).
+func TestCodedGarbageMessagesIgnored(t *testing.T) {
+	c := testkit.New(4, 1)
+	defer c.Close()
+	sess := "rbc/garbage"
+	garbage := [][]byte{
+		nil,
+		{1, 2, 3},
+		bytes.Repeat([]byte{0xff}, 100),
+	}
+	// A digest-framed message claiming an absurd total and a short fragment.
+	var w wire.Writer
+	w.BytesField(make([]byte, sha256.Size))
+	w.Int(MaxValueSize + 5)
+	garbage = append(garbage, w.Bytes())
+	for _, g := range garbage {
+		for _, typ := range []uint8{msgCInit, msgCEcho, msgCReady} {
+			for to := 0; to < 4; to++ {
+				c.Router.Send(wire.Envelope{From: 1, To: to, Session: sess, Type: typ, Payload: g})
+			}
+		}
+	}
+	value := bytes.Repeat([]byte{9}, 2000)
+	res := runCoded(t, c, sess, 0, value, c.Honest(), Options{})
+	got, err := testkit.AgreeBytes(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Fatal("garbage frames disturbed the broadcast")
+	}
+}
+
+// TestCodedThresholdSelectsFlavor pins the sender's dispatch rule: below
+// the threshold the wire carries classic INIT, at or above it coded CINIT.
+func TestCodedThresholdSelectsFlavor(t *testing.T) {
+	small := []byte("tiny")
+	big := bytes.Repeat([]byte{1}, DefaultCodedThreshold)
+	for _, tc := range []struct {
+		value []byte
+		coded bool
+	}{{small, false}, {big, true}} {
+		c := testkit.New(4, 1)
+		sess := "rbc/thr"
+		res := runCoded(t, c, sess, 0, tc.value, c.Honest(), Options{})
+		if _, err := testkit.AgreeBytes(res); err != nil {
+			t.Fatal(err)
+		}
+		// Inspect traffic: coded runs must carry no classic INIT/ECHO, and
+		// classic runs no coded frames.
+		m := c.Router.Metrics()
+		c.Close()
+		if m.Messages == 0 {
+			t.Fatal("no traffic recorded")
+		}
+		// Session strings are uniform here, so byte volume identifies the
+		// flavor: coded echoes are ~|m|·8/7/(t+1) + digest per message, and a
+		// classic 512 B run would move ≥ n²·|m| echo bytes.
+		var total uint64
+		for _, l := range m.ByLink {
+			total += l.Bytes
+		}
+		classicEchoFloor := uint64(16 * len(tc.value))
+		if tc.coded && total > classicEchoFloor {
+			t.Fatalf("coded run moved %d bytes, expected well under the classic echo floor %d", total, classicEchoFloor)
+		}
+		if !tc.coded && total < uint64(16*len(tc.value)) {
+			t.Fatalf("classic run moved only %d bytes — did it go coded?", total)
+		}
+	}
+}
+
+// TestCodedInconsistentDispersalTotality mounts the Byzantine-sender
+// attack on coded dispersal: the sender serves a garbage fragment (under
+// the correct digest) to the lowest-indexed honest party and hands its own
+// correct fragment to exactly one honest party, so that party alone can
+// error-correct and deliver while the others' pools are undecodable.
+// Totality must still hold — the stuck parties pull the value from the
+// delivered one and every honest party outputs the same bytes.
+func TestCodedInconsistentDispersalTotality(t *testing.T) {
+	const n, tf, sender = 4, 1, 3
+	for seed := int64(0); seed < 5; seed++ {
+		c := testkit.New(n, tf, testkit.WithSeed(seed))
+		sess := "rbc/incons"
+		value := bytes.Repeat([]byte("inconsistent dispersal "), 256) // ~5.7 KiB
+		coder, err := rs.NewCoder(n, tf+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frags := coder.Encode(value)
+		d := sha256.Sum256(value)
+		garbage := append([]field.Elem(nil), frags[0]...)
+		for i := range garbage {
+			garbage[i] = field.Add(garbage[i], 1)
+		}
+		env := c.Envs[sender]
+		frame := func(f []field.Elem) []byte {
+			var w wire.Writer
+			w.BytesField(d[:])
+			w.Int(len(value))
+			w.Elems(f)
+			return w.Bytes()
+		}
+		// CINIT: garbage to party 0 (poisoning the clean-decode subset at
+		// everyone), correct fragments to parties 1 and 2.
+		env.Send(0, sess, msgCInit, frame(garbage))
+		env.Send(1, sess, msgCInit, frame(frags[1]))
+		env.Send(2, sess, msgCInit, frame(frags[2]))
+		// The sender's own correct fragment goes to party 2 only: party 2
+		// gets 4 fragments (1 wrong — Berlekamp–Welch corrects), parties 0
+		// and 1 get 3 fragments (1 wrong — beyond their error budget).
+		env.Send(2, sess, msgCEcho, frame(frags[sender]))
+
+		res := c.Run([]int{0, 1, 2}, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			return RunCoded(ctx, env, sess, sender, nil, Options{})
+		})
+		got, err := testkit.AgreeBytes(res)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(got, value) {
+			t.Fatalf("seed %d: delivered value differs from the dispersed one", seed)
+		}
+		c.Close()
+	}
+}
+
+// TestCodedSubsetDecodeSurvivesOneGarbageInit: garbage served to a
+// non-lowest party leaves the clean-decode subset intact — everyone
+// delivers without error correction or pulls.
+func TestCodedSubsetDecodeSurvivesOneGarbageInit(t *testing.T) {
+	const n, tf, sender = 4, 1, 3
+	c := testkit.New(n, tf)
+	defer c.Close()
+	sess := "rbc/subset"
+	value := bytes.Repeat([]byte{5}, 3000)
+	coder, err := rs.NewCoder(n, tf+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags := coder.Encode(value)
+	d := sha256.Sum256(value)
+	garbage := append([]field.Elem(nil), frags[2]...)
+	for i := range garbage {
+		garbage[i] = field.Add(garbage[i], 7)
+	}
+	env := c.Envs[sender]
+	frame := func(f []field.Elem) []byte {
+		var w wire.Writer
+		w.BytesField(d[:])
+		w.Int(len(value))
+		w.Elems(f)
+		return w.Bytes()
+	}
+	env.Send(0, sess, msgCInit, frame(frags[0]))
+	env.Send(1, sess, msgCInit, frame(frags[1]))
+	env.Send(2, sess, msgCInit, frame(garbage))
+	res := c.Run([]int{0, 1, 2}, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return RunCoded(ctx, env, sess, sender, nil, Options{})
+	})
+	got, err := testkit.AgreeBytes(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Fatal("delivered value differs from the dispersed one")
+	}
+}

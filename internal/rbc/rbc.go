@@ -1,6 +1,26 @@
-// Package rbc implements Bracha's asynchronous reliable broadcast, the
-// Broadcast primitive the paper calls A-Cast (Definition 4.4, citing
-// Bracha [6]).
+// Package rbc implements asynchronous reliable broadcast, the Broadcast
+// primitive the paper calls A-Cast (Definition 4.4, citing Bracha [6]),
+// in two interoperable flavors sharing one receiver state machine:
+//
+//   - Classic Bracha echo (Run): the sender disperses INIT with the full
+//     value and parties echo the full value. Total traffic is O(n²·|m|)
+//     per broadcast.
+//   - Erasure-coded dispersal (RunCoded, above Options.CodedThreshold): the
+//     sender Reed–Solomon-encodes the value into n fragments with threshold
+//     t+1 (internal/rs.Coder) and sends party i only fragment i plus the
+//     SHA-256 digest of the value; parties echo only their own fragment +
+//     digest, and READY carries the digest alone. Quorum tracking keys on
+//     the digest, and a party holding a 2t+1 READY quorum reconstructs the
+//     value from collected fragments via error-corrected decoding
+//     (rs.DecodeIn + digest check), so up to t Byzantine parties echoing
+//     corrupted fragments can neither block nor corrupt the output. Total
+//     traffic drops to O(n²·|m|/(t+1) + n²·digest): READY is digest-only
+//     on the coded path (see sendReady for why this preserves totality),
+//     full-value on the classic path (faithful Bracha).
+//
+// Both flavors quorum-track by payload digest and keep one canonical
+// payload copy per digest, so a Byzantine flood of distinct large values
+// costs one copy per distinct value, not one per message.
 //
 // Guarantees with n ≥ 3t+1 under any message scheduling:
 //
@@ -10,88 +30,534 @@
 //   - Validity: a nonfaulty sender's value is the output.
 //   - Correctness: no two nonfaulty parties output different values.
 //
-// The protocol is the classical three-phase echo protocol: the sender
-// disperses INIT, parties echo the first INIT they see, send READY on a
-// 2t+1 ECHO quorum (or t+1 READY amplification), and output on a 2t+1
-// READY quorum.
+// Totality of the coded path needs one extra mechanism: a Byzantine
+// *sender* can serve garbage fragments under a valid digest to a subset of
+// honest parties, leaving them with fragment pools that never decode even
+// though another honest party (served consistently) already delivered — a
+// hazard inherent to unauthenticated fragments. The repair is a
+// digest-pinned retransmission: a party whose READY quorum is complete but
+// whose pool decoding failed broadcasts a 33-byte CPULL, and any party
+// holding the value answers point-to-point with CFULL (validated against
+// the digest on receipt, answered at most once per requester per digest).
+// Delivered instances keep answering pulls from a background helper until
+// the caller's context ends — the same helpers-outlive-the-local-return
+// discipline the rest of the repository uses — so "if any nonfaulty party
+// completes, all participating nonfaulty parties complete" holds on the
+// coded path too. With an honest sender pulls essentially never fire (a
+// peer's fragment precedes its READY on FIFO links), so the bandwidth
+// saving is untouched; under attack the worst case degenerates toward
+// classic-echo cost, never beyond O(n²·|m|).
 package rbc
 
 import (
 	"context"
+	"crypto/sha256"
+	"errors"
 	"fmt"
 
+	"asyncft/internal/field"
+	"asyncft/internal/rs"
 	"asyncft/internal/runtime"
+	"asyncft/internal/wire"
 )
 
-// Message types within a broadcast session.
+// Message types within a broadcast session: the classic full-value
+// triple, the coded (fragment + digest) triple, and the retransmission
+// pair that repairs coded totality (CPULL asks "who has the value for
+// this digest", CFULL answers point-to-point with the full value).
 const (
-	msgInit  uint8 = 1
-	msgEcho  uint8 = 2
-	msgReady uint8 = 3
+	msgInit   uint8 = 1
+	msgEcho   uint8 = 2
+	msgReady  uint8 = 3
+	msgCInit  uint8 = 4
+	msgCEcho  uint8 = 5
+	msgCReady uint8 = 6
+	msgCPull  uint8 = 7
+	msgCFull  uint8 = 8
 )
 
 // MaxValueSize bounds the payload accepted from the wire; larger claims are
 // discarded as Byzantine garbage.
 const MaxValueSize = 1 << 20
 
-// Run executes one reliable-broadcast instance identified by session.
-// If env.ID == sender, value is broadcast; other parties pass value == nil.
-// Every nonfaulty party must call Run for the instance to terminate.
-// The returned bytes are the agreed value.
+// DefaultCodedThreshold is the payload size, in bytes, at which RunCoded
+// switches from classic echo to erasure-coded dispersal when
+// Options.CodedThreshold is zero. Below it the digest/fragment framing
+// overhead outweighs the echo savings.
+const DefaultCodedThreshold = 512
+
+// Options tunes a broadcast instance. The zero value uses coded dispersal
+// above DefaultCodedThreshold.
+type Options struct {
+	// CodedThreshold selects the dispersal strategy by payload size:
+	// positive — payloads of at least this many bytes are erasure-coded;
+	// zero — use DefaultCodedThreshold; negative — always classic echo.
+	// Only the sender's option matters on the wire: receivers handle both
+	// flavors regardless, so mixed configurations interoperate.
+	CodedThreshold int
+}
+
+func (o Options) threshold() int {
+	switch {
+	case o.CodedThreshold > 0:
+		return o.CodedThreshold
+	case o.CodedThreshold < 0:
+		return -1
+	default:
+		return DefaultCodedThreshold
+	}
+}
+
+// Run executes one reliable-broadcast instance identified by session using
+// classic full-value echo. If env.ID == sender, value is broadcast; other
+// parties pass value == nil. Every nonfaulty party must call Run (or
+// RunCoded — the receive sides interoperate) for the instance to
+// terminate. The returned bytes are the agreed value, a copy private to
+// the caller.
 func Run(ctx context.Context, env *runtime.Env, session string, sender int, value []byte) ([]byte, error) {
+	return RunCoded(ctx, env, session, sender, value, Options{CodedThreshold: -1})
+}
+
+// RunCoded is Run with erasure-coded dispersal for payloads at or above
+// the configured threshold: same Termination/Validity/Correctness contract
+// and bit-identical outputs, at O(|m|/(t+1)) per-link bandwidth for large
+// values. Sender and receivers may use different Options; only the
+// sender's threshold affects the wire.
+func RunCoded(ctx context.Context, env *runtime.Env, session string, sender int, value []byte, opts Options) ([]byte, error) {
 	if sender < 0 || sender >= env.N {
 		return nil, fmt.Errorf("rbc %s: invalid sender %d", session, sender)
 	}
+	st, err := newState(env, session, sender)
+	if err != nil {
+		return nil, fmt.Errorf("rbc %s: %w", session, err)
+	}
 	if env.ID == sender {
-		env.SendAll(session, msgInit, value)
-	}
-
-	type valueKey string
-	echoes := make(map[valueKey]map[int]bool)
-	readies := make(map[valueKey]map[int]bool)
-	echoed := false
-	readied := false
-
-	mark := func(m map[valueKey]map[int]bool, v valueKey, from int) int {
-		set := m[v]
-		if set == nil {
-			set = make(map[int]bool)
-			m[v] = set
+		if thr := opts.threshold(); thr >= 0 && len(value) >= thr && len(value) > 0 {
+			st.disperse(value)
+		} else {
+			env.SendAll(session, msgInit, value)
 		}
-		set[from] = true
-		return len(set)
 	}
-
 	for {
 		msg, err := env.Recv(ctx, session)
 		if err != nil {
 			return nil, fmt.Errorf("rbc %s: %w", session, err)
 		}
-		if len(msg.Payload) > MaxValueSize {
-			continue
-		}
-		v := valueKey(msg.Payload)
-		switch msg.Type {
-		case msgInit:
-			if msg.From != sender || echoed {
-				continue
-			}
-			echoed = true
-			env.SendAll(session, msgEcho, msg.Payload)
-		case msgEcho:
-			if mark(echoes, v, msg.From) == 2*env.T+1 && !readied {
-				readied = true
-				env.SendAll(session, msgReady, msg.Payload)
-			}
-		case msgReady:
-			n := mark(readies, v, msg.From)
-			if n == env.T+1 && !readied {
-				readied = true
-				env.SendAll(session, msgReady, msg.Payload)
-			}
-			if n == 2*env.T+1 {
-				return []byte(v), nil
-			}
+		if out, done := st.handle(msg); done {
+			// Keep answering retransmission pulls (and absorbing stragglers)
+			// for slower parties until the context ends — the state machine
+			// is handed off to the helper, never touched here again. The
+			// caller gets a private copy: the helper keeps reading the
+			// canonical slice to answer pulls.
+			go st.serve(ctx)
+			return append([]byte(nil), out...), nil
 		}
 	}
+}
+
+// serve drains the session after local delivery so CPULL requests from
+// parties still reconstructing are answered. It exits when the context is
+// cancelled or the node closes.
+func (st *state) serve(ctx context.Context) {
+	for {
+		msg, err := st.env.Recv(ctx, st.session)
+		if err != nil {
+			return
+		}
+		st.handle(msg)
+	}
+}
+
+// digest identifies a broadcast value without holding its bytes.
+type digest = [sha256.Size]byte
+
+// fragKey identifies one fragment pool. Pools are keyed by (digest,
+// claimed length) so a Byzantine party announcing a wrong length for a
+// digest poisons only its own pool, never the honest fragments.
+type fragKey struct {
+	d     digest
+	total int
+}
+
+// state is the per-instance receiver state machine, shared by both
+// dispersal flavors.
+type state struct {
+	env     *runtime.Env
+	session string
+	sender  int
+	coder   *rs.Coder
+
+	echoed  bool
+	readied bool
+
+	echoes  map[digest]map[int]bool
+	readies map[digest]map[int]bool
+	// values holds one canonical payload copy per digest (the Bracha-path
+	// memory fix: quorum maps never key on payload bytes).
+	values map[digest][]byte
+	// pools holds coded fragments indexed digest → claimed length → party.
+	// Each party gets at most one fragment claim per digest (claimed), so a
+	// digest has at most n pools and every per-message scan is O(n) — a
+	// Byzantine flood of distinct length claims cannot amplify CPU.
+	// lastTry remembers the pool size of the last failed reconstruction
+	// attempt so duplicate quorum messages cannot retrigger decode work
+	// (attempts rerun only when a pool grows).
+	pools     map[digest]map[int]map[int][]field.Elem
+	claimed   map[digest]map[int]bool
+	lastTry   map[fragKey]int
+	readyDone map[digest]bool
+
+	// Retransmission state: pulled marks digests this party has asked
+	// retransmission for; pullSeen dedupes inbound requests per (digest,
+	// requester); pullWait queues requesters to answer once the value is
+	// known.
+	pulled   map[digest]bool
+	pullSeen map[digest]map[int]bool
+	pullWait map[digest][]int
+
+	maxCodedPayload int
+}
+
+func newState(env *runtime.Env, session string, sender int) (*state, error) {
+	coder, err := rs.NewCoder(env.N, env.T+1)
+	if err != nil {
+		return nil, err
+	}
+	return &state{
+		env:             env,
+		session:         session,
+		sender:          sender,
+		coder:           coder,
+		echoes:          make(map[digest]map[int]bool),
+		readies:         make(map[digest]map[int]bool),
+		values:          make(map[digest][]byte),
+		pools:           make(map[digest]map[int]map[int][]field.Elem),
+		claimed:         make(map[digest]map[int]bool),
+		lastTry:         make(map[fragKey]int),
+		readyDone:       make(map[digest]bool),
+		pulled:          make(map[digest]bool),
+		pullSeen:        make(map[digest]map[int]bool),
+		pullWait:        make(map[digest][]int),
+		maxCodedPayload: 64 + coder.FragmentLen(MaxValueSize)*8,
+	}, nil
+}
+
+// disperse is the coded sender's INIT: fragment i + digest to party i.
+func (st *state) disperse(value []byte) {
+	frags := st.coder.Encode(value)
+	d := sha256.Sum256(value)
+	// Store a private copy: the retransmission helper may still be sending
+	// this slice long after the caller got its result back.
+	st.values[d] = append([]byte(nil), value...)
+	for i := 0; i < st.env.N; i++ {
+		var w wire.Writer
+		w.BytesField(d[:])
+		w.Int(len(value))
+		w.Elems(frags[i])
+		st.env.Send(i, st.session, msgCInit, w.Bytes())
+	}
+}
+
+// handle advances the state machine by one message; done reports delivery.
+func (st *state) handle(msg wire.Envelope) ([]byte, bool) {
+	switch msg.Type {
+	case msgInit:
+		if msg.From != st.sender || st.echoed || len(msg.Payload) > MaxValueSize {
+			return nil, false
+		}
+		st.echoed = true
+		st.env.SendAll(st.session, msgEcho, msg.Payload)
+	case msgEcho:
+		if len(msg.Payload) > MaxValueSize {
+			return nil, false
+		}
+		d := sha256.Sum256(msg.Payload)
+		st.storeValue(d, msg.Payload)
+		if st.mark(st.echoes, d, msg.From) == 2*st.env.T+1 && !st.readied {
+			st.sendReady(d)
+		}
+		// An echo can be the event that finally supplies the value after
+		// the READY quorum already completed.
+		return st.tryDeliver(d)
+	case msgReady:
+		if len(msg.Payload) > MaxValueSize {
+			return nil, false
+		}
+		d := sha256.Sum256(msg.Payload)
+		st.storeValue(d, msg.Payload)
+		return st.onReady(d, msg.From)
+	case msgCInit:
+		if msg.From != st.sender || st.echoed {
+			return nil, false
+		}
+		d, total, frag, ok := st.parseFrag(msg.Payload)
+		if !ok {
+			return nil, false
+		}
+		st.echoed = true
+		st.addFrag(d, total, st.env.ID, frag)
+		// The CINIT body (digest | length | own fragment) is exactly the
+		// CECHO body: re-send the received encoding without re-serializing.
+		st.env.SendAll(st.session, msgCEcho, msg.Payload)
+		return st.tryDeliver(d)
+	case msgCEcho:
+		d, total, frag, ok := st.parseFrag(msg.Payload)
+		if !ok {
+			return nil, false
+		}
+		st.addFrag(d, total, msg.From, frag)
+		if st.mark(st.echoes, d, msg.From) == 2*st.env.T+1 && !st.readied {
+			st.sendReady(d)
+		}
+		return st.tryDeliver(d)
+	case msgCReady:
+		d, ok := st.parseDigest(msg.Payload)
+		if !ok {
+			return nil, false
+		}
+		return st.onReady(d, msg.From)
+	case msgCPull:
+		d, ok := st.parseDigest(msg.Payload)
+		if !ok {
+			return nil, false
+		}
+		seen := st.pullSeen[d]
+		if seen == nil {
+			seen = make(map[int]bool)
+			st.pullSeen[d] = seen
+		}
+		if seen[msg.From] {
+			return nil, false // one answer per requester per digest
+		}
+		seen[msg.From] = true
+		if v, ok := st.values[d]; ok {
+			st.env.Send(msg.From, st.session, msgCFull, v)
+		} else {
+			st.pullWait[d] = append(st.pullWait[d], msg.From)
+		}
+	case msgCFull:
+		if len(msg.Payload) > MaxValueSize {
+			return nil, false
+		}
+		// Self-authenticating: the value is stored under the digest of its
+		// own bytes, so a lying retransmission can never satisfy the quorum
+		// digest it was pulled for.
+		d := sha256.Sum256(msg.Payload)
+		st.storeValue(d, msg.Payload)
+		return st.tryDeliver(d)
+	}
+	return nil, false
+}
+
+// onReady marks a READY (either flavor) and drives amplification, quorum
+// completion and delivery.
+func (st *state) onReady(d digest, from int) ([]byte, bool) {
+	n := st.mark(st.readies, d, from)
+	if n == st.env.T+1 && !st.readied {
+		st.sendReady(d)
+	}
+	if n == 2*st.env.T+1 {
+		st.readyDone[d] = true
+	}
+	return st.tryDeliver(d)
+}
+
+// sendReady emits this party's single READY. The classic path stays
+// faithful to Bracha: READY carries the full value (so the seed's wire
+// behavior is the unchanged baseline coded dispersal is measured against).
+// Coded-flavored instances — any instance for which fragments were seen —
+// send the 33-byte digest-only READY; so does amplification when neither
+// the value nor fragments are at hand yet, which is safe because echoes
+// are broadcast to everyone and eventually supply the value to any party
+// whose READY quorum completes.
+func (st *state) sendReady(d digest) {
+	st.readied = true
+	if v, ok := st.values[d]; ok && !st.codedSeen(d) {
+		st.env.SendAll(st.session, msgReady, v)
+		return
+	}
+	var w wire.Writer
+	w.BytesField(d[:])
+	st.env.SendAll(st.session, msgCReady, w.Bytes())
+}
+
+// codedSeen reports whether any fragment pool exists for d (the instance
+// is coded-flavored from this party's point of view).
+func (st *state) codedSeen(d digest) bool {
+	return len(st.pools[d]) > 0
+}
+
+// storeValue retains the canonical payload copy for a digest.
+func (st *state) storeValue(d digest, payload []byte) {
+	if _, ok := st.values[d]; !ok {
+		st.values[d] = append([]byte(nil), payload...)
+	}
+}
+
+// addFrag records a fragment claimed for party idx. Each party gets one
+// claim per digest — the first (length, fragment) it announces — so pools
+// per digest are bounded by n and a party cannot spray fragments across
+// many length claims.
+func (st *state) addFrag(d digest, total, idx int, frag []field.Elem) {
+	cl := st.claimed[d]
+	if cl == nil {
+		cl = make(map[int]bool)
+		st.claimed[d] = cl
+	}
+	if cl[idx] {
+		return
+	}
+	cl[idx] = true
+	byTotal := st.pools[d]
+	if byTotal == nil {
+		byTotal = make(map[int]map[int][]field.Elem)
+		st.pools[d] = byTotal
+	}
+	pool := byTotal[total]
+	if pool == nil {
+		pool = make(map[int][]field.Elem)
+		byTotal[total] = pool
+	}
+	pool[idx] = frag
+}
+
+// mark adds from to the digest's party set and returns the new size.
+func (st *state) mark(m map[digest]map[int]bool, d digest, from int) int {
+	set := m[d]
+	if set == nil {
+		set = make(map[int]bool)
+		m[d] = set
+	}
+	set[from] = true
+	return len(set)
+}
+
+// tryDeliver outputs the value for d once the READY quorum is complete and
+// the value is available — directly, or by error-corrected reconstruction
+// from any fragment pool that decodes to the digest. When a decodable-size
+// pool fails (a Byzantine sender served inconsistent fragments), it asks
+// all parties for a retransmission once; whoever delivered answers with
+// the full value, restoring totality.
+func (st *state) tryDeliver(d digest) ([]byte, bool) {
+	if !st.readyDone[d] {
+		return nil, false
+	}
+	if v, ok := st.values[d]; ok {
+		st.answerPulls(d, v)
+		return v, true
+	}
+	failed := false
+	for total, pool := range st.pools[d] {
+		if len(pool) < st.coder.K() {
+			continue
+		}
+		key := fragKey{d: d, total: total}
+		if len(pool) == st.lastTry[key] {
+			failed = true // already refuted at this pool size; wait for growth
+			continue
+		}
+		if v, ok := st.reconstruct(key, pool); ok {
+			st.values[d] = v
+			st.answerPulls(d, v)
+			return v, true
+		}
+		st.lastTry[key] = len(pool)
+		failed = true
+	}
+	if failed && !st.pulled[d] {
+		st.pulled[d] = true
+		var w wire.Writer
+		w.BytesField(d[:])
+		st.env.SendAll(st.session, msgCPull, w.Bytes())
+	}
+	return nil, false
+}
+
+// answerPulls responds to retransmission requests queued before the value
+// became known.
+func (st *state) answerPulls(d digest, v []byte) {
+	for _, j := range st.pullWait[d] {
+		st.env.Send(j, st.session, msgCFull, v)
+	}
+	delete(st.pullWait, d)
+}
+
+// reconstruct attempts an online-error-correcting decode of one pool. The
+// allocation-free clean decode runs first (the overwhelmingly common
+// case); its result is digest-checked even when spare fragments disagreed
+// (the chosen subset may still be the right one). Only then does it
+// escalate to Berlekamp–Welch, tolerating up to min(t, (m−(t+1))/2) wrong
+// fragments. The digest check rejects any decode that is not the
+// broadcast value, so the state machine simply retries as further
+// fragments arrive until the honest fragments dominate.
+func (st *state) reconstruct(key fragKey, pool map[int][]field.Elem) ([]byte, bool) {
+	k := st.coder.K()
+	m := len(pool)
+	if m < k {
+		return nil, false
+	}
+	data, err := st.coder.ReconstructClean(key.total, pool)
+	switch {
+	case err == nil && sha256.Sum256(data) == key.d:
+		return data, true
+	case err == nil:
+		// A fully consistent pool encoding a different value: error
+		// correction cannot improve on consensus among the fragments.
+		return nil, false
+	case errors.Is(err, rs.ErrInconsistent) && sha256.Sum256(data) == key.d:
+		// Spare fragments disagreed but the decoding subset was correct.
+		return data, true
+	case !errors.Is(err, rs.ErrInconsistent):
+		return nil, false // malformed pool; Berlekamp–Welch would reject it too
+	}
+	maxErrors := (m - k) / 2
+	if maxErrors > st.env.T {
+		maxErrors = st.env.T
+	}
+	if maxErrors == 0 {
+		return nil, false
+	}
+	data, err = st.coder.Reconstruct(key.total, pool, maxErrors)
+	if err != nil || sha256.Sum256(data) != key.d {
+		return nil, false
+	}
+	return data, true
+}
+
+// parseFrag decodes a CINIT/CECHO body. It enforces every cap a Byzantine
+// sender could abuse: payload size, claimed value length, and exact
+// fragment length for that claim.
+func (st *state) parseFrag(payload []byte) (digest, int, []field.Elem, bool) {
+	var d digest
+	if len(payload) > st.maxCodedPayload {
+		return d, 0, nil, false
+	}
+	r := wire.NewReader(payload)
+	db := r.BytesField(sha256.Size)
+	total := r.Int()
+	if r.Err() != nil || len(db) != sha256.Size || total > MaxValueSize {
+		return d, 0, nil, false
+	}
+	want := st.coder.FragmentLen(total)
+	frag := r.Elems(want)
+	if r.Err() != nil || len(frag) != want {
+		return d, 0, nil, false
+	}
+	copy(d[:], db)
+	return d, total, frag, true
+}
+
+// parseDigest decodes a CREADY body.
+func (st *state) parseDigest(payload []byte) (digest, bool) {
+	var d digest
+	if len(payload) > 2*sha256.Size {
+		return d, false
+	}
+	r := wire.NewReader(payload)
+	db := r.BytesField(sha256.Size)
+	if r.Err() != nil || len(db) != sha256.Size {
+		return d, false
+	}
+	copy(d[:], db)
+	return d, true
 }

@@ -1,0 +1,255 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"asyncft/internal/field"
+)
+
+// BytesPerElem is how many payload bytes one field element carries: 7 bytes
+// = 56 bits fit strictly below the 61-bit modulus, so packing is lossless
+// and every packed element is a canonical field value.
+const BytesPerElem = 7
+
+// Coder turns byte payloads into n Reed–Solomon fragments of which any k
+// determine the payload, over the shared evaluation domain {1, …, n}
+// (party i's fragment is evaluated at x = i+1, like every share in this
+// repository). It is the dispersal codec behind the coded reliable
+// broadcast (internal/rbc): with k = t+1, fragments are |m|/(t+1) of the
+// payload, and reconstruction tolerates wrong fragments via Berlekamp–
+// Welch decoding (DecodeIn) column by column.
+//
+// Layout: the payload is packed 7 bytes per element, elements are grouped
+// into columns of k (zero-padded), each column is read as the coefficients
+// of a polynomial of degree < k, and fragment i holds that polynomial's
+// evaluation at x = i+1 for every column. A Coder is immutable and safe
+// for concurrent use.
+type Coder struct {
+	n, k int
+	dom  *field.Domain
+}
+
+// NewCoder builds a coder producing n fragments with reconstruction
+// threshold k (1 ≤ k ≤ n).
+func NewCoder(n, k int) (*Coder, error) {
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("rs: invalid coder parameters n=%d k=%d", n, k)
+	}
+	return &Coder{n: n, k: k, dom: field.DomainFor(n)}, nil
+}
+
+// N returns the fragment count; K the reconstruction threshold.
+func (c *Coder) N() int { return c.n }
+
+// K returns the reconstruction threshold.
+func (c *Coder) K() int { return c.k }
+
+// FragmentLen returns the number of field elements in each fragment of a
+// payload of dataLen bytes (the column count).
+func (c *Coder) FragmentLen(dataLen int) int {
+	elems := (dataLen + BytesPerElem - 1) / BytesPerElem
+	return (elems + c.k - 1) / c.k
+}
+
+// packElem reads up to BytesPerElem little-endian bytes at off.
+func packElem(data []byte, off int) field.Elem {
+	var v uint64
+	for b := 0; b < BytesPerElem && off+b < len(data); b++ {
+		v |= uint64(data[off+b]) << (8 * b)
+	}
+	return field.Elem(v) // < 2^56 < P by construction
+}
+
+// unpackElem writes up to BytesPerElem little-endian bytes at off. Bits
+// beyond the packing width (possible only for adversarially decoded
+// elements; honest packing never sets them) are dropped — the caller's
+// digest check catches any such corruption.
+func unpackElem(data []byte, off int, e field.Elem) {
+	v := e.Uint64()
+	for b := 0; b < BytesPerElem && off+b < len(data); b++ {
+		data[off+b] = byte(v >> (8 * b))
+	}
+}
+
+// Encode splits data into n fragments; fragment i (0-based) is the slice
+// handed to party i. All fragments have length FragmentLen(len(data)).
+func (c *Coder) Encode(data []byte) [][]field.Elem {
+	cols := c.FragmentLen(len(data))
+	frags := make([][]field.Elem, c.n)
+	flat := make([]field.Elem, c.n*cols) // one backing array, n slices
+	for i := range frags {
+		frags[i] = flat[i*cols : (i+1)*cols]
+	}
+	coeffs := make(field.Poly, c.k)
+	for col := 0; col < cols; col++ {
+		for r := 0; r < c.k; r++ {
+			coeffs[r] = packElem(data, (col*c.k+r)*BytesPerElem)
+		}
+		for i := 0; i < c.n; i++ {
+			frags[i][col] = coeffs.Eval(field.New(uint64(i + 1)))
+		}
+	}
+	return frags
+}
+
+// ErrInconsistent is returned by ReconstructClean when the fragments do
+// not all lie on one codeword — the caller's cue to escalate to the
+// error-correcting Reconstruct.
+var ErrInconsistent = errors.New("rs: fragments inconsistent")
+
+// checkFrags validates fragment indices and lengths and returns the sorted
+// index list.
+func (c *Coder) checkFrags(cols int, frags map[int][]field.Elem) ([]int, error) {
+	idxs := make([]int, 0, len(frags))
+	for idx, f := range frags {
+		if idx < 0 || idx >= c.n {
+			return nil, fmt.Errorf("rs: fragment index %d outside domain of %d", idx, c.n)
+		}
+		if len(f) != cols {
+			return nil, fmt.Errorf("rs: fragment %d has %d columns, want %d", idx, len(f), cols)
+		}
+		idxs = append(idxs, idx)
+	}
+	sortInts(idxs)
+	return idxs, nil
+}
+
+// ReconstructClean recovers a payload of dataLen bytes assuming every
+// fragment is correct: it decodes from the first k fragments through a
+// Lagrange basis precomputed once for the whole payload (the per-column
+// work is a few multiplications, allocation-free) and verifies every
+// remaining fragment against the decoded column. On a disagreement it
+// finishes the decode from the chosen k fragments anyway and returns the
+// data alongside ErrInconsistent: the chosen subset may still be the
+// correct one (a wrong spare fragment), so a caller holding a payload
+// digest should check the returned bytes before escalating to the
+// error-correcting Reconstruct. This is the reconstruction hot path of
+// the coded broadcast.
+func (c *Coder) ReconstructClean(dataLen int, frags map[int][]field.Elem) ([]byte, error) {
+	cols := c.FragmentLen(dataLen)
+	if len(frags) < c.k {
+		return nil, fmt.Errorf("rs: need %d fragments, have %d", c.k, len(frags))
+	}
+	idxs, err := c.checkFrags(cols, frags)
+	if err != nil {
+		return nil, err
+	}
+	use, rest := idxs[:c.k], idxs[c.k:]
+	// basis[i] holds the coefficients of the Lagrange basis polynomial for
+	// x = use[i]+1 over the chosen k points: column coefficients are then
+	// coeffs = Σ_i y_i · basis[i].
+	basis := make([][]field.Elem, c.k)
+	for i, idx := range use {
+		xi := field.New(uint64(idx + 1))
+		num := make([]field.Elem, 1, c.k) // running product Π (x − x_j)
+		num[0] = 1
+		denom := field.Elem(1)
+		for j, jdx := range use {
+			if j == i {
+				continue
+			}
+			xj := field.New(uint64(jdx + 1))
+			num = append(num, 0)
+			for d := len(num) - 1; d >= 1; d-- {
+				num[d] = field.Add(num[d-1], field.Mul(field.Neg(xj), num[d]))
+			}
+			num[0] = field.Mul(field.Neg(xj), num[0])
+			denom = field.Mul(denom, field.Sub(xi, xj))
+		}
+		inv := field.Inv(denom)
+		for d := range num {
+			num[d] = field.Mul(num[d], inv)
+		}
+		basis[i] = num
+	}
+	restX := make([]field.Elem, len(rest))
+	for i, idx := range rest {
+		restX[i] = field.New(uint64(idx + 1))
+	}
+	data := make([]byte, dataLen)
+	coeffs := make([]field.Elem, c.k)
+	inconsistent := false
+	for col := 0; col < cols; col++ {
+		for r := range coeffs {
+			coeffs[r] = 0
+		}
+		for i, idx := range use {
+			y := frags[idx][col]
+			if y == 0 {
+				continue
+			}
+			b := basis[i]
+			for r := 0; r < c.k; r++ {
+				coeffs[r] = field.Add(coeffs[r], field.Mul(y, b[r]))
+			}
+		}
+		if !inconsistent {
+			for i, idx := range rest {
+				var v field.Elem // Horner evaluation at the spare fragment's x
+				for r := c.k - 1; r >= 0; r-- {
+					v = field.Add(field.Mul(v, restX[i]), coeffs[r])
+				}
+				if v != frags[idx][col] {
+					inconsistent = true
+					break
+				}
+			}
+		}
+		for r := 0; r < c.k; r++ {
+			unpackElem(data, (col*c.k+r)*BytesPerElem, coeffs[r])
+		}
+	}
+	if inconsistent {
+		return data, ErrInconsistent
+	}
+	return data, nil
+}
+
+// Reconstruct recovers a payload of dataLen bytes from fragments keyed by
+// party index, tolerating up to maxErrors wholly or partially corrupted
+// fragments (Berlekamp–Welch per column; len(frags) ≥ k + 2·maxErrors
+// required). Fragments of the wrong length are rejected outright. The
+// caller is expected to verify the result against a digest: decoding can
+// only be trusted when the true error count is within maxErrors.
+func (c *Coder) Reconstruct(dataLen int, frags map[int][]field.Elem, maxErrors int) ([]byte, error) {
+	cols := c.FragmentLen(dataLen)
+	m := len(frags)
+	if m < c.k+2*maxErrors {
+		return nil, fmt.Errorf("rs: need %d fragments for threshold %d with %d errors, have %d",
+			c.k+2*maxErrors, c.k, maxErrors, m)
+	}
+	idxs, err := c.checkFrags(cols, frags)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, dataLen)
+	points := make([]field.Point, m)
+	for col := 0; col < cols; col++ {
+		for j, idx := range idxs {
+			points[j] = field.Point{X: field.New(uint64(idx + 1)), Y: frags[idx][col]}
+		}
+		p, _, err := DecodeIn(c.dom, points, c.k-1, maxErrors)
+		if err != nil {
+			return nil, fmt.Errorf("rs: column %d: %w", col, err)
+		}
+		for r := 0; r < c.k; r++ {
+			var e field.Elem
+			if r < len(p) {
+				e = p[r]
+			}
+			unpackElem(data, (col*c.k+r)*BytesPerElem, e)
+		}
+	}
+	return data, nil
+}
+
+// sortInts is a tiny insertion sort: fragment sets are at most n entries,
+// and this keeps the package free of a sort import on the hot path.
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

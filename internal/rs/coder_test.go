@@ -1,0 +1,151 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"asyncft/internal/field"
+)
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestCoderRoundTripSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c, err := NewCoder(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{0, 1, 6, 7, 8, 13, 14, 100, 1 << 10, 64 << 10} {
+		data := randBytes(rng, size)
+		frags := c.Encode(data)
+		if len(frags) != 4 {
+			t.Fatalf("size %d: got %d fragments", size, len(frags))
+		}
+		want := c.FragmentLen(size)
+		for i, f := range frags {
+			if len(f) != want {
+				t.Fatalf("size %d: fragment %d has %d cols, want %d", size, i, len(f), want)
+			}
+		}
+		// Any k=2 fragments reconstruct, via both decode paths.
+		for a := 0; a < 4; a++ {
+			for b := a + 1; b < 4; b++ {
+				sub := map[int][]field.Elem{a: frags[a], b: frags[b]}
+				got, err := c.Reconstruct(size, sub, 0)
+				if err != nil {
+					t.Fatalf("size %d frags {%d,%d}: %v", size, a, b, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("size %d frags {%d,%d}: round trip mismatch", size, a, b)
+				}
+				clean, err := c.ReconstructClean(size, sub)
+				if err != nil {
+					t.Fatalf("size %d frags {%d,%d} clean: %v", size, a, b, err)
+				}
+				if !bytes.Equal(clean, data) {
+					t.Fatalf("size %d frags {%d,%d}: clean decode mismatch", size, a, b)
+				}
+			}
+		}
+		// The clean path with surplus fragments verifies and agrees too.
+		full := map[int][]field.Elem{0: frags[0], 1: frags[1], 2: frags[2], 3: frags[3]}
+		clean, err := c.ReconstructClean(size, full)
+		if err != nil {
+			t.Fatalf("size %d full clean: %v", size, err)
+		}
+		if !bytes.Equal(clean, data) {
+			t.Fatalf("size %d: full clean decode mismatch", size)
+		}
+	}
+}
+
+func TestCoderParameters(t *testing.T) {
+	for _, bad := range [][2]int{{4, 0}, {4, 5}, {0, 1}, {3, -1}} {
+		if _, err := NewCoder(bad[0], bad[1]); err == nil {
+			t.Fatalf("NewCoder(%d, %d): expected error", bad[0], bad[1])
+		}
+	}
+	c, err := NewCoder(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 7 || c.K() != 3 {
+		t.Fatalf("got n=%d k=%d", c.N(), c.K())
+	}
+}
+
+func TestCoderErrorCorrection(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// n=7, k=3: with all 7 fragments, up to (7-3)/2 = 2 wrong fragments are
+	// corrected.
+	c, err := NewCoder(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBytes(rng, 5000)
+	frags := c.Encode(data)
+	all := make(map[int][]field.Elem, 7)
+	for i, f := range frags {
+		all[i] = append([]field.Elem(nil), f...)
+	}
+	// Corrupt two fragments: one fully, one in a few columns.
+	for col := range all[2] {
+		all[2][col] = field.Add(all[2][col], 1)
+	}
+	all[5][0] = field.Add(all[5][0], 99)
+	all[5][len(all[5])-1] = field.Add(all[5][len(all[5])-1], 99)
+	got, err := c.Reconstruct(len(data), all, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("error-corrected reconstruction mismatch")
+	}
+	// The clean path must refuse the same corrupted pool, not mis-decode.
+	if _, err := c.ReconstructClean(len(data), all); err == nil {
+		t.Fatal("clean decode accepted inconsistent fragments")
+	}
+}
+
+func TestCoderRejectsBadInputs(t *testing.T) {
+	c, err := NewCoder(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello coded world")
+	frags := c.Encode(data)
+	// Too few fragments for the error budget.
+	if _, err := c.Reconstruct(len(data), map[int][]field.Elem{0: frags[0], 1: frags[1]}, 1); err == nil {
+		t.Fatal("expected error: 2 fragments cannot absorb 1 error at k=2")
+	}
+	// Wrong fragment length.
+	if _, err := c.Reconstruct(len(data), map[int][]field.Elem{0: frags[0][:1], 1: frags[1]}, 0); err == nil {
+		t.Fatal("expected error for short fragment")
+	}
+	// Out-of-domain index.
+	if _, err := c.Reconstruct(len(data), map[int][]field.Elem{0: frags[0], 9: frags[1]}, 0); err == nil {
+		t.Fatal("expected error for out-of-domain fragment index")
+	}
+	// Garbage fragments with an honest minority must not silently "succeed":
+	// decoding may fail, or produce bytes that differ from data — both are
+	// acceptable, the caller's digest check is the authority. Panics are not.
+	bad := map[int][]field.Elem{
+		0: frags[0],
+		1: make([]field.Elem, len(frags[1])),
+		2: make([]field.Elem, len(frags[2])),
+		3: make([]field.Elem, len(frags[3])),
+	}
+	for i := range bad[1] {
+		bad[1][i] = field.New(uint64(i) * 7919)
+		bad[2][i] = field.New(uint64(i) * 104729)
+		bad[3][i] = field.New(uint64(i) * 1299709)
+	}
+	if got, err := c.Reconstruct(len(data), bad, 1); err == nil && bytes.Equal(got, data) {
+		t.Fatal("reconstruction from 3 garbage fragments should not yield the true payload")
+	}
+}

@@ -42,17 +42,18 @@ func DecodeIn(dom *field.Domain, points []field.Point, degree, maxErrors int) (f
 		return nil, nil, fmt.Errorf("rs: need %d points for degree %d with %d errors, have %d",
 			degree+1+2*maxErrors, degree, maxErrors, m)
 	}
-	// Fast path: no errors claimed.
-	if maxErrors == 0 {
-		if !dom.FitsDegree(points, degree) {
-			return nil, nil, ErrDecode
-		}
+	// e = 0 fast path: clean points skip the Berlekamp–Welch solve entirely
+	// (consistency check + interpolation over the precomputed domain). This
+	// is the common case even when maxErrors > 0 — reconstruction from
+	// honest fragments with an error budget held in reserve.
+	if dom.FitsDegree(points, degree) {
 		p := dom.Interpolate(points[:degree+1])
 		return p, nil, nil
 	}
 	// Try increasing error counts: smallest e wins (maximum-likelihood for
-	// the adversarial setting: fewest parties accused).
-	for e := 0; e <= maxErrors; e++ {
+	// the adversarial setting: fewest parties accused). e = 0 is already
+	// refuted above.
+	for e := 1; e <= maxErrors; e++ {
 		p, bad, ok := tryDecode(points, degree, e)
 		if ok {
 			return p, bad, nil

@@ -51,10 +51,15 @@ func NewNode(id, n, t int) *Node {
 func (nd *Node) ID() int { return nd.id }
 
 // Dispatch routes an incoming envelope to its session mailbox, applying the
-// shun filter. It is the network.Handler for this node.
+// shun filter. It is the network.Handler for this node. The envelope's
+// session string is interned against the mailbox's canonical instance
+// before the envelope is retained, so a hot session decoded from the wire
+// thousands of times pins exactly one string: freshly decoded duplicates
+// become garbage at the next GC instead of accumulating in mailboxes.
 func (nd *Node) Dispatch(env wire.Envelope) {
 	nd.mu.Lock()
 	box := nd.box(env.Session)
+	env.Session = box.session
 	if g, shunned := nd.shunGen[env.From]; shunned && box.gen > g {
 		// Shunned parties are ignored in interactions that began after the
 		// shun event; mailboxes opened earlier keep accepting (the paper:
@@ -72,7 +77,7 @@ func (nd *Node) box(session string) *Mailbox {
 	b := nd.boxes[session]
 	if b == nil {
 		nd.gen++
-		b = newMailbox(nd.gen)
+		b = newMailbox(session, nd.gen)
 		if nd.closed {
 			b.close()
 		}
@@ -126,9 +131,12 @@ func (nd *Node) Close() {
 	}
 }
 
-// Mailbox is an unbounded FIFO of envelopes for one session.
+// Mailbox is an unbounded FIFO of envelopes for one session. session is
+// the canonical interned copy of the session string; Dispatch rewrites
+// inbound envelopes to it.
 type Mailbox struct {
-	gen uint64
+	session string
+	gen     uint64
 
 	mu     sync.Mutex
 	items  []wire.Envelope
@@ -136,8 +144,8 @@ type Mailbox struct {
 	closed bool
 }
 
-func newMailbox(gen uint64) *Mailbox {
-	return &Mailbox{gen: gen, notify: make(chan struct{}, 1)}
+func newMailbox(session string, gen uint64) *Mailbox {
+	return &Mailbox{session: session, gen: gen, notify: make(chan struct{}, 1)}
 }
 
 func (b *Mailbox) push(env wire.Envelope) {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"time"
+	"unsafe"
 
 	"asyncft/internal/network"
 	"asyncft/internal/wire"
@@ -230,5 +231,33 @@ func TestEnvForkIndependentRandomness(t *testing.T) {
 func TestSubSessionBuilder(t *testing.T) {
 	if got := Sub("cf", "r", 3, "svss", 2); got != "cf/r/3/svss/2" {
 		t.Fatalf("Sub = %q", got)
+	}
+}
+
+func TestDispatchInternsSessionStrings(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	defer nd.Close()
+	// Two envelopes whose session strings are equal but distinct allocations
+	// (as every wire-decoded string is).
+	s1 := string([]byte("proto/hot/session"))
+	s2 := string([]byte("proto/hot/session"))
+	nd.Dispatch(wire.Envelope{From: 1, To: 0, Session: s1, Type: 1})
+	nd.Dispatch(wire.Envelope{From: 2, To: 0, Session: s2, Type: 1})
+	box := nd.Mailbox("proto/hot/session")
+	ctx := context.Background()
+	a, err := box.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := box.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both retained envelopes must share one canonical string instance.
+	if unsafe.StringData(a.Session) != unsafe.StringData(b.Session) {
+		t.Fatal("sessions not interned: retained envelopes hold distinct string instances")
+	}
+	if a.Session != "proto/hot/session" {
+		t.Fatalf("interning changed the session value: %q", a.Session)
 	}
 }

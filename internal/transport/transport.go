@@ -5,10 +5,13 @@
 // repository runs unchanged over it.
 //
 // Framing: each message is a uvarint length followed by a wire.Marshal'd
-// envelope. Connections are dialed lazily per destination with exponential
-// backoff and re-dialed on failure; outbound messages queue unboundedly in
-// the meantime (the asynchronous model's eventual delivery, within the
-// process lifetime). There is no peer authentication — the transport
+// envelope. Frames are encoded into pooled buffers (wire.GetBuf) and each
+// peer's writer drains its whole queue into one buffered flush per wakeup
+// — one syscall per batch of frames, not per frame; inbound frames decode
+// zero-copy (wire.UnmarshalFrom). Connections are dialed lazily per
+// destination with exponential backoff and re-dialed on failure; outbound
+// messages queue unboundedly in the meantime (the asynchronous model's
+// eventual delivery, within the process lifetime). There is no peer authentication — the transport
 // trusts the envelope's From field, which is adequate for a research
 // testbed and stated here so nobody mistakes it for a deployment artifact.
 package transport
@@ -48,14 +51,15 @@ type TCP struct {
 	done chan struct{}
 }
 
-// peer is the outbound side of one link.
+// peer is the outbound side of one link. Frames are pooled buffers
+// (wire.GetBuf) owned by the queue until the writer confirms them.
 type peer struct {
 	mu     sync.Mutex
-	queue  [][]byte
+	queue  []*[]byte
 	notify chan struct{}
 }
 
-func (p *peer) push(frame []byte) {
+func (p *peer) push(frame *[]byte) {
 	p.mu.Lock()
 	p.queue = append(p.queue, frame)
 	p.mu.Unlock()
@@ -65,15 +69,16 @@ func (p *peer) push(frame []byte) {
 	}
 }
 
-func (p *peer) pop() ([]byte, bool) {
+// drain swaps the whole queue out in one critical section, so the writer
+// coalesces every pending frame into a single buffered flush. spare (the
+// caller's previous batch, already emptied) becomes the new queue backing,
+// making steady-state draining allocation-free.
+func (p *peer) drain(spare []*[]byte) []*[]byte {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.queue) == 0 {
-		return nil, false
-	}
-	f := p.queue[0]
-	p.queue = p.queue[1:]
-	return f, true
+	q := p.queue
+	p.queue = spare[:0]
+	p.mu.Unlock()
+	return q
 }
 
 // Listen starts a transport for party id. addrs maps every party id to its
@@ -114,10 +119,12 @@ func (t *TCP) Send(env wire.Envelope) {
 	if _, ok := t.addrs[env.To]; !ok {
 		return // unknown destination: drop, like the simulated router
 	}
-	frame := encodeFrame(env)
+	frame := wire.GetBuf()
+	*frame = appendFrame(*frame, env)
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
+		wire.PutBuf(frame)
 		return
 	}
 	p := t.peers[env.To]
@@ -183,6 +190,14 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}
 }
 
+// writeLoop drains the peer queue in whole batches: every frame pending at
+// wakeup is written through one bufio.Writer and confirmed with a single
+// Flush — one syscall per wakeup instead of one per frame. A batch is only
+// recycled to the buffer pool after its flush succeeds; on a connection
+// failure the whole batch is resent on a fresh connection (mid-stream
+// duplicates are possible and harmless: all protocol quorum tracking is
+// set-based, and the broken stream dies at a frame boundary for the
+// reader).
 func (t *TCP) writeLoop(to int, p *peer) {
 	defer t.wg.Done()
 	var conn net.Conn
@@ -193,12 +208,10 @@ func (t *TCP) writeLoop(to int, p *peer) {
 			conn.Close()
 		}
 	}()
+	var batch []*[]byte
 	for {
-		frame, ok := p.pop()
-		if !ok {
-			if bw != nil {
-				bw.Flush()
-			}
+		batch = p.drain(batch)
+		if len(batch) == 0 {
 			select {
 			case <-p.notify:
 				continue
@@ -206,7 +219,7 @@ func (t *TCP) writeLoop(to int, p *peer) {
 				return
 			}
 		}
-		for {
+		for { // send the whole batch, redialing until it is flushed
 			if conn == nil {
 				var err error
 				conn, err = net.DialTimeout("tcp", t.addrs[to], 2*time.Second)
@@ -224,12 +237,25 @@ func (t *TCP) writeLoop(to int, p *peer) {
 				backoff = 10 * time.Millisecond
 				bw = bufio.NewWriter(conn)
 			}
-			if _, err := bw.Write(frame); err != nil {
-				conn.Close()
-				conn, bw = nil, nil
-				continue // retry the same frame on a fresh connection
+			ok := true
+			for _, frame := range batch {
+				if _, err := bw.Write(*frame); err != nil {
+					ok = false
+					break
+				}
 			}
-			break
+			if ok {
+				ok = bw.Flush() == nil
+			}
+			if ok {
+				break
+			}
+			conn.Close()
+			conn, bw = nil, nil
+		}
+		for i, frame := range batch {
+			wire.PutBuf(frame)
+			batch[i] = nil
 		}
 		select {
 		case <-t.done:
@@ -239,11 +265,14 @@ func (t *TCP) writeLoop(to int, p *peer) {
 	}
 }
 
-func encodeFrame(env wire.Envelope) []byte {
-	body := wire.Marshal(env)
-	frame := binary.AppendUvarint(nil, uint64(len(body)))
-	return append(frame, body...)
+// appendFrame appends the wire framing (uvarint body length + envelope) to
+// dst without intermediate allocations.
+func appendFrame(dst []byte, env wire.Envelope) []byte {
+	dst = binary.AppendUvarint(dst, uint64(wire.EnvelopeSize(env)))
+	return wire.AppendEnvelope(dst, env)
 }
+
+func encodeFrame(env wire.Envelope) []byte { return appendFrame(nil, env) }
 
 // frameSource is the reader interface readFrame needs (satisfied by
 // *bufio.Reader and by test fakes).
@@ -264,5 +293,7 @@ func readFrame(br frameSource) (wire.Envelope, error) {
 	if _, err := io.ReadFull(br, body); err != nil {
 		return wire.Envelope{}, err
 	}
-	return wire.Unmarshal(body)
+	// Zero-copy decode: the payload aliases body, which is freshly allocated
+	// per frame and never reused, so handing it to mailboxes is safe.
+	return wire.UnmarshalFrom(body)
 }

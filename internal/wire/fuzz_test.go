@@ -13,8 +13,16 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, err := Unmarshal(data)
+		zc, zerr := UnmarshalFrom(data)
+		if (err == nil) != (zerr == nil) {
+			t.Fatalf("Unmarshal/UnmarshalFrom disagree on validity: %v vs %v", err, zerr)
+		}
 		if err != nil {
 			return
+		}
+		if zc.From != env.From || zc.To != env.To || zc.Session != env.Session ||
+			zc.Type != env.Type || !bytes.Equal(zc.Payload, env.Payload) {
+			t.Fatalf("zero-copy decode differs: %+v vs %+v", env, zc)
 		}
 		round, err2 := Unmarshal(Marshal(env))
 		if err2 != nil {
@@ -23,6 +31,23 @@ func FuzzUnmarshal(f *testing.F) {
 		if round.From != env.From || round.To != env.To || round.Session != env.Session ||
 			round.Type != env.Type || !bytes.Equal(round.Payload, env.Payload) {
 			t.Fatalf("round trip changed envelope: %+v vs %+v", env, round)
+		}
+		// Append-style encode must be byte-identical to Marshal, sized by
+		// EnvelopeSize, and survive a zero-copy round trip.
+		enc := AppendEnvelope(nil, env)
+		if !bytes.Equal(enc, Marshal(env)) {
+			t.Fatal("AppendEnvelope differs from Marshal")
+		}
+		if len(enc) != EnvelopeSize(env) {
+			t.Fatalf("EnvelopeSize %d, encoded %d", EnvelopeSize(env), len(enc))
+		}
+		round2, err3 := UnmarshalFrom(enc)
+		if err3 != nil {
+			t.Fatalf("UnmarshalFrom(AppendEnvelope) failed: %v", err3)
+		}
+		if round2.From != env.From || round2.To != env.To || round2.Session != env.Session ||
+			round2.Type != env.Type || !bytes.Equal(round2.Payload, env.Payload) {
+			t.Fatalf("append/zero-copy round trip changed envelope: %+v vs %+v", env, round2)
 		}
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"asyncft/internal/field"
 )
@@ -35,19 +36,59 @@ var ErrTruncated = errors.New("wire: truncated message")
 
 // Marshal encodes the envelope into a self-delimiting byte string.
 func Marshal(e Envelope) []byte {
-	buf := make([]byte, 0, 16+len(e.Session)+len(e.Payload))
-	buf = binary.AppendUvarint(buf, uint64(e.From))
-	buf = binary.AppendUvarint(buf, uint64(e.To))
-	buf = binary.AppendUvarint(buf, uint64(len(e.Session)))
-	buf = append(buf, e.Session...)
-	buf = append(buf, e.Type)
-	buf = binary.AppendUvarint(buf, uint64(len(e.Payload)))
-	buf = append(buf, e.Payload...)
-	return buf
+	return AppendEnvelope(make([]byte, 0, EnvelopeSize(e)), e)
 }
 
-// Unmarshal decodes an envelope produced by Marshal.
+// AppendEnvelope appends the wire encoding of e to dst and returns the
+// extended slice — the allocation-free twin of Marshal for callers that
+// reuse buffers (the TCP transport's pooled frame path). The appended
+// bytes are identical to Marshal(e).
+func AppendEnvelope(dst []byte, e Envelope) []byte {
+	dst = binary.AppendUvarint(dst, uint64(e.From))
+	dst = binary.AppendUvarint(dst, uint64(e.To))
+	dst = binary.AppendUvarint(dst, uint64(len(e.Session)))
+	dst = append(dst, e.Session...)
+	dst = append(dst, e.Type)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Payload)))
+	dst = append(dst, e.Payload...)
+	return dst
+}
+
+// EnvelopeSize returns the exact encoded size of e, so callers can
+// length-prefix a frame before appending the body without encoding twice.
+func EnvelopeSize(e Envelope) int {
+	return uvarintLen(uint64(e.From)) + uvarintLen(uint64(e.To)) +
+		uvarintLen(uint64(len(e.Session))) + len(e.Session) + 1 +
+		uvarintLen(uint64(len(e.Payload))) + len(e.Payload)
+}
+
+// uvarintLen is the encoded length of v (1–10 bytes).
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Unmarshal decodes an envelope produced by Marshal. The returned Payload
+// is a fresh copy, independent of data; use UnmarshalFrom to avoid the
+// copy when the input buffer's lifetime is under the caller's control.
 func Unmarshal(data []byte) (Envelope, error) {
+	e, err := UnmarshalFrom(data)
+	if err == nil {
+		e.Payload = append([]byte(nil), e.Payload...)
+	}
+	return e, err
+}
+
+// UnmarshalFrom decodes an envelope produced by Marshal/AppendEnvelope
+// without copying: the returned Payload aliases data. The caller must not
+// recycle data while the envelope (or anything retaining its payload, such
+// as a runtime mailbox) is live — the TCP transport satisfies this by
+// reading each frame into its own buffer.
+func UnmarshalFrom(data []byte) (Envelope, error) {
 	var e Envelope
 	from, n := binary.Uvarint(data)
 	if n <= 0 {
@@ -78,8 +119,33 @@ func Unmarshal(data []byte) (Envelope, error) {
 	data = data[n:]
 	e.From = int(from)
 	e.To = int(to)
-	e.Payload = append([]byte(nil), data[:plen]...)
+	e.Payload = data[:plen:plen]
 	return e, nil
+}
+
+// bufPool recycles frame buffers for the transport's encode path. Pooling
+// *[]byte (not []byte) keeps Put/Get free of slice-header allocations.
+var bufPool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+// maxPooledBuf caps the capacity returned to the pool so one giant frame
+// doesn't pin memory forever.
+const maxPooledBuf = 1 << 20
+
+// GetBuf returns a zero-length reusable buffer from the shared pool.
+// Append to *buf (reassigning through the pointer) and hand it back with
+// PutBuf when the bytes are no longer referenced.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool.
+func PutBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
 }
 
 // Writer builds payloads. The zero value is ready to use.

@@ -44,6 +44,58 @@ func TestEnvelopeRoundTripQuick(t *testing.T) {
 	}
 }
 
+func TestAppendEnvelopeMatchesMarshal(t *testing.T) {
+	f := func(from, to uint16, session string, typ uint8, payload []byte) bool {
+		e := Envelope{From: int(from), To: int(to), Session: session, Type: typ, Payload: payload}
+		enc := AppendEnvelope(nil, e)
+		if !bytes.Equal(enc, Marshal(e)) || len(enc) != EnvelopeSize(e) {
+			return false
+		}
+		got, err := UnmarshalFrom(enc)
+		if err != nil {
+			return false
+		}
+		return got.From == e.From && got.To == e.To && got.Session == e.Session &&
+			got.Type == e.Type && bytes.Equal(got.Payload, e.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Appending to a non-empty prefix leaves the prefix intact.
+	e := Envelope{From: 9, To: 1, Session: "s", Type: 7, Payload: []byte("pp")}
+	buf := AppendEnvelope([]byte("prefix"), e)
+	if string(buf[:6]) != "prefix" || !bytes.Equal(buf[6:], Marshal(e)) {
+		t.Fatal("AppendEnvelope disturbed the destination prefix")
+	}
+}
+
+func TestUnmarshalFromAliasesInput(t *testing.T) {
+	e := Envelope{From: 1, To: 2, Session: "a", Type: 3, Payload: []byte{10, 20, 30}}
+	enc := Marshal(e)
+	got, err := UnmarshalFrom(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[len(enc)-1] = 99 // mutate the last payload byte in the input buffer
+	if got.Payload[2] != 99 {
+		t.Fatal("UnmarshalFrom payload should alias the input buffer")
+	}
+	if cp, _ := Unmarshal(Marshal(e)); cp.Payload[2] != 30 {
+		t.Fatal("Unmarshal payload should be an independent copy")
+	}
+}
+
+func TestBufPoolRecycles(t *testing.T) {
+	b := GetBuf()
+	*b = append(*b, 1, 2, 3)
+	PutBuf(b)
+	got := GetBuf()
+	if len(*got) != 0 {
+		t.Fatalf("pooled buffer not reset: len %d", len(*got))
+	}
+	PutBuf(got)
+}
+
 func TestUnmarshalTruncated(t *testing.T) {
 	full := Marshal(Envelope{From: 1, To: 2, Session: "abc", Type: 3, Payload: []byte{4, 5}})
 	for i := 0; i < len(full); i++ {
