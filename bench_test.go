@@ -70,6 +70,13 @@ func BenchmarkE11LedgerThroughput(b *testing.B) {
 	runExperiment(b, experiments.E11LedgerThroughput)
 }
 
+// BenchmarkE13CircuitThroughput runs the MPC engine study at smoke scale:
+// batched layer openings vs gate-at-a-time evaluation of a wide Mul
+// layer, reporting the gated speedup headline.
+func BenchmarkE13CircuitThroughput(b *testing.B) {
+	runExperiment(b, experiments.E13CircuitThroughput)
+}
+
 // BenchmarkCodedBroadcast runs E12 at smoke scale: coded vs classic A-Cast
 // dispersal inside the pipelined ledger, reporting the measured per-party
 // bandwidth reduction at |m| = 64KiB as the gated headline.

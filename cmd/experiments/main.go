@@ -1,9 +1,9 @@
 // Command experiments regenerates the full evaluation of EXPERIMENTS.md:
 // one table per quantitative claim of the paper (E1–E9), the batching and
 // atomic-broadcast throughput studies (E10, E11), the coded-dispersal
-// bandwidth study (E12), and the design
-// ablations. Use -scale to trade statistical resolution for wall time and
-// -only to run a single experiment.
+// bandwidth study (E12), the MPC circuit-evaluation study (E13), and the
+// design ablations. Use -scale to trade statistical resolution for wall
+// time and -only to run a single experiment.
 package main
 
 import (
@@ -38,6 +38,7 @@ func main() {
 		{"E10", experiments.E10BatchThroughput},
 		{"E11", experiments.E11LedgerThroughput},
 		{"E12", experiments.E12CodedBroadcast},
+		{"E13", experiments.E13CircuitThroughput},
 		{"A1", experiments.AblationReconstruct},
 		{"A2", experiments.AblationPolicy},
 	}

@@ -28,6 +28,12 @@
 // dispersal (fragments + digest); -no-coded forces classic full-value echo
 // for this node's own proposals (the flag is sender-local — mixed
 // configurations interoperate and still replicate identically).
+//
+// -mode mpc switches the node to secure circuit evaluation (internal/mpc):
+// every party contributes one private input (-x, never revealed) and the
+// cluster jointly evaluates the private-statistics circuit — sum and
+// n²·variance of the contributed inputs — opening only the two aggregates,
+// which print identically at every party.
 package main
 
 import (
@@ -45,6 +51,7 @@ import (
 	"asyncft/internal/batch"
 	"asyncft/internal/core"
 	"asyncft/internal/field"
+	"asyncft/internal/mpc"
 	"asyncft/internal/rbc"
 	"asyncft/internal/runtime"
 	"asyncft/internal/svss"
@@ -60,6 +67,7 @@ type options struct {
 	protocol string
 	input    string
 	secret   uint64
+	x        uint64
 	bit      int
 	k        int
 	batch    int
@@ -74,10 +82,11 @@ func main() {
 	id := flag.Int("id", 0, "this party's index")
 	peers := flag.String("peers", "", "comma-separated host:port for parties 0..n-1")
 	tf := flag.Int("t", 1, "fault tolerance (3t+1 ≤ n)")
-	mode := flag.String("mode", "proto", "proto (single-protocol instances) | abc (atomic broadcast ledger)")
+	mode := flag.String("mode", "proto", "proto (single-protocol instances) | abc (atomic broadcast ledger) | mpc (secure circuit evaluation)")
 	protocol := flag.String("protocol", "coinflip", "rbc | svss | ba | coinflip")
 	input := flag.String("input", "hello", "rbc: value broadcast by party 0; abc: batch prefix")
 	secret := flag.Uint64("secret", 42, "svss: secret dealt by party 0")
+	x := flag.Uint64("x", 0, "mpc: this party's private input (0 = derived from id)")
 	bit := flag.Int("bit", 0, "ba: this party's input bit")
 	k := flag.Int("k", 2, "coinflip: coin rounds")
 	batchK := flag.Int("batch", 1, "concurrent protocol instances pipelined over the transport (same value at every party)")
@@ -90,7 +99,7 @@ func main() {
 
 	o := options{
 		id: *id, t: *tf, mode: *mode, protocol: *protocol, input: *input,
-		secret: *secret, bit: *bit, k: *k, batch: *batchK, slots: *slots,
+		secret: *secret, x: *x, bit: *bit, k: *k, batch: *batchK, slots: *slots,
 		width: *width, noCoded: *noCoded, seed: *seed, timeout: *timeout,
 	}
 	for _, a := range strings.Split(*peers, ",") {
@@ -115,8 +124,8 @@ func runNode(o options, out io.Writer) error {
 	if o.batch < 1 {
 		return fmt.Errorf("-batch must be ≥ 1, got %d", o.batch)
 	}
-	if o.mode != "proto" && o.mode != "abc" {
-		return fmt.Errorf("unknown mode %q (want proto or abc)", o.mode)
+	if o.mode != "proto" && o.mode != "abc" && o.mode != "mpc" {
+		return fmt.Errorf("unknown mode %q (want proto, abc or mpc)", o.mode)
 	}
 	addrs := map[int]string{}
 	for i, a := range o.peers {
@@ -139,12 +148,19 @@ func runNode(o options, out io.Writer) error {
 	defer cancel()
 
 	start := time.Now()
-	if o.mode == "abc" {
+	switch o.mode {
+	case "abc":
 		if err := runLedger(ctx, env, o, out); err != nil {
 			return err
 		}
-	} else if err := runProtocol(ctx, env, o, out); err != nil {
-		return err
+	case "mpc":
+		if err := runMPC(ctx, env, o, out); err != nil {
+			return err
+		}
+	default:
+		if err := runProtocol(ctx, env, o, out); err != nil {
+			return err
+		}
 	}
 	log.Printf("party %d completed in %v", o.id, time.Since(start).Round(time.Millisecond))
 	// Give lingering helper goroutines a beat to flush their final sends so
@@ -173,6 +189,34 @@ func runLedger(ctx context.Context, env *runtime.Env, o options, out io.Writer) 
 		fmt.Fprintf(out, "ledger[%d] slot=%d party=%d payload=%q\n", i, e.Slot, e.Party, e.Payload)
 	}
 	fmt.Fprintf(out, "ledger digest: %x (%d entries)\n", acs.Digest(ledger), len(ledger))
+	return nil
+}
+
+// runMPC is -mode mpc: secure evaluation of the private-statistics
+// circuit (internal/mpc.VarianceCircuit) over real TCP. Every party
+// contributes one private input (-x); the cluster opens only the two
+// aggregates [Σx, n·Σx² − (Σx)²], identical at every party, from which
+// mean and variance derive publicly.
+func runMPC(ctx context.Context, env *runtime.Env, o options, out io.Writer) error {
+	cfg := core.Config{K: o.k, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
+	x := o.x
+	if x == 0 {
+		x = uint64(3*o.id + 2)
+	}
+	log.Printf("party %d/%d on %s: mpc variance circuit, private input %d", env.ID, env.N, addrOf(env), x)
+	ckt := mpc.VarianceCircuit(env.N)
+	res, err := mpc.Evaluate(ctx, ctx, env, "node/mpc", ckt, []field.Elem{field.New(x)}, cfg, mpc.Options{Width: o.width})
+	if err != nil {
+		return err
+	}
+	sum := res.Outputs[0].Uint64()
+	scaled := res.Outputs[1].Uint64() // n²·Var over the contributed inputs
+	fmt.Fprintf(out, "mpc contributors: %v\n", res.Contributors)
+	fmt.Fprintf(out, "mpc sum(x) = %d\n", sum)
+	fmt.Fprintf(out, "mpc n²·var(x) = %d\n", scaled)
+	n2 := float64(env.N) * float64(env.N)
+	fmt.Fprintf(out, "mpc mean = %.4f variance = %.4f (over %d contributed inputs, absentees as 0)\n",
+		float64(sum)/float64(env.N), float64(scaled)/n2, len(res.Contributors))
 	return nil
 }
 

@@ -1,0 +1,185 @@
+package asyncft
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"asyncft/internal/field"
+	"asyncft/internal/mpc"
+	"asyncft/internal/runtime"
+)
+
+// Wire identifies a value flowing through a Circuit: the output of the
+// gate that produced it. Wires are handed out by the builder methods and
+// consumed as operands.
+type Wire int
+
+// Circuit builds an arithmetic circuit for Cluster.Compute over the
+// protocol field GF(2⁶¹−1). Linear gates (Add, Sub, MulConst, AddConst)
+// are free — they evaluate locally on secret shares — while each Mul gate
+// costs one preprocessed Beaver triple and two masked openings, batched
+// per multiplicative layer (see internal/mpc). Builder methods record the
+// first structural error; it surfaces from Compute.
+type Circuit struct {
+	c *mpc.Circuit
+}
+
+// NewCircuit returns an empty circuit builder.
+func NewCircuit() *Circuit { return &Circuit{c: mpc.NewCircuit()} }
+
+// Input declares a private input wire owned by the given party; the owner
+// supplies one value per declared slot via CircuitSpec.Inputs, in
+// declaration order. If the owner misses the agreed input core set (it
+// crashed or was too slow), the wire carries the public value 0.
+func (b *Circuit) Input(owner int) Wire { return Wire(b.c.Input(owner)) }
+
+// Add returns a wire carrying A + B.
+func (b *Circuit) Add(a, c Wire) Wire { return Wire(b.c.Add(mpc.Wire(a), mpc.Wire(c))) }
+
+// Sub returns a wire carrying A − B.
+func (b *Circuit) Sub(a, c Wire) Wire { return Wire(b.c.Sub(mpc.Wire(a), mpc.Wire(c))) }
+
+// Mul returns a wire carrying A · B — the gate that runs Beaver-style
+// degree reduction.
+func (b *Circuit) Mul(a, c Wire) Wire { return Wire(b.c.Mul(mpc.Wire(a), mpc.Wire(c))) }
+
+// MulConst returns a wire carrying k · A for a public constant k.
+func (b *Circuit) MulConst(a Wire, k uint64) Wire {
+	return Wire(b.c.MulConst(mpc.Wire(a), field.New(k)))
+}
+
+// AddConst returns a wire carrying A + k for a public constant k.
+func (b *Circuit) AddConst(a Wire, k uint64) Wire {
+	return Wire(b.c.AddConst(mpc.Wire(a), field.New(k)))
+}
+
+// Output marks a wire as a circuit output: outputs are the only values
+// opened, in declaration order.
+func (b *Circuit) Output(a Wire) { b.c.Output(mpc.Wire(a)) }
+
+// NumMuls returns the number of Mul gates (the circuit's preprocessing
+// cost in Beaver triples); Depth the number of sequential opening rounds.
+func (b *Circuit) NumMuls() int { return b.c.NumMuls() }
+
+// Depth returns the circuit's multiplicative depth.
+func (b *Circuit) Depth() int { return b.c.Depth() }
+
+// CircuitSpec configures one Cluster.Compute run.
+type CircuitSpec struct {
+	// Session namespaces the run, exactly like the other protocol methods.
+	Session string
+	// Circuit is the arithmetic circuit to evaluate.
+	Circuit *Circuit
+	// Inputs maps party → its private input values, one per Input wire it
+	// owns, in declaration order. Missing honest parties (or missing
+	// values) default to 0.
+	Inputs map[int][]uint64
+	// GateAtATime disables per-layer batching of triple preprocessing and
+	// masked openings, evaluating one Mul gate per round trip — the
+	// baseline experiment E13 beats. All parties run the same mode.
+	GateAtATime bool
+	// Width bounds how many layers of triple preprocessing are in flight
+	// at once (0 = all).
+	Width int
+}
+
+// ComputeResult is the agreed outcome of a Compute run.
+type ComputeResult struct {
+	// Outputs holds the opened output values (canonical representatives in
+	// [0, 2⁶¹−1)), in Output-declaration order — verified identical at
+	// every honest party.
+	Outputs []uint64
+	// Contributors is the agreed input core set (sorted, ≥ N−T parties):
+	// the parties whose input deals completed. Input wires of parties
+	// outside the set carried the public value 0.
+	Contributors []int
+}
+
+// Compute evaluates an arithmetic circuit across the cluster
+// (internal/mpc): inputs are dealt via SVSS with a CommonSubset-agreed
+// contributor core set, linear gates evaluate locally on shares, and Mul
+// gates run Beaver-style degree reduction — triples preprocessed through
+// the SVSS + CommonSubset machinery and certified by a sacrifice check,
+// masked values opened with error-corrected reconstruction, one batched
+// per-party message per circuit layer. Honest parties learn exactly the
+// declared outputs and nothing else about individual inputs.
+//
+// Like every protocol method on Cluster, Compute verifies cross-party
+// output agreement: all honest parties must produce bit-identical outputs
+// and contributor sets, and a violation is reported as an error, never
+// swallowed. Openings are robust to t < n/4 Byzantine reveals; at the
+// optimal t < n/3 bound corrupted preprocessing or openings surface as
+// errors (detect-and-abort) rather than wrong values — see the
+// internal/mpc package documentation for the tradeoff.
+func (c *Cluster) Compute(spec CircuitSpec) (*ComputeResult, error) {
+	if spec.Circuit == nil {
+		return nil, fmt.Errorf("asyncft: Compute needs a Circuit")
+	}
+	sess := "mpc/" + spec.Session
+	ckt := spec.Circuit.c
+	if err := ckt.Validate(c.cfg.N); err != nil {
+		return nil, err
+	}
+	opts := mpc.Options{GateAtATime: spec.GateAtATime, Width: spec.Width}
+	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		own := ckt.InputsOf(env.ID)
+		vals := make([]field.Elem, len(own))
+		for i := range own {
+			if in := spec.Inputs[env.ID]; i < len(in) {
+				vals[i] = field.New(in[i])
+			}
+		}
+		return mpc.Evaluate(ctx, c.ctx, env, sess, ckt, vals, c.core, opts)
+	})
+	ids := make([]int, 0, len(res))
+	for id := range res {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var ref *mpc.Result
+	for _, id := range ids {
+		r := res[id]
+		if r.err != nil {
+			return nil, fmt.Errorf("party %d: %w", id, r.err)
+		}
+		got := r.value.(*mpc.Result)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !equalElems(ref.Outputs, got.Outputs) || !equalInts(ref.Contributors, got.Contributors) {
+			return nil, fmt.Errorf("compute %s: agreement violated: party %d output %v set %v, expected %v %v",
+				sess, id, got.Outputs, got.Contributors, ref.Outputs, ref.Contributors)
+		}
+	}
+	out := &ComputeResult{Outputs: make([]uint64, len(ref.Outputs)), Contributors: ref.Contributors}
+	for i, v := range ref.Outputs {
+		out.Outputs[i] = v.Uint64()
+	}
+	return out, nil
+}
+
+func equalElems(a, b []field.Elem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

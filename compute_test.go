@@ -1,0 +1,144 @@
+package asyncft
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// varianceSpec builds the private mean+variance circuit over one input
+// per party through the public builder: outputs [Σx, n·Σx² − (Σx)²],
+// with n+1 Mul gates.
+func varianceSpec(n int) *Circuit {
+	b := NewCircuit()
+	xs := make([]Wire, n)
+	for p := 0; p < n; p++ {
+		xs[p] = b.Input(p)
+	}
+	sum := xs[0]
+	for p := 1; p < n; p++ {
+		sum = b.Add(sum, xs[p])
+	}
+	sq := b.Mul(xs[0], xs[0])
+	for p := 1; p < n; p++ {
+		sq = b.Add(sq, b.Mul(xs[p], xs[p]))
+	}
+	b.Output(sum)
+	b.Output(b.Sub(b.MulConst(sq, uint64(n)), b.Mul(sum, sum)))
+	return b
+}
+
+// expectVariance computes the circuit's outputs over the contributor set
+// (uint64 inputs small enough that no field reduction occurs).
+func expectVariance(n int, inputs map[int][]uint64, contributors []int) []uint64 {
+	var sum, sq uint64
+	for _, p := range contributors {
+		if len(inputs[p]) == 0 {
+			continue
+		}
+		x := inputs[p][0]
+		sum += x
+		sq += x * x
+	}
+	return []uint64{sum, uint64(n)*sq - sum*sum}
+}
+
+// TestComputeVariance evaluates the private-variance circuit (≥ 2 Mul
+// gates) through the public API under the default adversarial reorder
+// schedule and checks the cross-party agreed outputs against the exact
+// expected statistics.
+func TestComputeVariance(t *testing.T) {
+	c, err := New(Config{N: 4, T: 1, Seed: 11, Coin: CoinLocal, CoinRounds: 1, Timeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ckt := varianceSpec(4)
+	if ckt.NumMuls() < 2 {
+		t.Fatalf("variance circuit has %d Mul gates, want ≥ 2", ckt.NumMuls())
+	}
+	inputs := map[int][]uint64{0: {3}, 1: {5}, 2: {7}, 3: {11}}
+	res, err := c.Compute(CircuitSpec{Session: "var", Circuit: ckt, Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contributors) < 3 {
+		t.Fatalf("core set too small: %v", res.Contributors)
+	}
+	want := expectVariance(4, inputs, res.Contributors)
+	if !reflect.DeepEqual(res.Outputs, want) {
+		t.Fatalf("outputs %v, want %v over %v", res.Outputs, want, res.Contributors)
+	}
+}
+
+// TestComputeWithCrash drives the same circuit with a crashed party: the
+// crash cannot be in the contributor set, its input counts as zero, and
+// the remaining honest parties still agree on the exact statistics.
+func TestComputeWithCrash(t *testing.T) {
+	c, err := New(Config{N: 4, T: 1, Seed: 23, Coin: CoinLocal, CoinRounds: 1,
+		Timeout: 2 * time.Minute, Byzantine: map[int]Behavior{3: Crash()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	inputs := map[int][]uint64{0: {10}, 1: {20}, 2: {30}, 3: {40}}
+	res, err := c.Compute(CircuitSpec{Session: "crash", Circuit: varianceSpec(4), Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Contributors {
+		if p == 3 {
+			t.Fatalf("crashed party in core set: %v", res.Contributors)
+		}
+	}
+	want := expectVariance(4, inputs, res.Contributors)
+	if !reflect.DeepEqual(res.Outputs, want) {
+		t.Fatalf("outputs %v, want %v over %v", res.Outputs, want, res.Contributors)
+	}
+}
+
+// TestComputeFIFOAndGateAtATime cross-checks the E13 baseline mode
+// against the batched engine on a synchronous schedule, where the full
+// core set makes the two runs directly comparable.
+func TestComputeFIFOAndGateAtATime(t *testing.T) {
+	inputs := map[int][]uint64{0: {2}, 1: {4}, 2: {8}, 3: {16}}
+	var outs [2]*ComputeResult
+	for i, gaat := range []bool{false, true} {
+		c, err := New(Config{N: 4, T: 1, Seed: 31, Scheduling: SchedulingFIFO,
+			Coin: CoinLocal, CoinRounds: 1, Timeout: 2 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Compute(CircuitSpec{Session: "modes", Circuit: varianceSpec(4),
+			Inputs: inputs, GateAtATime: gaat})
+		c.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = res
+	}
+	if !reflect.DeepEqual(outs[0].Outputs, outs[1].Outputs) {
+		t.Fatalf("batched %v != gate-at-a-time %v", outs[0].Outputs, outs[1].Outputs)
+	}
+}
+
+func TestComputeRejectsBadSpecs(t *testing.T) {
+	c, err := New(Config{N: 4, T: 1, Coin: CoinLocal, CoinRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Compute(CircuitSpec{Session: "nil"}); err == nil {
+		t.Fatal("nil circuit accepted")
+	}
+	b := NewCircuit()
+	b.Input(0) // no outputs
+	if _, err := c.Compute(CircuitSpec{Session: "noout", Circuit: b}); err == nil {
+		t.Fatal("output-less circuit accepted")
+	}
+	b2 := NewCircuit()
+	b2.Output(b2.Input(9)) // owner out of range for n=4
+	if _, err := c.Compute(CircuitSpec{Session: "owner", Circuit: b2}); err == nil {
+		t.Fatal("out-of-range owner accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package mpc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"asyncft/internal/field"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+// BenchmarkTripleGen measures Beaver-triple preprocessing throughput on a
+// 4-party cluster: one GenTriples batch of 4 triples per iteration (two
+// CommonSubset instances and three batched opening rounds regardless of
+// batch size), reported as triples per second. This is the preprocessing
+// cost of one Mul-gate layer of width 4.
+func BenchmarkTripleGen(b *testing.B) {
+	const m = 4
+	for i := 0; i < b.N; i++ {
+		c := testkit.New(4, 1, testkit.WithSeed(int64(9000+i)), testkit.WithTimeout(120*time.Second))
+		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			return GenTriples(ctx, c.Ctx, env, "bench", m, cfg())
+		})
+		for id, r := range res {
+			if r.Err != nil {
+				c.Close()
+				b.Fatalf("party %d: %v", id, r.Err)
+			}
+		}
+		c.Close()
+	}
+	b.ReportMetric(float64(m*b.N)/b.Elapsed().Seconds(), "triples/s")
+}
+
+// BenchmarkEvaluateVariance measures full end-to-end circuit evaluation
+// (input deals, preprocessing, Beaver openings, output opening) of the
+// n+1-Mul variance circuit through the engine.
+func BenchmarkEvaluateVariance(b *testing.B) {
+	ckt := VarianceCircuit(4)
+	for i := 0; i < b.N; i++ {
+		c := testkit.New(4, 1, testkit.WithSeed(int64(9500+i)), testkit.WithTimeout(120*time.Second))
+		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			return Evaluate(ctx, c.Ctx, env, "bench", ckt,
+				[]field.Elem{field.New(uint64(3*env.ID + 1))}, cfg(), Options{})
+		})
+		for id, r := range res {
+			if r.Err != nil {
+				c.Close()
+				b.Fatalf("party %d: %v", id, r.Err)
+			}
+		}
+		c.Close()
+	}
+}

@@ -1,0 +1,228 @@
+package mpc
+
+import (
+	"fmt"
+
+	"asyncft/internal/field"
+)
+
+// Wire identifies one value flowing through a circuit: the output of the
+// gate with the same index. Wires are handed out by the builder methods
+// and consumed as gate operands.
+type Wire int
+
+// Op is a gate operation.
+type Op uint8
+
+// Gate operations. Linear gates (everything except OpMul) are free: they
+// evaluate locally on shares with no communication. OpMul costs one Beaver
+// triple from preprocessing plus two masked openings online.
+const (
+	// OpInput introduces one party's private input value.
+	OpInput Op = iota
+	// OpAdd is A + B.
+	OpAdd
+	// OpSub is A − B.
+	OpSub
+	// OpMulConst is K · A for a public constant K.
+	OpMulConst
+	// OpAddConst is A + K for a public constant K.
+	OpAddConst
+	// OpMul is A · B on two shared values — the gate that needs degree
+	// reduction.
+	OpMul
+)
+
+// Gate is one node of the circuit DAG. Operands always reference earlier
+// gates, so gate index order is a topological order by construction.
+type Gate struct {
+	Op   Op
+	A, B Wire       // operands (B unused for unary ops)
+	K    field.Elem // public constant for OpMulConst / OpAddConst
+	// Owner is the party whose private value feeds an OpInput gate.
+	Owner int
+}
+
+// Circuit is an arithmetic circuit over the shared field, built
+// incrementally with the gate methods and evaluated by the engine
+// (Evaluate). The zero builder is not valid; use NewCircuit. Builder
+// methods record the first structural error instead of panicking; it
+// surfaces from Validate (and hence Evaluate).
+type Circuit struct {
+	gates   []Gate
+	layer   []int // multiplicative depth of each gate's output
+	outputs []Wire
+	inputs  []Wire // OpInput gates in declaration order
+	muls    int
+	depth   int // max multiplicative depth over all gates
+	err     error
+}
+
+// NewCircuit returns an empty circuit.
+func NewCircuit() *Circuit { return &Circuit{} }
+
+func (c *Circuit) fail(format string, args ...interface{}) Wire {
+	if c.err == nil {
+		c.err = fmt.Errorf("mpc: "+format, args...)
+	}
+	return Wire(0)
+}
+
+func (c *Circuit) valid(w Wire) bool { return int(w) >= 0 && int(w) < len(c.gates) }
+
+func (c *Circuit) append(g Gate, layer int) Wire {
+	c.gates = append(c.gates, g)
+	c.layer = append(c.layer, layer)
+	if layer > c.depth {
+		c.depth = layer
+	}
+	return Wire(len(c.gates) - 1)
+}
+
+// Input declares a private input wire owned by the given party. Each call
+// adds one input slot for that owner, in declaration order: at evaluation
+// time the owner supplies one field element per slot.
+func (c *Circuit) Input(owner int) Wire {
+	if owner < 0 {
+		return c.fail("Input: negative owner %d", owner)
+	}
+	w := c.append(Gate{Op: OpInput, Owner: owner}, 0)
+	c.inputs = append(c.inputs, w)
+	return w
+}
+
+func (c *Circuit) binary(op Op, a, b Wire) Wire {
+	if !c.valid(a) || !c.valid(b) {
+		return c.fail("op %d: operand out of range (%d, %d)", op, a, b)
+	}
+	la, lb := c.layer[a], c.layer[b]
+	if lb > la {
+		la = lb
+	}
+	if op == OpMul {
+		la++
+		c.muls++
+	}
+	return c.append(Gate{Op: op, A: a, B: b}, la)
+}
+
+// Add returns a wire carrying A + B.
+func (c *Circuit) Add(a, b Wire) Wire { return c.binary(OpAdd, a, b) }
+
+// Sub returns a wire carrying A − B.
+func (c *Circuit) Sub(a, b Wire) Wire { return c.binary(OpSub, a, b) }
+
+// Mul returns a wire carrying A · B. This is the only gate with a
+// communication cost: one preprocessed Beaver triple and two batched
+// masked openings.
+func (c *Circuit) Mul(a, b Wire) Wire { return c.binary(OpMul, a, b) }
+
+// MulConst returns a wire carrying k · A for a public constant k.
+func (c *Circuit) MulConst(a Wire, k field.Elem) Wire {
+	if !c.valid(a) {
+		return c.fail("MulConst: operand out of range (%d)", a)
+	}
+	return c.append(Gate{Op: OpMulConst, A: a, K: k}, c.layer[a])
+}
+
+// AddConst returns a wire carrying A + k for a public constant k.
+func (c *Circuit) AddConst(a Wire, k field.Elem) Wire {
+	if !c.valid(a) {
+		return c.fail("AddConst: operand out of range (%d)", a)
+	}
+	return c.append(Gate{Op: OpAddConst, A: a, K: k}, c.layer[a])
+}
+
+// Output marks a wire as a circuit output. Outputs are opened (in
+// declaration order) at the end of evaluation; everything not marked stays
+// secret.
+func (c *Circuit) Output(a Wire) {
+	if !c.valid(a) {
+		c.fail("Output: wire out of range (%d)", a)
+		return
+	}
+	c.outputs = append(c.outputs, a)
+}
+
+// NumGates returns the total gate count.
+func (c *Circuit) NumGates() int { return len(c.gates) }
+
+// NumMuls returns the number of OpMul gates — the circuit's communication
+// cost in triples.
+func (c *Circuit) NumMuls() int { return c.muls }
+
+// NumOutputs returns the number of declared outputs.
+func (c *Circuit) NumOutputs() int { return len(c.outputs) }
+
+// Depth returns the multiplicative depth: the number of sequential
+// opening rounds evaluation needs (layers of Mul gates).
+func (c *Circuit) Depth() int { return c.depth }
+
+// InputsOf returns the input wires owned by the given party, in
+// declaration order — the order the owner's private values are consumed.
+func (c *Circuit) InputsOf(owner int) []Wire {
+	var ws []Wire
+	for _, w := range c.inputs {
+		if c.gates[w].Owner == owner {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// Validate checks the circuit is evaluable by an n-party cluster: no
+// recorded builder error, every input owner in range, and at least one
+// output.
+func (c *Circuit) Validate(n int) error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.outputs) == 0 {
+		return fmt.Errorf("mpc: circuit has no outputs")
+	}
+	for _, w := range c.inputs {
+		if c.gates[w].Owner >= n {
+			return fmt.Errorf("mpc: input owner %d out of range for n=%d", c.gates[w].Owner, n)
+		}
+	}
+	return nil
+}
+
+// mulsByLayer groups OpMul gate indices by multiplicative depth: entry ℓ
+// holds the gates opened in round ℓ (entry 0 is always empty).
+func (c *Circuit) mulsByLayer() [][]int {
+	by := make([][]int, c.depth+1)
+	for i, g := range c.gates {
+		if g.Op == OpMul {
+			by[c.layer[i]] = append(by[c.layer[i]], i)
+		}
+	}
+	return by
+}
+
+// VarianceCircuit builds the private-statistics circuit over one input
+// per party: outputs are [Σx, n·Σx² − (Σx)²]. The second output is n²
+// times the population variance, so mean and variance derive publicly
+// from the two opened aggregates while the individual inputs stay secret.
+// It has n+1 Mul gates (each party's square plus the square of the sum) —
+// the workload behind examples/privatestats, cmd/node -mode mpc, and the
+// MPC e2e tests.
+func VarianceCircuit(n int) *Circuit {
+	c := NewCircuit()
+	xs := make([]Wire, n)
+	for p := 0; p < n; p++ {
+		xs[p] = c.Input(p)
+	}
+	sum := xs[0]
+	for p := 1; p < n; p++ {
+		sum = c.Add(sum, xs[p])
+	}
+	sq := c.Mul(xs[0], xs[0])
+	for p := 1; p < n; p++ {
+		sq = c.Add(sq, c.Mul(xs[p], xs[p]))
+	}
+	ss := c.Mul(sum, sum)
+	c.Output(sum)
+	c.Output(c.Sub(c.MulConst(sq, field.New(uint64(n))), ss))
+	return c
+}

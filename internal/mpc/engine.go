@@ -1,0 +1,373 @@
+// Package mpc is the general secure-computation engine: it evaluates
+// arithmetic circuits over the shared field on the paper's asynchronous
+// stack, closing the gap securesum's package doc used to call out of scope
+// ("multiplication would need degree reduction"). Inputs are dealt via
+// SVSS, linear gates (Add, Sub, MulConst, AddConst) are free — local
+// arithmetic on rows, exactly as in secure aggregation — and Mul gates run
+// degree reduction via Beaver-style masked openings against preprocessed
+// triples (GenTriples).
+//
+// # Scheduling and batching
+//
+// A circuit is scheduled into layers by multiplicative depth. All
+// openings of one layer travel in a single per-party message through
+// svss.RunRecBatch — one reveal per party per layer instead of one per
+// gate — and triple preprocessing for layer k+1 runs concurrently with
+// the openings of layer k (preprocessing is input-independent, so every
+// layer's triples are generated over the internal/batch pipeline while
+// evaluation proceeds). Experiment E13 measures the gain over the
+// gate-at-a-time baseline (Options.GateAtATime).
+//
+// # Resilience tradeoff
+//
+// The engine inherits the stack's optimal n ≥ 3t+1 resilience with a
+// documented tradeoff between robustness and detection:
+//
+//   - Openings (masked values, outputs) reconstruct with the SVSS
+//     cross-consistency filter plus Reed–Solomon error correction
+//     (rs.DecodeIn on the shared domain). With n−t honest reveals and up
+//     to t lies, correcting t errors on a degree-t curve needs 3t+1
+//     points: openings are fully robust when n ≥ 4t+1 (t < n/4). At the
+//     optimal bound t < n/3 a lie can stall an opening, which surfaces as
+//     an error (never a silently wrong value, because a decode must match
+//     the party's own verified share).
+//   - Preprocessing is detect-and-abort at t < n/3: a corrupted product
+//     re-share is caught by the sacrifice check (probability 1/|F| of
+//     escaping, |F| = 2⁶¹−1) and aborts with ErrTripleCheck rather than
+//     producing a wrong triple.
+//
+// Against crash faults and adversarial scheduling (the asynchronous
+// model's baseline adversary) evaluation is fully robust at t < n/3.
+//
+// Privacy is information-theoretic: every opened value is masked by an
+// aggregate of core-set dealers' random sharings (at least one honest),
+// and outputs reveal only the declared output values.
+package mpc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"asyncft/internal/batch"
+	"asyncft/internal/commonsubset"
+	"asyncft/internal/core"
+	"asyncft/internal/field"
+	"asyncft/internal/runtime"
+	"asyncft/internal/svss"
+)
+
+// Options tune evaluation.
+type Options struct {
+	// GateAtATime disables per-layer batching: every Mul gate generates
+	// its own triple (a CommonSubset pair per gate) and opens its masked
+	// values in its own round trip, strictly in gate order. This is the
+	// naive engine experiment E13 beats; all parties must agree on it.
+	GateAtATime bool
+	// Width bounds how many layers of triple preprocessing are in flight
+	// at once (0 = all layers). Only meaningful without GateAtATime.
+	Width int
+}
+
+// Result is one party's evaluation outcome.
+type Result struct {
+	// Outputs are the opened output values, in Output-declaration order —
+	// identical at every nonfaulty party.
+	Outputs []field.Elem
+	// Contributors is the agreed input core set (sorted): parties whose
+	// input deals completed. Input wires of parties outside the set carry
+	// the public value 0.
+	Contributors []int
+}
+
+// zeroRow is a party's row of the public constant-zero sharing, used for
+// input wires whose owner missed the input core set. It is a valid
+// degree-0 sharing every party can construct locally.
+func zeroRow() field.Poly { return field.Poly{0} }
+
+// rowGrace is how long the input phase waits for a completed share's
+// in-flight row before proceeding rowless (mirrors the reconstruction
+// idle timeout).
+func rowGrace(o svss.Options) time.Duration {
+	if o.RecIdleTimeout > 0 {
+		return o.RecIdleTimeout
+	}
+	return 250 * time.Millisecond
+}
+
+// Row arithmetic. Rows are this party's rows of symmetric bivariate
+// sharings; linear combinations with public coefficients yield rows of
+// the correspondingly combined sharings. A nil row means the party holds
+// no verified row (Byzantine dealer): nil propagates, and the party
+// participates in openings with an empty claim.
+
+func addRow(a, b field.Poly) field.Poly {
+	if a == nil || b == nil {
+		return nil
+	}
+	return field.AddPoly(a, b)
+}
+
+func subRow(a, b field.Poly) field.Poly {
+	if a == nil || b == nil {
+		return nil
+	}
+	return field.AddPoly(a, field.ScalePoly(field.Neg(1), b))
+}
+
+func scaleRow(k field.Elem, p field.Poly) field.Poly {
+	if p == nil {
+		return nil
+	}
+	return field.ScalePoly(k, p)
+}
+
+func addConstRow(p field.Poly, k field.Elem) field.Poly {
+	if p == nil {
+		return nil
+	}
+	if len(p) == 0 {
+		return field.Poly{k}
+	}
+	q := p.Clone()
+	q[0] = field.Add(q[0], k)
+	return q
+}
+
+// Evaluate runs one party's side of the MPC evaluation of ckt rooted at
+// session. myInputs are this party's private values, one per input wire
+// it owns (Circuit.InputsOf order). All nonfaulty parties must call
+// Evaluate with the same session, circuit, cfg and opts; helperCtx should
+// outlive the call (cluster lifetime), as with every protocol in the
+// repository.
+func Evaluate(ctx, helperCtx context.Context, env *runtime.Env, session string, ckt *Circuit, myInputs []field.Elem, cfg core.Config, opts Options) (*Result, error) {
+	n, t := env.N, env.T
+	if err := ckt.Validate(n); err != nil {
+		return nil, err
+	}
+	if own := ckt.InputsOf(env.ID); len(myInputs) != len(own) {
+		return nil, fmt.Errorf("mpc %s: party %d owns %d input wires, got %d values", session, env.ID, len(own), len(myInputs))
+	}
+
+	// Launch triple preprocessing for every layer immediately: it is
+	// input-independent, so it overlaps the input phase and — pipelined
+	// Width-wide over the batch engine — each previous layer's openings.
+	byLayer := ckt.mulsByLayer()
+	type prepRes struct {
+		triples []Triple
+		err     error
+	}
+	prepCh := make([]chan prepRes, len(byLayer))
+	if !opts.GateAtATime && ckt.NumMuls() > 0 {
+		var instances []batch.Instance
+		for l := 1; l < len(byLayer); l++ {
+			l := l
+			ch := make(chan prepRes, 1)
+			prepCh[l] = ch
+			sess := runtime.Sub(session, "prep", l)
+			mcount := len(byLayer[l])
+			instances = append(instances, batch.Instance{Session: sess, Run: func(ctx context.Context, ienv *runtime.Env) (interface{}, error) {
+				tr, err := GenTriples(ctx, helperCtx, ienv, sess, mcount, cfg)
+				ch <- prepRes{tr, err}
+				return nil, err
+			}})
+		}
+		go func() {
+			_, _ = batch.Run(ctx, map[int]*runtime.Env{env.ID: env}, instances, batch.Options{Width: opts.Width})
+		}()
+	}
+
+	// Input phase: every input wire is one SVSS deal by its owner;
+	// CommonSubset agrees the contributor core set over per-owner deal
+	// completion, exactly the securesum pattern.
+	rows := make([]field.Poly, ckt.NumGates())
+	done := make([]bool, ckt.NumGates())
+	// Input deals land in a staging slice: deals of owners outside the
+	// core set may complete late (under helperCtx), and must not clobber
+	// the zero rows their wires get instead.
+	inRows := make([]field.Poly, ckt.NumGates())
+	inSess := func(k int) string { return runtime.Sub(session, "in", k) }
+
+	pred := commonsubset.NewPredicate()
+	var mu sync.Mutex
+	remaining := make([]int, n)
+	for p := 0; p < n; p++ {
+		remaining[p] = len(ckt.InputsOf(p))
+		if remaining[p] == 0 {
+			// Parties with no inputs contribute vacuously.
+			pred.Set(p)
+		}
+	}
+	ready := make(chan int, n)
+	errc := make(chan error, len(ckt.inputs))
+	mine := 0
+	for k, w := range ckt.inputs {
+		k, w := k, w
+		owner := ckt.gates[w].Owner
+		var secret field.Elem
+		if owner == env.ID {
+			secret = myInputs[mine]
+			mine++
+		}
+		s := inSess(k)
+		senv := env.Fork(s)
+		go func() {
+			sh, err := svss.RunShare(helperCtx, senv, s, owner, secret)
+			if err != nil {
+				errc <- err
+				return
+			}
+			// The share can complete before the dealer's in-flight row
+			// arrives (READY quorums form without the dealer's link); give
+			// the row a bounded grace period, then accept going rowless. A
+			// nil row here is tolerable, unlike in triple preprocessing:
+			// input rows only feed this party's optional reveal claims — a
+			// Mul result row is built from the triple rows plus the
+			// publicly opened d,e, not from the operand rows — so nil
+			// propagates harmlessly, openings resolve from the other
+			// parties' reveals, and a Byzantine dealer withholding one
+			// party's row costs that party the grace wait, not termination
+			// (exactly how securesum always handled the rowless case).
+			if sh.Row == nil {
+				gctx, cancel := context.WithTimeout(helperCtx, rowGrace(cfg.SVSS))
+				_ = svss.AwaitRow(gctx, senv, sh) // row stays nil on expiry
+				cancel()
+			}
+			mu.Lock()
+			inRows[w] = sh.Row
+			remaining[owner]--
+			fin := remaining[owner] == 0
+			mu.Unlock()
+			if fin {
+				pred.Set(owner)
+				ready <- owner
+			}
+		}()
+	}
+	csSess := runtime.Sub(session, "cs")
+	contributors, err := commonsubset.Run(ctx, env, csSess, pred, n-t,
+		cfg.CoinsFor(helperCtx, env, csSess), commonsubset.Options{BA: cfg.BA})
+	if err != nil {
+		return nil, fmt.Errorf("mpc %s: %w", session, err)
+	}
+	inSet := make(map[int]bool, len(contributors))
+	for _, p := range contributors {
+		inSet[p] = true
+	}
+	waiting := map[int]bool{}
+	mu.Lock()
+	for _, p := range contributors {
+		if remaining[p] > 0 {
+			waiting[p] = true
+		}
+	}
+	mu.Unlock()
+	for len(waiting) > 0 {
+		select {
+		case p := <-ready:
+			delete(waiting, p)
+		case err := <-errc:
+			return nil, fmt.Errorf("mpc %s: input share: %w", session, err)
+		case <-ctx.Done():
+			return nil, fmt.Errorf("mpc %s: %w", session, ctx.Err())
+		}
+	}
+	mu.Lock()
+	for _, w := range ckt.inputs {
+		if inSet[ckt.gates[w].Owner] {
+			rows[w] = inRows[w]
+		} else {
+			// Excluded owners' inputs carry the public value zero.
+			rows[w] = zeroRow()
+		}
+		done[w] = true
+	}
+	mu.Unlock()
+
+	// Evaluation: one pass per multiplicative layer. Pass l opens layer
+	// l's Mul gates (operands settled by pass l−1), then sweeps the gate
+	// list in index order evaluating every linear gate up to layer l —
+	// index order is topological, so operands are always settled first.
+	mulRow := func(tr Triple, d, e field.Elem) field.Poly {
+		// z = c + d·b + e·a + d·e  (Beaver: z = xy for d = x−a, e = y−b)
+		row := addRow(tr.C, addRow(scaleRow(d, tr.B), scaleRow(e, tr.A)))
+		return addConstRow(row, field.Mul(d, e))
+	}
+	for l := 0; l <= ckt.Depth(); l++ {
+		if l > 0 && len(byLayer[l]) > 0 {
+			gates := byLayer[l]
+			if opts.GateAtATime {
+				for gi, k := range gates {
+					tr, err := GenTriples(ctx, helperCtx, env, runtime.Sub(session, "prep", l, "g", gi), 1, cfg)
+					if err != nil {
+						return nil, err
+					}
+					g := ckt.gates[k]
+					open := []field.Poly{subRow(rows[g.A], tr[0].A), subRow(rows[g.B], tr[0].B)}
+					vals, err := svss.RunRecBatch(ctx, env, runtime.Sub(session, "mul", l, "g", gi)+svss.RecSuffix, -1, open, cfg.SVSS)
+					if err != nil {
+						return nil, fmt.Errorf("mpc %s: layer %d gate %d: %w", session, l, k, err)
+					}
+					rows[k] = mulRow(tr[0], vals[0], vals[1])
+					done[k] = true
+				}
+			} else {
+				var prep prepRes
+				select {
+				case prep = <-prepCh[l]:
+				case <-ctx.Done():
+					return nil, fmt.Errorf("mpc %s: %w", session, ctx.Err())
+				}
+				if prep.err != nil {
+					return nil, fmt.Errorf("mpc %s: layer %d preprocessing: %w", session, l, prep.err)
+				}
+				open := make([]field.Poly, 0, 2*len(gates))
+				for gi, k := range gates {
+					g := ckt.gates[k]
+					open = append(open,
+						subRow(rows[g.A], prep.triples[gi].A),
+						subRow(rows[g.B], prep.triples[gi].B))
+				}
+				vals, err := svss.RunRecBatch(ctx, env, runtime.Sub(session, "mul", l)+svss.RecSuffix, -1, open, cfg.SVSS)
+				if err != nil {
+					return nil, fmt.Errorf("mpc %s: layer %d openings: %w", session, l, err)
+				}
+				for gi, k := range gates {
+					rows[k] = mulRow(prep.triples[gi], vals[2*gi], vals[2*gi+1])
+					done[k] = true
+				}
+			}
+		}
+		for i := 0; i < ckt.NumGates(); i++ {
+			if done[i] || ckt.layer[i] > l {
+				continue
+			}
+			g := ckt.gates[i]
+			switch g.Op {
+			case OpAdd:
+				rows[i] = addRow(rows[g.A], rows[g.B])
+			case OpSub:
+				rows[i] = subRow(rows[g.A], rows[g.B])
+			case OpMulConst:
+				rows[i] = scaleRow(g.K, rows[g.A])
+			case OpAddConst:
+				rows[i] = addConstRow(rows[g.A], g.K)
+			default:
+				continue // Mul gates are handled by their layer pass
+			}
+			done[i] = true
+		}
+	}
+
+	// Output phase: open every declared output in one batched round.
+	outRows := make([]field.Poly, len(ckt.outputs))
+	for j, w := range ckt.outputs {
+		outRows[j] = rows[w]
+	}
+	outputs, err := svss.RunRecBatch(ctx, env, runtime.Sub(session, "out")+svss.RecSuffix, -1, outRows, cfg.SVSS)
+	if err != nil {
+		return nil, fmt.Errorf("mpc %s: output opening: %w", session, err)
+	}
+	return &Result{Outputs: outputs, Contributors: contributors}, nil
+}

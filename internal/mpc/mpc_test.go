@@ -1,0 +1,298 @@
+package mpc
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"asyncft/internal/core"
+	"asyncft/internal/field"
+	"asyncft/internal/network"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+func cfg() core.Config {
+	return core.Config{K: 1, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
+}
+
+// evalAll runs Evaluate at every given party and asserts they all
+// succeeded with identical outputs and contributor sets, returning the
+// common result.
+func evalAll(t *testing.T, c *testkit.Cluster, sess string, ckt *Circuit, inputs map[int][]field.Elem, parties []int, opts Options) *Result {
+	t.Helper()
+	res := c.Run(parties, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return Evaluate(ctx, c.Ctx, env, sess, ckt, inputs[env.ID], cfg(), opts)
+	})
+	var ref *Result
+	for _, id := range parties {
+		r := res[id]
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+		got := r.Value.(*Result)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(ref.Outputs, got.Outputs) {
+			t.Fatalf("output disagreement: party %d has %v, want %v", id, got.Outputs, ref.Outputs)
+		}
+		if !reflect.DeepEqual(ref.Contributors, got.Contributors) {
+			t.Fatalf("contributor disagreement: party %d has %v, want %v", id, got.Contributors, ref.Contributors)
+		}
+	}
+	return ref
+}
+
+func TestCircuitBuilderValidation(t *testing.T) {
+	c := NewCircuit()
+	x := c.Input(0)
+	c.Add(x, Wire(99)) // out of range
+	if err := c.Validate(4); err == nil {
+		t.Fatal("invalid operand accepted")
+	}
+	c2 := NewCircuit()
+	c2.Input(0)
+	if err := c2.Validate(4); err == nil {
+		t.Fatal("circuit without outputs accepted")
+	}
+	c3 := NewCircuit()
+	c3.Output(c3.Input(7))
+	if err := c3.Validate(4); err == nil {
+		t.Fatal("owner out of range accepted")
+	}
+	if err := c3.Validate(8); err != nil {
+		t.Fatalf("valid circuit rejected: %v", err)
+	}
+}
+
+func TestCircuitLayering(t *testing.T) {
+	c := NewCircuit()
+	a, b := c.Input(0), c.Input(1)
+	p := c.Mul(a, b)           // layer 1
+	q := c.Mul(c.Add(p, a), b) // layer 2
+	c.Output(q)
+	if c.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", c.Depth())
+	}
+	if c.NumMuls() != 2 {
+		t.Fatalf("muls = %d, want 2", c.NumMuls())
+	}
+	by := c.mulsByLayer()
+	if len(by[1]) != 1 || len(by[2]) != 1 {
+		t.Fatalf("layer grouping = %v", by)
+	}
+}
+
+// TestLinearCircuit: a circuit with no Mul gates behaves exactly like
+// secure aggregation — linear gates cost no communication beyond the
+// input deals and the output opening.
+func TestLinearCircuit(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithSeed(41))
+	defer c.Close()
+	ckt := NewCircuit()
+	var s Wire
+	for p := 0; p < 4; p++ {
+		w := ckt.Input(p)
+		if p == 0 {
+			s = w
+		} else {
+			s = ckt.Add(s, w)
+		}
+	}
+	ckt.Output(ckt.MulConst(s, field.New(3)))
+	inputs := map[int][]field.Elem{}
+	for p := 0; p < 4; p++ {
+		inputs[p] = []field.Elem{field.New(uint64(p + 1))}
+	}
+	res := evalAll(t, c, "lin", ckt, inputs, c.Honest(), Options{})
+	var want field.Elem
+	for _, p := range res.Contributors {
+		want = field.Add(want, inputs[p][0])
+	}
+	want = field.Mul(3, want)
+	if res.Outputs[0] != want {
+		t.Fatalf("output %v, want %v over %v", res.Outputs[0], want, res.Contributors)
+	}
+}
+
+// expectedVariance computes VarianceCircuit's outputs over the actual
+// contributor set (excluded parties' inputs are zero).
+func expectedVariance(n int, inputs map[int][]field.Elem, contributors []int) []field.Elem {
+	in := map[int]bool{}
+	for _, p := range contributors {
+		in[p] = true
+	}
+	var sum, sq field.Elem
+	for p := 0; p < n; p++ {
+		if !in[p] {
+			continue
+		}
+		x := inputs[p][0]
+		sum = field.Add(sum, x)
+		sq = field.Add(sq, field.Mul(x, x))
+	}
+	return []field.Elem{sum, field.Sub(field.Mul(field.New(uint64(n)), sq), field.Mul(sum, sum))}
+}
+
+func TestVarianceCircuit(t *testing.T) {
+	for _, n := range []int{4, 7} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			c := testkit.New(n, (n-1)/3, testkit.WithSeed(int64(100+n)), testkit.WithTimeout(120*time.Second))
+			defer c.Close()
+			ckt := VarianceCircuit(n)
+			inputs := map[int][]field.Elem{}
+			for p := 0; p < n; p++ {
+				inputs[p] = []field.Elem{field.New(uint64(3*p + 2))}
+			}
+			res := evalAll(t, c, "var", ckt, inputs, c.Honest(), Options{})
+			want := expectedVariance(n, inputs, res.Contributors)
+			if !reflect.DeepEqual(res.Outputs, want) {
+				t.Fatalf("outputs %v, want %v over %v", res.Outputs, want, res.Contributors)
+			}
+		})
+	}
+}
+
+// TestDeepCircuitPipelined exercises multiplicative depth > 1 (layer
+// pipelining): ((a·b)·(c·d))·(a+b) plus a parallel product, under a
+// hostile reorder schedule.
+func TestDeepCircuitPipelined(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithSeed(55),
+		testkit.WithPolicy(network.NewRandomReorder(7, 0.6, 10)),
+		testkit.WithTimeout(120*time.Second))
+	defer c.Close()
+	ckt := NewCircuit()
+	a, b := ckt.Input(0), ckt.Input(1)
+	cc, d := ckt.Input(2), ckt.Input(3)
+	ab := ckt.Mul(a, b)              // layer 1
+	cd := ckt.Mul(cc, d)             // layer 1
+	p2 := ckt.Mul(ab, cd)            // layer 2
+	p3 := ckt.Mul(p2, ckt.Add(a, b)) // layer 3
+	ckt.Output(p3)
+	ckt.Output(ckt.Sub(p2, ab))
+	if ckt.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", ckt.Depth())
+	}
+	inputs := map[int][]field.Elem{
+		0: {field.New(5)}, 1: {field.New(7)}, 2: {field.New(11)}, 3: {field.New(13)},
+	}
+	res := evalAll(t, c, "deep", ckt, inputs, c.Honest(), Options{Width: 2})
+	in := map[int]field.Elem{}
+	for _, p := range res.Contributors {
+		in[p] = inputs[p][0]
+	}
+	av, bv, cv, dv := in[0], in[1], in[2], in[3]
+	abv := field.Mul(av, bv)
+	p2v := field.Mul(abv, field.Mul(cv, dv))
+	want := []field.Elem{field.Mul(p2v, field.Add(av, bv)), field.Sub(p2v, abv)}
+	if !reflect.DeepEqual(res.Outputs, want) {
+		t.Fatalf("outputs %v, want %v", res.Outputs, want)
+	}
+}
+
+// TestGateAtATimeMatchesBatched: the E13 baseline mode computes the exact
+// same outputs as the batched engine.
+func TestGateAtATimeMatchesBatched(t *testing.T) {
+	inputs := map[int][]field.Elem{}
+	for p := 0; p < 4; p++ {
+		inputs[p] = []field.Elem{field.New(uint64(10*p + 3))}
+	}
+	var outs [2][]field.Elem
+	for i, gaat := range []bool{false, true} {
+		c := testkit.New(4, 1, testkit.WithSeed(77), testkit.WithTimeout(120*time.Second))
+		ckt := VarianceCircuit(4)
+		res := evalAll(t, c, "modes", ckt, inputs, c.Honest(), Options{GateAtATime: gaat})
+		if len(res.Contributors) != 4 {
+			c.Close()
+			t.Skipf("core set %v not full; modes not comparable this run", res.Contributors)
+		}
+		outs[i] = res.Outputs
+		c.Close()
+	}
+	if !reflect.DeepEqual(outs[0], outs[1]) {
+		t.Fatalf("batched %v != gate-at-a-time %v", outs[0], outs[1])
+	}
+}
+
+// TestCrashedParty: a crashed party is excluded from the contributor set
+// and its input counts as zero; the remaining parties still evaluate the
+// full Mul circuit and agree.
+func TestCrashedParty(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithCrashed(3), testkit.WithSeed(9), testkit.WithTimeout(120*time.Second))
+	defer c.Close()
+	ckt := VarianceCircuit(4)
+	inputs := map[int][]field.Elem{
+		0: {field.New(2)}, 1: {field.New(4)}, 2: {field.New(6)},
+	}
+	res := evalAll(t, c, "crash", ckt, inputs, []int{0, 1, 2}, Options{})
+	for _, p := range res.Contributors {
+		if p == 3 {
+			t.Fatalf("crashed party in core set: %v", res.Contributors)
+		}
+	}
+	inputs[3] = []field.Elem{0}
+	want := expectedVariance(4, inputs, res.Contributors)
+	if !reflect.DeepEqual(res.Outputs, want) {
+		t.Fatalf("outputs %v, want %v over %v", res.Outputs, want, res.Contributors)
+	}
+}
+
+// TestTriplesAreConsistent: GenTriples hands every party rows of the same
+// sharings, and opening c against a·b confirms the multiplicative
+// relation end to end.
+func TestTriplesAreConsistent(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithSeed(31), testkit.WithTimeout(120*time.Second))
+	defer c.Close()
+	const m = 3
+	res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return GenTriples(ctx, c.Ctx, env, "tg", m, cfg())
+	})
+	// Collect every party's rows and reconstruct each sharing directly.
+	rows := map[int][]Triple{}
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+		rows[id] = r.Value.([]Triple)
+	}
+	openAt := func(sel func(Triple) field.Poly, g int) field.Elem {
+		pts := make([]field.Point, 0, len(rows))
+		for id, tr := range rows {
+			pts = append(pts, field.Point{X: field.X(id), Y: sel(tr[g]).Secret()})
+		}
+		return field.InterpolateAt(pts, 0)
+	}
+	for g := 0; g < m; g++ {
+		a := openAt(func(t Triple) field.Poly { return t.A }, g)
+		b := openAt(func(t Triple) field.Poly { return t.B }, g)
+		cv := openAt(func(t Triple) field.Poly { return t.C }, g)
+		if cv != field.Mul(a, b) {
+			t.Fatalf("triple %d: c = %v, want a·b = %v", g, cv, field.Mul(a, b))
+		}
+	}
+}
+
+// TestVarianceUnderDelay runs the variance circuit under the latency-bound
+// network.Delay schedule — the third of the adversary schedules
+// (reorder/delay/crash) the engine's agreement guarantees are tested on.
+func TestVarianceUnderDelay(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithSeed(63),
+		testkit.WithPolicy(network.NewDelay(63, 200*time.Microsecond, time.Millisecond)),
+		testkit.WithTimeout(120*time.Second))
+	defer c.Close()
+	ckt := VarianceCircuit(4)
+	inputs := map[int][]field.Elem{}
+	for p := 0; p < 4; p++ {
+		inputs[p] = []field.Elem{field.New(uint64(7*p + 1))}
+	}
+	res := evalAll(t, c, "delay", ckt, inputs, c.Honest(), Options{})
+	want := expectedVariance(4, inputs, res.Contributors)
+	if !reflect.DeepEqual(res.Outputs, want) {
+		t.Fatalf("outputs %v, want %v over %v", res.Outputs, want, res.Contributors)
+	}
+}

@@ -1,0 +1,287 @@
+package mpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"asyncft/internal/commonsubset"
+	"asyncft/internal/core"
+	"asyncft/internal/field"
+	"asyncft/internal/runtime"
+	"asyncft/internal/svss"
+)
+
+// ErrTripleCheck is wrapped by GenTriples when the sacrifice check opens a
+// nonzero value: some party injected an incorrect product share during
+// degree reduction. Aborting here is the detect-and-abort half of the
+// resilience tradeoff (see the package documentation).
+var ErrTripleCheck = errors.New("mpc: beaver triple check failed (corrupted preprocessing)")
+
+// Triple is one Beaver triple as held by one party: its rows of three
+// aggregate degree-t sharings [a], [b], [c] with c = a·b. A and B are sums
+// of core-set dealers' random sharings (so they are uniform and unknown to
+// the adversary as long as one core-set dealer is honest); C comes from
+// the degree-reduction re-sharing step, certified by the sacrifice check.
+// Rows are nil only when a Byzantine dealer left this party rowless.
+type Triple struct {
+	A, B, C field.Poly
+}
+
+// dealAll runs the share phase of count deals per dealer (n·count SVSS
+// instances under session), agrees via CommonSubset on a core set of
+// ≥ n−t dealers whose deals all completed, waits for this party's rows of
+// every in-set deal, and returns the sorted core set plus each in-set
+// dealer's rows. secrets are this party's own count dealt values.
+//
+// This is the securesum core-set pattern generalized to a vector of deals
+// per dealer: the predicate Q(d) flips once all of dealer d's share phases
+// complete locally, so set membership certifies the whole vector.
+func dealAll(ctx, helperCtx context.Context, env *runtime.Env, session string, count int, secrets []field.Elem, cfg core.Config) ([]int, map[int][]field.Poly, error) {
+	n, t := env.N, env.T
+	sess := func(d, i int) string { return runtime.Sub(session, "d", d, i) }
+
+	pred := commonsubset.NewPredicate()
+	var mu sync.Mutex
+	rows := make(map[int][]field.Poly, n)
+	remaining := make([]int, n)
+	ready := make(chan int, n)
+	errc := make(chan error, n*count)
+	for d := 0; d < n; d++ {
+		rows[d] = make([]field.Poly, count)
+		remaining[d] = count
+	}
+	for d := 0; d < n; d++ {
+		for i := 0; i < count; i++ {
+			d, i := d, i
+			s := sess(d, i)
+			senv := env.Fork(s)
+			var secret field.Elem
+			if d == env.ID {
+				secret = secrets[i]
+			}
+			go func() {
+				sh, err := svss.RunShare(helperCtx, senv, s, d, secret)
+				if err != nil {
+					errc <- err
+					return
+				}
+				// The share can complete before the dealer's row arrives
+				// (READY quorums form without the dealer's link); the
+				// aggregation below needs the actual row, so wait for it.
+				// A nonfaulty dealer's row is always in flight.
+				if sh.Row == nil {
+					if err := svss.AwaitRow(helperCtx, senv, sh); err != nil {
+						errc <- err
+						return
+					}
+				}
+				mu.Lock()
+				rows[d][i] = sh.Row
+				remaining[d]--
+				done := remaining[d] == 0
+				mu.Unlock()
+				if done {
+					pred.Set(d)
+					ready <- d
+				}
+			}()
+		}
+	}
+
+	csSess := runtime.Sub(session, "cs")
+	set, err := commonsubset.Run(ctx, env, csSess, pred, n-t,
+		cfg.CoinsFor(helperCtx, env, csSess), commonsubset.Options{BA: cfg.BA})
+	if err != nil {
+		return nil, nil, fmt.Errorf("mpc deal %s: %w", session, err)
+	}
+
+	// Wait for our own rows of every core-set member's deals (SVSS
+	// termination guarantees arrival).
+	waiting := map[int]bool{}
+	mu.Lock()
+	for _, d := range set {
+		if remaining[d] > 0 {
+			waiting[d] = true
+		}
+	}
+	mu.Unlock()
+	for len(waiting) > 0 {
+		select {
+		case d := <-ready:
+			delete(waiting, d)
+		case err := <-errc:
+			return nil, nil, fmt.Errorf("mpc deal %s: %w", session, err)
+		case <-ctx.Done():
+			return nil, nil, fmt.Errorf("mpc deal %s: %w", session, ctx.Err())
+		}
+	}
+	out := make(map[int][]field.Poly, len(set))
+	mu.Lock()
+	for _, d := range set {
+		out[d] = rows[d]
+	}
+	mu.Unlock()
+	return set, out, nil
+}
+
+// lagrangeAtZero returns the interpolation weights λ_i such that for any
+// polynomial h of degree < len(idxs) over the party evaluation points,
+// h(0) = Σ_i λ_i · h(X(idxs[i])).
+func lagrangeAtZero(idxs []int) []field.Elem {
+	lam := make([]field.Elem, len(idxs))
+	for i, ii := range idxs {
+		xi := field.X(ii)
+		num, den := field.Elem(1), field.Elem(1)
+		for j, jj := range idxs {
+			if j == i {
+				continue
+			}
+			xj := field.X(jj)
+			num = field.Mul(num, xj)
+			den = field.Mul(den, field.Sub(xj, xi))
+		}
+		lam[i] = field.Div(num, den)
+	}
+	return lam
+}
+
+// mulShare returns the product of this party's Shamir shares of two
+// sharings — its point on the degree-2t product polynomial. Missing rows
+// contribute 0 (only reachable under a Byzantine dealer; the sacrifice
+// check catches any damage this causes).
+func mulShare(a, b field.Poly) field.Elem {
+	if a == nil || b == nil {
+		return 0
+	}
+	return field.Mul(a.Secret(), b.Secret())
+}
+
+// GenTriples produces m Beaver triples rooted at session. All nonfaulty
+// parties must call GenTriples with the same session, m and an equivalent
+// cfg; the result is a consistent set of aggregate sharings (every party
+// holds its rows of the same m triples).
+//
+// Protocol, batched so the whole call costs two CommonSubset instances
+// and three batched opening rounds regardless of m:
+//
+//  1. Random masks: every party deals 4m+1 random values (per triple the
+//     live masks a_d, b_d and check masks f_d, g_d, plus a challenge
+//     contribution r_d) via SVSS; CommonSubset agrees a core set S of
+//     ≥ n−t dealers; the aggregates [a]=Σ_{d∈S}[a_d] etc. are uniform and
+//     unknown to the adversary (S contains an honest dealer).
+//  2. Degree reduction (GRR): party i's local products a_i·b_i and
+//     f_i·g_i lie on degree-2t polynomials whose constant terms are a·b
+//     and f·g; each party re-shares its products, CommonSubset agrees a
+//     core set T of re-sharers, and [c] (resp. [h]) is the Lagrange
+//     combination Σ λ_i·[u_i] over the first 2t+1 members of T, which
+//     interpolates the degree-2t product polynomial at zero.
+//  3. Sacrifice check: open the challenge r (bound only after the
+//     re-shares completed), open ρ = r·[a]−[f] and σ = [b]−[g], then open
+//     τ = r·[c] − [h] − σ·[f] − ρ·[g] − ρσ, which algebraically equals
+//     r·(c−ab) − (h−fg). A party that corrupted either product re-share
+//     makes τ nonzero except with probability 1/|F| ≈ 2⁻⁶¹ over the
+//     choice of r — caught and aborted via ErrTripleCheck.
+//
+// All three opening rounds go through svss.RunRecBatch: one message per
+// party per round, error-corrected reconstruction on the shared domain.
+func GenTriples(ctx, helperCtx context.Context, env *runtime.Env, session string, m int, cfg core.Config) ([]Triple, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("mpc: GenTriples needs m ≥ 1, got %d", m)
+	}
+	t := env.T
+
+	// Phase 1: random masks. Layout per dealer: [a_0 b_0 f_0 g_0 … ], r last.
+	count := 4*m + 1
+	secrets := make([]field.Elem, count)
+	for i := range secrets {
+		secrets[i] = field.Random(env.Rand)
+	}
+	set, dealt, err := dealAll(ctx, helperCtx, env, session, count, secrets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	agg := make([]field.Poly, count)
+	for i := range agg {
+		acc := field.Poly{0}
+		for _, d := range set {
+			acc = addRow(acc, dealt[d][i])
+		}
+		agg[i] = acc
+	}
+	aRow := func(g int) field.Poly { return agg[4*g] }
+	bRow := func(g int) field.Poly { return agg[4*g+1] }
+	fRow := func(g int) field.Poly { return agg[4*g+2] }
+	gRow := func(g int) field.Poly { return agg[4*g+3] }
+	rRow := agg[4*m]
+
+	// Phase 2: degree reduction. Re-share the local product shares; layout
+	// per re-sharer: [u_0 v_0 u_1 v_1 …] with u for c and v for h.
+	re := make([]field.Elem, 2*m)
+	for g := 0; g < m; g++ {
+		re[2*g] = mulShare(aRow(g), bRow(g))
+		re[2*g+1] = mulShare(fRow(g), gRow(g))
+	}
+	set2, reshared, err := dealAll(ctx, helperCtx, env, runtime.Sub(session, "re"), 2*m, re, cfg)
+	if err != nil {
+		return nil, err
+	}
+	use := set2[:2*t+1] // sorted; 2t+1 points determine the degree-2t product
+	lam := lagrangeAtZero(use)
+	reduce := func(j int) field.Poly {
+		acc := field.Poly{0}
+		for i, p := range use {
+			acc = addRow(acc, scaleRow(lam[i], reshared[p][j]))
+		}
+		return acc
+	}
+	cRows := make([]field.Poly, m)
+	hRows := make([]field.Poly, m)
+	for g := 0; g < m; g++ {
+		cRows[g] = reduce(2 * g)
+		hRows[g] = reduce(2*g + 1)
+	}
+
+	// Phase 3: sacrifice check. r is opened only now — after every re-share
+	// in T completed its share phase, so all products were bound before the
+	// challenge became known.
+	rv, err := svss.RunRecBatch(ctx, env, runtime.Sub(session, "open-r")+svss.RecSuffix, -1, []field.Poly{rRow}, cfg.SVSS)
+	if err != nil {
+		return nil, err
+	}
+	r := rv[0]
+	masks := make([]field.Poly, 2*m)
+	for g := 0; g < m; g++ {
+		masks[2*g] = subRow(scaleRow(r, aRow(g)), fRow(g)) // ρ = r·a − f
+		masks[2*g+1] = subRow(bRow(g), gRow(g))            // σ = b − g
+	}
+	mv, err := svss.RunRecBatch(ctx, env, runtime.Sub(session, "open-ms")+svss.RecSuffix, -1, masks, cfg.SVSS)
+	if err != nil {
+		return nil, err
+	}
+	taus := make([]field.Poly, m)
+	for g := 0; g < m; g++ {
+		rho, sigma := mv[2*g], mv[2*g+1]
+		// τ = r·c − h − σ·f − ρ·g − ρσ = r·(c−ab) − (h−fg)
+		row := subRow(scaleRow(r, cRows[g]), hRows[g])
+		row = subRow(row, scaleRow(sigma, fRow(g)))
+		row = subRow(row, scaleRow(rho, gRow(g)))
+		taus[g] = addConstRow(row, field.Neg(field.Mul(rho, sigma)))
+	}
+	tv, err := svss.RunRecBatch(ctx, env, runtime.Sub(session, "open-z")+svss.RecSuffix, -1, taus, cfg.SVSS)
+	if err != nil {
+		return nil, err
+	}
+	for g, v := range tv {
+		if v != 0 {
+			return nil, fmt.Errorf("mpc %s: triple %d: %w", session, g, ErrTripleCheck)
+		}
+	}
+
+	out := make([]Triple, m)
+	for g := 0; g < m; g++ {
+		out[g] = Triple{A: aRow(g), B: bRow(g), C: cRows[g]}
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package rs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"testing"
+
+	"asyncft/internal/field"
+)
+
+// FuzzReconstruct drives Coder.Reconstruct and Coder.ReconstructClean
+// with dropped, truncated and corrupted fragment sets, and asserts the
+// contract the coded broadcast (internal/rbc) relies on:
+//
+//   - no decode ever returns a payload that passes the SHA-256 digest
+//     check without being byte-identical to the original (the digest is
+//     the only thing standing between a Byzantine echo and delivery);
+//   - when the corruption count is within the declared error budget and
+//     enough fragments survive, the error-correcting Reconstruct returns
+//     exactly the original payload;
+//   - no input combination panics.
+//
+// It complements the wire-codec fuzzers (internal/wire) on the second
+// half of the dispersal path: envelope bytes there, fragment algebra here.
+func FuzzReconstruct(f *testing.F) {
+	f.Add([]byte("hello world, this is a payload"), uint8(4), uint8(2), uint16(0x1), uint64(0x0100))
+	f.Add([]byte{}, uint8(2), uint8(1), uint16(0), uint64(0))
+	f.Add(bytes.Repeat([]byte{0xab}, 200), uint8(7), uint8(3), uint16(0x88), uint64(0x01020304))
+	f.Add([]byte("short"), uint8(5), uint8(5), uint16(0), uint64(0xff))
+	f.Fuzz(func(t *testing.T, data []byte, nb, kb uint8, dropMask uint16, corrupt uint64) {
+		n := 2 + int(nb%6) // 2..7 fragments
+		k := 1 + int(kb)%n // threshold 1..n
+		c, err := NewCoder(n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		frags := c.Encode(data)
+		want := sha256.Sum256(data)
+
+		// Build the adversarial fragment set: drop per dropMask, then
+		// corrupt one element per fragment as directed by corrupt's bytes.
+		m := map[int][]field.Elem{}
+		for i, fr := range frags {
+			if dropMask&(1<<uint(i)) != 0 {
+				continue
+			}
+			m[i] = append([]field.Elem(nil), fr...)
+		}
+		ncorr := 0
+		cr := corrupt
+		for i := 0; i < n && cr != 0; i++ {
+			b := byte(cr)
+			cr >>= 8
+			fr, ok := m[i]
+			if !ok || b == 0 || len(fr) == 0 {
+				continue
+			}
+			pos := int(b) % len(fr)
+			fr[pos] = field.Add(fr[pos], field.Elem(uint64(b))) // guaranteed change
+			ncorr++
+		}
+
+		// Core property: anything a decode hands back either is the
+		// original or fails the digest check (candidate decodes returned
+		// alongside ErrInconsistent included — rbc digest-checks those).
+		check := func(got []byte, err error) {
+			if got == nil {
+				return
+			}
+			if err != nil && !errors.Is(err, ErrInconsistent) {
+				return
+			}
+			if sha256.Sum256(got) == want && !bytes.Equal(got, data) {
+				t.Fatalf("decode passed the digest check with wrong bytes (n=%d k=%d drop=%x corr=%d)", n, k, dropMask, ncorr)
+			}
+		}
+		check(c.ReconstructClean(len(data), m))
+		for e := 0; e <= 2; e++ {
+			got, err := c.Reconstruct(len(data), m, e)
+			check(got, err)
+		}
+
+		// Guarantee: corruption within budget and enough fragments means
+		// exact recovery.
+		if len(m) >= k+2*ncorr {
+			got, err := c.Reconstruct(len(data), m, ncorr)
+			if err != nil {
+				t.Fatalf("in-budget reconstruct failed (n=%d k=%d frags=%d errors=%d): %v", n, k, len(m), ncorr, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("in-budget reconstruct returned wrong bytes (n=%d k=%d errors=%d)", n, k, ncorr)
+			}
+		}
+
+		// Truncated fragments must be rejected outright, never decoded.
+		if len(m) > 0 && c.FragmentLen(len(data)) > 0 {
+			for i := range m {
+				m[i] = m[i][:len(m[i])-1]
+				break
+			}
+			if _, err := c.Reconstruct(len(data), m, 0); err == nil {
+				t.Fatalf("truncated fragment accepted")
+			}
+		}
+	})
+}

@@ -6,32 +6,28 @@
 // else about individual honest inputs (information-theoretically, against
 // t < n/3 corruptions).
 //
-// Protocol:
-//
-//  1. Every party deals its input via SVSS and participates in all deals.
-//  2. CommonSubset (Algorithm 4) agrees on a core set S of ≥ n−t dealers
-//     whose share phases completed.
-//  3. Each party locally sums its rows of the polynomials dealt by S —
-//     symmetric bivariate polynomials add coordinate-wise, so the summed
-//     rows are exactly the rows of F_Σ = Σ_{j∈S} F_j, whose secret is the
-//     sum of inputs — and the parties reconstruct only F_Σ(0,0).
-//
-// Individual shares are never opened: the only value revealed is the
-// aggregate, which is the whole point. (Linearity is free in secret-sharing
-// MPC; multiplication would need degree reduction, which is out of scope —
-// see DESIGN.md.)
+// Since the general MPC engine landed, this package is a thin veneer: the
+// aggregation is expressed as a one-(linear-)gate arithmetic circuit — an
+// Add tree over one input wire per party — and evaluated by
+// internal/mpc. The engine's input phase is exactly the old protocol
+// (every party deals its input via SVSS, CommonSubset agrees a core set S
+// of ≥ n−t dealers), linear gates are free local arithmetic on rows, and
+// the single output opening runs through the one batched
+// opening/reconstruction code path of the repository
+// (svss.RunRecBatch). Individual shares are never opened: the only value
+// revealed is the aggregate, which is the whole point. Multiplication —
+// historically called out of scope here — is now simply a Mul gate on the
+// same engine (Beaver-style degree reduction; see internal/mpc).
 package securesum
 
 import (
 	"context"
 	"fmt"
-	"sync"
 
-	"asyncft/internal/commonsubset"
 	"asyncft/internal/core"
 	"asyncft/internal/field"
+	"asyncft/internal/mpc"
 	"asyncft/internal/runtime"
-	"asyncft/internal/svss"
 )
 
 // Result is the aggregation outcome.
@@ -43,88 +39,26 @@ type Result struct {
 	Contributors []int
 }
 
+// Circuit returns the aggregation circuit for n parties: one input wire
+// per party summed into a single output. Exposed so tests and callers can
+// see that secure aggregation IS a circuit on the general engine.
+func Circuit(n int) *mpc.Circuit {
+	ckt := mpc.NewCircuit()
+	sum := ckt.Input(0)
+	for p := 1; p < n; p++ {
+		sum = ckt.Add(sum, ckt.Input(p))
+	}
+	ckt.Output(sum)
+	return ckt
+}
+
 // Run executes one secure aggregation. All nonfaulty parties must call Run
 // with the same session and an equivalent cfg. helperCtx should outlive the
 // call (cluster lifetime), as with the core protocols.
 func Run(ctx, helperCtx context.Context, env *runtime.Env, session string, input field.Elem, cfg core.Config) (*Result, error) {
-	n, t := env.N, env.T
-	shareSess := func(d int) string { return runtime.Sub(session, "sh", d) }
-
-	// Step 1: deal our input, participate in every deal.
-	pred := commonsubset.NewPredicate()
-	var mu sync.Mutex
-	shares := make(map[int]*svss.Share, n)
-	shareReady := make(chan int, n)
-	shareErrs := make(chan error, n)
-	for d := 0; d < n; d++ {
-		d := d
-		senv := env.Fork(shareSess(d))
-		go func() {
-			sh, err := svss.RunShare(helperCtx, senv, shareSess(d), d, input)
-			if err != nil {
-				shareErrs <- err
-				return
-			}
-			mu.Lock()
-			shares[d] = sh
-			mu.Unlock()
-			pred.Set(d)
-			shareReady <- d
-		}()
-	}
-
-	// Step 2: agree on the core set.
-	csSess := runtime.Sub(session, "cs")
-	set, err := commonsubset.Run(ctx, env, csSess, pred, n-t,
-		cfg.CoinsFor(helperCtx, env, csSess), commonsubset.Options{})
+	res, err := mpc.Evaluate(ctx, helperCtx, env, session, Circuit(env.N), []field.Elem{input}, cfg, mpc.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("securesum %s: %w", session, err)
 	}
-
-	// Wait for our own share of every core-set member (SVSS termination
-	// guarantees arrival).
-	waiting := map[int]bool{}
-	mu.Lock()
-	for _, j := range set {
-		if shares[j] == nil {
-			waiting[j] = true
-		}
-	}
-	mu.Unlock()
-	for len(waiting) > 0 {
-		select {
-		case d := <-shareReady:
-			delete(waiting, d)
-		case err := <-shareErrs:
-			return nil, fmt.Errorf("securesum %s: share: %w", session, err)
-		case <-ctx.Done():
-			return nil, fmt.Errorf("securesum %s: %w", session, ctx.Err())
-		}
-	}
-
-	// Step 3: sum our rows over S and open only the aggregate polynomial.
-	var sumRow field.Poly
-	complete := true
-	mu.Lock()
-	for _, j := range set {
-		if shares[j].Row == nil {
-			// A Byzantine dealer left us rowless; we cannot contribute a
-			// correct aggregate reveal. Participate with an empty reveal
-			// (the cross-check filter at peers rejects nothing from us).
-			complete = false
-			break
-		}
-		sumRow = field.AddPoly(sumRow, shares[j].Row)
-	}
-	mu.Unlock()
-	agg := &svss.Share{Session: runtime.Sub(session, "open"), Dealer: -1}
-	if complete {
-		agg.Row = sumRow
-	}
-	renv := env.Fork(agg.Session)
-	sum, err := svss.RunRec(ctx, renv, agg, cfg.SVSS)
-	if err != nil {
-		return nil, fmt.Errorf("securesum %s: open: %w", session, err)
-	}
-	return &Result{Sum: sum, Contributors: set}, nil
+	return &Result{Sum: res.Outputs[0], Contributors: res.Contributors}, nil
 }

@@ -128,7 +128,7 @@ func TestIndividualInputsNeverOpened(t *testing.T) {
 	mu.Lock()
 	defer mu.Unlock()
 	for _, s := range reveals {
-		if s != "ss/priv/open"+svss.RecSuffix {
+		if s != "ss/priv/out"+svss.RecSuffix {
 			t.Fatalf("individual share revealed on session %q", s)
 		}
 	}
@@ -187,7 +187,7 @@ func TestLyingAggregateRevealCorrected(t *testing.T) {
 			junk := field.RandomPoly(env.Rand, env.T, field.Random(env.Rand))
 			var w wire.Writer
 			w.Poly(junk)
-			env.SendAll("ss/lie/open"+svss.RecSuffix, svss.MsgReveal, w.Bytes())
+			env.SendAll("ss/lie/out"+svss.RecSuffix, svss.MsgReveal, w.Bytes())
 			// Still participate in shares + CS so others can proceed.
 			r, err := Run(ctx, c.Ctx, env, "ss/lie", inputs[env.ID], cfg())
 			return r, err

@@ -196,27 +196,98 @@ func RunShare(ctx context.Context, env *runtime.Env, session string, dealer int,
 	return &Share{Session: session, Dealer: dealer, Row: row}, nil
 }
 
+// AwaitRow blocks until the dealer's row of a completed share arrives and
+// fills sh.Row. RunShare may terminate on a 2t+1 READY quorum formed
+// entirely by third parties before the dealer's row reaches this party
+// (the row is then still in flight); that is correct for the Share
+// contract, but protocols whose local arithmetic needs the row — the MPC
+// engine's aggregation and product re-sharing — call AwaitRow to close
+// the race. With a nonfaulty dealer the row is guaranteed in flight, so
+// AwaitRow terminates; with a Byzantine dealer it may only return when
+// ctx does (the engine's detect-and-abort regime). No-op when the row is
+// already present.
+func AwaitRow(ctx context.Context, env *runtime.Env, sh *Share) error {
+	for sh.Row == nil {
+		msg, err := env.Recv(ctx, sh.Session)
+		if err != nil {
+			return fmt.Errorf("svss await row %s: %w", sh.Session, err)
+		}
+		if msg.Type != MsgRow || msg.From != sh.Dealer {
+			continue
+		}
+		r := wire.NewReader(msg.Payload)
+		p := r.Poly(env.T + 1)
+		if r.Err() != nil || len(p) == 0 {
+			continue
+		}
+		sh.Row = p
+	}
+	return nil
+}
+
 // RunRec executes the reconstruction phase for a completed share. All
 // nonfaulty parties that completed RunShare must call RunRec for it to
 // terminate. The returned element is the reconstructed secret (the binding
 // value, unless binding was broken by a Byzantine dealer, in which case a
-// shun event has occurred).
+// shun event has occurred). It is the single-opening form of RunRecBatch,
+// bit- and wire-identical to a batch of size one.
 func RunRec(ctx context.Context, env *runtime.Env, sh *Share, opts Options) (field.Elem, error) {
-	opts = opts.withDefaults()
-	session := sh.Session + RecSuffix
-	if sh.Row != nil {
-		var w wire.Writer
-		w.Poly(sh.Row)
-		env.SendAll(session, MsgReveal, w.Bytes())
-	} else {
-		// Without a row we still announce participation with an empty
-		// reveal so peers' progress accounting sees us.
-		env.SendAll(session, MsgReveal, nil)
+	vals, err := RunRecBatch(ctx, env, sh.Session+RecSuffix, sh.Dealer, []field.Poly{sh.Row}, opts)
+	if err != nil {
+		return 0, err
 	}
+	return vals[0], nil
+}
 
-	rows := map[int]field.Poly{} // accepted rows by sender
-	seen := map[int]bool{}       // any reveal (accepted or not) by sender
-	var accepted []int           // acceptance order, for deterministic points
+// RunRecBatch opens m sharings in one message round: every party reveals
+// all m of its rows in a single MsgReveal on the given session (one
+// length-prefixed polynomial per opening, so a batch of one is
+// wire-identical to the classic single reveal), and each opening is
+// reconstructed independently with the cross-consistency filter,
+// optimistic interpolation, and error-corrected fallback of the SVSS
+// contract. This is THE reconstruction code path of the repository: the
+// single-share RunRec, securesum's aggregate opening, and every per-layer
+// opening batch of the MPC engine (internal/mpc) all run through it.
+//
+// rows[j] is this party's row of opening j; nil means the party holds no
+// verified row for it (possible only under a Byzantine dealer) and
+// participates with an empty claim. dealer is the single accountable
+// dealer behind the batch, or a negative value for aggregate sharings that
+// have none (the idle fallback then blames nobody; the RS error path still
+// shuns provably lying revealers). All nonfaulty parties must call
+// RunRecBatch with the same session and an equal-length rows slice.
+//
+// The returned slice has the reconstructed value of every opening, in
+// order. Openings resolve independently as reveals arrive; the call
+// returns once all m resolved, or errs if the batch stalls with a quorum
+// present (binding broken — only reachable under a Byzantine dealer).
+func RunRecBatch(ctx context.Context, env *runtime.Env, session string, dealer int, rows []field.Poly, opts Options) ([]field.Elem, error) {
+	opts = opts.withDefaults()
+	m := len(rows)
+	if m == 0 {
+		return nil, nil
+	}
+	var w wire.Writer
+	for _, row := range rows {
+		// A nil row encodes as the empty polynomial: the party announces
+		// participation without a claim, so peers' progress accounting
+		// still sees it.
+		w.Poly(row)
+	}
+	env.SendAll(session, MsgReveal, w.Bytes())
+
+	type opening struct {
+		rows     map[int]field.Poly // accepted rows by sender
+		accepted []int              // acceptance order, for deterministic points
+		val      field.Elem
+		done     bool
+	}
+	ops := make([]*opening, m)
+	for j := range ops {
+		ops[j] = &opening{rows: make(map[int]field.Poly, env.N)}
+	}
+	unresolved := m
+	seen := map[int]bool{} // any reveal (accepted or not) by sender
 
 	// Reconstruction interpolates over the fixed domain {1..n}; the shared
 	// precomputed Domain makes each attempt inversion-free. A nil Domain
@@ -226,55 +297,57 @@ func RunRec(ctx context.Context, env *runtime.Env, sh *Share, opts Options) (fie
 		dom = nil
 	}
 
-	tryResolve := func() (field.Elem, bool) {
-		if len(accepted) < 2*env.T+1 {
-			return 0, false
+	tryResolve := func(j int) {
+		o := ops[j]
+		if o.done || len(o.accepted) < 2*env.T+1 {
+			return
 		}
-		pts := make([]field.Point, 0, len(accepted))
-		for _, j := range accepted {
-			pts = append(pts, field.Point{X: field.X(j), Y: rows[j].Secret()})
+		pts := make([]field.Point, 0, len(o.accepted))
+		for _, q := range o.accepted {
+			pts = append(pts, field.Point{X: field.X(q), Y: o.rows[q].Secret()})
 		}
 		// Optimistic path: every accepted zero-value on one degree-t curve.
 		if dom.FitsDegree(pts, env.T) {
-			return dom.InterpolateAt(pts, 0), true
+			o.val, o.done = dom.InterpolateAt(pts, 0), true
+			unresolved--
+			return
 		}
 		// Error-corrected path.
 		maxE := (len(pts) - env.T - 1) / 2
 		g, bad, err := rs.DecodeIn(dom, pts, env.T, maxE)
 		if err != nil {
-			return 0, false
+			return
 		}
 		// The decoded curve must match our own verified share; otherwise the
 		// "majority" is a fabrication we cannot endorse.
-		if sh.Row != nil && g.Eval(field.X(env.ID)) != sh.Row.Secret() {
-			return 0, false
+		if rows[j] != nil && g.Eval(field.X(env.ID)) != rows[j].Secret() {
+			return
 		}
 		for _, idx := range bad {
-			env.Node.Shun(accepted[idx])
+			env.Node.Shun(o.accepted[idx])
 		}
-		return g.Eval(0), true
+		o.val, o.done = g.Eval(0), true
+		unresolved--
 	}
 
 	deadline := time.Now().Add(opts.RecIdleTimeout)
-	for {
+	for unresolved > 0 {
 		// Bound each wait so the idle fallback can fire; progress resets it.
 		wctx, cancel := context.WithDeadline(ctx, deadline)
 		msg, err := env.Recv(wctx, session)
 		cancel()
 		if err != nil {
 			if ctx.Err() != nil {
-				return 0, fmt.Errorf("svss rec %s: %w", session, ctx.Err())
+				return nil, fmt.Errorf("svss rec %s: %w", session, ctx.Err())
 			}
-			// Idle: if a quorum reported and nothing resolves, the dealer
-			// must have equivocated. Give up, blame the dealer. (Aggregate
-			// shares — securesum — have no single dealer: Dealer < 0 means
-			// nobody can be blamed here; the RS error path already shunned
-			// provably lying revealers.)
+			// Idle: if a quorum reported and some opening still does not
+			// resolve, the dealer must have equivocated. Give up, blame the
+			// dealer when there is one to blame.
 			if len(seen) >= env.N-env.T {
-				if sh.Dealer >= 0 && sh.Dealer != env.ID {
-					env.Node.Shun(sh.Dealer)
+				if dealer >= 0 && dealer != env.ID {
+					env.Node.Shun(dealer)
 				}
-				return 0, fmt.Errorf("svss rec %s: %w (dealer %d)", session, ErrNoQuorum, sh.Dealer)
+				return nil, fmt.Errorf("svss rec %s: %w (dealer %d)", session, ErrNoQuorum, dealer)
 			}
 			deadline = time.Now().Add(opts.RecIdleTimeout)
 			continue
@@ -285,20 +358,35 @@ func RunRec(ctx context.Context, env *runtime.Env, sh *Share, opts Options) (fie
 		seen[msg.From] = true
 		deadline = time.Now().Add(opts.RecIdleTimeout)
 		r := wire.NewReader(msg.Payload)
-		p := r.Poly(env.T + 1)
-		if r.Err() != nil || len(p) == 0 {
+		claims := make([]field.Poly, m)
+		for j := range claims {
+			claims[j] = r.Poly(env.T + 1)
+		}
+		if r.Err() != nil {
+			// Malformed batches contribute nothing (but still count as
+			// participation — the sender spoke on the session).
 			continue
 		}
-		// Cross-consistency filter: a revealed row must agree with our own
-		// row at the crossing point. Without a row we accept provisionally;
-		// the decode consistency check above is then vacuous.
-		if sh.Row != nil && p.Eval(field.X(env.ID)) != sh.Row.Eval(field.X(msg.From)) {
-			continue
-		}
-		rows[msg.From] = p
-		accepted = append(accepted, msg.From)
-		if v, ok := tryResolve(); ok {
-			return v, nil
+		for j, p := range claims {
+			o := ops[j]
+			if o.done || len(p) == 0 {
+				continue
+			}
+			// Cross-consistency filter: a revealed row must agree with our
+			// own row at the crossing point. Without a row we accept
+			// provisionally; the decode consistency check above is then
+			// vacuous.
+			if rows[j] != nil && p.Eval(field.X(env.ID)) != rows[j].Eval(field.X(msg.From)) {
+				continue
+			}
+			o.rows[msg.From] = p
+			o.accepted = append(o.accepted, msg.From)
+			tryResolve(j)
 		}
 	}
+	out := make([]field.Elem, m)
+	for j, o := range ops {
+		out[j] = o.val
+	}
+	return out, nil
 }

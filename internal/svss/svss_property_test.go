@@ -2,6 +2,7 @@ package svss
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -155,6 +156,59 @@ func TestHidingQuick(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(trial, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SVSS sharings are linear — summing the rows dealt by several
+// dealers yields a valid sharing of the sum of their secrets, and the
+// aggregate reconstructs (through the batched opening path) to exactly
+// that sum. This is the algebraic fact secure aggregation and every
+// linear gate of the MPC engine (internal/mpc) rely on; reconstruction of
+// the aggregate must also be bit-identical with and without the domain
+// fast path.
+func TestShareLinearityQuick(t *testing.T) {
+	type params struct {
+		Secrets [3]uint64
+		Seed    int64
+		NoFast  bool
+	}
+	trial := func(p params) bool {
+		c := testkit.New(4, 1, testkit.WithSeed(p.Seed))
+		defer c.Close()
+		var want field.Elem
+		for _, s := range p.Secrets {
+			want = field.Add(want, field.New(s))
+		}
+		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			var sum field.Poly
+			for d := 0; d < len(p.Secrets); d++ {
+				sh, err := RunShare(ctx, env, fmt.Sprintf("lin/%d", d), d, field.New(p.Secrets[d]))
+				if err != nil {
+					return nil, err
+				}
+				if sh.Row == nil {
+					if err := AwaitRow(ctx, env, sh); err != nil {
+						return nil, err
+					}
+				}
+				sum = field.AddPoly(sum, sh.Row)
+			}
+			vals, err := RunRecBatch(ctx, env, "lin/open"+RecSuffix, -1,
+				[]field.Poly{sum}, Options{NoDomainFastPath: p.NoFast})
+			if err != nil {
+				return nil, err
+			}
+			return vals[0], nil
+		})
+		for _, r := range res {
+			if r.Err != nil || r.Value.(field.Elem) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(trial, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
 	}
 }
