@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"asyncft/internal/acs"
 	"asyncft/internal/adversary"
@@ -17,6 +18,7 @@ import (
 	"asyncft/internal/rbc"
 	"asyncft/internal/runtime"
 	"asyncft/internal/securesum"
+	"asyncft/internal/statesync"
 	"asyncft/internal/svss"
 	"asyncft/internal/trace"
 	"asyncft/internal/wire"
@@ -38,6 +40,12 @@ type Cluster struct {
 	cancel   context.CancelFunc
 	core     core.Config
 	rec      *trace.Recorder // nil unless Config.TraceCapacity > 0
+
+	syncMu sync.Mutex
+	// syncRuns maps an atomic-broadcast session to its per-party slot
+	// stores; each honest party of such a run also serves snapshots for
+	// the cluster's lifetime, which is what SyncFrom and Resume ride.
+	syncRuns map[string]map[int]*acs.Store
 }
 
 // Party is the capability bundle handed to custom BehaviorFunc attacks.
@@ -76,7 +84,7 @@ func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	policy := cfg.policy()
 	var ropts []network.Option
-	c := &Cluster{cfg: cfg, core: cfg.coreConfig()}
+	c := &Cluster{cfg: cfg, core: cfg.coreConfig(), syncRuns: make(map[string]map[int]*acs.Store)}
 	if cfg.TraceCapacity > 0 {
 		c.rec = trace.New(cfg.TraceCapacity)
 		ropts = append(ropts, network.WithObserver(func(stage string, env wire.Envelope) {
@@ -461,6 +469,17 @@ type AtomicBroadcastSpec struct {
 	// paths produce bit-identical ledgers; this toggle exists for
 	// cross-checks and bandwidth comparisons (experiment E12).
 	NoCodedBroadcast bool
+	// Resume marks parties as restarted replicas: a party mapped to slot
+	// R > 0 skips slots [0, R) entirely — it catches the missed prefix up
+	// via digest-verified state transfer (internal/statesync) from its
+	// peers, concurrently with participating live in slots [R, Slots).
+	// Every honest party of the run serves snapshots for the cluster's
+	// lifetime, so catch-up overlaps live commits by construction. At
+	// most T parties may resume (the slots they skip still need N−T live
+	// participants), and R must lie in [1, Slots−1]. The run's final
+	// agreement check covers resumed parties: their spliced ledgers must
+	// be bit-identical to everyone else's.
+	Resume map[int]int
 }
 
 // RunAtomicBroadcast runs ACS-based asynchronous atomic broadcast
@@ -475,18 +494,53 @@ func (c *Cluster) RunAtomicBroadcast(spec AtomicBroadcastSpec) ([]LedgerEntry, e
 	if spec.Slots < 1 {
 		return nil, fmt.Errorf("asyncft: RunAtomicBroadcast needs Slots ≥ 1, got %d", spec.Slots)
 	}
+	// A resumed party is absent from the slots it skips, so resumptions
+	// and corruptions draw on the same fault budget. A Byzantine party
+	// cannot resume (it runs its behavior, not the protocol), so naming
+	// one in Resume is a spec error, never a silent no-op.
+	if len(spec.Resume)+len(c.cfg.Byzantine) > c.cfg.T {
+		return nil, fmt.Errorf("asyncft: %d resuming + %d Byzantine parties exceed T=%d",
+			len(spec.Resume), len(c.cfg.Byzantine), c.cfg.T)
+	}
+	for id, r := range spec.Resume {
+		if id < 0 || id >= c.cfg.N || r < 1 || r >= spec.Slots {
+			return nil, fmt.Errorf("asyncft: Resume[%d]=%d out of range (want 1 ≤ R < Slots)", id, r)
+		}
+		if _, bad := c.cfg.Byzantine[id]; bad {
+			return nil, fmt.Errorf("asyncft: Resume[%d] names a Byzantine party", id)
+		}
+	}
 	sess := "abc/" + spec.Session
 	cfg := c.core
 	if spec.NoCodedBroadcast {
 		cfg.RBC.CodedThreshold = -1
 	}
+	stores, fresh := c.registerSyncRun(sess)
+	syncOpts := c.cfg.syncOptions()
 	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 		var input func(int) []byte
 		if spec.Payloads != nil {
 			id := env.ID
 			input = func(slot int) []byte { return spec.Payloads(id, slot) }
 		}
-		return acs.Run(ctx, c.ctx, env, sess, spec.Slots, spec.Width, input, cfg)
+		store := stores[env.ID]
+		if fresh {
+			// Serve snapshots for the cluster's lifetime: lagging and
+			// resumed peers pull verified chunks while live slots keep
+			// committing. One server set per session, ever.
+			go statesync.Serve(c.ctx, env, sess, store, syncOpts)
+		}
+		from := spec.Resume[env.ID]
+		if from > 0 {
+			// A restarted replica: live participation in [from, Slots) and
+			// catch-up of [0, from) run concurrently.
+			if err := statesync.Resume(ctx, c.ctx, env, sess, store, from, spec.Slots, spec.Width, input, cfg, syncOpts); err != nil {
+				return nil, err
+			}
+		} else if err := acs.RunFrom(ctx, c.ctx, env, sess, 0, spec.Slots, spec.Width, input, cfg, store); err != nil {
+			return nil, err
+		}
+		return store.Ledger(), nil
 	})
 	ids := make([]int, 0, len(res))
 	for id := range res {
@@ -507,7 +561,62 @@ func (c *Cluster) RunAtomicBroadcast(spec AtomicBroadcastSpec) ([]LedgerEntry, e
 	}
 	out := make([]LedgerEntry, len(ref))
 	for i, e := range ref {
-		out[i] = LedgerEntry{Slot: e.Slot, Party: e.Party, Payload: e.Payload}
+		// Copy the payloads: the ledger aliases a store the snapshot
+		// servers keep serving for the cluster's lifetime, and a caller
+		// mutating its result must not corrupt what peers sync.
+		out[i] = LedgerEntry{Slot: e.Slot, Party: e.Party, Payload: append([]byte(nil), e.Payload...)}
+	}
+	return out, nil
+}
+
+// registerSyncRun creates (once per session) the per-party slot stores
+// behind an atomic-broadcast run and reports whether this call created
+// them — the caller starts the one snapshot server set per party iff so.
+func (c *Cluster) registerSyncRun(sess string) (map[int]*acs.Store, bool) {
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	if stores, ok := c.syncRuns[sess]; ok {
+		return stores, false
+	}
+	stores := make(map[int]*acs.Store)
+	for _, id := range c.Honest() {
+		stores[id] = acs.NewStore()
+	}
+	c.syncRuns[sess] = stores
+	return stores, true
+}
+
+// SyncFrom runs a state-transfer client at party against the snapshot
+// servers of the RunAtomicBroadcast session, fetching slots [lo, hi) and
+// verifying them against the t+1-agreed head and digest chain before
+// returning them (in slot order, pre-deduplication). It blocks until the
+// honest servers have committed slot hi — so it may be called while the
+// run is still in flight — and inherits statesync's Byzantine guarantees:
+// lying servers cause at most a rejected response and a retry against
+// another peer.
+func (c *Cluster) SyncFrom(session string, party, lo, hi int) ([]LedgerEntry, error) {
+	if party < 0 || party >= c.cfg.N {
+		return nil, fmt.Errorf("asyncft: SyncFrom party %d out of range", party)
+	}
+	if _, bad := c.cfg.Byzantine[party]; bad {
+		return nil, fmt.Errorf("asyncft: SyncFrom party %d is Byzantine", party)
+	}
+	sess := "abc/" + session
+	c.syncMu.Lock()
+	_, known := c.syncRuns[sess]
+	c.syncMu.Unlock()
+	if !known {
+		return nil, fmt.Errorf("asyncft: SyncFrom: no atomic-broadcast run with session %q", session)
+	}
+	slots, err := statesync.Fetch(c.ctx, c.envs[party], sess, lo, hi, nil, c.cfg.syncOptions())
+	if err != nil {
+		return nil, err
+	}
+	var out []LedgerEntry
+	for _, entries := range slots {
+		for _, e := range entries {
+			out = append(out, LedgerEntry{Slot: e.Slot, Party: e.Party, Payload: e.Payload})
+		}
 	}
 	return out, nil
 }

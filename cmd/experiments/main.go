@@ -39,6 +39,7 @@ func main() {
 		{"E11", experiments.E11LedgerThroughput},
 		{"E12", experiments.E12CodedBroadcast},
 		{"E13", experiments.E13CircuitThroughput},
+		{"E14", experiments.E14CatchupLatency},
 		{"A1", experiments.AblationReconstruct},
 		{"A2", experiments.AblationPolicy},
 	}

@@ -29,6 +29,15 @@
 // for this node's own proposals (the flag is sender-local — mixed
 // configurations interoperate and still replicate identically).
 //
+// In -mode abc every node also runs a snapshot server (internal/
+// statesync): it serves digest-chain-verified ledger ranges out of its
+// slot store, concurrently with the live slots. -resume R turns the node
+// into a restarted replica: it skips slots [0, R) entirely, catches them
+// up via state transfer from its peers (verifying every chunk against a
+// t+1-agreed digest head), participates live in slots [R, slots), and
+// prints the same bit-identical ledger as everyone else. -grace tunes how
+// long a finished node lingers to serve slower or catching-up peers.
+//
 // -mode mpc switches the node to secure circuit evaluation (internal/mpc):
 // every party contributes one private input (-x, never revealed) and the
 // cluster jointly evaluates the private-statistics circuit — sum and
@@ -54,6 +63,7 @@ import (
 	"asyncft/internal/mpc"
 	"asyncft/internal/rbc"
 	"asyncft/internal/runtime"
+	"asyncft/internal/statesync"
 	"asyncft/internal/svss"
 	"asyncft/internal/transport"
 )
@@ -73,9 +83,11 @@ type options struct {
 	batch    int
 	slots    int
 	width    int
+	resume   int
 	noCoded  bool
 	seed     int64
 	timeout  time.Duration
+	grace    time.Duration
 }
 
 func main() {
@@ -93,14 +105,17 @@ func main() {
 	slots := flag.Int("slots", 4, "abc: number of atomic-broadcast slots (same value at every party)")
 	width := flag.Int("width", 0, "abc: slots in flight at once (0 = all; same value at every party)")
 	noCoded := flag.Bool("no-coded", false, "abc: disable erasure-coded A-Cast dispersal (classic full-value echo)")
+	resume := flag.Int("resume", 0, "abc: restarted-replica mode — skip slots [0,resume), catch them up via state transfer from peers, then join live slots")
 	seed := flag.Int64("seed", 0, "randomness seed (default: derived from id)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "protocol deadline")
+	grace := flag.Duration("grace", 500*time.Millisecond, "linger after completion so helper goroutines can serve slower peers (0 = the 500ms default, negative = exit immediately)")
 	flag.Parse()
 
 	o := options{
 		id: *id, t: *tf, mode: *mode, protocol: *protocol, input: *input,
 		secret: *secret, x: *x, bit: *bit, k: *k, batch: *batchK, slots: *slots,
-		width: *width, noCoded: *noCoded, seed: *seed, timeout: *timeout,
+		width: *width, resume: *resume, noCoded: *noCoded, seed: *seed,
+		timeout: *timeout, grace: *grace,
 	}
 	for _, a := range strings.Split(*peers, ",") {
 		o.peers = append(o.peers, strings.TrimSpace(a))
@@ -163,28 +178,53 @@ func runNode(o options, out io.Writer) error {
 		}
 	}
 	log.Printf("party %d completed in %v", o.id, time.Since(start).Round(time.Millisecond))
-	// Give lingering helper goroutines a beat to flush their final sends so
-	// slower peers can finish too.
-	time.Sleep(500 * time.Millisecond)
+	// Give lingering helper goroutines a beat (and snapshot servers a
+	// window) to serve slower or catching-up peers before tearing down.
+	// Zero means the 500ms default; negative disables the linger.
+	grace := o.grace
+	if grace == 0 {
+		grace = 500 * time.Millisecond
+	}
+	if grace > 0 {
+		time.Sleep(grace)
+	}
 	return nil
 }
 
-// runLedger is -mode abc: the ACS-based atomic broadcast ledger.
+// runLedger is -mode abc: the ACS-based atomic broadcast ledger. Every
+// node records its slots into an acs.Store and serves digest-verified
+// snapshots from it over the transport, so restarted replicas (-resume R)
+// can catch up [0, R) via internal/statesync while participating live in
+// the remaining slots — and still print the bit-identical ledger.
 func runLedger(ctx context.Context, env *runtime.Env, o options, out io.Writer) error {
 	if o.slots < 1 {
 		return fmt.Errorf("-slots must be ≥ 1, got %d", o.slots)
+	}
+	if o.resume < 0 || o.resume >= o.slots {
+		return fmt.Errorf("-resume must be in [0, slots), got %d", o.resume)
 	}
 	cfg := core.Config{K: o.k, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
 	if o.noCoded {
 		cfg.RBC.CodedThreshold = -1
 	}
-	log.Printf("party %d/%d on %s: atomic broadcast, %d slot(s) width %d coded=%v", env.ID, env.N, addrOf(env), o.slots, o.width, !o.noCoded)
-	ledger, err := acs.Run(ctx, ctx, env, "node/abc", o.slots, o.width, func(slot int) []byte {
+	const sess = "node/abc"
+	store := acs.NewStore()
+	go statesync.Serve(ctx, env, sess, store, statesync.Options{})
+	input := func(slot int) []byte {
 		return []byte(fmt.Sprintf("%s/p%d/s%d", o.input, env.ID, slot))
-	}, cfg)
-	if err != nil {
+	}
+	log.Printf("party %d/%d on %s: atomic broadcast, %d slot(s) width %d coded=%v resume=%d",
+		env.ID, env.N, addrOf(env), o.slots, o.width, !o.noCoded, o.resume)
+	if o.resume > 0 {
+		// Restarted replica: catch up the missed prefix and run the live
+		// slots concurrently; both must finish before the ledger prints.
+		if err := statesync.Resume(ctx, ctx, env, sess, store, o.resume, o.slots, o.width, input, cfg, statesync.Options{}); err != nil {
+			return err
+		}
+	} else if err := acs.RunFrom(ctx, ctx, env, sess, 0, o.slots, o.width, input, cfg, store); err != nil {
 		return err
 	}
+	ledger := store.Ledger()
 	for i, e := range ledger {
 		fmt.Fprintf(out, "ledger[%d] slot=%d party=%d payload=%q\n", i, e.Slot, e.Party, e.Payload)
 	}

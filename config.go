@@ -9,6 +9,7 @@ import (
 	"asyncft/internal/ba"
 	"asyncft/internal/core"
 	"asyncft/internal/network"
+	"asyncft/internal/statesync"
 	"asyncft/internal/svss"
 )
 
@@ -69,6 +70,13 @@ type Config struct {
 	// TraceCapacity, when positive, records the last TraceCapacity network
 	// events (sends/deliveries) for post-mortem inspection via DumpTrace.
 	TraceCapacity int
+	// SyncChunkSlots is the slot count per state-transfer snapshot chunk
+	// (Cluster.SyncFrom, AtomicBroadcastSpec.Resume). Zero uses
+	// statesync's default. It is requester-side: servers chunk whatever
+	// granularity a request asks for, so differently-configured parties
+	// interoperate. Size it so a chunk's encoding stays under the
+	// transfer cap (N · batch size · SyncChunkSlots ≲ 1 MiB).
+	SyncChunkSlots int
 }
 
 func (c Config) validate() error {
@@ -117,6 +125,11 @@ func (c Config) coreConfig() core.Config {
 	}
 }
 
+// syncOptions translates the public state-transfer knobs.
+func (c Config) syncOptions() statesync.Options {
+	return statesync.Options{ChunkSlots: c.SyncChunkSlots}
+}
+
 func (c Config) policy() network.Policy {
 	switch c.Scheduling {
 	case SchedulingFIFO:
@@ -153,6 +166,23 @@ func EquivocatingDealer(session string, camp map[int]int, seed int64) Behavior {
 // honestly and lies during reconstruction.
 func LyingRevealer(session string, dealer int) Behavior {
 	return Behavior{adversary.LyingRevealer{Session: session, Dealer: dealer}}
+}
+
+// LyingSnapshotServer returns the Byzantine snapshot server for the given
+// atomic-broadcast session: a real state-transfer server over a forged
+// ledger, answering head requests with fabricated digests and pulls with
+// wrong bytes — typically before any honest server answers. Syncing
+// replicas must reject all of it and complete off the honest peers.
+func LyingSnapshotServer(session string) Behavior {
+	return Behavior{statesync.LyingServer{Session: "abc/" + session}}
+}
+
+// WrongBytesSnapshotServer returns a Byzantine snapshot server that
+// answers every state-transfer pull instantly with corrupted or truncated
+// bytes for exactly the requested digest. Syncing replicas must reject
+// each response on its digest and retry against an honest peer.
+func WrongBytesSnapshotServer(session string) Behavior {
+	return Behavior{statesync.WrongBytesServer{Session: "abc/" + session}}
 }
 
 // BehaviorFunc adapts a function into a Behavior for custom attacks; see

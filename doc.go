@@ -54,6 +54,22 @@
 //     (experiment E13). Openings are fully robust at t < n/4 and
 //     detect-and-abort at the optimal t < n/3; secure aggregation
 //     (SecureSum) is a one-gate circuit on the same engine.
+//   - State transfer & recovery (SyncFrom, AtomicBroadcastSpec.Resume,
+//     internal/statesync): digest-verified ledger snapshot transfer for
+//     lagging and restarted replicas. Every ledger run records committed
+//     slots into a digest chain (chain(k+1) = SHA-256(chain(k) ‖ slot k))
+//     and serves ranged snapshot chunks from it concurrently with live
+//     slots, over the coded broadcast's generalized pull machinery —
+//     full bytes below the coded threshold, per-server Reed–Solomon
+//     fragments above it. A catching-up replica trusts only a head
+//     reported identically by t+1 parties, verifies every chunk against
+//     its digest and re-chains it onto its own prefix, then rejoins the
+//     live slots via acs.RunFrom without replaying any A-Cast. A
+//     Byzantine snapshot server (LyingSnapshotServer,
+//     WrongBytesSnapshotServer) can cause at most a rejected response and
+//     a retry against another peer. Experiment E14 measures catch-up
+//     latency against lag depth: ~5× fewer bytes per slot than live
+//     agreement at 64 KiB batches.
 //   - A batched multi-session pipeline (RunBatch with CoinFlipSpec,
 //     BinaryAgreementSpec, ShareAndReconstructSpec): K independent protocol
 //     instances multiplexed over one network by session namespacing, so the

@@ -174,34 +174,58 @@ func RunSlot(ctx, helperCtx context.Context, env *runtime.Env, session string, s
 // All nonfaulty parties must call Run with the same session, slots and
 // width; the returned ledger is byte-identical at every one of them.
 func Run(ctx, helperCtx context.Context, env *runtime.Env, session string, slots, width int, input func(slot int) []byte, cfg core.Config) ([]Entry, error) {
-	if slots < 1 {
-		return nil, fmt.Errorf("acs %s: slots=%d out of range", session, slots)
+	store := NewStore()
+	if err := RunFrom(ctx, helperCtx, env, session, 0, slots, width, input, cfg, store); err != nil {
+		return nil, err
 	}
-	instances := make([]batch.Instance, slots)
-	for k := range instances {
-		k := k
+	return store.Ledger(), nil
+}
+
+// RunFrom is the resumable form of Run: it executes only slots
+// from..slots−1, recording each slot's committed entries into store the
+// moment the slot finishes locally (so a statesync server reading the
+// store serves fresh slots while later ones are still in flight). A
+// restarted or lagging replica installs slots [0, from) into store via
+// internal/statesync and calls RunFrom to rejoin the live slots; from = 0
+// is a full run. Slot sessions depend only on the slot index, so resumed
+// and fresh parties interoperate on the wire by construction.
+//
+// The caller owns store and reads the final ledger from store.Ledger()
+// once every slot below `slots` is committed (RunFrom itself only
+// guarantees slots [from, slots)).
+func RunFrom(ctx, helperCtx context.Context, env *runtime.Env, session string, from, slots, width int, input func(slot int) []byte, cfg core.Config, store *Store) error {
+	if slots < 1 || from < 0 || from >= slots {
+		return fmt.Errorf("acs %s: slot range [%d, %d) out of range", session, from, slots)
+	}
+	if store == nil {
+		return fmt.Errorf("acs %s: nil store", session)
+	}
+	instances := make([]batch.Instance, slots-from)
+	for i := range instances {
+		k := from + i
 		sess := runtime.Sub(session, "slot", k)
 		var payload []byte
 		if input != nil {
 			payload = input(k)
 		}
-		instances[k] = batch.Instance{Session: sess, Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
-			return RunSlot(ctx, helperCtx, env, sess, k, payload, cfg)
+		instances[i] = batch.Instance{Session: sess, Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			entries, err := RunSlot(ctx, helperCtx, env, sess, k, payload, cfg)
+			if err == nil {
+				store.SetSlot(k, entries)
+			}
+			return entries, err
 		}}
 	}
 	res, err := batch.Run(ctx, map[int]*runtime.Env{env.ID: env}, instances, batch.Options{Width: width})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	perSlot := make([][]Entry, slots)
-	for k, m := range res {
-		r := m[env.ID]
-		if r.Err != nil {
-			return nil, fmt.Errorf("acs %s: slot %d: %w", session, k, r.Err)
+	for i, m := range res {
+		if r := m[env.ID]; r.Err != nil {
+			return fmt.Errorf("acs %s: slot %d: %w", session, from+i, r.Err)
 		}
-		perSlot[k] = r.Value.([]Entry)
 	}
-	return BuildLedger(perSlot), nil
+	return nil
 }
 
 // BuildLedger flattens per-slot outputs into the final ordered ledger:

@@ -134,21 +134,9 @@ func TestPipelinedLedgerIdenticalAndDeduped(t *testing.T) {
 	}
 }
 
-func TestLedgerWithCrashedParty(t *testing.T) {
-	const n, tf, slots = 4, 1, 3
-	c := testkit.New(n, tf, testkit.WithSeed(11), testkit.WithCrashed(3), testkit.WithTimeout(60*time.Second))
-	defer c.Close()
-	res := c.Run(c.Honest(3), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
-		return Run(ctx, c.Ctx, env, "abc/crash", slots, 0, func(slot int) []byte {
-			return payloadFor(env.ID, slot)
-		}, localCfg)
-	})
-	for _, e := range agreeLedgers(t, res) {
-		if e.Party == 3 {
-			t.Fatalf("crashed party's batch committed: %v", e)
-		}
-	}
-}
+// The crashed-party ledger tests live in scenario_test.go, ported onto
+// the testkit scenario harness (crash-at-start and crash-at-slot cases of
+// TestLedgerScenarios).
 
 func TestLedgerUnderNoiseAdversary(t *testing.T) {
 	const n, tf, slots = 4, 1, 2
@@ -339,26 +327,6 @@ func TestCodedLedgerMatchesClassic(t *testing.T) {
 				}
 				checkLedgerContent(t, ledger, size)
 			})
-		}
-	}
-}
-
-// TestCodedLedgerWithCrashedParty: coded dispersal with a crashed party —
-// the surviving 2t+1 parties must still replicate and decode every batch.
-func TestCodedLedgerWithCrashedParty(t *testing.T) {
-	const n, tf, slots, size = 4, 1, 2, 4096
-	c := testkit.New(n, tf, testkit.WithSeed(29), testkit.WithCrashed(3), testkit.WithTimeout(90*time.Second))
-	defer c.Close()
-	res := c.Run(c.Honest(3), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
-		return Run(ctx, c.Ctx, env, "abc/codedcrash", slots, 0, func(slot int) []byte {
-			return bigPayloadFor(env.ID, slot, size)
-		}, localCfg)
-	})
-	ledger := agreeLedgers(t, res)
-	checkLedgerContent(t, ledger, size)
-	for _, e := range ledger {
-		if e.Party == 3 {
-			t.Fatalf("crashed party's batch committed: slot %d", e.Slot)
 		}
 	}
 }

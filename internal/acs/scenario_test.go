@@ -1,0 +1,121 @@
+package acs
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+// TestLedgerScenarios drives the pipelined ledger through the testkit
+// scenario harness's table-driven fault schedules: the crash cases are the
+// ports of the pre-harness crashed-party tests (same assertions, now with
+// mid-run crash points), and the hold cases exercise partition-then-heal
+// and slow-replica lag. In every case the surviving parties' ledgers must
+// be bit-identical; parties that were only delayed (never crashed) must
+// converge to the same ledger too.
+func TestLedgerScenarios(t *testing.T) {
+	const n, tf, slots = 4, 1, 4
+	type tc struct {
+		name     string
+		seed     int64
+		coded    bool  // large batches through the coded dispersal path
+		victim   bool  // party 3 runs protocol code (and may be crashed mid-run)
+		waited   []int // parties whose ledgers are collected and compared
+		noVictim bool  // assert party 3 contributed nothing
+		steps    func(t *testing.T) []testkit.Step
+	}
+	cases := []tc{
+		{
+			// Port of TestLedgerWithCrashedParty: silent from slot 0.
+			name: "crash-at-start", seed: 11, waited: []int{0, 1, 2}, noVictim: true,
+			steps: func(t *testing.T) []testkit.Step {
+				return []testkit.Step{{Name: "crash", At: 0, Do: func(c *testkit.Cluster) { c.Crash(3) }}}
+			},
+		},
+		{
+			// Port of TestCodedLedgerWithCrashedParty: the coded dispersal
+			// flavor of the same schedule.
+			name: "coded-crash-at-start", seed: 29, coded: true, waited: []int{0, 1, 2}, noVictim: true,
+			steps: func(t *testing.T) []testkit.Step {
+				return []testkit.Step{{Name: "crash", At: 0, Do: func(c *testkit.Cluster) { c.Crash(3) }}}
+			},
+		},
+		{
+			// Strictly harder than the port: the victim participates in slot
+			// 0 and dies once any party reaches slot 1.
+			name: "crash-at-slot-1", seed: 43, victim: true, waited: []int{0, 1, 2},
+			steps: func(t *testing.T) []testkit.Step {
+				return []testkit.Step{{Name: "crash", At: 1, Do: func(c *testkit.Cluster) { c.Crash(3) }}}
+			},
+		},
+		{
+			name: "partition-then-heal", seed: 47, victim: true, waited: []int{0, 1, 2, 3},
+			steps: func(t *testing.T) []testkit.Step {
+				var handle int
+				return []testkit.Step{
+					{Name: "partition", At: 1, Do: func(c *testkit.Cluster) {
+						handle = c.Partition([]int{3}, []int{0, 1, 2})
+					}},
+					{Name: "heal", At: 3, Do: func(c *testkit.Cluster) { c.Heal(handle) }},
+				}
+			},
+		},
+		{
+			name: "slow-replica", seed: 53, victim: true, waited: []int{0, 1, 2, 3},
+			steps: func(t *testing.T) []testkit.Step {
+				var handle int
+				return []testkit.Step{
+					{Name: "lag", At: 0, Do: func(c *testkit.Cluster) { handle = c.Slow(3) }},
+					{Name: "catch-up", At: 2, Do: func(c *testkit.Cluster) { c.Heal(handle) }},
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c := testkit.New(n, tf, testkit.WithSeed(tc.seed), testkit.WithTimeout(90*time.Second))
+			defer c.Close()
+			c.Start(testkit.Scenario{Name: tc.name, Steps: tc.steps(t)})
+			payload := payloadFor
+			size := 0
+			if tc.coded {
+				size = 4096
+				payload = func(id, slot int) []byte { return bigPayloadFor(id, slot, size) }
+			}
+			body := func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				return Run(ctx, c.Ctx, env, "abc/scen", slots, 1, func(slot int) []byte {
+					c.Progress(slot)
+					return payload(env.ID, slot)
+				}, localCfg)
+			}
+			waited := map[int]bool{}
+			for _, id := range tc.waited {
+				waited[id] = true
+			}
+			switch {
+			case tc.victim && !waited[3]:
+				c.Go(3, body) // runs, but its return is not awaited (it may die)
+			case !tc.victim:
+				c.Progress(0) // no victim code runs; arm the start-time faults
+			}
+			ledger := agreeLedgers(t, c.Run(tc.waited, body))
+			if len(ledger) < slots*(n-tf-1) {
+				t.Fatalf("ledger has %d entries, want ≥ %d", len(ledger), slots*(n-tf-1))
+			}
+			if tc.coded {
+				checkLedgerContent(t, ledger, size)
+			}
+			if tc.noVictim {
+				for _, e := range ledger {
+					if e.Party == 3 {
+						t.Fatalf("crashed party's batch committed: %v", e)
+					}
+				}
+			}
+		})
+	}
+}

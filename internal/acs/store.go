@@ -1,0 +1,193 @@
+package acs
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"asyncft/internal/wire"
+)
+
+// Store is the per-party slot ledger state behind a resumable atomic-
+// broadcast run: committed per-slot entry lists, the canonical digest
+// chain over them, and the contiguous-prefix cursor a restarted replica
+// resumes from. Slots may be recorded out of order (the pipelined run
+// commits them as they finish); the chain and cursor advance only along
+// the contiguous prefix, which is exactly the part a snapshot server may
+// serve and a snapshot client can verify.
+//
+// All methods are safe for concurrent use: the pipelined run appends from
+// one goroutine per slot while the statesync server reads concurrently.
+type Store struct {
+	mu    sync.Mutex
+	slots map[int][]Entry // slot -> committed entries (possibly beyond next)
+	next  int             // slots [0, next) are contiguously committed
+	chain [][sha256.Size]byte
+	// advanced is closed and replaced whenever next grows, so waiters
+	// (snapshot servers holding pending head requests) can re-check.
+	advanced chan struct{}
+}
+
+// NewStore returns an empty store: cursor 0, chain at ChainStart.
+func NewStore() *Store {
+	return &Store{
+		slots:    make(map[int][]Entry),
+		chain:    [][sha256.Size]byte{ChainStart()},
+		advanced: make(chan struct{}),
+	}
+}
+
+// ChainStart is the digest chain's anchor, before any slot committed.
+func ChainStart() [sha256.Size]byte {
+	return sha256.Sum256([]byte("asyncft/acs/chain/v1"))
+}
+
+// ChainNext extends the chain by one slot's committed entries:
+// chain(k+1) = SHA-256(chain(k) || canonical encoding of slot k's entries).
+// Two replicas share chain(k) iff they agree on every slot below k.
+func ChainNext(prev [sha256.Size]byte, entries []Entry) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	h.Write(Encode(entries))
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// SetSlot records slot k's committed entries. Out-of-order slots are
+// buffered; the cursor and chain advance over the contiguous prefix.
+// Recording an already-committed slot is a no-op (idempotent), so a
+// snapshot install racing a live commit of the same slot is harmless.
+func (s *Store) SetSlot(k int, entries []Entry) {
+	if k < 0 {
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.slots[k]; ok {
+		s.mu.Unlock()
+		return
+	}
+	s.slots[k] = entries
+	moved := false
+	for {
+		e, ok := s.slots[s.next]
+		if !ok {
+			break
+		}
+		s.chain = append(s.chain, ChainNext(s.chain[s.next], e))
+		s.next++
+		moved = true
+	}
+	var notify chan struct{}
+	if moved {
+		notify = s.advanced
+		s.advanced = make(chan struct{})
+	}
+	s.mu.Unlock()
+	if notify != nil {
+		close(notify)
+	}
+}
+
+// Next returns the resumable cursor: slots [0, Next) are committed
+// contiguously.
+func (s *Store) Next() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// Advanced returns a channel closed the next time the cursor advances.
+func (s *Store) Advanced() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.advanced
+}
+
+// Slot returns slot k's committed entries, if recorded (contiguous or not).
+// The returned slice is shared and must be treated as immutable.
+func (s *Store) Slot(k int) ([]Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.slots[k]
+	return e, ok
+}
+
+// ChainDigest returns the digest chain value after k slots (k ≤ Next):
+// ChainDigest(0) is ChainStart, ChainDigest(k) covers slots [0, k).
+func (s *Store) ChainDigest(k int) ([sha256.Size]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k < 0 || k >= len(s.chain) {
+		return [sha256.Size]byte{}, false
+	}
+	return s.chain[k], true
+}
+
+// Ledger flattens the contiguous prefix into the deduplicated ledger (see
+// BuildLedger) — the value every Run/RunFrom caller ultimately returns.
+func (s *Store) Ledger() []Entry {
+	s.mu.Lock()
+	perSlot := make([][]Entry, s.next)
+	for k := 0; k < s.next; k++ {
+		perSlot[k] = s.slots[k]
+	}
+	s.mu.Unlock()
+	return BuildLedger(perSlot)
+}
+
+// EncodeRange serializes slots [lo, hi) canonically for snapshot transfer.
+// It fails (ok=false) unless the whole range is inside the contiguous
+// prefix — a server never vouches for slots it has not chained.
+func (s *Store) EncodeRange(lo, hi int) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lo < 0 || hi < lo || hi > s.next {
+		return nil, false
+	}
+	var w wire.Writer
+	w.Int(lo)
+	w.Int(hi)
+	for k := lo; k < hi; k++ {
+		entries := s.slots[k]
+		w.Int(len(entries))
+		for _, e := range entries {
+			w.Int(e.Slot)
+			w.Int(e.Party)
+			w.BytesField(e.Payload)
+		}
+	}
+	return w.Bytes(), true
+}
+
+// DecodeRange parses an EncodeRange payload for slots [lo, hi), enforcing
+// every cap a Byzantine snapshot server could abuse: the embedded range
+// must match the requested one, per-slot entry counts are bounded by
+// maxPerSlot (the party count), entry slot indices must equal their slot,
+// and payloads are bounded by MaxPayloadSize. The per-slot entry lists are
+// returned in slot order.
+func DecodeRange(data []byte, lo, hi, maxPerSlot int) ([][]Entry, error) {
+	r := wire.NewReader(data)
+	gotLo, gotHi := r.Int(), r.Int()
+	if r.Err() != nil || gotLo != lo || gotHi != hi {
+		return nil, fmt.Errorf("acs: snapshot range header [%d,%d) != requested [%d,%d)", gotLo, gotHi, lo, hi)
+	}
+	out := make([][]Entry, 0, hi-lo)
+	for k := lo; k < hi; k++ {
+		cnt := r.Int()
+		if r.Err() != nil || cnt > maxPerSlot {
+			return nil, fmt.Errorf("acs: snapshot slot %d entry count invalid", k)
+		}
+		entries := make([]Entry, 0, cnt)
+		for i := 0; i < cnt; i++ {
+			slot, party := r.Int(), r.Int()
+			payload := r.BytesField(MaxPayloadSize)
+			if r.Err() != nil || slot != k || party < 0 || party >= maxPerSlot || len(payload) == 0 {
+				return nil, fmt.Errorf("acs: snapshot slot %d entry %d malformed", k, i)
+			}
+			entries = append(entries, Entry{Slot: slot, Party: party, Payload: payload})
+		}
+		out = append(out, entries)
+	}
+	return out, nil
+}

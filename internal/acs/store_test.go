@@ -1,0 +1,146 @@
+package acs
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+func slotEntries(k int, parties ...int) []Entry {
+	var out []Entry
+	for _, p := range parties {
+		out = append(out, Entry{Slot: k, Party: p, Payload: payloadFor(p, k)})
+	}
+	return out
+}
+
+func TestStoreContiguousCursorAndChain(t *testing.T) {
+	s := NewStore()
+	if s.Next() != 0 {
+		t.Fatalf("fresh store cursor %d", s.Next())
+	}
+	if d, ok := s.ChainDigest(0); !ok || d != ChainStart() {
+		t.Fatal("fresh store chain anchor wrong")
+	}
+	// Out-of-order commit: slot 1 first buffers, slot 0 then advances past both.
+	s.SetSlot(1, slotEntries(1, 0, 2))
+	if s.Next() != 0 {
+		t.Fatalf("cursor advanced past a gap: %d", s.Next())
+	}
+	adv := s.Advanced()
+	s.SetSlot(0, slotEntries(0, 1))
+	select {
+	case <-adv:
+	default:
+		t.Fatal("Advanced channel not closed on cursor move")
+	}
+	if s.Next() != 2 {
+		t.Fatalf("cursor %d after contiguous commit, want 2", s.Next())
+	}
+	// Chain must replay exactly.
+	want := ChainNext(ChainNext(ChainStart(), slotEntries(0, 1)), slotEntries(1, 0, 2))
+	if got, ok := s.ChainDigest(2); !ok || got != want {
+		t.Fatal("chain digest does not replay")
+	}
+	if _, ok := s.ChainDigest(3); ok {
+		t.Fatal("chain digest beyond cursor available")
+	}
+	// Idempotence: re-recording a slot must not fork the chain.
+	s.SetSlot(0, slotEntries(0, 3))
+	if got, _ := s.ChainDigest(2); got != want {
+		t.Fatal("duplicate SetSlot mutated the chain")
+	}
+}
+
+func TestStoreRangeRoundTrip(t *testing.T) {
+	s := NewStore()
+	for k := 0; k < 4; k++ {
+		s.SetSlot(k, slotEntries(k, 0, 1, 2))
+	}
+	if _, ok := s.EncodeRange(2, 5); ok {
+		t.Fatal("encoded a range beyond the contiguous prefix")
+	}
+	data, ok := s.EncodeRange(1, 3)
+	if !ok {
+		t.Fatal("in-prefix range refused")
+	}
+	got, err := DecodeRange(data, 1, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, entries := range got {
+		want, _ := s.Slot(1 + i)
+		if len(entries) != len(want) {
+			t.Fatalf("slot %d: %d entries, want %d", 1+i, len(entries), len(want))
+		}
+		for j := range entries {
+			if entries[j].Slot != want[j].Slot || entries[j].Party != want[j].Party ||
+				!bytes.Equal(entries[j].Payload, want[j].Payload) {
+				t.Fatalf("slot %d entry %d mismatch", 1+i, j)
+			}
+		}
+	}
+	// Hostile decodes: wrong range header, truncation, slot-index lies.
+	if _, err := DecodeRange(data, 0, 2, 4); err == nil {
+		t.Fatal("range header mismatch accepted")
+	}
+	if _, err := DecodeRange(data[:len(data)-3], 1, 3, 4); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	evil, _ := s.EncodeRange(2, 3)
+	if _, err := DecodeRange(evil, 1, 2, 4); err == nil {
+		t.Fatal("slot-shifted snapshot accepted")
+	}
+}
+
+// TestRunFromRecordsStoreDuringRun: the pipelined run must publish each
+// slot into the store as it commits, and the final store ledger must equal
+// the classic Run output.
+func TestRunFromRecordsStoreDuringRun(t *testing.T) {
+	const n, tf, slots = 4, 1, 3
+	c := testkit.New(n, tf, testkit.WithSeed(41))
+	defer c.Close()
+	stores := make([]*Store, n)
+	for i := range stores {
+		stores[i] = NewStore()
+	}
+	res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		err := RunFrom(ctx, c.Ctx, env, "abc/store", 0, slots, 0, func(slot int) []byte {
+			return payloadFor(env.ID, slot)
+		}, localCfg, stores[env.ID])
+		if err != nil {
+			return nil, err
+		}
+		return stores[env.ID].Ledger(), nil
+	})
+	ledger := agreeLedgers(t, res)
+	if len(ledger) < slots*(n-tf) {
+		t.Fatalf("ledger has %d entries, want ≥ %d", len(ledger), slots*(n-tf))
+	}
+	// Chains must agree across parties at every prefix.
+	for k := 0; k <= slots; k++ {
+		ref, ok := stores[0].ChainDigest(k)
+		if !ok {
+			t.Fatalf("party 0 chain missing at %d", k)
+		}
+		for id := 1; id < n; id++ {
+			if d, ok := stores[id].ChainDigest(k); !ok || d != ref {
+				t.Fatalf("chain digest disagreement at slot %d party %d", k, id)
+			}
+		}
+	}
+}
+
+func TestRunFromRejectsBadRange(t *testing.T) {
+	c := testkit.New(4, 1)
+	defer c.Close()
+	if err := RunFrom(c.Ctx, c.Ctx, c.Envs[0], "abc/badfrom", 2, 2, 0, nil, localCfg, NewStore()); err == nil {
+		t.Fatal("from ≥ slots accepted")
+	}
+	if err := RunFrom(c.Ctx, c.Ctx, c.Envs[0], "abc/nilstore", 0, 1, 0, nil, localCfg, nil); err == nil {
+		t.Fatal("nil store accepted")
+	}
+}

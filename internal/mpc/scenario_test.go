@@ -1,0 +1,90 @@
+package mpc
+
+import (
+	"testing"
+	"time"
+
+	"asyncft/internal/field"
+	"asyncft/internal/testkit"
+)
+
+// TestEvaluateScenarios drives the MPC engine through the shared testkit
+// scenario harness — the same table-driven fault schedules the acs and
+// statesync tests use. The crash case is the harness port of the
+// crashed-party exclusion test; the slow-replica case delays one party's
+// inbound traffic across the input phase and heals mid-evaluation, which
+// may exclude it from the core set or let it catch up — either way every
+// waited party must agree on outputs and contributors.
+func TestEvaluateScenarios(t *testing.T) {
+	const n, tf = 4, 1
+	type tc struct {
+		name   string
+		seed   int64
+		waited []int
+		arm    func(c *testkit.Cluster) []testkit.Step
+		after  func(c *testkit.Cluster) // fired from a goroutine post-start
+	}
+	cases := []tc{
+		{
+			name: "crash-at-start", seed: 9, waited: []int{0, 1, 2},
+			arm: func(c *testkit.Cluster) []testkit.Step {
+				return []testkit.Step{{Name: "crash", At: 0, Do: func(c *testkit.Cluster) { c.Crash(3) }}}
+			},
+		},
+		{
+			name: "slow-replica-heals", seed: 19, waited: []int{0, 1, 2, 3},
+			arm: func(c *testkit.Cluster) []testkit.Step {
+				var handle int
+				return []testkit.Step{
+					{Name: "lag", At: 0, Do: func(c *testkit.Cluster) { handle = c.Slow(3) }},
+					{Name: "heal", At: 1, Do: func(c *testkit.Cluster) { c.Heal(handle) }},
+				}
+			},
+			after: func(c *testkit.Cluster) {
+				time.Sleep(30 * time.Millisecond) // let the input phase feel the lag
+				c.Progress(1)
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c := testkit.New(n, tf, testkit.WithSeed(tc.seed), testkit.WithTimeout(120*time.Second))
+			defer c.Close()
+			c.Start(testkit.Scenario{Name: tc.name, Steps: tc.arm(c)})
+			c.Progress(0)
+			if tc.after != nil {
+				go tc.after(c)
+			}
+			inputs := map[int][]field.Elem{
+				0: {field.New(2)}, 1: {field.New(4)}, 2: {field.New(6)}, 3: {field.New(8)},
+			}
+			res := evalAll(t, c, "scen/"+tc.name, VarianceCircuit(n), inputs, tc.waited, Options{})
+			for _, p := range res.Contributors {
+				if tc.name == "crash-at-start" && p == 3 {
+					t.Fatalf("crashed party in core set: %v", res.Contributors)
+				}
+			}
+			// Whatever core set the schedule produced, the opened aggregates
+			// must be exactly the statistics over it (absentees as zero).
+			full := map[int][]field.Elem{}
+			for id, in := range inputs {
+				full[id] = in
+			}
+			for id := 0; id < n; id++ {
+				if _, ok := full[id]; !ok {
+					full[id] = []field.Elem{0}
+				}
+			}
+			want := expectedVariance(n, full, res.Contributors)
+			if len(res.Outputs) != len(want) {
+				t.Fatalf("outputs %v, want %v", res.Outputs, want)
+			}
+			for i := range want {
+				if res.Outputs[i] != want[i] {
+					t.Fatalf("output %d = %v, want %v over %v", i, res.Outputs[i], want[i], res.Contributors)
+				}
+			}
+		})
+	}
+}

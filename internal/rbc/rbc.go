@@ -95,6 +95,16 @@ type Options struct {
 	// Only the sender's option matters on the wire: receivers handle both
 	// flavors regardless, so mixed configurations interoperate.
 	CodedThreshold int
+	// Handoff, when non-nil, controls the lifetime of the post-delivery
+	// serving helper: it keeps answering retransmission pulls until the
+	// channel closes (the caller signals that responsibility for the
+	// delivered bytes has been handed off — e.g. to a snapshot server)
+	// rather than until the protocol context ends. Without it a pull
+	// racing the caller's context cancellation could go unanswered even
+	// though the value was delivered locally. The channel must eventually
+	// close (or the node close), or the helper leaks for the node's
+	// lifetime. Nil keeps the historical context-bound lifetime.
+	Handoff <-chan struct{}
 }
 
 func (o Options) threshold() int {
@@ -145,26 +155,61 @@ func RunCoded(ctx context.Context, env *runtime.Env, session string, sender int,
 		}
 		if out, done := st.handle(msg); done {
 			// Keep answering retransmission pulls (and absorbing stragglers)
-			// for slower parties until the context ends — the state machine
-			// is handed off to the helper, never touched here again. The
-			// caller gets a private copy: the helper keeps reading the
+			// for slower parties until the context ends (or the snapshot
+			// handoff completes, when Options.Handoff is set) — the state
+			// machine is handed off to the helper, never touched here again.
+			// The caller gets a private copy: the helper keeps reading the
 			// canonical slice to answer pulls.
-			go st.serve(ctx)
+			go st.serve(ctx, opts.Handoff)
 			return append([]byte(nil), out...), nil
 		}
 	}
 }
 
 // serve drains the session after local delivery so CPULL requests from
-// parties still reconstructing are answered. It exits when the context is
-// cancelled or the node closes.
-func (st *state) serve(ctx context.Context) {
+// parties still reconstructing are answered. Its lifetime is the handoff's
+// when one is given — serving continues past the protocol context until
+// the handoff channel closes — and the context's otherwise; the node
+// closing always ends it. On exit it drains messages already queued, so a
+// pull that raced the cancellation is answered, not dropped.
+func (st *state) serve(ctx context.Context, handoff <-chan struct{}) {
+	serveUntil(ctx, handoff, st.env, st.session, func(msg wire.Envelope) { st.handle(msg) })
+}
+
+// serveUntil runs handle over a session's messages until the lifetime ends
+// — the handoff closing (when non-nil) or ctx ending (otherwise), or the
+// node closing either way — then drains what is already queued.
+func serveUntil(ctx context.Context, handoff <-chan struct{}, env *runtime.Env, session string, handle func(wire.Envelope)) {
+	rctx := ctx
+	if handoff != nil {
+		// Decouple from the caller's context: the handoff owns the
+		// lifetime. Node close still ends Recv with ErrClosed.
+		hctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-handoff:
+			case <-done:
+			}
+			cancel()
+		}()
+		rctx = hctx
+	}
 	for {
-		msg, err := st.env.Recv(ctx, st.session)
+		msg, err := env.Recv(rctx, session)
 		if err != nil {
+			break
+		}
+		handle(msg)
+	}
+	box := env.Node.Mailbox(session)
+	for {
+		msg, ok := box.TryRecv()
+		if !ok {
 			return
 		}
-		st.handle(msg)
+		handle(msg)
 	}
 }
 
@@ -491,34 +536,42 @@ func (st *state) answerPulls(d digest, v []byte) {
 // broadcast value, so the state machine simply retries as further
 // fragments arrive until the honest fragments dominate.
 func (st *state) reconstruct(key fragKey, pool map[int][]field.Elem) ([]byte, bool) {
-	k := st.coder.K()
+	return reconstructPool(st.coder, st.env.T, key.d, key.total, pool)
+}
+
+// reconstructPool is the digest-checked online-error-correcting decode
+// shared by the broadcast state machine and the generalized pull client:
+// clean decode first, Berlekamp–Welch escalation, every candidate checked
+// against the digest.
+func reconstructPool(coder *rs.Coder, tf int, d digest, total int, pool map[int][]field.Elem) ([]byte, bool) {
+	k := coder.K()
 	m := len(pool)
 	if m < k {
 		return nil, false
 	}
-	data, err := st.coder.ReconstructClean(key.total, pool)
+	data, err := coder.ReconstructClean(total, pool)
 	switch {
-	case err == nil && sha256.Sum256(data) == key.d:
+	case err == nil && sha256.Sum256(data) == d:
 		return data, true
 	case err == nil:
 		// A fully consistent pool encoding a different value: error
 		// correction cannot improve on consensus among the fragments.
 		return nil, false
-	case errors.Is(err, rs.ErrInconsistent) && sha256.Sum256(data) == key.d:
+	case errors.Is(err, rs.ErrInconsistent) && sha256.Sum256(data) == d:
 		// Spare fragments disagreed but the decoding subset was correct.
 		return data, true
 	case !errors.Is(err, rs.ErrInconsistent):
 		return nil, false // malformed pool; Berlekamp–Welch would reject it too
 	}
 	maxErrors := (m - k) / 2
-	if maxErrors > st.env.T {
-		maxErrors = st.env.T
+	if maxErrors > tf {
+		maxErrors = tf
 	}
 	if maxErrors == 0 {
 		return nil, false
 	}
-	data, err = st.coder.Reconstruct(key.total, pool, maxErrors)
-	if err != nil || sha256.Sum256(data) != key.d {
+	data, err = coder.Reconstruct(total, pool, maxErrors)
+	if err != nil || sha256.Sum256(data) != d {
 		return nil, false
 	}
 	return data, true

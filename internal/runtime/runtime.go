@@ -172,6 +172,21 @@ func (b *Mailbox) close() {
 	}
 }
 
+// TryRecv returns the next queued message without blocking. It is the
+// drain primitive helper goroutines use on shutdown: answer what is
+// already queued (e.g. retransmission pulls racing a context
+// cancellation) instead of dropping it.
+func (b *Mailbox) TryRecv() (wire.Envelope, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) == 0 {
+		return wire.Envelope{}, false
+	}
+	env := b.items[0]
+	b.items = b.items[1:]
+	return env, true
+}
+
 // Recv blocks until a message is available, the context is cancelled, or the
 // node closes.
 func (b *Mailbox) Recv(ctx context.Context) (wire.Envelope, error) {

@@ -1,0 +1,169 @@
+package statesync
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"time"
+
+	"asyncft/internal/acs"
+	"asyncft/internal/core"
+	"asyncft/internal/rbc"
+	"asyncft/internal/runtime"
+)
+
+// headRetryInterval is how often an unanswered head request re-broadcasts
+// (see fetchHead).
+const headRetryInterval = 2 * time.Second
+
+// Fetch retrieves and verifies the committed entries of slots [lo, hi)
+// from the sync service rooted at name. anchor, when non-nil, is the
+// caller's own digest-chain value at lo (a replica resuming from local
+// state); the agreed head must match it or Fetch fails — a replica whose
+// chain diverges from the network's has falsified agreement and must not
+// splice foreign history onto it. A nil anchor accepts the quorum-agreed
+// anchor (a replica with no state at all).
+//
+// Fetch blocks until ≥ t+1 parties report the identical head — which,
+// under the standard resilience bound, happens once the nonfaulty parties
+// reach slot hi — then pulls each chunk by its agreed content digest,
+// decodes it, and re-chains it onto the anchor; every chunk must land
+// exactly on its agreed boundary digest. Byzantine servers can delay
+// nothing and corrupt nothing: wrong head claims never reach quorum,
+// wrong chunk bytes never match their digest, and the pull retries
+// against the remaining peers by construction.
+func Fetch(ctx context.Context, env *runtime.Env, name string, lo, hi int, anchor *[sha256.Size]byte, opts Options) ([][]acs.Entry, error) {
+	if lo < 0 || hi <= lo {
+		return nil, fmt.Errorf("statesync %s: bad range [%d, %d)", name, lo, hi)
+	}
+	req := headReq{lo: lo, hi: hi, chunk: opts.chunkSlots(), nonce: env.Rand.Uint64()}
+	if !req.valid() {
+		return nil, fmt.Errorf("statesync %s: range [%d, %d) exceeds %d chunks", name, lo, hi, maxBoundsPerHead)
+	}
+	h, err := fetchHead(ctx, env, name, req)
+	if err != nil {
+		return nil, err
+	}
+	if anchor != nil && h.chainLo != *anchor {
+		return nil, fmt.Errorf("statesync %s: agreed chain anchor at slot %d diverges from local chain", name, lo)
+	}
+	prev := h.chainLo
+	a := lo
+	out := make([][]acs.Entry, 0, hi-lo)
+	for _, b := range h.bounds {
+		data, err := rbc.Pull(ctx, env, PullSession(name), b.content, opts.maxChunkBytes())
+		if err != nil {
+			return nil, fmt.Errorf("statesync %s: chunk [%d, %d): %w", name, a, b.end, err)
+		}
+		slots, err := acs.DecodeRange(data, a, b.end, env.N)
+		if err != nil {
+			// The bytes hash to the agreed digest yet decode hostile: the
+			// quorum itself was corrupted (> t faults). Fatal by design.
+			return nil, fmt.Errorf("statesync %s: agreed chunk [%d, %d) malformed: %w", name, a, b.end, err)
+		}
+		for _, entries := range slots {
+			prev = acs.ChainNext(prev, entries)
+		}
+		if prev != b.chain {
+			return nil, fmt.Errorf("statesync %s: chunk [%d, %d) does not re-chain to the agreed boundary", name, a, b.end)
+		}
+		out = append(out, slots...)
+		a = b.end
+	}
+	return out, nil
+}
+
+// Sync catches store up to slot target through the sync service rooted at
+// name, fetching chunk-sized ranges anchored at the store's own chain and
+// installing each the moment it verifies — so a replica chasing a ledger
+// that is still committing streams chunks as the network's cursor
+// advances, instead of waiting for the full range to exist. It returns
+// once store.Next() ≥ target.
+func Sync(ctx context.Context, env *runtime.Env, name string, store *acs.Store, target int, opts Options) error {
+	chunk := opts.chunkSlots()
+	for {
+		lo := store.Next()
+		if lo >= target {
+			return nil
+		}
+		hi := lo + chunk
+		if hi > target {
+			hi = target
+		}
+		anchor, ok := store.ChainDigest(lo)
+		if !ok {
+			return fmt.Errorf("statesync %s: local chain missing at cursor %d", name, lo)
+		}
+		slots, err := Fetch(ctx, env, name, lo, hi, &anchor, opts)
+		if err != nil {
+			return err
+		}
+		for i, entries := range slots {
+			store.SetSlot(lo+i, entries)
+		}
+	}
+}
+
+// fetchHead broadcasts one head request and blocks until t+1 parties
+// answer with the identical head for exactly this request. Each sender
+// contributes only its latest answer, so a Byzantine flood of distinct
+// heads can never assemble a quorum out of one corrupted party. The
+// request is re-broadcast on quiet intervals: a server whose pending
+// slot was displaced by this party's other concurrent sync client (one
+// pending request per requester) answers the re-send once the range is
+// available, so concurrent clients contend for the slot but never starve.
+func fetchHead(ctx context.Context, env *runtime.Env, name string, req headReq) (head, error) {
+	session := HeadSession(name)
+	request := encodeHeadReq(req)
+	env.SendAll(session, msgHeadReq, request)
+	reply := runtime.Sub(session, "r", env.ID, req.nonce)
+	latest := make(map[int]string) // sender -> its current head encoding
+	for {
+		wctx, cancel := context.WithTimeout(ctx, headRetryInterval)
+		msg, err := env.Recv(wctx, reply)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, runtime.ErrClosed) {
+				return head{}, fmt.Errorf("statesync %s: head [%d, %d): %w", name, req.lo, req.hi, err)
+			}
+			env.SendAll(session, msgHeadReq, request)
+			continue
+		}
+		if msg.Type != msgHead || msg.From < 0 || msg.From >= env.N {
+			continue
+		}
+		h, ok := parseHead(msg.Payload)
+		if !ok || h.req != req {
+			continue // malformed, or a stale answer to an earlier request
+		}
+		latest[msg.From] = string(msg.Payload)
+		votes := 0
+		for _, enc := range latest {
+			if enc == latest[msg.From] {
+				votes++
+			}
+		}
+		if votes >= env.T+1 {
+			return h, nil
+		}
+	}
+}
+
+// Resume is the restarted-replica composition used by the public Cluster
+// API and cmd/node alike: live participation in slots [from, slots) via
+// acs.RunFrom and catch-up of [store.Next(), from) via Sync run
+// concurrently, and both must succeed. On a RunFrom error the sync
+// goroutine is abandoned to ctx (it can only be blocked on ctx-bounded
+// receives), matching the repository's helper-lifetime discipline.
+func Resume(ctx, helperCtx context.Context, env *runtime.Env, name string, store *acs.Store, from, slots, width int, input func(slot int) []byte, cfg core.Config, opts Options) error {
+	syncErr := make(chan error, 1)
+	go func() { syncErr <- Sync(ctx, env, name, store, from, opts) }()
+	if err := acs.RunFrom(ctx, helperCtx, env, name, from, slots, width, input, cfg, store); err != nil {
+		return err
+	}
+	if err := <-syncErr; err != nil {
+		return fmt.Errorf("state transfer: %w", err)
+	}
+	return nil
+}

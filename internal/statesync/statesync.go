@@ -1,0 +1,298 @@
+// Package statesync implements digest-verified ledger snapshot transfer:
+// the catch-up path for a replica that fell behind the atomic-broadcast
+// ledger or restarted with empty state. It rides the generalized
+// CPULL/CFULL pull machinery of the coded broadcast (internal/rbc):
+// snapshot servers answer ranged chunk requests out of their acs.Store,
+// RS-coded above the usual coded threshold, and a client assembles and
+// verifies the chunks against the ledger digest chain before installing
+// them — after which the replica rejoins live slots via acs.RunFrom
+// without replaying a single A-Cast.
+//
+// Trust model. The client never believes any single server. It first asks
+// every party for a HEAD of the requested range — the chain digest at the
+// range start, and per chunk the chain digest at the chunk end plus the
+// SHA-256 of the chunk's canonical encoding — and accepts only a head
+// reported identically by ≥ t+1 parties (at least one nonfaulty, and
+// nonfaulty parties agree on every committed slot, so an agreed head is
+// the true one). Chunk bytes then arrive digest-keyed through rbc.Pull,
+// which is self-authenticating: wrong bytes hash wrong and are ignored,
+// corrupted fragments are error-corrected or rejected, and the pull simply
+// completes off another peer. A Byzantine snapshot server can therefore
+// cause at most a mismatch and a retry, never a divergent ledger. Finally
+// the decoded slots are re-chained from the (locally known or
+// quorum-agreed) anchor and must land exactly on the agreed end digests.
+//
+// Liveness. Servers hold one pending head request per requester and
+// answer the moment their store's contiguous prefix reaches the requested
+// height, so snapshots are served concurrently with live slots and a
+// client chasing a moving ledger streams chunk after chunk as the ledger
+// commits (Sync). Memory on both sides is bounded: chunks are re-encoded
+// from the store on demand (never cached), and a requester has at most
+// one outstanding range.
+package statesync
+
+import (
+	"context"
+	"crypto/sha256"
+	"sync"
+
+	"asyncft/internal/acs"
+	"asyncft/internal/rbc"
+	"asyncft/internal/runtime"
+)
+
+// DefaultChunkSlots is the number of ledger slots per snapshot chunk when
+// Options.ChunkSlots is zero.
+const DefaultChunkSlots = 8
+
+// DefaultMaxChunkBytes bounds one chunk's canonical encoding when
+// Options.MaxChunkBytes is zero. It equals the broadcast value cap, and
+// stays comfortably under the TCP transport's frame limit.
+const DefaultMaxChunkBytes = rbc.MaxValueSize
+
+// maxBoundsPerHead caps the chunk count of one head request, bounding the
+// head response size a requester can provoke.
+const maxBoundsPerHead = 4096
+
+// Options tunes snapshot transfer. The zero value is ready to use.
+// ChunkSlots is requester-side: servers chunk at whatever granularity a
+// head request asks for, so differently-configured parties interoperate
+// (though clients sharing a granularity also share the servers' digest
+// registrations).
+type Options struct {
+	// ChunkSlots is the slot count per snapshot chunk (default
+	// DefaultChunkSlots): the granularity of transfer, verification and
+	// retry.
+	ChunkSlots int
+	// MaxChunkBytes bounds one chunk's encoded size (default
+	// DefaultMaxChunkBytes). Oversized chunks are refused by the server;
+	// pick ChunkSlots so that ChunkSlots · n · max payload stays under it.
+	MaxChunkBytes int
+	// RBC tunes the chunk transfer: chunks at or above its coded
+	// threshold travel as per-server Reed–Solomon fragments instead of
+	// full copies (see rbc.ServePulls).
+	RBC rbc.Options
+}
+
+func (o Options) chunkSlots() int {
+	if o.ChunkSlots > 0 {
+		return o.ChunkSlots
+	}
+	return DefaultChunkSlots
+}
+
+func (o Options) maxChunkBytes() int {
+	if o.MaxChunkBytes > 0 {
+		return o.MaxChunkBytes
+	}
+	return DefaultMaxChunkBytes
+}
+
+// Message types of the head session. Chunk transfer reuses the rbc pull
+// service on the pull session.
+const (
+	msgHeadReq uint8 = 1
+	msgHead    uint8 = 2
+)
+
+// HeadSession and PullSession name the two service endpoints of the sync
+// service rooted at name. The "sync" root gives the transfer its own
+// traffic class in the router's per-protocol metrics.
+func HeadSession(name string) string { return "sync/" + name + "/head" }
+
+// PullSession is the chunk transfer endpoint (see HeadSession).
+func PullSession(name string) string { return "sync/" + name + "/pull" }
+
+// Serve runs this party's snapshot server for the sync service rooted at
+// name, serving ranges of store's contiguous prefix until ctx ends (or the
+// node closes). It is meant to run for the lifetime of the ledger run —
+// started alongside acs.RunFrom — so lagging peers can catch up while live
+// slots keep committing.
+func Serve(ctx context.Context, env *runtime.Env, name string, store *acs.Store, opts Options) {
+	s := &server{
+		env:      env,
+		store:    store,
+		opts:     opts,
+		headSess: HeadSession(name),
+		pending:  make(map[int]headReq),
+		ranges:   make(map[[sha256.Size]byte]chunkRange),
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go s.answerLoop(ctx, done)
+	go rbc.ServePulls(ctx, env, PullSession(name), opts.maxChunkBytes(), s.lookup, opts.RBC)
+	serveHeads(ctx, env, HeadSession(name), s)
+}
+
+// server is one party's snapshot-serving state.
+type server struct {
+	env      *runtime.Env
+	store    *acs.Store
+	opts     Options
+	headSess string
+
+	mu sync.Mutex
+	// pending holds at most one outstanding head request per requester —
+	// the issue's bounded-memory discipline; a newer request replaces the
+	// older.
+	pending map[int]headReq
+	// ranges maps a chunk content digest to its slot range, letting the
+	// pull service re-encode chunk bytes from the store on demand instead
+	// of caching them. Bounded FIFO eviction guards against registry
+	// bloat from hostile range spam.
+	ranges   map[[sha256.Size]byte]chunkRange
+	rangeLog [][sha256.Size]byte
+}
+
+type chunkRange struct{ lo, hi int }
+
+// headReq is a parsed head request (codec in codec.go). The nonce is the
+// requester's per-call token: answers go to a nonce-derived reply
+// session, so concurrent sync clients on one party never consume each
+// other's responses. Honest servers echo the whole request — nonce
+// included — in their answer, which keeps quorum counting exact.
+type headReq struct {
+	lo, hi, chunk int
+	nonce         uint64
+}
+
+func (r headReq) valid() bool {
+	return r.lo >= 0 && r.hi > r.lo && r.chunk > 0 &&
+		(r.hi-r.lo+r.chunk-1)/r.chunk <= maxBoundsPerHead
+}
+
+// serveHeads drains head requests, answering the satisfiable ones and
+// parking the rest (one per requester) for answerLoop.
+func serveHeads(ctx context.Context, env *runtime.Env, session string, s *server) {
+	for {
+		msg, err := env.Recv(ctx, session)
+		if err != nil {
+			return
+		}
+		if msg.Type != msgHeadReq || msg.From < 0 || msg.From >= env.N {
+			continue
+		}
+		req, ok := parseHeadReq(msg.Payload)
+		if !ok || !req.valid() {
+			continue
+		}
+		s.submit(msg.From, req)
+	}
+}
+
+// submit parks a head request, then immediately retries it — parking
+// first closes the race where the cursor reaches the requested height
+// between a failed try and the insert, which would strand the request
+// until a later (possibly never-coming) advance. A duplicate answer from
+// the answerLoop racing this path is harmless: heads are idempotent and
+// the client tracks one head per sender.
+func (s *server) submit(from int, req headReq) {
+	s.mu.Lock()
+	s.pending[from] = req
+	s.mu.Unlock()
+	if s.tryAnswer(from, req) {
+		s.mu.Lock()
+		if s.pending[from] == req {
+			delete(s.pending, from)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// answerLoop retries pending head requests whenever the store's cursor
+// advances.
+func (s *server) answerLoop(ctx context.Context, done <-chan struct{}) {
+	for {
+		advanced := s.store.Advanced()
+		s.mu.Lock()
+		reqs := make(map[int]headReq, len(s.pending))
+		for from, req := range s.pending {
+			reqs[from] = req
+		}
+		s.mu.Unlock()
+		for from, req := range reqs {
+			if s.tryAnswer(from, req) {
+				s.mu.Lock()
+				if s.pending[from] == req {
+					delete(s.pending, from)
+				}
+				s.mu.Unlock()
+			}
+		}
+		select {
+		case <-advanced:
+		case <-ctx.Done():
+			return
+		case <-done:
+			return
+		}
+	}
+}
+
+// tryAnswer answers a head request if the store already covers it. Chunk
+// content digests computed for the answer are registered for the pull
+// service.
+func (s *server) tryAnswer(from int, req headReq) bool {
+	if s.store.Next() < req.hi {
+		return false
+	}
+	chainLo, ok := s.store.ChainDigest(req.lo)
+	if !ok {
+		return false
+	}
+	h := head{req: req, chainLo: chainLo}
+	for a := req.lo; a < req.hi; a += req.chunk {
+		b := a + req.chunk
+		if b > req.hi {
+			b = req.hi
+		}
+		data, ok := s.store.EncodeRange(a, b)
+		if !ok || len(data) > s.opts.maxChunkBytes() {
+			return false // oversized chunk: refuse rather than lie
+		}
+		chainEnd, ok := s.store.ChainDigest(b)
+		if !ok {
+			return false
+		}
+		content := sha256.Sum256(data)
+		s.register(content, chunkRange{lo: a, hi: b})
+		h.bounds = append(h.bounds, boundary{end: b, chain: chainEnd, content: content})
+	}
+	s.env.Send(from, runtime.Sub(s.headSess, "r", from, req.nonce), msgHead, encodeHead(h))
+	return true
+}
+
+// lookup resolves a chunk content digest for the pull service by
+// re-encoding the registered range from the store.
+func (s *server) lookup(d [sha256.Size]byte) ([]byte, bool) {
+	s.mu.Lock()
+	r, ok := s.ranges[d]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	data, ok := s.store.EncodeRange(r.lo, r.hi)
+	if !ok || sha256.Sum256(data) != d {
+		return nil, false
+	}
+	return data, true
+}
+
+// register records a content digest → range mapping with FIFO eviction.
+func (s *server) register(d [sha256.Size]byte, r chunkRange) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.ranges[d]; ok {
+		return
+	}
+	// ~56 B per entry: even the full registry is a few MiB. Eviction is a
+	// delay, not a failure — an evicted digest's pull goes unanswered
+	// until the client's periodic re-request (after a fresh head) lands.
+	const maxRanges = 1 << 16
+	if len(s.rangeLog) >= maxRanges {
+		delete(s.ranges, s.rangeLog[0])
+		s.rangeLog = s.rangeLog[1:]
+	}
+	s.ranges[d] = r
+	s.rangeLog = append(s.rangeLog, d)
+}

@@ -1,0 +1,345 @@
+package statesync
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"testing"
+	"time"
+
+	"asyncft/internal/acs"
+	"asyncft/internal/core"
+	"asyncft/internal/rbc"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+var localCfg = core.Config{K: 1, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
+
+func payloadFor(id, slot int) []byte { return []byte(fmt.Sprintf("tx/p%d/s%d", id, slot)) }
+
+// fill commits slots [0, slots) of a deterministic ledger into a store:
+// every party in parties contributes its payload in every slot.
+func fill(store *acs.Store, slots int, parties ...int) {
+	for k := 0; k < slots; k++ {
+		var entries []acs.Entry
+		for _, p := range parties {
+			entries = append(entries, acs.Entry{Slot: k, Party: p, Payload: payloadFor(p, k)})
+		}
+		store.SetSlot(k, entries)
+	}
+}
+
+// serveAll starts a snapshot server at every listed party over its store.
+func serveAll(c *testkit.Cluster, name string, stores map[int]*acs.Store, opts Options) {
+	for id, st := range stores {
+		id, st := id, st
+		go Serve(c.Ctx, c.Envs[id], name, st, opts)
+	}
+}
+
+func TestSyncFullCatchup(t *testing.T) {
+	const n, tf, slots = 4, 1, 20
+	c := testkit.New(n, tf, testkit.WithSeed(3))
+	defer c.Close()
+	stores := map[int]*acs.Store{}
+	for _, id := range []int{0, 1, 2} {
+		stores[id] = acs.NewStore()
+		fill(stores[id], slots, 0, 1, 2)
+	}
+	serveAll(c, "full", stores, Options{ChunkSlots: 4})
+	fresh := acs.NewStore()
+	if err := Sync(c.Ctx, c.Envs[3], "full", fresh, slots, Options{ChunkSlots: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Next() != slots {
+		t.Fatalf("cursor %d after sync, want %d", fresh.Next(), slots)
+	}
+	want, _ := stores[0].ChainDigest(slots)
+	if got, ok := fresh.ChainDigest(slots); !ok || got != want {
+		t.Fatal("synced chain diverges from the servers'")
+	}
+	if !bytes.Equal(acs.Encode(fresh.Ledger()), acs.Encode(stores[0].Ledger())) {
+		t.Fatal("synced ledger not bit-identical")
+	}
+}
+
+// TestSyncStreamsWhileLedgerCommits: the client starts syncing before the
+// servers have committed anything; slots appear at the servers gradually
+// and the client must stream chunks as the cursors advance.
+func TestSyncStreamsWhileLedgerCommits(t *testing.T) {
+	const n, tf, slots = 4, 1, 24
+	c := testkit.New(n, tf, testkit.WithSeed(5))
+	defer c.Close()
+	stores := map[int]*acs.Store{}
+	for _, id := range []int{0, 1, 2} {
+		stores[id] = acs.NewStore()
+	}
+	serveAll(c, "stream", stores, Options{ChunkSlots: 4})
+	go func() {
+		for k := 0; k < slots; k++ {
+			time.Sleep(2 * time.Millisecond)
+			for _, st := range stores {
+				var entries []acs.Entry
+				for _, p := range []int{0, 1, 2} {
+					entries = append(entries, acs.Entry{Slot: k, Party: p, Payload: payloadFor(p, k)})
+				}
+				st.SetSlot(k, entries)
+			}
+		}
+	}()
+	fresh := acs.NewStore()
+	if err := Sync(c.Ctx, c.Envs[3], "stream", fresh, slots, Options{ChunkSlots: 4}); err != nil {
+		t.Fatal(err)
+	}
+	want := ChainOf(t, stores[0], slots)
+	if got, ok := fresh.ChainDigest(slots); !ok || got != want {
+		t.Fatal("streamed sync chain diverges")
+	}
+}
+
+func ChainOf(t *testing.T, s *acs.Store, k int) [sha256.Size]byte {
+	t.Helper()
+	d, ok := s.ChainDigest(k)
+	if !ok {
+		t.Fatalf("chain digest missing at %d", k)
+	}
+	return d
+}
+
+// TestFetchRejectsStaleHeadQuorum: a Byzantine server answers head
+// requests from a forked (stale) ledger before any honest server does.
+// Its head never assembles a t+1 quorum, so the client waits it out and
+// returns the honest range.
+func TestFetchRejectsStaleHeadQuorum(t *testing.T) {
+	const n, tf, slots = 4, 1, 8
+	c := testkit.New(n, tf, testkit.WithSeed(7))
+	defer c.Close()
+	forked := acs.NewStore()
+	for k := 0; k < slots; k++ {
+		forked.SetSlot(k, []acs.Entry{{Slot: k, Party: 0, Payload: []byte(fmt.Sprintf("forged/%d", k))}})
+	}
+	// The liar (party 1) is serving from the first tick; honest stores
+	// fill only after a beat, so the stale head provably arrives first.
+	serveAll(c, "stale", map[int]*acs.Store{1: forked}, Options{ChunkSlots: 4})
+	honest := map[int]*acs.Store{0: acs.NewStore(), 2: acs.NewStore()}
+	serveAll(c, "stale", honest, Options{ChunkSlots: 4})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		for _, st := range honest {
+			fill(st, slots, 0, 1, 2)
+		}
+	}()
+	got, err := Fetch(c.Ctx, c.Envs[3], "stale", 0, slots, nil, Options{ChunkSlots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, entries := range got {
+		want, _ := honest[0].Slot(k)
+		if len(entries) != len(want) {
+			t.Fatalf("slot %d: stale head leaked into the result", k)
+		}
+		for j := range entries {
+			if !bytes.Equal(entries[j].Payload, want[j].Payload) {
+				t.Fatalf("slot %d entry %d: wrong payload %q", k, j, entries[j].Payload)
+			}
+		}
+	}
+}
+
+// TestFetchRejectsByzantineChunkServers: with the head agreed, wrong-bytes
+// and truncated-range chunk responses pre-loaded into the client's reply
+// mailbox must be rejected (digest mismatch), and the fetch completes off
+// the remaining honest servers — at both chunk transfer flavors.
+func TestFetchRejectsByzantineChunkServers(t *testing.T) {
+	for _, coded := range []bool{false, true} {
+		coded := coded
+		t.Run(fmt.Sprintf("coded=%v", coded), func(t *testing.T) {
+			const n, tf, slots = 4, 1, 6
+			c := testkit.New(n, tf, testkit.WithSeed(11))
+			defer c.Close()
+			opts := Options{ChunkSlots: 3}
+			if coded {
+				opts.RBC.CodedThreshold = 16 // tiny threshold: chunks travel as fragments
+			} else {
+				opts.RBC.CodedThreshold = -1
+			}
+			stores := map[int]*acs.Store{}
+			for _, id := range []int{0, 1, 2} {
+				stores[id] = acs.NewStore()
+				fill(stores[id], slots, 0, 1, 2)
+			}
+			name := fmt.Sprintf("byzchunk/%v", coded)
+			// Party 3 is the Byzantine snapshot server: it serves every pull
+			// with wrong bytes and truncated ranges. Its server runs on the
+			// pull session like an honest one, but the lookup lies.
+			data, _ := stores[0].EncodeRange(0, 3)
+			go rbc.ServePulls(c.Ctx, c.Envs[3], PullSession(name), DefaultMaxChunkBytes,
+				func(d [sha256.Size]byte) ([]byte, bool) {
+					wrong := append([]byte(nil), data...)
+					wrong[len(wrong)-1] ^= 0xff // wrong bytes, right length
+					if d[0]%2 == 0 {
+						return wrong[:len(wrong)/2], true // truncated range
+					}
+					return wrong, true
+				}, opts.RBC)
+			serveAll(c, name, stores, opts)
+			got, err := Fetch(c.Ctx, c.Envs[3], name, 0, slots, nil, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != slots {
+				t.Fatalf("fetched %d slots, want %d", len(got), slots)
+			}
+			for k, entries := range got {
+				want, _ := stores[0].Slot(k)
+				for j := range entries {
+					if !bytes.Equal(entries[j].Payload, want[j].Payload) {
+						t.Fatalf("slot %d: corrupted chunk accepted", k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFetchAnchorMismatchFatal: a replica whose local chain diverges from
+// the quorum-agreed one must refuse to splice the snapshot on.
+func TestFetchAnchorMismatchFatal(t *testing.T) {
+	const n, tf, slots = 4, 1, 4
+	c := testkit.New(n, tf, testkit.WithSeed(13))
+	defer c.Close()
+	stores := map[int]*acs.Store{}
+	for _, id := range []int{0, 1, 2} {
+		stores[id] = acs.NewStore()
+		fill(stores[id], slots, 0, 1, 2)
+	}
+	serveAll(c, "anchor", stores, Options{ChunkSlots: 2})
+	bogus := sha256.Sum256([]byte("divergent local history"))
+	if _, err := Fetch(c.Ctx, c.Envs[3], "anchor", 2, slots, &bogus, Options{ChunkSlots: 2}); err == nil {
+		t.Fatal("diverging anchor accepted")
+	}
+}
+
+// TestCatchupUnderLoad is the live-rejoin property: parties 0..2 run the
+// pipelined ledger from slot 0 while party 3 — fresh state, as after a
+// restart — syncs the missed prefix and participates in the live slots,
+// all concurrently. Every party's final ledger must be bit-identical, and
+// party 3's own batches must appear in post-rejoin slots (it rejoined the
+// protocol, not just the data).
+func TestCatchupUnderLoad(t *testing.T) {
+	const n, tf, slots, lag = 4, 1, 12, 6
+	c := testkit.New(n, tf, testkit.WithSeed(17), testkit.WithTimeout(90*time.Second))
+	defer c.Close()
+	name := "load"
+	stores := make([]*acs.Store, n)
+	for i := range stores {
+		stores[i] = acs.NewStore()
+	}
+	res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		store := stores[env.ID]
+		go Serve(c.Ctx, env, name, store, Options{ChunkSlots: 2})
+		input := func(slot int) []byte { return payloadFor(env.ID, slot) }
+		if env.ID != 3 {
+			if err := acs.RunFrom(ctx, c.Ctx, env, "abc/load", 0, slots, 3, input, localCfg, store); err != nil {
+				return nil, err
+			}
+			return store.Ledger(), nil
+		}
+		// Party 3: live participation in [lag, slots) and catch-up of
+		// [0, lag) run concurrently — the restart model.
+		syncErr := make(chan error, 1)
+		go func() { syncErr <- Sync(ctx, env, name, store, lag, Options{ChunkSlots: 2}) }()
+		if err := acs.RunFrom(ctx, c.Ctx, env, "abc/load", lag, slots, 3, input, localCfg, store); err != nil {
+			return nil, err
+		}
+		if err := <-syncErr; err != nil {
+			return nil, err
+		}
+		return store.Ledger(), nil
+	})
+	ledgers := make(map[int][]acs.Entry, n)
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+		ledgers[id] = r.Value.([]acs.Entry)
+	}
+	ref, err := acs.AgreeLedgers(ledgers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) < slots*(n-tf-1) {
+		t.Fatalf("ledger has %d entries, want ≥ %d", len(ref), slots*(n-tf-1))
+	}
+	rejoined := false
+	for _, e := range ref {
+		if e.Party == 3 && e.Slot >= lag {
+			rejoined = true
+		}
+		if e.Party == 3 && e.Slot < lag {
+			t.Fatalf("party 3 committed in slot %d it never ran: %v", e.Slot, e)
+		}
+	}
+	if !rejoined {
+		t.Fatal("rejoined party never contributed a committed batch")
+	}
+}
+
+func TestFetchRejectsBadRange(t *testing.T) {
+	c := testkit.New(4, 1)
+	defer c.Close()
+	if _, err := Fetch(c.Ctx, c.Envs[0], "bad", 3, 3, nil, Options{}); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := Fetch(c.Ctx, c.Envs[0], "bad", -1, 3, nil, Options{}); err == nil {
+		t.Fatal("negative range accepted")
+	}
+}
+
+// TestConcurrentClientsSamePartyDoNotStarve: two sync clients running on
+// one party (e.g. a resuming replica while the test also calls a
+// standalone fetch) share the party's mailboxes; nonce-derived reply
+// sessions must keep their responses apart so both complete with correct
+// data instead of consuming each other's.
+func TestConcurrentClientsSamePartyDoNotStarve(t *testing.T) {
+	const n, tf, slots = 4, 1, 12
+	c := testkit.New(n, tf, testkit.WithSeed(37))
+	defer c.Close()
+	stores := map[int]*acs.Store{}
+	for _, id := range []int{0, 1, 2} {
+		stores[id] = acs.NewStore()
+		fill(stores[id], slots, 0, 1, 2)
+	}
+	serveAll(c, "dual", stores, Options{ChunkSlots: 4})
+	type out struct {
+		slots [][]acs.Entry
+		err   error
+	}
+	results := make(chan out, 2)
+	for i := 0; i < 2; i++ {
+		lo, hi := 0, slots
+		if i == 1 {
+			lo, hi = 4, slots // overlapping, different range
+		}
+		go func() {
+			s, err := Fetch(c.Ctx, c.Envs[3], "dual", lo, hi, nil, Options{ChunkSlots: 4})
+			results <- out{slots: s, err: err}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("concurrent client %d: %v", i, r.err)
+		}
+		first := r.slots[0]
+		if len(first) == 0 {
+			t.Fatal("empty slot in concurrent fetch")
+		}
+		want, _ := stores[0].Slot(first[0].Slot)
+		if !bytes.Equal(first[0].Payload, want[0].Payload) {
+			t.Fatal("concurrent fetch returned wrong bytes")
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// scenario.go is the adversarial scenario harness: table-driven fault
+// schedules — crash-at-slot, restart-after-K, partition-then-heal,
+// slow-replica lag — that acs, statesync and mpc tests share instead of
+// hand-rolling router surgery. A Scenario is a list of Steps, each fired
+// once when the test's reported progress (Cluster.Progress, typically the
+// ledger slot or circuit layer a party reached) passes its threshold; the
+// step body uses the fault primitives below (Crash, RestartFresh,
+// Partition, Slow, Heal).
+//
+// Faults act through a gate composed over the cluster's scheduling
+// policy: crashed parties lose traffic in both directions, held links
+// park messages until healed. The base policy still shapes everything
+// that passes, so scenarios compose with FIFO, random-reorder and
+// latency-bound schedules alike.
+package testkit
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"asyncft/internal/network"
+	"asyncft/internal/runtime"
+	"asyncft/internal/wire"
+)
+
+// Step is one scheduled fault of a scenario.
+type Step struct {
+	// Name labels the step in failures.
+	Name string
+	// At is the progress threshold that fires the step: the first
+	// Progress(v) with v ≥ At runs Do. Steps with equal At fire in table
+	// order. At 0 fires on the first Progress call (report Progress(0) at
+	// start for immediate faults).
+	At int
+	// Do applies the fault.
+	Do func(c *Cluster)
+}
+
+// Scenario is a named table of fault steps.
+type Scenario struct {
+	Name  string
+	Steps []Step
+}
+
+// Start arms a scenario: subsequent Progress calls fire its due steps.
+func (c *Cluster) Start(sc Scenario) {
+	steps := append([]Step(nil), sc.Steps...)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+	c.scen.mu.Lock()
+	c.scen.steps = steps
+	c.scen.mu.Unlock()
+}
+
+// Progress reports that some party reached progress point v (a slot, a
+// layer — whatever the test counts). It is safe to call concurrently from
+// every party; each armed step fires exactly once, in threshold order.
+// Steps run synchronously in the caller, so a fault installed at slot k
+// is in place before that caller proceeds.
+func (c *Cluster) Progress(v int) {
+	for {
+		c.scen.mu.Lock()
+		if len(c.scen.steps) == 0 || c.scen.steps[0].At > v {
+			c.scen.mu.Unlock()
+			return
+		}
+		step := c.scen.steps[0]
+		c.scen.steps = c.scen.steps[1:]
+		c.scen.mu.Unlock()
+		if step.Do != nil {
+			step.Do(c)
+		}
+	}
+}
+
+type scenarioState struct {
+	mu    sync.Mutex
+	steps []Step
+}
+
+// Crash drops party id from the network: traffic to and from it is
+// discarded from now on (its goroutines may keep running; their sends go
+// nowhere, like a crashed process mid-syscall).
+func (c *Cluster) Crash(id int) { c.gate.setCrashed(id, true) }
+
+// Restore undoes Crash, reconnecting the party with its state intact (a
+// process that was paused, not killed).
+func (c *Cluster) Restore(id int) { c.gate.setCrashed(id, false) }
+
+// RestartFresh models a crash-and-restart with total state loss: party id
+// is reconnected with a brand-new runtime node and environment (empty
+// mailboxes, no protocol state), which the caller then drives through its
+// recovery path — typically statesync. The old node is closed; the new
+// env replaces Envs[id].
+func (c *Cluster) RestartFresh(id int) *runtime.Env {
+	old := c.Nodes[id]
+	node := runtime.NewNode(id, c.N, c.T)
+	env := runtime.NewEnv(id, c.N, c.T, node, c.Router, int64(id)*9176+77)
+	c.Nodes[id] = node
+	c.Envs[id] = env
+	c.Router.Register(id, node.Dispatch)
+	c.gate.setCrashed(id, false)
+	old.Close()
+	return env
+}
+
+// Partition installs a bidirectional hold between party groups a and b
+// (messages park until healed) and returns a handle for Heal.
+func (c *Cluster) Partition(a, b []int) int {
+	var rules []network.Rule
+	for _, x := range a {
+		for _, y := range b {
+			rules = append(rules, network.Rule{From: x, To: y}, network.Rule{From: y, To: x})
+		}
+	}
+	return c.gate.hold(rules)
+}
+
+// Slow lags a replica: every message addressed to it parks until Heal —
+// the slow-replica schedule that creates statesync's catch-up workload.
+// Traffic from the replica still flows (a slow reader, not a dead peer).
+func (c *Cluster) Slow(id int) int {
+	return c.gate.hold([]network.Rule{{From: -1, To: id}})
+}
+
+// HoldSession parks messages matching the (from, to, session-prefix) rule
+// (-1 wildcards parties) until healed — the targeted-hold primitive the
+// lower-bound attacks use, available under any base policy.
+func (c *Cluster) HoldSession(from, to int, prefix string) int {
+	return c.gate.hold([]network.Rule{{From: from, To: to, SessionPrefix: prefix}})
+}
+
+// Heal lifts a Partition/Slow/HoldSession by handle; parked messages are
+// released through the base policy at the next tick.
+func (c *Cluster) Heal(handle int) { c.gate.lift(handle) }
+
+// Go runs fn for party id without registering it in a Run wait group —
+// for parties a scenario will crash or restart, whose protocol call may
+// never return.
+func (c *Cluster) Go(id int, fn func(ctx context.Context, env *runtime.Env) (interface{}, error)) {
+	env := c.Envs[id]
+	go func() { _, _ = fn(c.Ctx, env) }()
+}
+
+// gatePolicy composes fault gating over an arbitrary base policy: crashed
+// parties' traffic is dropped, held traffic parks until its rules lift,
+// and everything else flows through the base policy unchanged. Rule
+// mutation is called from test goroutines; OnSend/OnTick/Drain only from
+// the router's scheduler goroutine — the same split network.Targeted has.
+type gatePolicy struct {
+	base network.Policy
+
+	mu      sync.Mutex
+	crashed map[int]bool
+	rules   map[int][]network.Rule // handle -> rules
+	next    int
+	held    []gateHeld
+}
+
+type gateHeld struct {
+	env     wire.Envelope
+	handles []int
+}
+
+func newGate(base network.Policy) *gatePolicy {
+	return &gatePolicy{base: base, crashed: make(map[int]bool), rules: make(map[int][]network.Rule)}
+}
+
+func (g *gatePolicy) setCrashed(id int, v bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.crashed[id] = v
+}
+
+func (g *gatePolicy) hold(rules []network.Rule) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h := g.next
+	g.next++
+	g.rules[h] = rules
+	return h
+}
+
+func (g *gatePolicy) lift(handle int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.rules, handle)
+}
+
+// matching returns the handles whose rules match env. Caller holds mu.
+func (g *gatePolicy) matching(env wire.Envelope) []int {
+	var out []int
+	for h, rules := range g.rules {
+		for _, r := range rules {
+			if r.Matches(env) {
+				out = append(out, h)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// OnSend implements network.Policy.
+func (g *gatePolicy) OnSend(env wire.Envelope) []wire.Envelope {
+	g.mu.Lock()
+	if g.crashed[env.From] || g.crashed[env.To] {
+		g.mu.Unlock()
+		return nil
+	}
+	if handles := g.matching(env); len(handles) > 0 {
+		g.held = append(g.held, gateHeld{env: env, handles: handles})
+		g.mu.Unlock()
+		return nil
+	}
+	g.mu.Unlock()
+	return g.base.OnSend(env)
+}
+
+// OnTick implements network.Policy: releases parked messages whose holds
+// all lifted (dropping those to/from now-crashed parties) into the base
+// policy, then ticks the base.
+func (g *gatePolicy) OnTick() []wire.Envelope {
+	var out []wire.Envelope
+	for _, env := range g.release(false) {
+		out = append(out, g.base.OnSend(env)...)
+	}
+	return append(out, g.base.OnTick()...)
+}
+
+// Drain implements network.Policy.
+func (g *gatePolicy) Drain() []wire.Envelope {
+	return append(g.release(true), g.base.Drain()...)
+}
+
+// release returns the parked messages currently deliverable: those whose
+// holds were all lifted, or everything when force (final drain). Messages
+// involving a crashed party are discarded either way.
+func (g *gatePolicy) release(force bool) []wire.Envelope {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []wire.Envelope
+	kept := g.held[:0]
+	for _, h := range g.held {
+		active := false
+		for _, handle := range h.handles {
+			if _, ok := g.rules[handle]; ok {
+				active = true
+				break
+			}
+		}
+		switch {
+		case g.crashed[h.env.From] || g.crashed[h.env.To]:
+			// dropped
+		case active && !force:
+			kept = append(kept, h)
+		default:
+			out = append(out, h.env)
+		}
+	}
+	g.held = kept
+	return out
+}
+
+var _ network.Policy = (*gatePolicy)(nil)

@@ -14,7 +14,10 @@ import (
 	"asyncft/internal/runtime"
 )
 
-// Cluster is a set of wired parties over one simulated network.
+// Cluster is a set of wired parties over one simulated network. The
+// scenario harness (scenario.go) is always armed: every cluster's policy
+// is wrapped in a fault gate, so tests can crash, partition, slow and
+// restart parties on a progress-triggered schedule.
 type Cluster struct {
 	N, T   int
 	Router *network.Router
@@ -22,6 +25,9 @@ type Cluster struct {
 	Envs   []*runtime.Env
 	cancel context.CancelFunc
 	Ctx    context.Context
+
+	gate *gatePolicy
+	scen scenarioState
 }
 
 // Option configures a Cluster.
@@ -67,8 +73,9 @@ func New(n, t int, opts ...Option) *Cluster {
 	if cfg.policy == nil {
 		cfg.policy = network.NewRandomReorder(cfg.seed, 0.3, 6)
 	}
-	r := network.NewRouter(n, cfg.policy)
-	c := &Cluster{N: n, T: t, Router: r}
+	gate := newGate(cfg.policy)
+	r := network.NewRouter(n, gate)
+	c := &Cluster{N: n, T: t, Router: r, gate: gate}
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 	c.Ctx, c.cancel = ctx, cancel
 	for i := 0; i < n; i++ {

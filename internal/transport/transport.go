@@ -53,10 +53,13 @@ type TCP struct {
 
 // peer is the outbound side of one link. Frames are pooled buffers
 // (wire.GetBuf) owned by the queue until the writer confirms them.
+// inflight counts frames the writer has drained but not yet flushed, so
+// Close's grace period sees work the queue length alone would hide.
 type peer struct {
-	mu     sync.Mutex
-	queue  []*[]byte
-	notify chan struct{}
+	mu       sync.Mutex
+	queue    []*[]byte
+	inflight int
+	notify   chan struct{}
 }
 
 func (p *peer) push(frame *[]byte) {
@@ -77,8 +80,24 @@ func (p *peer) drain(spare []*[]byte) []*[]byte {
 	p.mu.Lock()
 	q := p.queue
 	p.queue = spare[:0]
+	p.inflight = len(q)
 	p.mu.Unlock()
 	return q
+}
+
+// flushed marks the drained batch as on the wire.
+func (p *peer) flushed() {
+	p.mu.Lock()
+	p.inflight = 0
+	p.mu.Unlock()
+}
+
+// pending reports frames not yet confirmed on the wire: queued or drained
+// into an unflushed batch.
+func (p *peer) pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue) + p.inflight
 }
 
 // Listen starts a transport for party id. addrs maps every party id to its
@@ -138,8 +157,16 @@ func (t *TCP) Send(env wire.Envelope) {
 	p.push(frame)
 }
 
-// Close stops the transport. Queued-but-unsent messages are dropped (the
-// process is ending; eventual delivery is scoped to the process lifetime).
+// flushTimeout bounds how long Close waits for writers to drain queued
+// frames before tearing connections down.
+const flushTimeout = 2 * time.Second
+
+// Close stops the transport. Writers get a bounded grace period to flush
+// frames already queued or mid-batch — a node that answered a peer's
+// state-transfer pull just before exiting must actually put the answer on
+// the wire — after which anything still unsent is dropped (eventual
+// delivery is scoped to the process lifetime). The grace is a hard total:
+// Close returns within flushTimeout even if a link never drains.
 func (t *TCP) Close() {
 	t.mu.Lock()
 	if t.closed {
@@ -147,7 +174,25 @@ func (t *TCP) Close() {
 		return
 	}
 	t.closed = true
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
 	t.mu.Unlock()
+	deadline := time.Now().Add(flushTimeout)
+	for time.Now().Before(deadline) {
+		busy := false
+		for _, p := range peers {
+			if p.pending() > 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	close(t.done)
 	t.ln.Close()
 	t.wg.Wait()
@@ -253,6 +298,7 @@ func (t *TCP) writeLoop(to int, p *peer) {
 			conn.Close()
 			conn, bw = nil, nil
 		}
+		p.flushed()
 		for i, frame := range batch {
 			wire.PutBuf(frame)
 			batch[i] = nil

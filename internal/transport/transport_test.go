@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -279,4 +280,38 @@ func encodeFrameSize(size uint64) []byte {
 		size >>= 7
 	}
 	return append(buf, byte(size))
+}
+
+// TestCloseFlushesQueuedFrames: frames queued before Close must reach the
+// peer — Close gives writers a bounded grace period instead of cutting
+// the queue (a node answering a state-transfer pull right before exiting
+// must actually send the answer).
+func TestCloseFlushesQueuedFrames(t *testing.T) {
+	recvNode := runtime.NewNode(1, 2, 0)
+	recv, err := Listen(1, map[int]string{1: "127.0.0.1:0"}, recvNode.Dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	defer recvNode.Close()
+	addrs := map[int]string{0: "127.0.0.1:0", 1: recv.Addr()}
+	senderNode := runtime.NewNode(0, 2, 0)
+	sender, err := Listen(0, addrs, senderNode.Dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 500
+	payload := bytes.Repeat([]byte("flush"), 200)
+	for i := 0; i < frames; i++ {
+		sender.Send(wire.Envelope{From: 0, To: 1, Session: "flush", Type: 1, Payload: payload})
+	}
+	sender.Close() // immediately: every queued frame must still arrive
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	box := recvNode.Mailbox("flush")
+	for i := 0; i < frames; i++ {
+		if _, err := box.Recv(ctx); err != nil {
+			t.Fatalf("frame %d/%d lost across Close: %v", i, frames, err)
+		}
+	}
 }
