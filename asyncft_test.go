@@ -91,7 +91,7 @@ func TestClusterCoinFlip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := c.CoinFlip(fmt.Sprintf("c%d", seed))
+		b, err := c.CoinFlip(SubSession("c", seed))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -458,7 +458,7 @@ func TestClusterRunBatchWidthAndEquivalence(t *testing.T) {
 	defer c.Close()
 	var specs []BatchSpec
 	for k := 0; k < 6; k++ {
-		specs = append(specs, CoinFlipSpec(fmt.Sprintf("bw/%d", k)))
+		specs = append(specs, CoinFlipSpec(SubSession("bw", k)))
 	}
 	res, err := c.RunBatch(2, specs...)
 	if err != nil {

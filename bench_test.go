@@ -160,7 +160,7 @@ func BenchmarkBatchCoin(b *testing.B) {
 		}
 		specs := make([]BatchSpec, K)
 		for k := range specs {
-			specs[k] = CoinFlipSpec(fmt.Sprintf("bench/%d", k))
+			specs[k] = CoinFlipSpec(SubSession("bench", k))
 		}
 		if _, err := c.RunBatch(0, specs...); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,200 @@
+// Command asyncftvet machine-checks the repo's consensus invariants with
+// the internal/analysis suite (detrange, bufpool, ctxleak, sessionfmt,
+// fieldops).
+//
+// Standalone:
+//
+//	asyncftvet [-json] [-tests=false] [packages ...]   # default ./...
+//
+// As a vet tool (cmd/go drives it per package through the vet.cfg
+// protocol, so findings land in the usual build-tool format):
+//
+//	go vet -vettool=$(which asyncftvet) ./...
+//
+// Exit status: 0 clean, 1 operational error, 2 findings. Suppressed
+// findings (//asyncftvet:ignore with a reason) never fail the run but are
+// counted on stderr so CI can surface creeping suppression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asyncft/internal/analysis"
+	"asyncft/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("asyncftvet", flag.ExitOnError)
+	vFlag := fs.String("V", "", "print version and exit (cmd/go protocol: -V=full)")
+	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON (cmd/go protocol)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON on stdout")
+	testsFlag := fs.Bool("tests", true, "also analyze test files (standalone mode)")
+	fs.Parse(args)
+
+	switch {
+	case *vFlag != "":
+		// cmd/go hashes this line into the build cache key; it only needs
+		// to be stable and start with the tool name.
+		fmt.Println("asyncftvet version v1")
+		return 0
+	case *flagsFlag:
+		// Tell cmd/go which flags may be forwarded from the vet command
+		// line.
+		fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON"}]`)
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetTool(rest[0], *jsonFlag)
+	}
+	return standalone(rest, *jsonFlag, *testsFlag)
+}
+
+// standalone loads packages itself and reports across the whole set.
+func standalone(patterns []string, asJSON, tests bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns, tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asyncftvet:", err)
+		return 1
+	}
+	res, err := analysis.Run(suite.All, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asyncftvet:", err)
+		return 1
+	}
+	return report(res, asJSON)
+}
+
+// vetConfig mirrors the JSON cmd/go writes for each package when invoked
+// as `go vet -vettool=asyncftvet` (see cmd/go/internal/work).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetTool analyzes the single package described by a cmd/go vet.cfg file.
+func vetTool(cfgPath string, asJSON bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asyncftvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "asyncftvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The suite carries no cross-package facts, but cmd/go caches the
+	// (empty) facts file keyed by build ID.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "asyncftvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Test variants arrive as "p [p.test]" / "p_test [p.test]".
+	forTest := ""
+	if i := strings.Index(cfg.ImportPath, " ["); i >= 0 {
+		forTest = strings.TrimSuffix(cfg.ImportPath[i+2:], "]")
+	}
+	pkg, err := analysis.Check(cfg.ImportPath, forTest, cfg.Dir, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "asyncftvet:", err)
+		return 1
+	}
+	res, err := analysis.Run(suite.All, []*analysis.Package{pkg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asyncftvet:", err)
+		return 1
+	}
+	// cmd/go expects diagnostics on stderr and exit 2 when any were found.
+	for _, d := range res.Active() {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if asJSON {
+		emitJSON(res)
+	}
+	if len(res.Active()) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// report prints a whole-run result (standalone mode).
+func report(res *analysis.Result, asJSON bool) int {
+	if asJSON {
+		emitJSON(res)
+	} else {
+		for _, d := range res.Active() {
+			fmt.Printf("%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	if s := res.Summary(); s != "" {
+		fmt.Fprintln(os.Stderr, "asyncftvet:", s)
+	}
+	if len(res.Active()) > 0 {
+		fmt.Fprintf(os.Stderr, "asyncftvet: %d finding(s)\n", len(res.Active()))
+		return 2
+	}
+	return 0
+}
+
+// jsonDiag is the stable JSON shape for one diagnostic.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	Pos      string `json:"pos"`
+	Message  string `json:"message"`
+	Ignored  bool   `json:"ignored,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+func emitJSON(res *analysis.Result) {
+	out := struct {
+		Findings   []jsonDiag     `json:"findings"`
+		Suppressed map[string]int `json:"suppressed,omitempty"`
+	}{Findings: []jsonDiag{}, Suppressed: res.IgnoreCounts()}
+	for _, d := range res.Diagnostics {
+		out.Findings = append(out.Findings, jsonDiag{
+			Analyzer: d.Analyzer,
+			Pos:      d.Pos.String(),
+			Message:  d.Message,
+			Ignored:  d.Ignored,
+			Reason:   d.IgnoreReason,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}

@@ -38,7 +38,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bit, err := cluster.CoinFlip(fmt.Sprintf("flip%d", f))
+		bit, err := cluster.CoinFlip(asyncft.SubSession("flip", f))
 		if err != nil {
 			log.Fatalf("flip %d: %v", f, err)
 		}

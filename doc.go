@@ -100,4 +100,21 @@
 //
 // See examples/ for runnable programs and EXPERIMENTS.md for the harness
 // that reproduces every quantitative claim of the paper.
+//
+// # Static verification
+//
+// The invariants that are easiest to break silently — bit-identical
+// canonical encodings (no map iteration into digests or wire bytes),
+// pooled-buffer ownership (wire.GetBuf/PutBuf pairing, zero-copy payload
+// aliasing), protocol goroutine lifetimes, canonical session derivation
+// (SubSession, never ad-hoc fmt.Sprintf), and field.Elem arithmetic
+// discipline — are machine-checked by the asyncftvet analyzer suite
+// (internal/analysis, cmd/asyncftvet). CI runs it on every push:
+//
+//	go build -o "$(go env GOPATH)/bin/asyncftvet" ./cmd/asyncftvet
+//	go vet -vettool=$(which asyncftvet) ./...
+//
+// Intentional exceptions are suppressed in place with a mandatory reason
+// via "//asyncftvet:ignore <analyzer> <reason>"; suppressions are counted
+// in CI so they stay visible.
 package asyncft

@@ -45,7 +45,7 @@ func main() {
 		for _, id := range cluster.PartyIDs() {
 			inputs[id] = []byte(fmt.Sprintf("nominee-%d", id))
 		}
-		winner, err := cluster.FairBA(fmt.Sprintf("elect/%d", e), inputs)
+		winner, err := cluster.FairBA(asyncft.SubSession("elect", e), inputs)
 		if err != nil {
 			log.Fatalf("election %d: %v", e, err)
 		}

@@ -37,7 +37,7 @@ func main() {
 		}
 		value := 0
 		for b := 0; b < *bits; b++ {
-			bit, err := cluster.CoinFlip(fmt.Sprintf("draw%d/bit%d", d, b))
+			bit, err := cluster.CoinFlip(asyncft.SubSession("draw", d, "bit", b))
 			if err != nil {
 				log.Fatalf("draw %d bit %d: %v", d, b, err)
 			}

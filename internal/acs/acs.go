@@ -92,7 +92,7 @@ func RunSlot(ctx, helperCtx context.Context, env *runtime.Env, session string, s
 		if j == env.ID {
 			in = payload
 		}
-		sess := runtime.Sub(session, "rbc", j)
+		sess := runtime.SubSession(session, "rbc", j)
 		go func() {
 			v, err := rbc.RunCoded(helperCtx, env, sess, j, in, cfg.RBC)
 			delivc <- deliv{j: j, val: v, err: err}
@@ -101,7 +101,7 @@ func RunSlot(ctx, helperCtx context.Context, env *runtime.Env, session string, s
 
 	// Phase 2: CommonSubset over the delivery predicate picks ≥ n−t
 	// contributors every nonfaulty party agrees on.
-	csSess := runtime.Sub(session, "cs")
+	csSess := runtime.SubSession(session, "cs")
 	type csOut struct {
 		set []int
 		err error
@@ -203,7 +203,7 @@ func RunFrom(ctx, helperCtx context.Context, env *runtime.Env, session string, f
 	instances := make([]batch.Instance, slots-from)
 	for i := range instances {
 		k := from + i
-		sess := runtime.Sub(session, "slot", k)
+		sess := runtime.SubSession(session, "slot", k)
 		var payload []byte
 		if input != nil {
 			payload = input(k)

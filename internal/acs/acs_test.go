@@ -148,7 +148,7 @@ func TestLedgerUnderNoiseAdversary(t *testing.T) {
 	var noisy []string
 	for _, s := range sessions {
 		for j := 0; j < n; j++ {
-			noisy = append(noisy, runtime.Sub(s, "rbc", j), runtime.Sub(s, "cs", "ba", j))
+			noisy = append(noisy, runtime.SubSession(s, "rbc", j), runtime.SubSession(s, "cs", "ba", j))
 		}
 	}
 	go func() {
@@ -315,7 +315,7 @@ func TestCodedLedgerMatchesClassic(t *testing.T) {
 				if !coded {
 					cfg.RBC.CodedThreshold = -1
 				}
-				sess := fmt.Sprintf("abc/cvc/%s/%v", sched, coded)
+				sess := runtime.SubSession("abc/cvc", sched, coded)
 				res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 					return Run(ctx, c.Ctx, env, sess, slots, 0, func(slot int) []byte {
 						return bigPayloadFor(env.ID, slot, size)
@@ -342,7 +342,7 @@ func TestCodedLedgerWrongFragmentAdversary(t *testing.T) {
 	sess := "abc/codedwf"
 	for k := 0; k < slots; k++ {
 		for j := 0; j < n; j++ {
-			rbcSess := runtime.Sub(runtime.Sub(sess, "slot", k), "rbc", j)
+			rbcSess := runtime.SubSession(runtime.SubSession(sess, "slot", k), "rbc", j)
 			go func() { _ = rbc.EchoCorruptedFragment(c.Ctx, c.Envs[3], rbcSess) }()
 		}
 	}

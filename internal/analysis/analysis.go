@@ -1,0 +1,139 @@
+// Package analysis is a dependency-free mirror of the core of
+// golang.org/x/tools/go/analysis: just enough Analyzer/Pass/Diagnostic
+// surface to write repo-specific static checkers, plus a package loader
+// (load.go) that drives the go tool for export data and a suppression
+// mechanism (ignore.go) for documented false positives.
+//
+// The repository pins zero external modules, so the real x/tools framework
+// is deliberately not a dependency. The API mirrors it closely enough that
+// an analyzer written here is a mechanical port away from a stock
+// go/analysis analyzer (swap the import, wrap Run's signature), and
+// cmd/asyncftvet speaks the cmd/go vet-tool protocol exactly like
+// x/tools' unitchecker, so `go vet -vettool=` drives the suite unchanged.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //asyncftvet:ignore directives. It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description: the invariant the analyzer
+	// encodes and what a finding means.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Report or pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass is the interface between one analyzer and one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Ignored is set by the driver when an //asyncftvet:ignore directive
+	// suppressed the finding (the diagnostic is retained for counting).
+	Ignored bool
+	// IgnoreReason is the directive's reason string when Ignored.
+	IgnoreReason string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Report emits a finding.
+func (p *Pass) Report(pos token.Pos, message string) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: p.Fset.Position(pos), Message: message})
+}
+
+// Reportf emits a formatted finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (method or package-level function), or nil for calls through function
+// values, conversions, and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Unparen strips parentheses. (ast.Unparen needs go1.22; the module
+// supports go1.21.)
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// IsFunc reports whether fn is the named function of the named package.
+func IsFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// IsNamedType reports whether t (after stripping pointers) is the named
+// type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool { return IsNamedType(t, "context", "Context") }
+
+// BasePath returns a package's import path with any test-variant suffix
+// ("p [p.test]") stripped, so path-gated analyzers treat a package and its
+// test variant alike.
+func BasePath(pkg *types.Package) string {
+	path := pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}

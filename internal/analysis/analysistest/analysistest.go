@@ -1,0 +1,201 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against `// want "regexp"` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the in-repo framework.
+//
+// A fixture is a directory of .go files forming one package. Fixtures may
+// import real module packages (asyncft/internal/wire, ...): the runner
+// resolves imports through export data produced by one `go list -export`
+// sweep of the module, so analyzers are tested against the genuine types
+// they match on in production. Expectations:
+//
+//	bad()  // want "regexp matching the diagnostic"
+//	bad2() // want "first" "second"       (two diagnostics on one line)
+//
+// Every active (non-suppressed) diagnostic must be matched by a want on
+// its line and vice versa. //asyncftvet:ignore directives are honored,
+// so fixtures can also cover the suppression mechanism itself.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"asyncft/internal/analysis"
+)
+
+var (
+	exportsOnce sync.Once
+	exports     map[string]string
+	exportsErr  error
+)
+
+// moduleExports runs one `go list -export -deps ./...` over the module and
+// caches import path → export data file for the whole dependency graph.
+func moduleExports() (map[string]string, error) {
+	exportsOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		cmd := exec.Command("go", "list", "-export", "-deps",
+			"-f", `{{if .Export}}{{.ImportPath}}={{.Export}}{{end}}`, "./...", "std")
+		cmd.Dir = root
+		out, err := cmd.Output()
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				err = fmt.Errorf("%v\n%s", err, ee.Stderr)
+			}
+			exportsErr = fmt.Errorf("go list -export: %v", err)
+			return
+		}
+		exports = make(map[string]string)
+		for _, line := range strings.Split(string(out), "\n") {
+			if path, file, ok := strings.Cut(strings.TrimSpace(line), "="); ok {
+				exports[path] = file
+			}
+		}
+	})
+	return exports, exportsErr
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// Run analyzes the fixture package in dir and reports mismatches between
+// diagnostics and want expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	exp, err := moduleExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	sort.Strings(files)
+	pkg, err := analysis.Check("fixture/"+filepath.Base(dir), "", dir, files, nil, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants, err := parseWants(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Active() {
+		key := posKey{d.Pos.Filename, d.Pos.Line}
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	pos     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet map[posKey][]*want
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts want expectations by scanning the raw source lines
+// (comments inside fixtures stay trivially findable this way).
+func parseWants(files []string) (wantSet, error) {
+	set := make(wantSet)
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			rest := strings.TrimSpace(m[1])
+			key := posKey{f, i + 1}
+			for rest != "" {
+				if rest[0] != '"' {
+					return nil, fmt.Errorf("%s:%d: malformed want: expected quoted regexp at %q", f, i+1, rest)
+				}
+				end := strings.Index(rest[1:], `"`)
+				if end < 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want: unterminated string", f, i+1)
+				}
+				lit := rest[:end+2]
+				rest = strings.TrimSpace(rest[end+2:])
+				s, err := strconv.Unquote(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: malformed want %s: %v", f, i+1, lit, err)
+				}
+				re, err := regexp.Compile(s)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", f, i+1, err)
+				}
+				set[key] = append(set[key], &want{pos: fmt.Sprintf("%s:%d", f, i+1), re: re})
+			}
+		}
+	}
+	return set, nil
+}
+
+func (s wantSet) match(key posKey, message string) bool {
+	for _, w := range s[key] {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (s wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for _, ws := range s {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.re)
+			}
+		}
+	}
+}

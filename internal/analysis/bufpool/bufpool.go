@@ -1,0 +1,321 @@
+// Package bufpool checks the wire buffer-pool discipline (PR 3's pooled
+// zero-copy message plane), where getting it wrong corrupts frames that
+// are already on another goroutine's wire:
+//
+//  1. leak: a buffer from wire.GetBuf must, within its function, either be
+//     returned with wire.PutBuf or be handed off (the pointer escapes into
+//     a call, channel, struct, slice, or return — ownership transfer, like
+//     the transport's per-peer queues);
+//  2. use-after-put: once wire.PutBuf(b) runs, any later use of b in the
+//     same function touches memory a concurrent GetBuf caller may already
+//     own;
+//  3. alias retention: the payload of a wire.UnmarshalFrom envelope
+//     aliases the input buffer; storing the envelope (or its payload) into
+//     a struct field, map, slice element, or channel without an explicit
+//     copy retains bytes whose backing array the caller may recycle.
+//     Passing the envelope onward as a call argument is the documented
+//     ownership-transfer pattern and is not flagged.
+//
+// The escape analysis is deliberately shallow (per function, syntactic):
+// it accepts any visible handoff and so stays quiet on the transport's
+// real pooling code while still catching the drop-on-floor, double-use and
+// stash-the-alias shapes that were previously found only by -race runs.
+package bufpool
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"asyncft/internal/analysis"
+)
+
+const wirePkg = "asyncft/internal/wire"
+
+// Analyzer is the bufpool analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufpool",
+	Doc: "checks wire.GetBuf/PutBuf pairing and flags retention of pooled or " +
+		"UnmarshalFrom-aliased bytes past the handler scope",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.BasePath(pass.Pkg) == wirePkg {
+		return nil // the pool's own implementation and tests
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	checkLeaks(pass, body)
+	checkUseAfterPut(pass, body)
+	checkAliasRetention(pass, body)
+}
+
+// --- rule 1: GetBuf must be put back or handed off ---
+
+func checkLeaks(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isWireCall(pass.TypesInfo, call, "GetBuf") {
+				pass.Report(call.Pos(), "result of wire.GetBuf discarded; the buffer never returns to the pool")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := analysis.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isWireCall(pass.TypesInfo, call, "GetBuf") || i >= len(n.Lhs) {
+					continue
+				}
+				obj := assignedVar(pass.TypesInfo, n.Lhs[i])
+				if obj == nil {
+					continue // assigned through a field/index: already escaped
+				}
+				if !putOrEscapes(pass, body, obj) {
+					pass.Reportf(call.Pos(),
+						"buffer from wire.GetBuf is neither returned with wire.PutBuf nor handed off; "+
+							"it never goes back to the pool (pair it with PutBuf or transfer ownership explicitly)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// putOrEscapes reports whether obj reaches wire.PutBuf or escapes the
+// function (pointer passed to a call, sent, stored, returned).
+func putOrEscapes(pass *analysis.Pass, body *ast.BlockStmt, obj *types.Var) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if usesDirectly(pass.TypesInfo, arg, obj) {
+					ok = true // PutBuf or ownership handoff — both discharge the obligation
+				}
+			}
+		case *ast.SendStmt:
+			if usesDirectly(pass.TypesInfo, n.Value, obj) {
+				ok = true
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if usesDirectly(pass.TypesInfo, r, obj) {
+					ok = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+					elt = kv.Value
+				}
+				if usesDirectly(pass.TypesInfo, elt, obj) {
+					ok = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !usesDirectly(pass.TypesInfo, rhs, obj) {
+					continue
+				}
+				if i < len(n.Lhs) {
+					switch n.Lhs[i].(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+						ok = true // stored into a structure: escaped
+					}
+				}
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// usesDirectly reports whether e is the identifier of obj (not a deref of
+// it: *buf passes the slice value, which transfers bytes but not pool
+// ownership).
+func usesDirectly(info *types.Info, e ast.Expr, obj *types.Var) bool {
+	id, ok := analysis.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// --- rule 2: no use after PutBuf ---
+
+func checkUseAfterPut(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Collect PutBuf(v) positions per variable, then earliest reassignment
+	// after each put; a use in between is a use of pooled memory.
+	type window struct {
+		obj      *types.Var
+		from, to token.Pos // (putEnd, nextReassign]
+	}
+	var windows []window
+	deferred := make(map[*ast.CallExpr]bool) // defer wire.PutBuf(b) runs last: no window
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || deferred[call] || !isWireCall(pass.TypesInfo, call, "PutBuf") || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := analysis.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		// Flow-insensitive approximation: the window closes at the end of
+		// the innermost block containing the put, so a PutBuf inside an
+		// early-return branch (`if closed { PutBuf(b); return }`) does not
+		// taint the fall-through path.
+		w := window{obj: obj, from: call.End(), to: enclosingBlock(body, call).End()}
+		ast.Inspect(body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if lid, ok := lhs.(*ast.Ident); ok && as.Pos() > w.from && as.Pos() < w.to {
+					if pass.TypesInfo.Uses[lid] == obj || pass.TypesInfo.Defs[lid] == obj {
+						w.to = as.Pos()
+					}
+				}
+			}
+			return true
+		})
+		windows = append(windows, w)
+		return true
+	})
+	if len(windows) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		for _, w := range windows {
+			if obj == w.obj && id.Pos() > w.from && id.Pos() < w.to {
+				pass.Reportf(id.Pos(),
+					"%s used after wire.PutBuf returned it to the pool; a concurrent GetBuf caller may already own its bytes",
+					id.Name)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// enclosingBlock returns the innermost *ast.BlockStmt within body that
+// contains n (body itself if none is tighter).
+func enclosingBlock(body *ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	best := body
+	ast.Inspect(body, func(m ast.Node) bool {
+		b, ok := m.(*ast.BlockStmt)
+		if ok && b.Pos() <= n.Pos() && n.End() <= b.End() && b.Pos() >= best.Pos() {
+			best = b
+		}
+		return true
+	})
+	return best
+}
+
+// --- rule 3: UnmarshalFrom aliases must not be retained ---
+
+func checkAliasRetention(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Envelope variables produced by wire.UnmarshalFrom.
+	aliased := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := analysis.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isWireCall(pass.TypesInfo, call, "UnmarshalFrom") {
+			return true
+		}
+		if obj := assignedVar(pass.TypesInfo, as.Lhs[0]); obj != nil {
+			aliased[obj] = true
+		}
+		return true
+	})
+	if len(aliased) == 0 {
+		return
+	}
+	// refersToAlias: expression is env or env.Payload (not wrapped in a
+	// call, which we treat as a transforming copy: append, string, ...).
+	refersToAlias := func(e ast.Expr) bool {
+		e = analysis.Unparen(e)
+		if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == "Payload" {
+			e = analysis.Unparen(sel.X)
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		return ok && aliased[obj]
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !refersToAlias(rhs) || i >= len(n.Lhs) {
+					continue
+				}
+				switch n.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					pass.Reportf(rhs.Pos(),
+						"payload from wire.UnmarshalFrom aliases the input buffer; copy it "+
+							"(wire.Unmarshal, or append([]byte(nil), p...)) before storing it beyond the handler scope")
+				}
+			}
+		case *ast.SendStmt:
+			if refersToAlias(n.Value) {
+				pass.Reportf(n.Value.Pos(),
+					"payload from wire.UnmarshalFrom aliases the input buffer; copy it before sending it to another goroutine")
+			}
+		}
+		return true
+	})
+}
+
+// --- shared helpers ---
+
+func isWireCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	return analysis.IsFunc(analysis.CalleeFunc(info, call), wirePkg, name)
+}
+
+func assignedVar(info *types.Info, lhs ast.Expr) *types.Var {
+	id, ok := analysis.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj, ok := info.Defs[id].(*types.Var); ok {
+		return obj
+	}
+	obj, _ := info.Uses[id].(*types.Var)
+	return obj
+}

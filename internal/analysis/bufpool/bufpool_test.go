@@ -1,0 +1,12 @@
+package bufpool_test
+
+import (
+	"testing"
+
+	"asyncft/internal/analysis/analysistest"
+	"asyncft/internal/analysis/bufpool"
+)
+
+func TestBufpool(t *testing.T) {
+	analysistest.Run(t, bufpool.Analyzer, "testdata/bufpool")
+}

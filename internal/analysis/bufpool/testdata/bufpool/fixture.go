@@ -1,0 +1,87 @@
+// Fixture for the bufpool analyzer: GetBuf leaks, use-after-PutBuf, and
+// retention of UnmarshalFrom-aliased payloads are flagged; the paired
+// defer, ownership handoff, and explicit-copy patterns are not.
+package bufpool
+
+import "asyncft/internal/wire"
+
+type cache struct {
+	last []byte
+}
+
+func handle(e wire.Envelope) {}
+
+func badDiscard() {
+	wire.GetBuf() // want "result of wire.GetBuf discarded"
+}
+
+func badLeak() []byte {
+	buf := wire.GetBuf() // want "buffer from wire.GetBuf is neither returned with wire.PutBuf nor handed off"
+	*buf = append(*buf, 0xFF)
+	return *buf // deref returns the bytes; the pool pointer is dropped
+}
+
+func badUseAfterPut(dst []byte) int {
+	buf := wire.GetBuf()
+	*buf = append(*buf, 1, 2, 3)
+	wire.PutBuf(buf)
+	return copy(dst, *buf) // want "buf used after wire.PutBuf returned it to the pool"
+}
+
+func goodDefer() []byte {
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
+	*buf = append(*buf, 1, 2, 3)
+	return append([]byte(nil), *buf...)
+}
+
+// goodEarlyReturnPut puts the buffer back only on the abort path; the
+// fall-through handoff is not a use-after-put (the transport's Send looks
+// like this).
+func goodEarlyReturnPut(ch chan *[]byte, closed bool) {
+	buf := wire.GetBuf()
+	if closed {
+		wire.PutBuf(buf)
+		return
+	}
+	ch <- buf
+}
+
+func goodHandoff(ch chan *[]byte) {
+	buf := wire.GetBuf()
+	*buf = append(*buf, 7)
+	ch <- buf // ownership transferred; receiver calls PutBuf
+}
+
+func badRetainPayload(c *cache, data []byte) {
+	env, err := wire.UnmarshalFrom(data)
+	if err != nil {
+		return
+	}
+	c.last = env.Payload // want "payload from wire.UnmarshalFrom aliases the input buffer"
+}
+
+func badRetainEnvelope(m map[int]wire.Envelope, data []byte) {
+	env, err := wire.UnmarshalFrom(data)
+	if err != nil {
+		return
+	}
+	m[0] = env // want "payload from wire.UnmarshalFrom aliases the input buffer"
+}
+
+func badSendAlias(ch chan wire.Envelope, data []byte) {
+	env, err := wire.UnmarshalFrom(data)
+	if err != nil {
+		return
+	}
+	ch <- env // want "copy it before sending it to another goroutine"
+}
+
+func goodCopyThenRetain(c *cache, data []byte) {
+	env, err := wire.UnmarshalFrom(data)
+	if err != nil {
+		return
+	}
+	c.last = append([]byte(nil), env.Payload...) // explicit copy detaches the alias
+	handle(env)                                  // passing onward is the ownership-transfer pattern
+}

@@ -1,0 +1,149 @@
+// Package ctxleak flags goroutines in protocol packages whose lifetime is
+// visibly unbounded: a `go` statement that neither passes a context or
+// channel to its callee nor (for func literals and same-package callees,
+// whose bodies are inspected) observes a context or receives from a
+// channel. Every protocol helper must die when its context is cancelled or
+// a close signal arrives — the PR 5 serve-lifetime bug class, where a
+// pull-serving helper outlived (or died before) the window peers depended
+// on.
+//
+// The check is one level deep and intentionally syntactic about the
+// signal: a context.Context value used anywhere in the body, a channel
+// receive, a select with a receive case, ranging over a channel, or
+// handing a channel to a callee all count as observing a shutdown signal.
+// A goroutine whose lifetime is bounded by other means (closing a net.Conn
+// or listener, a sync.WaitGroup drain) is a documented handoff: suppress
+// it with //asyncftvet:ignore ctxleak <why the lifetime is bounded>.
+package ctxleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"asyncft/internal/analysis"
+)
+
+// protocolPkgs are the packages whose goroutines must observe a signal.
+var protocolPkgs = map[string]bool{
+	"asyncft/internal/acs":       true,
+	"asyncft/internal/rbc":       true,
+	"asyncft/internal/mpc":       true,
+	"asyncft/internal/statesync": true,
+	"asyncft/internal/transport": true,
+	"asyncft/internal/batch":     true,
+	"asyncft/internal/svss":      true,
+}
+
+// Analyzer is the ctxleak analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxleak",
+	Doc: "flags goroutines in protocol packages that observe no context or close signal; " +
+		"unbounded helpers are the serve-lifetime bug class",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := analysis.BasePath(pass.Pkg)
+	if !protocolPkgs[path] && !strings.HasPrefix(path, "fixture/") {
+		return nil
+	}
+	decls := funcDecls(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goObservesSignal(pass, decls, g.Call) {
+				pass.Report(g.Pos(),
+					"goroutine observes no ctx.Done()/close signal (no context or channel in args or body); "+
+						"bound its lifetime or document the handoff with //asyncftvet:ignore ctxleak <reason>")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcDecls maps this package's function objects to their declarations,
+// so named callees can be inspected one level deep.
+func funcDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					m[fn] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+func goObservesSignal(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) bool {
+	// A context or channel handed to the goroutine counts: the callee was
+	// given the means to stop.
+	for _, arg := range call.Args {
+		if isSignalType(pass.TypeOf(arg)) {
+			return true
+		}
+	}
+	switch fun := analysis.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyObserves(pass, fun.Body)
+	default:
+		if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil {
+			if fd := decls[fn]; fd != nil && fd.Body != nil {
+				return bodyObserves(pass, fd.Body)
+			}
+		}
+	}
+	return false
+}
+
+// bodyObserves reports whether the body visibly observes a shutdown
+// signal.
+func bodyObserves(pass *analysis.Pass, body ast.Node) bool {
+	observed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if observed {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				observed = true // channel receive
+			}
+		case *ast.RangeStmt:
+			if isChan(pass.TypeOf(n.X)) {
+				observed = true
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if isSignalType(pass.TypeOf(arg)) {
+					observed = true // signal handed onward (Recv(ctx, ...), wait(done))
+				}
+			}
+		case ast.Expr:
+			if analysis.IsContextType(pass.TypeOf(n)) {
+				observed = true
+			}
+		}
+		return !observed
+	})
+	return observed
+}
+
+func isSignalType(t types.Type) bool {
+	return analysis.IsContextType(t) || isChan(t)
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

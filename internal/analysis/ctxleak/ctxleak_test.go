@@ -1,0 +1,12 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"asyncft/internal/analysis/analysistest"
+	"asyncft/internal/analysis/ctxleak"
+)
+
+func TestCtxleak(t *testing.T) {
+	analysistest.Run(t, ctxleak.Analyzer, "testdata/ctxleak")
+}

@@ -1,0 +1,74 @@
+// Fixture for the ctxleak analyzer: goroutines in protocol packages
+// (fixture/ paths count as protocol for tests) must observe a context or
+// channel signal, directly or one call level deep.
+package ctxleak
+
+import "context"
+
+type server struct {
+	in   chan int
+	done chan struct{}
+}
+
+func tick() {}
+
+func badLoop() {
+	go func() { // want "goroutine observes no ctx.Done\\(\\)/close signal"
+		for {
+			tick()
+		}
+	}()
+}
+
+func (s *server) spin() {
+	for {
+		tick()
+	}
+}
+
+func badNamed(s *server) {
+	go s.spin() // want "goroutine observes no ctx.Done\\(\\)/close signal"
+}
+
+func goodCtxArg(ctx context.Context) {
+	go run(ctx) // callee was handed the means to stop
+}
+
+func run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func goodSelect(ctx context.Context, s *server) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-s.in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// pump ranges over a channel: bounded by close(s.in).
+func (s *server) pump() {
+	for v := range s.in {
+		_ = v
+	}
+}
+
+func goodNamed(s *server) {
+	go s.pump()
+}
+
+func (s *server) drain() {
+	for {
+		tick()
+	}
+}
+
+func suppressed(s *server) {
+	//asyncftvet:ignore ctxleak lifetime bounded by the test harness closing the conn
+	go s.drain()
+}

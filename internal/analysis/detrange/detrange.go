@@ -1,0 +1,158 @@
+// Package detrange flags `range` statements over maps whose loop body
+// reaches a canonical-bytes sink: wire.Writer methods, wire envelope
+// encoding, SHA-256 digests, or any module Encode*/Digest/Marshal
+// function. Go map iteration order is deliberately randomized, so bytes
+// produced inside such a loop differ between parties and between runs —
+// the exact hazard behind the stack's bit-identical-ledger guarantee
+// (acs.Encode/acs.Digest must yield the same bytes at every nonfaulty
+// party).
+//
+// The canonical safe pattern is untouched by design: collect the keys,
+// sort them, and range over the sorted slice (see acs.AgreeLedgers). Only
+// a map range whose own body emits canonical bytes is flagged.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"asyncft/internal/analysis"
+)
+
+// Analyzer is the detrange analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flags map iteration that feeds canonical encodings or digests; " +
+		"map order is nondeterministic, so such bytes break cross-party bit-identity",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := typeutilMap(pass.TypeOf(rng.X)); !isMap {
+				return true
+			}
+			if sink := findSink(pass, rng.Body); sink != "" {
+				pass.Reportf(rng.Pos(),
+					"map iteration feeds canonical-bytes sink %s; map order is nondeterministic — collect the keys, sort, and range over the slice",
+					sink)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// typeutilMap unwraps named types to find a map.
+func typeutilMap(t types.Type) (*types.Map, bool) {
+	if t == nil {
+		return nil, false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	return m, ok
+}
+
+// findSink returns a description of the first order-sensitive call inside
+// body, or "".
+func findSink(pass *analysis.Pass, body *ast.BlockStmt) string {
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		s := classify(fn)
+		if s != "" && receiverLocalToBody(pass, call, body) {
+			// The accumulator (writer, hasher) is created inside the loop
+			// body: each iteration encodes independently, so iteration
+			// order never reaches the bytes.
+			s = ""
+		}
+		sink = s
+		return sink == ""
+	})
+	return sink
+}
+
+// receiverLocalToBody reports whether call is a method call whose receiver
+// chain roots at a variable declared inside body.
+func receiverLocalToBody(pass *analysis.Pass, call *ast.CallExpr, body *ast.BlockStmt) bool {
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv := analysis.Unparen(sel.X)
+	for {
+		switch e := recv.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[e]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[e]
+			}
+			return obj != nil && body.Pos() <= obj.Pos() && obj.Pos() < body.End()
+		case *ast.SelectorExpr:
+			recv = analysis.Unparen(e.X)
+		case *ast.CallExpr: // chained builder: w.Uint(x).Elem(y)
+			if inner, ok := analysis.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				recv = analysis.Unparen(inner.X)
+				continue
+			}
+			return false
+		case *ast.UnaryExpr:
+			recv = analysis.Unparen(e.X)
+		case *ast.StarExpr:
+			recv = analysis.Unparen(e.X)
+		default:
+			return false
+		}
+	}
+}
+
+// classify reports why fn is order-sensitive ("" if it is not).
+func classify(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		// Anything written through a wire.Writer becomes protocol bytes.
+		if analysis.IsNamedType(recv, "asyncft/internal/wire", "Writer") {
+			return "wire.Writer." + name
+		}
+		// hash.Hash.Write/Sum: digest input order is the digest.
+		if analysis.IsNamedType(recv, "hash", "Hash") && (name == "Write" || name == "Sum") {
+			return "hash.Hash." + name
+		}
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	switch path := fn.Pkg().Path(); {
+	case path == "asyncft/internal/wire" && (name == "AppendEnvelope" || name == "Marshal"):
+		return "wire." + name
+	case strings.HasPrefix(path, "crypto/sha") && strings.HasPrefix(name, "Sum"):
+		return path + "." + name
+	case (strings.HasPrefix(path, "asyncft") || strings.HasPrefix(path, "fixture")) &&
+		(strings.HasPrefix(name, "Encode") || strings.HasPrefix(name, "Marshal") || name == "Digest"):
+		return shortPkg(path) + "." + name
+	}
+	return ""
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"asyncft/internal/analysis/analysistest"
+	"asyncft/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, detrange.Analyzer, "testdata/detrange")
+}

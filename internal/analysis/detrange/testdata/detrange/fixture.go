@@ -1,0 +1,75 @@
+// Fixture for the detrange analyzer: map ranges feeding canonical-bytes
+// sinks are flagged; the collect-sort-iterate idiom and byte-free map
+// loops are not.
+package detrange
+
+import (
+	"crypto/sha256"
+	"sort"
+
+	"asyncft/internal/wire"
+)
+
+// EncodeLedger is a module Encode* sink by name.
+func EncodeLedger(w *wire.Writer, k string, v uint64) {
+	w.Uint(v)
+}
+
+func badWriter(m map[string]uint64) []byte {
+	var w wire.Writer
+	for _, v := range m { // want "map iteration feeds canonical-bytes sink wire.Writer.Uint"
+		w.Uint(v)
+	}
+	return w.Bytes()
+}
+
+func badDigest(m map[int][]byte) [32]byte {
+	var d [32]byte
+	for _, p := range m { // want "map iteration feeds canonical-bytes sink crypto/sha256.Sum256"
+		d = sha256.Sum256(append(d[:], p...))
+	}
+	return d
+}
+
+func badEncodeFunc(m map[string]uint64) []byte {
+	var w wire.Writer
+	for k, v := range m { // want "map iteration feeds canonical-bytes sink detrange.EncodeLedger"
+		EncodeLedger(&w, k, v)
+	}
+	return w.Bytes()
+}
+
+// goodSorted is the canonical pattern: the map range only collects keys,
+// the byte-emitting loop ranges over the sorted slice.
+func goodSorted(m map[string]uint64) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var w wire.Writer
+	for _, k := range keys {
+		w.Uint(m[k])
+	}
+	return w.Bytes()
+}
+
+// goodPerIteration declares the writer inside the loop: each iteration
+// encodes one self-contained message, so iteration order never reaches
+// the bytes (the adversary's per-victim sends look like this).
+func goodPerIteration(m map[int]uint64, send func(int, []byte)) {
+	for to, v := range m {
+		var w wire.Writer
+		w.Uint(v)
+		send(to, w.Bytes())
+	}
+}
+
+// goodCount never reaches a byte sink.
+func goodCount(m map[string]uint64) uint64 {
+	var total uint64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

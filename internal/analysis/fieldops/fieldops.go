@@ -1,0 +1,96 @@
+// Package fieldops flags raw arithmetic and ordering comparisons on
+// field.Elem values outside internal/field. Elem is a uint64 carrying a
+// canonical residue mod p; `a + b` compiles but silently skips the modular
+// reduction, and `a < b` imposes an integer order that is meaningless in
+// the field — both are latent correctness bugs everywhere shares,
+// polynomial evaluations, or reconstruction coefficients flow. All
+// arithmetic must go through field.Add/Sub/Mul/Div (and friends);
+// equality (==, !=) is allowed because elements are kept reduced.
+package fieldops
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"asyncft/internal/analysis"
+)
+
+// fieldPkg is the only package allowed to touch Elem representation.
+const fieldPkg = "asyncft/internal/field"
+
+// Analyzer is the fieldops analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "fieldops",
+	Doc: "flags raw + - * / % and ordering comparisons on field.Elem outside internal/field; " +
+		"raw operators skip modular reduction",
+	Run: run,
+}
+
+var flagged = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true, token.REM: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true, token.REM_ASSIGN: true,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.BasePath(pass.Pkg) == fieldPkg {
+		return nil // the field implementation owns the representation
+	}
+	isElem := func(e ast.Expr) bool {
+		return analysis.IsNamedType(pass.TypeOf(e), fieldPkg, "Elem")
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if flagged[n.Op] && (isElem(n.X) || isElem(n.Y)) {
+					pass.Reportf(n.OpPos, "raw %s on field.Elem outside internal/field %s; use field.%s",
+						n.Op, consequence(n.Op), suggestion(n.Op))
+				}
+			case *ast.AssignStmt:
+				if flagged[n.Tok] && len(n.Lhs) == 1 && isElem(n.Lhs[0]) {
+					pass.Reportf(n.TokPos, "raw %s on field.Elem outside internal/field skips modular reduction; use field.%s",
+						n.Tok, suggestion(n.Tok))
+				}
+			case *ast.IncDecStmt:
+				if isElem(n.X) {
+					pass.Reportf(n.TokPos, "raw %s on field.Elem outside internal/field skips modular reduction; use field.Add", n.Tok)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func consequence(op token.Token) string {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return "imposes an integer order that is meaningless in the field"
+	default:
+		return "skips modular reduction"
+	}
+}
+
+func suggestion(op token.Token) string {
+	s := op.String()
+	if strings.HasSuffix(s, "=") && s != "<=" && s != ">=" {
+		s = strings.TrimSuffix(s, "=")
+	}
+	switch s {
+	case "+":
+		return "Add"
+	case "-":
+		return "Sub"
+	case "*":
+		return "Mul"
+	case "/":
+		return "Div"
+	case "%":
+		return "Add/Sub/Mul (residues are already reduced)"
+	default:
+		return "Elem.Uint64 and compare integers explicitly if an order is really intended"
+	}
+}

@@ -1,0 +1,12 @@
+package fieldops_test
+
+import (
+	"testing"
+
+	"asyncft/internal/analysis/analysistest"
+	"asyncft/internal/analysis/fieldops"
+)
+
+func TestFieldops(t *testing.T) {
+	analysistest.Run(t, fieldops.Analyzer, "testdata/fieldops")
+}

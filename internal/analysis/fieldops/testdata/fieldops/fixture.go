@@ -1,0 +1,37 @@
+// Fixture for the fieldops analyzer: raw arithmetic and ordering on
+// field.Elem is flagged outside internal/field; equality and the
+// field.Add/Sub/Mul/Div API are not.
+package fieldops
+
+import "asyncft/internal/field"
+
+func badArith(a, b field.Elem) field.Elem {
+	c := a + b // want "raw \\+ on field.Elem outside internal/field skips modular reduction; use field.Add"
+	c = c * b  // want "raw \\* on field.Elem outside internal/field skips modular reduction; use field.Mul"
+	return c
+}
+
+func badCompare(a, b field.Elem) bool {
+	return a < b // want "raw < on field.Elem outside internal/field imposes an integer order"
+}
+
+func badOpAssign(a, b field.Elem) field.Elem {
+	a -= b // want "raw -= on field.Elem outside internal/field skips modular reduction; use field.Sub"
+	a++    // want "raw \\+\\+ on field.Elem outside internal/field skips modular reduction; use field.Add"
+	return a
+}
+
+func good(a, b field.Elem) field.Elem {
+	if a == b { // equality on canonical residues is fine
+		return field.Add(a, b)
+	}
+	if a.Uint64() < b.Uint64() { // explicit integer comparison is fine
+		return field.Sub(b, a)
+	}
+	return field.Mul(a, field.Inv(b))
+}
+
+// goodUints: untyped/uint64 arithmetic nearby must not be caught.
+func goodUints(x, y uint64) uint64 {
+	return x + y*3
+}

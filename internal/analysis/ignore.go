@@ -1,0 +1,167 @@
+// ignore.go implements the //asyncftvet:ignore suppression directive.
+//
+// Syntax (a line comment, either trailing the flagged line or on its own
+// line immediately above it):
+//
+//	//asyncftvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory: an undocumented suppression is itself reported
+// as a diagnostic. Suppressed findings are not dropped silently — the
+// driver keeps them (Diagnostic.Ignored) and cmd/asyncftvet reports a
+// per-analyzer suppression count, so CI output always shows how many
+// findings are being waved through and why. A directive that suppresses
+// nothing for an analyzer that actually ran is reported as stale.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IgnorePrefix is the directive marker, as the comment text appears after
+// "//".
+const IgnorePrefix = "asyncftvet:ignore"
+
+// directive is one parsed //asyncftvet:ignore comment.
+type directive struct {
+	pos       token.Position // of the comment
+	line      int            // line the directive applies to (its own line, or the next for standalone comments)
+	analyzers []string
+	reason    string
+	used      bool
+}
+
+// parseDirectives extracts the ignore directives of one parsed file.
+// Malformed directives (no analyzer list or empty reason) are returned as
+// diagnostics under the pseudo-analyzer name "ignore".
+func parseDirectives(fset *token.FileSet, file *ast.File) ([]*directive, []Diagnostic) {
+	var dirs []*directive
+	var bad []Diagnostic
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // /* */ comments cannot carry directives
+			}
+			text, ok = strings.CutPrefix(text, IgnorePrefix)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				bad = append(bad, Diagnostic{
+					Analyzer: "ignore",
+					Pos:      pos,
+					Message:  "malformed //asyncftvet:ignore directive: want \"//asyncftvet:ignore <analyzer>[,...] <reason>\" with a non-empty reason",
+				})
+				continue
+			}
+			d := &directive{
+				pos:       pos,
+				line:      pos.Line,
+				analyzers: strings.Split(fields[0], ","),
+				reason:    strings.Join(fields[1:], " "),
+			}
+			// A directive on a line of its own guards the next line.
+			if standsAlone(fset, file, c) {
+				d.line = pos.Line + 1
+			}
+			dirs = append(dirs, d)
+		}
+	}
+	return dirs, bad
+}
+
+// standsAlone reports whether comment c is the only thing on its line
+// (i.e. no AST node starts or ends on that line before the comment).
+func standsAlone(fset *token.FileSet, file *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	alone := true
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		// Any node spanning the comment's line that isn't a comment means
+		// the directive trails code.
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if start > line {
+			return false
+		}
+		switch n.(type) {
+		case *ast.File:
+			return true
+		case *ast.Comment, *ast.CommentGroup:
+			return false // directives may be doc comments; only code counts
+		}
+		if start == line || end == line {
+			alone = false
+			return false
+		}
+		return end >= line
+	})
+	return alone
+}
+
+func (d *directive) matches(analyzer string, line int) bool {
+	if d.line != line {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == analyzer || a == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// applyIgnores marks diagnostics suppressed by directives and appends
+// diagnostics for malformed or stale directives. ran is the set of
+// analyzer names that actually ran (stale detection is limited to those).
+func applyIgnores(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran map[string]bool) []Diagnostic {
+	byFile := make(map[string][]*directive)
+	for _, f := range files {
+		dirs, bad := parseDirectives(fset, f)
+		diags = append(diags, bad...)
+		if len(dirs) > 0 {
+			byFile[fset.Position(f.Pos()).Filename] = dirs
+		}
+	}
+	for i := range diags {
+		if diags[i].Analyzer == "ignore" {
+			continue
+		}
+		for _, d := range byFile[diags[i].Pos.Filename] {
+			if d.matches(diags[i].Analyzer, diags[i].Pos.Line) {
+				d.used = true
+				diags[i].Ignored = true
+				diags[i].IgnoreReason = d.reason
+				break
+			}
+		}
+	}
+	for _, dirs := range byFile {
+		for _, d := range dirs {
+			if d.used {
+				continue
+			}
+			stale := true
+			for _, a := range d.analyzers {
+				if a == "all" || !ran[a] {
+					stale = false // can't judge without running everything named
+					break
+				}
+			}
+			if stale {
+				diags = append(diags, Diagnostic{
+					Analyzer: "ignore",
+					Pos:      d.pos,
+					Message:  "stale //asyncftvet:ignore directive: " + strings.Join(d.analyzers, ",") + " reported nothing here — delete it",
+				})
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,213 @@
+// load.go loads typed syntax for module packages without depending on
+// golang.org/x/tools/go/packages: it drives `go list -export` for the
+// package graph and compiled export data, parses the target packages'
+// sources, and type-checks them with a go/importer gc importer that reads
+// imports from the export files. Test variants ("p [p.test]") are loaded
+// too, so *_test.go files are analyzed against their real types.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	// ForTest is the import path of the package under test for test
+	// variants ("p [p.test]" and "p_test [p.test]"), else empty.
+	ForTest string
+	GoFiles []string // absolute paths, parse order
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// IsTestVariant reports whether this package exists only to host test
+// files (its non-test diagnostics duplicate the base package's).
+func (p *Package) IsTestVariant() bool { return p.ForTest != "" }
+
+// listPackage mirrors the subset of `go list -json` output the loader
+// needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	ForTest    string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Incomplete bool
+	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
+}
+
+// Load type-checks the packages matched by patterns (relative to dir, a
+// directory inside the module), including test variants when tests is
+// true. The returned slice contains only module packages, in `go list`
+// order; dependencies are consumed as export data only.
+func Load(dir string, patterns []string, tests bool) ([]*Package, error) {
+	universe, err := goList(dir, true, tests, patterns)
+	if err != nil {
+		return nil, err
+	}
+	roots, err := goList(dir, false, tests, patterns)
+	if err != nil {
+		return nil, err
+	}
+	wanted := make(map[string]bool, len(roots))
+	for _, p := range roots {
+		wanted[p.ImportPath] = true
+	}
+
+	exports := make(map[string]string, len(universe))
+	for _, p := range universe {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	var out []*Package
+	for _, lp := range universe {
+		if !wanted[lp.ImportPath] || lp.Standard || lp.Name == "main" && strings.HasSuffix(lp.ImportPath, ".test") {
+			continue // dependency, stdlib, or synthesized test main
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typecheck(lp, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -json` with or without -deps/-export and decodes
+// the JSON stream.
+func goList(dir string, deps, tests bool, patterns []string) ([]*listPackage, error) {
+	args := []string{"list", "-e", "-json=Dir,ImportPath,Name,ForTest,Export,Standard,GoFiles,ImportMap,Incomplete,Error,DepsErrors"}
+	if deps {
+		args = append(args, "-deps", "-export")
+	}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and checks one listed package against export data.
+func typecheck(lp *listPackage, exports map[string]string) (*Package, error) {
+	var files []string
+	for _, f := range lp.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(lp.Dir, f)
+		}
+		files = append(files, f)
+	}
+	return Check(lp.ImportPath, lp.ForTest, lp.Dir, files, lp.ImportMap, exports)
+}
+
+// Check parses the given files and type-checks them as one package,
+// resolving imports through importMap (source path → canonical path, may
+// be nil) into the export data files of exports (canonical path → file).
+// It is the shared back end of Load, the analysistest fixture runner, and
+// cmd/asyncftvet's vet-tool mode.
+func Check(importPath, forTest, dir string, files []string, importMap, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	for _, f := range files {
+		file, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %v", importPath, err)
+		}
+		syntax = append(syntax, file)
+	}
+	imp := &exportImporter{
+		gc:        importer.ForCompiler(fset, "gc", lookupIn(exports)),
+		importMap: importMap,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		ForTest:    forTest,
+		Dir:        dir,
+		GoFiles:    files,
+		Fset:       fset,
+		Files:      syntax,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// exportImporter maps source import paths through importMap before
+// delegating to the gc export-data importer.
+type exportImporter struct {
+	gc        types.Importer
+	importMap map[string]string
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := e.importMap[path]; ok {
+		path = mapped
+	}
+	return e.gc.Import(path)
+}
+
+// lookupIn adapts an export-file map to the go/importer Lookup protocol.
+func lookupIn(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}

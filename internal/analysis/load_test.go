@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// TestLoadModulePackage exercises the whole load pipeline offline: go list
+// -export, export-data importing, and type-checking of a real module
+// package including its test variant.
+func TestLoadModulePackage(t *testing.T) {
+	pkgs, err := Load(".", []string{"asyncft/internal/wire"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, variant *Package
+	for _, p := range pkgs {
+		if p.IsTestVariant() {
+			variant = p
+		} else if p.ImportPath == "asyncft/internal/wire" {
+			base = p
+		}
+	}
+	if base == nil {
+		t.Fatal("base package asyncft/internal/wire not loaded")
+	}
+	if base.Types.Scope().Lookup("GetBuf") == nil {
+		t.Error("wire.GetBuf not in loaded package scope")
+	}
+	// Types must resolve through export data: find a call to field.New in
+	// wire.go and check its callee's package path.
+	found := false
+	for _, f := range base.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := CalleeFunc(base.Info, call); IsFunc(fn, "asyncft/internal/field", "New") {
+				found = true
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Error("no typed call to field.New found in wire sources")
+	}
+	if variant == nil {
+		t.Fatal("test variant of wire not loaded")
+	}
+	hasTestFile := false
+	for _, f := range variant.GoFiles {
+		if len(f) > 8 && f[len(f)-8:] == "_test.go" {
+			hasTestFile = true
+		}
+	}
+	if !hasTestFile {
+		t.Error("test variant lists no _test.go files")
+	}
+}

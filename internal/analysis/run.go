@@ -1,0 +1,109 @@
+// run.go applies analyzers to loaded packages and post-processes the
+// diagnostics: test-variant deduplication, ignore-directive filtering, and
+// per-analyzer suppression counts.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of running a suite over a set of packages.
+type Result struct {
+	// Diagnostics holds every finding in file/line order, including
+	// suppressed ones (Ignored=true).
+	Diagnostics []Diagnostic
+}
+
+// Active returns the non-suppressed diagnostics.
+func (r *Result) Active() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if !d.Ignored {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// IgnoreCounts returns analyzer → number of suppressed findings.
+func (r *Result) IgnoreCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, d := range r.Diagnostics {
+		if d.Ignored {
+			counts[d.Analyzer]++
+		}
+	}
+	return counts
+}
+
+// Summary renders the suppression counts for CI logs ("" when nothing was
+// suppressed).
+func (r *Result) Summary() string {
+	counts := r.IgnoreCounts()
+	if len(counts) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s=%d", name, counts[name])
+	}
+	return "suppressed findings: " + strings.Join(parts, " ")
+}
+
+// Run applies every analyzer to every package. Analyzer errors abort the
+// run; diagnostics (including from malformed/stale ignore directives) are
+// collected in the result.
+func Run(analyzers []*Analyzer, pkgs []*Package) (*Result, error) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+		diags = applyIgnores(pkg.Fset, pkg.Files, diags, ran)
+		// A test variant re-checks the base package's files; keep only
+		// what the base run cannot see (findings in _test.go files).
+		if pkg.IsTestVariant() {
+			kept := diags[:0]
+			for _, d := range diags {
+				if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+					kept = append(kept, d)
+				}
+			}
+			diags = kept
+		}
+		all = append(all, diags...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return &Result{Diagnostics: all}, nil
+}

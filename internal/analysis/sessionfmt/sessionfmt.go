@@ -1,0 +1,163 @@
+// Package sessionfmt flags session strings built with ad-hoc
+// fmt.Sprintf/Sprint instead of the canonical runtime.SubSession helper
+// (asyncft.SubSession at the public API). Sessions are the wire's routing
+// namespace: every protocol instance owns a hierarchical session ID, and
+// two instances whose ad-hoc formats collide silently consume each other's
+// messages — a cross-protocol replay/collision surface that has to be
+// killed at the constructor, not audited per call site. SubSession joins
+// parts with a single canonical separator, so derived sessions are
+// collision-free by construction.
+//
+// A "session sink" is any string parameter named `session` or any struct
+// field named `Session`. An argument is flagged when it is a direct
+// fmt.Sprintf/Sprint/Sprintln call, or a local variable whose defining
+// assignment is one.
+package sessionfmt
+
+import (
+	"go/ast"
+	"go/types"
+
+	"asyncft/internal/analysis"
+)
+
+// Analyzer is the sessionfmt analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "sessionfmt",
+	Doc: "flags session strings derived with fmt.Sprintf instead of runtime.SubSession; " +
+		"ad-hoc formats are a session-collision/replay surface",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.BasePath(pass.Pkg) == "asyncft/internal/runtime" {
+		return nil // the canonical helper's home
+	}
+	sprintfAssigns := collectSprintfVars(pass)
+	report := func(arg ast.Expr, what string) {
+		if what != "" {
+			what += " "
+		}
+		pass.Reportf(arg.Pos(),
+			"session string %sbuilt with ad-hoc fmt.Sprintf; derive it with runtime.SubSession "+
+				"(asyncft.SubSession on the public API) so sessions stay canonical and collision-free", what)
+	}
+	check := func(arg ast.Expr) {
+		switch arg := analysis.Unparen(arg).(type) {
+		case *ast.CallExpr:
+			if isSprintf(pass.TypesInfo, arg) {
+				report(arg, "")
+			}
+		case *ast.Ident:
+			if obj, ok := pass.TypesInfo.Uses[arg].(*types.Var); ok && sprintfAssigns[obj] {
+				report(arg, arg.Name)
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := analysis.CalleeFunc(pass.TypesInfo, n)
+				if fn == nil {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				for i, arg := range n.Args {
+					if p := paramAt(sig, i); p != nil && p.Name() == "session" && isString(p.Type()) {
+						check(arg)
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Session" {
+						if f, ok := pass.TypesInfo.Uses[key].(*types.Var); ok && isString(f.Type()) {
+							check(kv.Value)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectSprintfVars finds local variables whose defining assignment (or
+// any assignment — one tainted write taints the variable) is a
+// fmt.Sprintf-family call.
+func collectSprintfVars(pass *analysis.Pass) map[*types.Var]bool {
+	tainted := make(map[*types.Var]bool)
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		call, ok := analysis.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isSprintf(pass.TypesInfo, call) {
+			return
+		}
+		obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok {
+			obj, ok = pass.TypesInfo.Uses[id].(*types.Var)
+		}
+		if ok && obj != nil {
+			tainted[obj] = true
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						mark(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						mark(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+func isSprintf(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	return analysis.IsFunc(fn, "fmt", "Sprintf") ||
+		analysis.IsFunc(fn, "fmt", "Sprint") ||
+		analysis.IsFunc(fn, "fmt", "Sprintln")
+}
+
+// paramAt returns the parameter corresponding to argument i, folding
+// variadic tails onto the last parameter.
+func paramAt(sig *types.Signature, i int) *types.Var {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if i >= n {
+		if sig.Variadic() {
+			return sig.Params().At(n - 1)
+		}
+		return nil
+	}
+	return sig.Params().At(i)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}

@@ -1,0 +1,12 @@
+package sessionfmt_test
+
+import (
+	"testing"
+
+	"asyncft/internal/analysis/analysistest"
+	"asyncft/internal/analysis/sessionfmt"
+)
+
+func TestSessionfmt(t *testing.T) {
+	analysistest.Run(t, sessionfmt.Analyzer, "testdata/sessionfmt")
+}

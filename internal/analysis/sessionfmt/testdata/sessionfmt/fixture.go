@@ -1,0 +1,41 @@
+// Fixture for the sessionfmt analyzer: fmt.Sprintf feeding a session sink
+// (a string parameter named session, or a Session struct field) is
+// flagged; Sprintf feeding anything else is not.
+package sessionfmt
+
+import (
+	"fmt"
+
+	"asyncft/internal/wire"
+)
+
+func dial(session string, n int) {}
+
+func logf(msg string) {}
+
+func badDirect(i int) {
+	dial(fmt.Sprintf("acs/%d", i), i) // want "session string built with ad-hoc fmt.Sprintf"
+}
+
+func badVar(i int) {
+	s := fmt.Sprintf("rbc/%d", i)
+	dial(s, i) // want "session string s built with ad-hoc fmt.Sprintf"
+}
+
+func badField(i int) wire.Envelope {
+	return wire.Envelope{
+		From:    0,
+		To:      1,
+		Session: fmt.Sprintf("mpc/%d", i), // want "session string built with ad-hoc fmt.Sprintf"
+	}
+}
+
+func goodLiteral() {
+	dial("root", 0) // literal sessions are fine (roots, tests)
+}
+
+func goodOtherSprintf(i int) {
+	logf(fmt.Sprintf("round %d done", i)) // not a session sink
+	payload := []byte(fmt.Sprintf("tx/%d", i))
+	_ = payload
+}

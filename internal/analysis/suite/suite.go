@@ -1,0 +1,22 @@
+// Package suite lists the asyncftvet analyzers. It exists apart from
+// package analysis so the framework never imports its own analyzers
+// (fixtures and future analyzers would otherwise cycle).
+package suite
+
+import (
+	"asyncft/internal/analysis"
+	"asyncft/internal/analysis/bufpool"
+	"asyncft/internal/analysis/ctxleak"
+	"asyncft/internal/analysis/detrange"
+	"asyncft/internal/analysis/fieldops"
+	"asyncft/internal/analysis/sessionfmt"
+)
+
+// All is the asyncftvet suite, in report order.
+var All = []*analysis.Analyzer{
+	bufpool.Analyzer,
+	ctxleak.Analyzer,
+	detrange.Analyzer,
+	fieldops.Analyzer,
+	sessionfmt.Analyzer,
+}

@@ -139,7 +139,7 @@ func TestWeakCoinIntegration(t *testing.T) {
 	res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 		coin := func(cctx context.Context, round int) (byte, error) {
 			return weakcoin.Flip(cctx, c.Ctx, env.Fork(fmt.Sprintf("wcoin/%d", round)),
-				runtime.Sub("ba/wc", "coin", round), svss.Options{})
+				runtime.SubSession("ba/wc", "coin", round), svss.Options{})
 		}
 		return Run(ctx, env, "ba/wc", inputs[env.ID], coin, Options{})
 	})

@@ -62,7 +62,7 @@ func TestBatchWidthBoundsConcurrency(t *testing.T) {
 	var mu sync.Mutex
 	instances := make([]batch.Instance, K)
 	for k := range instances {
-		sess := fmt.Sprintf("cf/width/%d", k)
+		sess := runtime.SubSession("cf/width", k)
 		inner := coinInstance(c, sess)
 		instances[k] = batch.Instance{
 			Session: sess,

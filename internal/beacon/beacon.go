@@ -49,7 +49,7 @@ func (b *Beacon) Bit(ctx context.Context) (byte, error) {
 	i := b.next
 	b.next++
 	b.mu.Unlock()
-	bit, err := core.CoinFlip(ctx, b.helperCtx, b.env, runtime.Sub(b.session, "bit", i), b.cfg)
+	bit, err := core.CoinFlip(ctx, b.helperCtx, b.env, runtime.SubSession(b.session, "bit", i), b.cfg)
 	if err != nil {
 		return 0, fmt.Errorf("beacon %s bit %d: %w", b.session, i, err)
 	}

@@ -103,7 +103,7 @@ func Run(ctx context.Context, env *runtime.Env, session string, pred *Predicate,
 			return
 		}
 		started[j] = true
-		sess := runtime.Sub(session, "ba", j)
+		sess := runtime.SubSession(session, "ba", j)
 		go func() {
 			v, err := ba.Run(ctx, env, sess, input, coins(j), opts.BA)
 			results <- baOut{j, v, err}

@@ -160,7 +160,7 @@ func TestRepeatedRunsIndependentSessions(t *testing.T) {
 	c := testkit.New(n, tf, testkit.WithSeed(9))
 	defer c.Close()
 	for round := 0; round < 3; round++ {
-		sess := fmt.Sprintf("cs/rep/%d", round)
+		sess := runtime.SubSession("cs/rep", round)
 		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 			pred := NewPredicate()
 			for j := 0; j < n; j++ {

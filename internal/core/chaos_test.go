@@ -36,7 +36,7 @@ func TestCoinFlipUnderHostileSchedulingAndNoise(t *testing.T) {
 					}
 					payload := make([]byte, rng.Intn(24))
 					rng.Read(payload)
-					sess := fmt.Sprintf("chaos/r/%d/sh/%d", 1+rng.Intn(2), rng.Intn(4))
+					sess := runtime.SubSession("chaos/r", 1+rng.Intn(2), "sh", rng.Intn(4))
 					if rng.Intn(2) == 0 {
 						sess += svss.RecSuffix
 					}
@@ -99,7 +99,7 @@ func TestCoinFlipSequentialFlipsIndependentSessions(t *testing.T) {
 	defer c.Close()
 	cfg := Config{K: 1, Eps: 0.1, InnerCoin: InnerCoinLocal}
 	for f := 0; f < 4; f++ {
-		sess := fmt.Sprintf("seq/%d", f)
+		sess := runtime.SubSession("seq", f)
 		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 			return CoinFlip(ctx, c.Ctx, env, sess, cfg)
 		})

@@ -38,7 +38,7 @@ func CoinFlip(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 
 	ones := 0
 	for r := 1; r <= k; r++ {
-		bit, err := coinRound(ctx, helperCtx, env, runtime.Sub(session, "r", r), cfg)
+		bit, err := coinRound(ctx, helperCtx, env, runtime.SubSession(session, "r", r), cfg)
 		if err != nil {
 			return 0, fmt.Errorf("coinflip %s round %d: %w", session, r, err)
 		}
@@ -50,7 +50,7 @@ func CoinFlip(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 	}
 	// Final agreement converts the (possibly non-unanimous, if shun events
 	// spoiled rounds) local majorities into a single common output.
-	finalSess := runtime.Sub(session, "final")
+	finalSess := runtime.SubSession(session, "final")
 	out, err := ba.Run(ctx, env, finalSess, maj, cfg.innerCoin(helperCtx, env, finalSess), cfg.BA)
 	if err != nil {
 		return 0, fmt.Errorf("coinflip %s: final ba: %w", session, err)
@@ -62,7 +62,7 @@ func CoinFlip(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 // round bit b'_r.
 func coinRound(ctx, helperCtx context.Context, env *runtime.Env, session string, cfg Config) (byte, error) {
 	n, t := env.N, env.T
-	shareSess := func(d int) string { return runtime.Sub(session, "sh", d) }
+	shareSess := func(d int) string { return runtime.SubSession(session, "sh", d) }
 
 	// Step 1–2: deal our own random value; participate in every share.
 	pred := commonsubset.NewPredicate()
@@ -89,8 +89,8 @@ func coinRound(ctx, helperCtx context.Context, env *runtime.Env, session string,
 	}
 
 	// Step 4: agree on a common subset of at least n−t completed dealers.
-	set, err := commonsubset.Run(ctx, env, runtime.Sub(session, "cs"), pred, n-t,
-		cfg.innerCoins(helperCtx, env, runtime.Sub(session, "cs")), commonsubset.Options{BA: cfg.BA})
+	set, err := commonsubset.Run(ctx, env, runtime.SubSession(session, "cs"), pred, n-t,
+		cfg.innerCoins(helperCtx, env, runtime.SubSession(session, "cs")), commonsubset.Options{BA: cfg.BA})
 	if err != nil {
 		return 0, err
 	}

@@ -87,7 +87,7 @@ func (c Config) innerCoins(helperCtx context.Context, env *runtime.Env, session 
 	}
 	return func(j int) ba.Coin {
 		return func(ctx context.Context, round int) (byte, error) {
-			sess := runtime.Sub(session, "ba", j, "wc", round)
+			sess := runtime.SubSession(session, "ba", j, "wc", round)
 			return weakcoin.Flip(ctx, helperCtx, env.Fork(sess), sess, c.SVSS)
 		}
 	}

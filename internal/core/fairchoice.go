@@ -32,7 +32,7 @@ func FairChoice(ctx, helperCtx context.Context, env *runtime.Env, session string
 
 	r := 0
 	for i := 1; i <= l; i++ {
-		b, err := CoinFlip(ctx, helperCtx, env, runtime.Sub(session, "cf", i), cfg)
+		b, err := CoinFlip(ctx, helperCtx, env, runtime.SubSession(session, "cf", i), cfg)
 		if err != nil {
 			return 0, fmt.Errorf("fairchoice %s: flip %d: %w", session, i, err)
 		}

@@ -27,7 +27,7 @@ func FBA(ctx, helperCtx context.Context, env *runtime.Env, session string, input
 	n, t := env.N, env.T
 
 	// Step 1: A-Cast the input, participate in everyone's A-Cast.
-	acastSess := func(j int) string { return runtime.Sub(session, "acast", j) }
+	acastSess := func(j int) string { return runtime.SubSession(session, "acast", j) }
 	pred := commonsubset.NewPredicate()
 	var mu sync.Mutex
 	values := make(map[int][]byte, n)
@@ -52,7 +52,7 @@ func FBA(ctx, helperCtx context.Context, env *runtime.Env, session string, input
 	}
 
 	// Step 3: common subset of delivered A-Casts.
-	csSess := runtime.Sub(session, "cs")
+	csSess := runtime.SubSession(session, "cs")
 	set, err := commonsubset.Run(ctx, env, csSess, pred, n-t,
 		cfg.innerCoins(helperCtx, env, csSess), commonsubset.Options{BA: cfg.BA})
 	if err != nil {
@@ -96,7 +96,7 @@ func FBA(ctx, helperCtx context.Context, env *runtime.Env, session string, input
 
 	// Steps 6–8: almost-fair choice among S, ranked biggest-first ("0 being
 	// understood as the biggest value").
-	kth, err := FairChoice(ctx, helperCtx, env, runtime.Sub(session, "fc"), m, cfg)
+	kth, err := FairChoice(ctx, helperCtx, env, runtime.SubSession(session, "fc"), m, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fba %s: %w", session, err)
 	}

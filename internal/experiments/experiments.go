@@ -212,7 +212,7 @@ func E3ShunBound(scale Scale) (*Table, error) {
 	const dealer = 3
 	shuns := 0
 	for s := 0; s < sessions; s++ {
-		sess := fmt.Sprintf("e3/%d", s)
+		sess := runtime.SubSession("e3", s)
 		// Scripted equivocating dealer (party 3): camps {0,1}→world0, {2}→world1.
 		rng := c.Envs[dealer].Rand
 		worlds := [2]*field.Bivariate{

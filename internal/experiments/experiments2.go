@@ -154,7 +154,7 @@ func E7CoinComparison(scale Scale) (*Table, error) {
 	local := func(c *testkit.Cluster, env *runtime.Env, _ int64) ba.Coin { return ba.LocalCoin(env) }
 	weak := func(c *testkit.Cluster, env *runtime.Env, _ int64) ba.Coin {
 		return func(cctx context.Context, round int) (byte, error) {
-			sess := runtime.Sub("e7wc", round)
+			sess := runtime.SubSession("e7wc", round)
 			return weakcoin.Flip(cctx, c.Ctx, env.Fork(sess), sess, svss.Options{})
 		}
 	}

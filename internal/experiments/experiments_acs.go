@@ -50,7 +50,7 @@ func E11LedgerThroughput(scale Scale) (*Table, error) {
 				return p[:bsz]
 			}
 		}
-		sess := fmt.Sprintf("e11/%d/%d/%d", k, bsz, width)
+		sess := runtime.SubSession("e11", k, bsz, width)
 		start := time.Now()
 		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 			return acs.Run(ctx, c.Ctx, env, sess, k, width, input(env.ID), cfg)

@@ -53,7 +53,7 @@ func E10BatchThroughput(scale Scale) (*Table, error) {
 	start := time.Now()
 	for i := 0; i < k; i++ {
 		c := testkit.New(4, 1, testkit.WithSeed(int64(12000+i)), delay(int64(12000+i)), testkit.WithTimeout(120*time.Second))
-		sess := fmt.Sprintf("e10/fresh/%d", i)
+		sess := runtime.SubSession("e10/fresh", i)
 		if _, err := testkit.AgreeByte(c.Run(c.Honest(), flip(c, sess))); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("E10 fresh flip %d: %w", i, err)
@@ -66,7 +66,7 @@ func E10BatchThroughput(scale Scale) (*Table, error) {
 	cs := testkit.New(4, 1, testkit.WithSeed(12001), delay(12001), testkit.WithTimeout(600*time.Second))
 	start = time.Now()
 	for i := 0; i < k; i++ {
-		sess := fmt.Sprintf("e10/seq/%d", i)
+		sess := runtime.SubSession("e10/seq", i)
 		if _, err := testkit.AgreeByte(cs.Run(cs.Honest(), flip(cs, sess))); err != nil {
 			cs.Close()
 			return nil, fmt.Errorf("E10 sequential flip %d: %w", i, err)
@@ -80,7 +80,7 @@ func E10BatchThroughput(scale Scale) (*Table, error) {
 	cb := testkit.New(4, 1, testkit.WithSeed(12002), delay(12002), testkit.WithTimeout(600*time.Second))
 	instances := make([]batch.Instance, k)
 	for i := range instances {
-		sess := fmt.Sprintf("e10/batch/%d", i)
+		sess := runtime.SubSession("e10/batch", i)
 		instances[i] = batch.Instance{Session: sess, Run: flip(cb, sess)}
 	}
 	start = time.Now()

@@ -60,7 +60,7 @@ func E12CodedBroadcast(scale Scale) (*Table, error) {
 		if !coded {
 			mode.RBC.CodedThreshold = -1
 		}
-		sess := fmt.Sprintf("e12/%d/%v", size, coded)
+		sess := runtime.SubSession("e12", size, coded)
 		start := time.Now()
 		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 			return acs.Run(ctx, c.Ctx, env, sess, slots, 0, func(slot int) []byte {

@@ -64,7 +64,7 @@ func E14CatchupLatency(scale Scale) (*Table, error) {
 		}
 		opts := statesync.Options{ChunkSlots: chunk}
 		stores := make([]*acs.Store, 3)
-		sess := fmt.Sprintf("e14/%d", size)
+		sess := runtime.SubSession("e14", size)
 		start := time.Now()
 		res := c.Run([]int{0, 1, 2}, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 			stores[env.ID] = acs.NewStore()

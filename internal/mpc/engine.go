@@ -165,7 +165,7 @@ func Evaluate(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 			l := l
 			ch := make(chan prepRes, 1)
 			prepCh[l] = ch
-			sess := runtime.Sub(session, "prep", l)
+			sess := runtime.SubSession(session, "prep", l)
 			mcount := len(byLayer[l])
 			instances = append(instances, batch.Instance{Session: sess, Run: func(ctx context.Context, ienv *runtime.Env) (interface{}, error) {
 				tr, err := GenTriples(ctx, helperCtx, ienv, sess, mcount, cfg)
@@ -187,7 +187,7 @@ func Evaluate(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 	// core set may complete late (under helperCtx), and must not clobber
 	// the zero rows their wires get instead.
 	inRows := make([]field.Poly, ckt.NumGates())
-	inSess := func(k int) string { return runtime.Sub(session, "in", k) }
+	inSess := func(k int) string { return runtime.SubSession(session, "in", k) }
 
 	pred := commonsubset.NewPredicate()
 	var mu sync.Mutex
@@ -245,7 +245,7 @@ func Evaluate(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 			}
 		}()
 	}
-	csSess := runtime.Sub(session, "cs")
+	csSess := runtime.SubSession(session, "cs")
 	contributors, err := commonsubset.Run(ctx, env, csSess, pred, n-t,
 		cfg.CoinsFor(helperCtx, env, csSess), commonsubset.Options{BA: cfg.BA})
 	if err != nil {
@@ -299,13 +299,13 @@ func Evaluate(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 			gates := byLayer[l]
 			if opts.GateAtATime {
 				for gi, k := range gates {
-					tr, err := GenTriples(ctx, helperCtx, env, runtime.Sub(session, "prep", l, "g", gi), 1, cfg)
+					tr, err := GenTriples(ctx, helperCtx, env, runtime.SubSession(session, "prep", l, "g", gi), 1, cfg)
 					if err != nil {
 						return nil, err
 					}
 					g := ckt.gates[k]
 					open := []field.Poly{subRow(rows[g.A], tr[0].A), subRow(rows[g.B], tr[0].B)}
-					vals, err := svss.RunRecBatch(ctx, env, runtime.Sub(session, "mul", l, "g", gi)+svss.RecSuffix, -1, open, cfg.SVSS)
+					vals, err := svss.RunRecBatch(ctx, env, runtime.SubSession(session, "mul", l, "g", gi)+svss.RecSuffix, -1, open, cfg.SVSS)
 					if err != nil {
 						return nil, fmt.Errorf("mpc %s: layer %d gate %d: %w", session, l, k, err)
 					}
@@ -329,7 +329,7 @@ func Evaluate(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 						subRow(rows[g.A], prep.triples[gi].A),
 						subRow(rows[g.B], prep.triples[gi].B))
 				}
-				vals, err := svss.RunRecBatch(ctx, env, runtime.Sub(session, "mul", l)+svss.RecSuffix, -1, open, cfg.SVSS)
+				vals, err := svss.RunRecBatch(ctx, env, runtime.SubSession(session, "mul", l)+svss.RecSuffix, -1, open, cfg.SVSS)
 				if err != nil {
 					return nil, fmt.Errorf("mpc %s: layer %d openings: %w", session, l, err)
 				}
@@ -365,7 +365,7 @@ func Evaluate(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 	for j, w := range ckt.outputs {
 		outRows[j] = rows[w]
 	}
-	outputs, err := svss.RunRecBatch(ctx, env, runtime.Sub(session, "out")+svss.RecSuffix, -1, outRows, cfg.SVSS)
+	outputs, err := svss.RunRecBatch(ctx, env, runtime.SubSession(session, "out")+svss.RecSuffix, -1, outRows, cfg.SVSS)
 	if err != nil {
 		return nil, fmt.Errorf("mpc %s: output opening: %w", session, err)
 	}

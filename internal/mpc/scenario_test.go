@@ -54,6 +54,7 @@ func TestEvaluateScenarios(t *testing.T) {
 			c.Start(testkit.Scenario{Name: tc.name, Steps: tc.arm(c)})
 			c.Progress(0)
 			if tc.after != nil {
+				//asyncftvet:ignore ctxleak after hooks run a bounded number of cluster steps and return
 				go tc.after(c)
 			}
 			inputs := map[int][]field.Elem{

@@ -40,7 +40,7 @@ type Triple struct {
 // complete locally, so set membership certifies the whole vector.
 func dealAll(ctx, helperCtx context.Context, env *runtime.Env, session string, count int, secrets []field.Elem, cfg core.Config) ([]int, map[int][]field.Poly, error) {
 	n, t := env.N, env.T
-	sess := func(d, i int) string { return runtime.Sub(session, "d", d, i) }
+	sess := func(d, i int) string { return runtime.SubSession(session, "d", d, i) }
 
 	pred := commonsubset.NewPredicate()
 	var mu sync.Mutex
@@ -90,7 +90,7 @@ func dealAll(ctx, helperCtx context.Context, env *runtime.Env, session string, c
 		}
 	}
 
-	csSess := runtime.Sub(session, "cs")
+	csSess := runtime.SubSession(session, "cs")
 	set, err := commonsubset.Run(ctx, env, csSess, pred, n-t,
 		cfg.CoinsFor(helperCtx, env, csSess), commonsubset.Options{BA: cfg.BA})
 	if err != nil {
@@ -223,7 +223,7 @@ func GenTriples(ctx, helperCtx context.Context, env *runtime.Env, session string
 		re[2*g] = mulShare(aRow(g), bRow(g))
 		re[2*g+1] = mulShare(fRow(g), gRow(g))
 	}
-	set2, reshared, err := dealAll(ctx, helperCtx, env, runtime.Sub(session, "re"), 2*m, re, cfg)
+	set2, reshared, err := dealAll(ctx, helperCtx, env, runtime.SubSession(session, "re"), 2*m, re, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +246,7 @@ func GenTriples(ctx, helperCtx context.Context, env *runtime.Env, session string
 	// Phase 3: sacrifice check. r is opened only now — after every re-share
 	// in T completed its share phase, so all products were bound before the
 	// challenge became known.
-	rv, err := svss.RunRecBatch(ctx, env, runtime.Sub(session, "open-r")+svss.RecSuffix, -1, []field.Poly{rRow}, cfg.SVSS)
+	rv, err := svss.RunRecBatch(ctx, env, runtime.SubSession(session, "open-r")+svss.RecSuffix, -1, []field.Poly{rRow}, cfg.SVSS)
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +256,7 @@ func GenTriples(ctx, helperCtx context.Context, env *runtime.Env, session string
 		masks[2*g] = subRow(scaleRow(r, aRow(g)), fRow(g)) // ρ = r·a − f
 		masks[2*g+1] = subRow(bRow(g), gRow(g))            // σ = b − g
 	}
-	mv, err := svss.RunRecBatch(ctx, env, runtime.Sub(session, "open-ms")+svss.RecSuffix, -1, masks, cfg.SVSS)
+	mv, err := svss.RunRecBatch(ctx, env, runtime.SubSession(session, "open-ms")+svss.RecSuffix, -1, masks, cfg.SVSS)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +269,7 @@ func GenTriples(ctx, helperCtx context.Context, env *runtime.Env, session string
 		row = subRow(row, scaleRow(rho, gRow(g)))
 		taus[g] = addConstRow(row, field.Neg(field.Mul(rho, sigma)))
 	}
-	tv, err := svss.RunRecBatch(ctx, env, runtime.Sub(session, "open-z")+svss.RecSuffix, -1, taus, cfg.SVSS)
+	tv, err := svss.RunRecBatch(ctx, env, runtime.SubSession(session, "open-z")+svss.RecSuffix, -1, taus, cfg.SVSS)
 	if err != nil {
 		return nil, err
 	}

@@ -48,7 +48,7 @@ const pullRetryInterval = 2 * time.Second
 // the same service coexist on one party, and two concurrent pulls by the
 // same party cannot consume each other's responses.
 func replySession(session string, requester int, nonce uint64) string {
-	return runtime.Sub(session, "r", requester, nonce)
+	return runtime.SubSession(session, "r", requester, nonce)
 }
 
 // ServePulls answers digest-keyed pull requests on session until the

@@ -123,7 +123,7 @@ func TestPullRejectsByzantineServers(t *testing.T) {
 				v[i] = byte('a' + i%26)
 			}
 			d := sha256.Sum256(v)
-			sess := fmt.Sprintf("pull/byz/%v", coded)
+			sess := runtime.SubSession("pull/byz", coded)
 			lyingPullServer(c, 3, sess, len(v))
 			done := make(chan struct{})
 			var got []byte

@@ -88,7 +88,7 @@ func TestBroadcastConcurrentSessions(t *testing.T) {
 		for s := 0; s < n; s++ {
 			s := s
 			go func() {
-				v, err := Run(ctx, env, fmt.Sprintf("rbc/%d", s), s, []byte{byte('a' + s)})
+				v, err := Run(ctx, env, runtime.SubSession("rbc", s), s, []byte{byte('a' + s)})
 				vals[s] = v
 				errc <- err
 			}()

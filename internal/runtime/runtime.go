@@ -312,8 +312,12 @@ func (e *Env) Recv(ctx context.Context, session string) (wire.Envelope, error) {
 	return e.Node.Mailbox(session).Recv(ctx)
 }
 
-// Sub builds a child session ID.
-func Sub(parent string, parts ...interface{}) string {
+// SubSession derives a child session ID from parent by joining parts with
+// the canonical "/" separator. It is the only sanctioned way to build
+// session strings (enforced by the sessionfmt analyzer): ad-hoc
+// fmt.Sprintf formats risk two protocol instances colliding in the
+// mailbox namespace and silently consuming each other's messages.
+func SubSession(parent string, parts ...interface{}) string {
 	s := parent
 	for _, p := range parts {
 		s += "/" + fmt.Sprint(p)

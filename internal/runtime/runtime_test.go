@@ -229,7 +229,7 @@ func TestEnvForkIndependentRandomness(t *testing.T) {
 }
 
 func TestSubSessionBuilder(t *testing.T) {
-	if got := Sub("cf", "r", 3, "svss", 2); got != "cf/r/3/svss/2" {
+	if got := SubSession("cf", "r", 3, "svss", 2); got != "cf/r/3/svss/2" {
 		t.Fatalf("Sub = %q", got)
 	}
 }

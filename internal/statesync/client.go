@@ -117,7 +117,7 @@ func fetchHead(ctx context.Context, env *runtime.Env, name string, req headReq) 
 	session := HeadSession(name)
 	request := encodeHeadReq(req)
 	env.SendAll(session, msgHeadReq, request)
-	reply := runtime.Sub(session, "r", env.ID, req.nonce)
+	reply := runtime.SubSession(session, "r", env.ID, req.nonce)
 	latest := make(map[int]string) // sender -> its current head encoding
 	for {
 		wctx, cancel := context.WithTimeout(ctx, headRetryInterval)

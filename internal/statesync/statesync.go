@@ -258,7 +258,7 @@ func (s *server) tryAnswer(from int, req headReq) bool {
 		s.register(content, chunkRange{lo: a, hi: b})
 		h.bounds = append(h.bounds, boundary{end: b, chain: chainEnd, content: content})
 	}
-	s.env.Send(from, runtime.Sub(s.headSess, "r", from, req.nonce), msgHead, encodeHead(h))
+	s.env.Send(from, runtime.SubSession(s.headSess, "r", from, req.nonce), msgHead, encodeHead(h))
 	return true
 }
 

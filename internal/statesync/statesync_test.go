@@ -77,6 +77,7 @@ func TestSyncStreamsWhileLedgerCommits(t *testing.T) {
 		stores[id] = acs.NewStore()
 	}
 	serveAll(c, "stream", stores, Options{ChunkSlots: 4})
+	//asyncftvet:ignore ctxleak bounded commit feeder: exits after filling `slots` slots
 	go func() {
 		for k := 0; k < slots; k++ {
 			time.Sleep(2 * time.Millisecond)
@@ -125,6 +126,7 @@ func TestFetchRejectsStaleHeadQuorum(t *testing.T) {
 	serveAll(c, "stale", map[int]*acs.Store{1: forked}, Options{ChunkSlots: 4})
 	honest := map[int]*acs.Store{0: acs.NewStore(), 2: acs.NewStore()}
 	serveAll(c, "stale", honest, Options{ChunkSlots: 4})
+	//asyncftvet:ignore ctxleak one delayed fill of the honest stores, then returns
 	go func() {
 		time.Sleep(20 * time.Millisecond)
 		for _, st := range honest {

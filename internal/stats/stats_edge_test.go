@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFormatRateEdges pins the exact rendering at the degenerate and
+// boundary inputs the harness actually hits: zero trials (an experiment
+// that never ran) and a perfect score (k = n).
+func TestFormatRateEdges(t *testing.T) {
+	if got, want := FormatRate(0, 0), "0/0 = 0.000 [0.000, 1.000]"; got != want {
+		t.Fatalf("FormatRate(0,0) = %q, want %q", got, want)
+	}
+	got := FormatRate(20, 20)
+	if want := "20/20 = 1.000 ["; len(got) < len(want) || got[:len(want)] != want {
+		t.Fatalf("FormatRate(20,20) = %q, want prefix %q", got, want)
+	}
+	if got[len(got)-7:] != "1.000]" && got[len(got)-6:] != "1.000]" {
+		t.Fatalf("FormatRate(20,20) = %q, want hi clamped to 1.000", got)
+	}
+	if got := FormatRate(0, 20); got[:8] != "0/20 = 0" {
+		t.Fatalf("FormatRate(0,20) = %q", got)
+	}
+}
+
+// TestWilsonIntervalAllFailures: k = 0 must keep the lower bound exactly 0
+// while still excluding rates the data rules out.
+func TestWilsonIntervalAllFailures(t *testing.T) {
+	lo, hi := WilsonInterval(0, 1000)
+	if lo != 0 {
+		t.Fatalf("lo = %v, want 0", lo)
+	}
+	if hi > 0.01 {
+		t.Fatalf("hi = %v, want < 0.01 after 1000 clean failures", hi)
+	}
+	// Symmetric at k = n.
+	lo, hi = WilsonInterval(1000, 1000)
+	if hi != 1 {
+		t.Fatalf("hi = %v, want 1", hi)
+	}
+	if lo < 0.99 {
+		t.Fatalf("lo = %v, want > 0.99 after 1000 straight successes", lo)
+	}
+}
+
+// TestChiSquareUniformDegenerate: inputs where no test is possible must
+// report dof 0 and be accepted by the OK wrapper rather than crash or
+// reject spuriously.
+func TestChiSquareUniformDegenerate(t *testing.T) {
+	cases := [][]int{
+		nil,          // no buckets
+		{},           // no buckets
+		{400},        // one bucket: nothing to compare
+		{0, 0, 0, 0}, // buckets but no observations
+	}
+	for _, counts := range cases {
+		chi2, dof := ChiSquareUniform(counts)
+		if chi2 != 0 || dof != 0 {
+			t.Fatalf("ChiSquareUniform(%v) = (%v, %d), want (0, 0)", counts, chi2, dof)
+		}
+		if !ChiSquareUniformOK(counts) {
+			t.Fatalf("ChiSquareUniformOK(%v) = false, want true", counts)
+		}
+	}
+}
+
+// TestChiSquareUniformOKLargeDofSkew: the Wilson–Hilferty fallback (dof
+// outside the table) must still reject obvious non-uniformity.
+func TestChiSquareUniformOKLargeDofSkew(t *testing.T) {
+	skewed := make([]int, 20) // dof 19: not in the critical-value table
+	skewed[0] = 1000
+	for i := 1; i < len(skewed); i++ {
+		skewed[i] = 1
+	}
+	if ChiSquareUniformOK(skewed) {
+		t.Fatal("grossly skewed 20-bucket counts accepted")
+	}
+}
+
+// TestStdDevConstantSeries: zero variance must come out exactly 0, not a
+// rounding artifact.
+func TestStdDevConstantSeries(t *testing.T) {
+	if got := StdDev([]float64{3, 3, 3, 3}); got != 0 {
+		t.Fatalf("StdDev(constant) = %v", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Fatalf("StdDev(nil) = %v", got)
+	}
+	// Two points: sqrt of squared half-gap times 2/(n-1).
+	if got := StdDev([]float64{1, 3}); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Fatalf("StdDev({1,3}) = %v, want sqrt(2)", got)
+	}
+}

@@ -2,7 +2,6 @@ package svss
 
 import (
 	"context"
-	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -89,6 +88,7 @@ func TestHostileNetworkWithNoise(t *testing.T) {
 		testkit.WithTimeout(60*time.Second))
 	defer c.Close()
 	// Byzantine party 3 floods both phases with garbage.
+	//asyncftvet:ignore ctxleak noise generator sends a fixed 300 frames and exits
 	go func() {
 		rng := c.Envs[3].Rand
 		for i := 0; i < 300; i++ {
@@ -183,7 +183,7 @@ func TestShareLinearityQuick(t *testing.T) {
 		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 			var sum field.Poly
 			for d := 0; d < len(p.Secrets); d++ {
-				sh, err := RunShare(ctx, env, fmt.Sprintf("lin/%d", d), d, field.New(p.Secrets[d]))
+				sh, err := RunShare(ctx, env, runtime.SubSession("lin", d), d, field.New(p.Secrets[d]))
 				if err != nil {
 					return nil, err
 				}

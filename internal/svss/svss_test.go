@@ -352,7 +352,7 @@ func TestConcurrentSVSSInstances(t *testing.T) {
 		for d := 0; d < n; d++ {
 			d := d
 			go func() {
-				sh, err := RunShare(ctx, env, fmt.Sprintf("svss/multi/%d", d), d, field.Elem(100+d))
+				sh, err := RunShare(ctx, env, runtime.SubSession("svss/multi", d), d, field.Elem(100+d))
 				if err != nil {
 					errc <- err
 					return

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEventStringFormat pins the exact rendering of Event.String: failure
+// dumps are read under pressure, so the layout (seq, µs-precision clock,
+// party, kind, session, detail) is part of the contract.
+func TestEventStringFormat(t *testing.T) {
+	ts := time.Date(2026, 8, 8, 13, 14, 15, 123456000, time.UTC)
+	e := Event{Seq: 7, Time: ts, Party: 2, Session: "acs/0", Kind: "send", Detail: "slot=3"}
+	want := "#7 13:14:15.123456 p2 send acs/0 slot=3"
+	if got := e.String(); got != want {
+		t.Fatalf("Event.String() = %q, want %q", got, want)
+	}
+}
+
+// Network-level events use party -1; the rendering must stay unambiguous.
+func TestEventStringNetworkParty(t *testing.T) {
+	e := Event{Seq: 1, Party: -1, Kind: "drop", Session: "", Detail: "reorder"}
+	if got := e.String(); !strings.Contains(got, "p-1 drop") {
+		t.Fatalf("Event.String() = %q, want p-1 marker", got)
+	}
+}
+
+// TestDumpDropFooter pins the exact overwrite notice, including the count.
+func TestDumpDropFooter(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 4; i++ {
+		r.Recordf(0, "s", "k", "ev%d", i)
+	}
+	var sb strings.Builder
+	r.Dump(&sb)
+	out := sb.String()
+	if want := "(3 earlier events overwritten)\n"; !strings.HasSuffix(out, want) {
+		t.Fatalf("Dump output %q does not end with %q", out, want)
+	}
+	if !strings.Contains(out, "ev3") {
+		t.Fatalf("Dump lost the newest event: %q", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 { // one event + footer
+		t.Fatalf("Dump wrote %d lines, want 2: %q", lines, out)
+	}
+}
+
+// TestDumpNoFooterWhenNothingDropped: the footer must not appear on a
+// recorder that never wrapped.
+func TestDumpNoFooterWhenNothingDropped(t *testing.T) {
+	r := New(8)
+	r.Record(0, "s", "k", "only")
+	var sb strings.Builder
+	r.Dump(&sb)
+	if strings.Contains(sb.String(), "overwritten") {
+		t.Fatalf("unexpected drop footer: %q", sb.String())
+	}
+}
+
+// TestRecordfVerbs exercises Recordf with multiple verbs to pin the
+// fmt passthrough.
+func TestRecordfVerbs(t *testing.T) {
+	r := New(4)
+	r.Recordf(1, "ba/0", "milestone", "round=%d value=%v hex=%x", 3, true, []byte{0xab})
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	want := fmt.Sprintf("round=%d value=%v hex=%x", 3, true, []byte{0xab})
+	if evs[0].Detail != want {
+		t.Fatalf("Detail = %q, want %q", evs[0].Detail, want)
+	}
+}

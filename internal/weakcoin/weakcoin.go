@@ -52,7 +52,7 @@ func Flip(ctx, helperCtx context.Context, env *runtime.Env, session string, opts
 		recOnce   = make(map[int]bool)
 	)
 
-	shareSess := func(dealer int) string { return runtime.Sub(session, "sh", dealer) }
+	shareSess := func(dealer int) string { return runtime.SubSession(session, "sh", dealer) }
 
 	// Participate in every share phase (dealing our own random value).
 	shareErr := make(chan error, n)

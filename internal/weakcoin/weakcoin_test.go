@@ -133,7 +133,7 @@ func TestFlipConcurrentInstances(t *testing.T) {
 			f := f
 			fenv := env.Fork(fmt.Sprintf("wcc/%d", f))
 			go func() {
-				b, err := Flip(ctx, c.Ctx, fenv, fmt.Sprintf("wc/conc/%d", f), svss.Options{})
+				b, err := Flip(ctx, c.Ctx, fenv, runtime.SubSession("wc/conc", f), svss.Options{})
 				out[f] = b
 				errc <- err
 			}()

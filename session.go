@@ -1,0 +1,15 @@
+package asyncft
+
+import "asyncft/internal/runtime"
+
+// SubSession derives a child session ID from parent by joining parts with
+// the canonical "/" separator: SubSession("draw", 0, "bit", 1) is
+// "draw/0/bit/1". Every concurrent protocol instance needs a distinct
+// session, and deriving them through SubSession (rather than ad-hoc
+// fmt.Sprintf formats) keeps the namespace collision-free by
+// construction — two instances that share a session string silently
+// consume each other's messages. The asyncftvet sessionfmt analyzer
+// enforces this at build time.
+func SubSession(parent string, parts ...interface{}) string {
+	return runtime.SubSession(parent, parts...)
+}
