@@ -16,6 +16,7 @@ import (
 	"asyncft/internal/field"
 	"asyncft/internal/network"
 	"asyncft/internal/rbc"
+	"asyncft/internal/reconfig"
 	"asyncft/internal/runtime"
 	"asyncft/internal/securesum"
 	"asyncft/internal/statesync"
@@ -46,6 +47,9 @@ type Cluster struct {
 	// stores; each honest party of such a run also serves snapshots for
 	// the cluster's lifetime, which is what SyncFrom and Resume ride.
 	syncRuns map[string]map[int]*acs.Store
+	// reconfigSrcs maps a dynamic-membership session to its shared
+	// operation source, the injection point for Cluster.Reconfigure.
+	reconfigSrcs map[string]*reconfig.Source
 }
 
 // Party is the capability bundle handed to custom BehaviorFunc attacks.
@@ -84,7 +88,9 @@ func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	policy := cfg.policy()
 	var ropts []network.Option
-	c := &Cluster{cfg: cfg, core: cfg.coreConfig(), syncRuns: make(map[string]map[int]*acs.Store)}
+	c := &Cluster{cfg: cfg, core: cfg.coreConfig(),
+		syncRuns:     make(map[string]map[int]*acs.Store),
+		reconfigSrcs: make(map[string]*reconfig.Source)}
 	if cfg.TraceCapacity > 0 {
 		c.rec = trace.New(cfg.TraceCapacity)
 		ropts = append(ropts, network.WithObserver(func(stage string, env wire.Envelope) {
@@ -480,6 +486,11 @@ type AtomicBroadcastSpec struct {
 	// agreement check covers resumed parties: their spliced ledgers must
 	// be bit-identical to everyone else's.
 	Resume map[int]int
+	// DynamicMembership, when non-nil, runs the session under epoch-based
+	// reconfiguration: the member set starts at its Genesis subset and
+	// evolves via membership operations committed on the ledger itself.
+	// See the DynamicMembership type; incompatible with Resume.
+	DynamicMembership *DynamicMembership
 }
 
 // RunAtomicBroadcast runs ACS-based asynchronous atomic broadcast
@@ -493,6 +504,9 @@ type AtomicBroadcastSpec struct {
 func (c *Cluster) RunAtomicBroadcast(spec AtomicBroadcastSpec) ([]LedgerEntry, error) {
 	if spec.Slots < 1 {
 		return nil, fmt.Errorf("asyncft: RunAtomicBroadcast needs Slots ≥ 1, got %d", spec.Slots)
+	}
+	if spec.DynamicMembership != nil {
+		return c.runDynamicMembership(spec)
 	}
 	// A resumed party is absent from the slots it skips, so resumptions
 	// and corruptions draw on the same fault budget. A Byzantine party

@@ -13,7 +13,8 @@
 // otherwise ns/op. Rates and speedups regress by dropping, ns/op by
 // rising; with -count > 1 the best run is kept, damping scheduler noise.
 // The compare mode exits nonzero iff any baseline benchmark regressed
-// beyond the threshold or disappeared.
+// beyond the threshold or disappeared; -summary FILE additionally appends
+// the full verdict table as markdown (pass $GITHUB_STEP_SUMMARY in CI).
 package main
 
 import (
@@ -46,6 +47,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed baseline JSON to gate against")
 	against := flag.String("against", "", "candidate metrics JSON (produced by -write)")
 	threshold := flag.Float64("threshold", 0.30, "allowed relative regression (0.30 = 30%)")
+	summary := flag.String("summary", "", "append a markdown verdict table for every gated metric to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 
 	switch {
@@ -75,6 +77,16 @@ func main() {
 			log.Fatal(err)
 		}
 		regressions := Compare(os.Stdout, base, cand, *threshold)
+		if *summary != "" {
+			f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				log.Fatal(err)
+			}
+			Summary(f, base, cand, *threshold)
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
 		if regressions > 0 {
 			log.Fatalf("benchgate: %d benchmark(s) regressed more than %.0f%%", regressions, *threshold*100)
 		}
@@ -183,28 +195,45 @@ func Parse(r io.Reader) (map[string]Metric, error) {
 	return out, nil
 }
 
-// Compare prints a verdict table and returns the number of regressions: a
-// baseline benchmark that disappeared, or whose candidate metric moved in
-// the bad direction by more than threshold. New benchmarks only present in
-// the candidate pass (they become gated once the baseline is refreshed).
-func Compare(w io.Writer, base, cand map[string]Metric, threshold float64) int {
+// row is one benchmark's comparison verdict — the shared substance behind
+// the plain-text gate output and the markdown job summary, so the two can
+// never disagree.
+type row struct {
+	name string
+	// verdict is "ok", "FAIL" or "new".
+	verdict string
+	// note explains FAIL rows that have no meaningful delta (a benchmark
+	// missing from the candidate, a unit change).
+	note       string
+	base, cand Metric
+	hasBase    bool
+	hasCand    bool
+	delta      float64
+}
+
+// compareRows evaluates every gated metric: baseline benchmarks in name
+// order, then candidates absent from the baseline. A baseline benchmark
+// that disappeared, or whose candidate metric moved in the bad direction
+// by more than threshold, is a FAIL; new benchmarks only present in the
+// candidate pass (they become gated once the baseline is refreshed).
+func compareRows(base, cand map[string]Metric, threshold float64) []row {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	regressions := 0
+	rows := make([]row, 0, len(base)+len(cand))
 	for _, name := range names {
 		b := base[name]
 		c, ok := cand[name]
 		if !ok {
-			fmt.Fprintf(w, "FAIL %-40s missing from candidate (baseline %.4g %s)\n", name, b.Value, b.Unit)
-			regressions++
+			rows = append(rows, row{name: name, verdict: "FAIL", note: "missing from candidate", base: b, hasBase: true})
 			continue
 		}
 		if c.Unit != b.Unit {
-			fmt.Fprintf(w, "FAIL %-40s unit changed %s -> %s; refresh the baseline\n", name, b.Unit, c.Unit)
-			regressions++
+			rows = append(rows, row{name: name, verdict: "FAIL",
+				note: fmt.Sprintf("unit changed %s -> %s; refresh the baseline", b.Unit, c.Unit),
+				base: b, cand: c, hasBase: true, hasCand: true})
 			continue
 		}
 		delta := 0.0
@@ -221,17 +250,81 @@ func Compare(w io.Writer, base, cand map[string]Metric, threshold float64) int {
 				bad = true
 			}
 		}
-		verdict := "ok  "
+		verdict := "ok"
 		if bad {
 			verdict = "FAIL"
-			regressions++
 		}
-		fmt.Fprintf(w, "%s %-40s %10.4g -> %10.4g %-10s (%+.1f%%)\n", verdict, name, b.Value, c.Value, b.Unit, delta*100)
+		rows = append(rows, row{name: name, verdict: verdict, base: b, cand: c,
+			hasBase: true, hasCand: true, delta: delta})
 	}
-	for name, c := range cand {
+	extra := make([]string, 0, len(cand))
+	for name := range cand {
 		if _, ok := base[name]; !ok {
-			fmt.Fprintf(w, "new  %-40s %10.4g %s (not gated yet)\n", name, c.Value, c.Unit)
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		rows = append(rows, row{name: name, verdict: "new", cand: cand[name], hasCand: true})
+	}
+	return rows
+}
+
+// Compare prints a verdict table and returns the number of regressions
+// (see compareRows for the gate semantics).
+func Compare(w io.Writer, base, cand map[string]Metric, threshold float64) int {
+	regressions := 0
+	for _, r := range compareRows(base, cand, threshold) {
+		switch {
+		case r.verdict == "new":
+			fmt.Fprintf(w, "new  %-40s %10.4g %s (not gated yet)\n", r.name, r.cand.Value, r.cand.Unit)
+		case !r.hasCand:
+			fmt.Fprintf(w, "FAIL %-40s missing from candidate (baseline %.4g %s)\n", r.name, r.base.Value, r.base.Unit)
+			regressions++
+		case r.note != "":
+			fmt.Fprintf(w, "FAIL %-40s %s\n", r.name, r.note)
+			regressions++
+		default:
+			verdict := "ok  "
+			if r.verdict == "FAIL" {
+				verdict = "FAIL"
+				regressions++
+			}
+			fmt.Fprintf(w, "%s %-40s %10.4g -> %10.4g %-10s (%+.1f%%)\n", verdict, r.name, r.base.Value, r.cand.Value, r.base.Unit, r.delta*100)
 		}
 	}
 	return regressions
+}
+
+// Summary writes the comparison as a markdown table covering every gated
+// metric — the CI job-summary rendering of exactly the verdicts Compare
+// prints.
+func Summary(w io.Writer, base, cand map[string]Metric, threshold float64) {
+	fmt.Fprintf(w, "## Benchmark gate (threshold %.0f%%)\n\n", threshold*100)
+	fmt.Fprintln(w, "| benchmark | baseline | candidate | unit | delta | verdict |")
+	fmt.Fprintln(w, "|---|---:|---:|---|---:|---|")
+	for _, r := range compareRows(base, cand, threshold) {
+		baseVal, candVal, unit, delta := "—", "—", "", "—"
+		if r.hasBase {
+			baseVal = fmt.Sprintf("%.4g", r.base.Value)
+			unit = r.base.Unit
+		}
+		if r.hasCand {
+			candVal = fmt.Sprintf("%.4g", r.cand.Value)
+			if unit == "" {
+				unit = r.cand.Unit
+			}
+		}
+		verdict := r.verdict
+		switch {
+		case r.verdict == "new":
+			verdict = "new (not gated yet)"
+		case r.note != "":
+			verdict = "FAIL — " + r.note
+		case r.hasBase && r.hasCand:
+			delta = fmt.Sprintf("%+.1f%%", r.delta*100)
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n", r.name, baseVal, candVal, unit, delta, verdict)
+	}
+	fmt.Fprintln(w)
 }

@@ -110,6 +110,42 @@ func TestHigherIsBetterClassification(t *testing.T) {
 	}
 }
 
+func TestSummaryCoversEveryGatedMetric(t *testing.T) {
+	base := map[string]Metric{
+		"Rate":   {Unit: "flips/s", Value: 100, HigherIsBetter: true},
+		"Gone":   {Unit: "ns/op", Value: 10},
+		"Units":  {Unit: "ns/op", Value: 10},
+		"Steady": {Unit: "ns/op", Value: 1000},
+	}
+	cand := map[string]Metric{
+		"Rate":   {Unit: "flips/s", Value: 60, HigherIsBetter: true},
+		"Units":  {Unit: "flips/s", Value: 10, HigherIsBetter: true},
+		"Steady": {Unit: "ns/op", Value: 1200},
+		"New":    {Unit: "ns/op", Value: 5},
+	}
+	var sb strings.Builder
+	Summary(&sb, base, cand, 0.30)
+	out := sb.String()
+	// One table row per gated metric, each carrying the same verdict the
+	// plain-text gate printed.
+	for _, want := range []string{
+		"| benchmark | baseline | candidate | unit | delta | verdict |",
+		"| Rate | 100 | 60 | flips/s | -40.0% | FAIL |",
+		"| Gone | 10 | — | ns/op | — | FAIL — missing from candidate |",
+		"| Units | 10 | 10 | ns/op | — | FAIL — unit changed ns/op -> flips/s; refresh the baseline |",
+		"| Steady | 1000 | 1200 | ns/op | +20.0% | ok |",
+		"| New | — | 5 | ns/op | — | new (not gated yet) |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary table missing %q:\n%s", want, out)
+		}
+	}
+	// Markdown and plain text must agree row for row.
+	if rows := strings.Count(out, "\n| ") - 1; rows != 5 {
+		t.Fatalf("summary has %d metric rows, want 5:\n%s", rows, out)
+	}
+}
+
 func TestCompareZeroBaselineLowerIsBetter(t *testing.T) {
 	base := map[string]Metric{"BenchmarkWireAppend": {Unit: "allocs_per_op", Value: 0, HigherIsBetter: false, Runs: 3}}
 	good := map[string]Metric{"BenchmarkWireAppend": {Unit: "allocs_per_op", Value: 0, HigherIsBetter: false, Runs: 3}}

@@ -40,6 +40,7 @@ func main() {
 		{"E12", experiments.E12CodedBroadcast},
 		{"E13", experiments.E13CircuitThroughput},
 		{"E14", experiments.E14CatchupLatency},
+		{"E15", experiments.E15EpochSwitch},
 		{"A1", experiments.AblationReconstruct},
 		{"A2", experiments.AblationPolicy},
 	}

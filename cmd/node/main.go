@@ -38,6 +38,21 @@
 // prints the same bit-identical ledger as everyone else. -grace tunes how
 // long a finished node lingers to serve slower or catching-up peers.
 //
+// -members switches -mode abc to dynamic membership (internal/reconfig):
+// the ledger starts on the listed genesis subset of the peer universe and
+// evolves via membership operations committed on the ledger itself. A node
+// whose id is outside -members is a joiner: it bootstraps the committed
+// prefix via state transfer and enters the member set when a committed
+// AddParty operation activates. -submit schedules operations this node
+// proposes ("slot:+party@addr" adds, "slot:-party" removes, comma-
+// separated); -retire N is shorthand for proposing this node's own removal
+// at slot N. The @addr of an add is gossiped on the ledger, so existing
+// members learn a joiner's endpoint when the operation commits (they may
+// leave its slot in -peers empty) — the transport adds the peer on commit.
+// All nodes must agree on -members, -slots and -lag; -submit/-retire may
+// differ per node, since the committed ledger, not the flag, is what every
+// replica folds into the epoch schedule.
+//
 // -mode mpc switches the node to secure circuit evaluation (internal/mpc):
 // every party contributes one private input (-x, never revealed) and the
 // cluster jointly evaluates the private-statistics circuit — sum and
@@ -52,6 +67,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -62,6 +78,7 @@ import (
 	"asyncft/internal/field"
 	"asyncft/internal/mpc"
 	"asyncft/internal/rbc"
+	"asyncft/internal/reconfig"
 	"asyncft/internal/runtime"
 	"asyncft/internal/statesync"
 	"asyncft/internal/svss"
@@ -88,6 +105,16 @@ type options struct {
 	seed     int64
 	timeout  time.Duration
 	grace    time.Duration
+
+	// Dynamic membership (-mode abc only): members is the genesis set
+	// (empty = static run), submits the operations this node proposes,
+	// retire the slot at which it proposes its own removal (0 = never),
+	// lag the activation delay (0 = the reconfig default).
+	members []int
+	submits []reconfig.ScheduledChange
+	retire  int
+	lag     int
+	pace    time.Duration
 }
 
 func main() {
@@ -106,6 +133,11 @@ func main() {
 	width := flag.Int("width", 0, "abc: slots in flight at once (0 = all; same value at every party)")
 	noCoded := flag.Bool("no-coded", false, "abc: disable erasure-coded A-Cast dispersal (classic full-value echo)")
 	resume := flag.Int("resume", 0, "abc: restarted-replica mode — skip slots [0,resume), catch them up via state transfer from peers, then join live slots")
+	members := flag.String("members", "", "abc: comma-separated genesis member ids — enables dynamic membership (same value at every node)")
+	submit := flag.String("submit", "", "abc dynamic: membership ops to propose, e.g. 2:+4@127.0.0.1:7004,6:-1")
+	retire := flag.Int("retire", 0, "abc dynamic: propose this node's own removal at the given slot (0 = never)")
+	lagFlag := flag.Int("lag", 0, "abc dynamic: activation delay in slots for committed ops (0 = default)")
+	pace := flag.Duration("pace", 0, "abc dynamic: minimum delay between this node's slot proposals — throttles the ledger so joiners and observers keep up (0 = full speed)")
 	seed := flag.Int64("seed", 0, "randomness seed (default: derived from id)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "protocol deadline")
 	grace := flag.Duration("grace", 500*time.Millisecond, "linger after completion so helper goroutines can serve slower peers (0 = the 500ms default, negative = exit immediately)")
@@ -115,10 +147,18 @@ func main() {
 		id: *id, t: *tf, mode: *mode, protocol: *protocol, input: *input,
 		secret: *secret, x: *x, bit: *bit, k: *k, batch: *batchK, slots: *slots,
 		width: *width, resume: *resume, noCoded: *noCoded, seed: *seed,
-		timeout: *timeout, grace: *grace,
+		timeout: *timeout, grace: *grace, retire: *retire, lag: *lagFlag,
+		pace: *pace,
 	}
 	for _, a := range strings.Split(*peers, ",") {
 		o.peers = append(o.peers, strings.TrimSpace(a))
+	}
+	var err error
+	if o.members, err = parseMembers(*members); err != nil {
+		log.Fatal(err)
+	}
+	if o.submits, err = parseChanges(*submit); err != nil {
+		log.Fatal(err)
 	}
 	if err := runNode(o, os.Stdout); err != nil {
 		log.Fatal(err)
@@ -208,6 +248,9 @@ func runLedger(ctx context.Context, env *runtime.Env, o options, out io.Writer) 
 		cfg.RBC.CodedThreshold = -1
 	}
 	const sess = "node/abc"
+	if len(o.members) > 0 {
+		return runDynamicLedger(ctx, env, o, sess, cfg, out)
+	}
 	store := acs.NewStore()
 	go statesync.Serve(ctx, env, sess, store, statesync.Options{})
 	input := func(slot int) []byte {
@@ -230,6 +273,119 @@ func runLedger(ctx context.Context, env *runtime.Env, o options, out io.Writer) 
 	}
 	fmt.Fprintf(out, "ledger digest: %x (%d entries)\n", acs.Digest(ledger), len(ledger))
 	return nil
+}
+
+// runDynamicLedger is -mode abc with -members: the dynamic-membership
+// ledger (internal/reconfig). The node plays whatever role the committed
+// schedule assigns it — genesis member, joiner, observer, or removed
+// party following the ledger to the end — and prints the same listing,
+// digest and final member set as every other node. Committed AddParty
+// operations that carry an address feed the transport's peer table, which
+// is how existing members learn a joiner's endpoint mid-run.
+func runDynamicLedger(ctx context.Context, env *runtime.Env, o options, sess string, cfg core.Config, out io.Writer) error {
+	src := reconfig.NewSource(o.submits...)
+	if o.retire > 0 {
+		src.Schedule(reconfig.ScheduledChange{
+			Slot:   o.retire,
+			Change: reconfig.Change{Add: false, Party: env.ID},
+		})
+	}
+	tcp, _ := env.Net.(*transport.TCP)
+	log.Printf("party %d/%d on %s: dynamic-membership ledger, genesis %v, %d slot(s) lag %d",
+		env.ID, env.N, addrOf(env), o.members, o.slots, o.lag)
+	res, err := reconfig.Run(ctx, ctx, env, reconfig.Options{
+		Session: sess,
+		Genesis: o.members,
+		Lag:     o.lag,
+		Slots:   o.slots,
+		Width:   o.width,
+		Input: func(slot int) []byte {
+			if o.pace > 0 {
+				time.Sleep(o.pace) // throttle admission so late joiners catch the live frontier
+			}
+			return []byte(fmt.Sprintf("%s/p%d/s%d", o.input, env.ID, slot))
+		},
+		Core:   cfg,
+		Source: src,
+		// A joiner's very first head request races the commit that teaches
+		// the members its address; re-ask well under a slot interval so the
+		// lost request costs milliseconds, not the whole run.
+		Sync: statesync.Options{HeadRetry: 100 * time.Millisecond},
+		OnChange: func(ch reconfig.Change, slot int) {
+			if ch.Add && ch.Addr != "" && tcp != nil {
+				tcp.AddPeer(ch.Party, ch.Addr)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if res.JoinedAt >= 0 {
+		log.Printf("party %d joined the member set at slot %d", env.ID, res.JoinedAt)
+	}
+	if res.RemovedAt >= 0 {
+		log.Printf("party %d left the member set at slot %d (following as observer)", env.ID, res.RemovedAt)
+	}
+	for i, e := range res.Ledger {
+		fmt.Fprintf(out, "ledger[%d] slot=%d party=%d payload=%q\n", i, e.Slot, e.Party, e.Payload)
+	}
+	fmt.Fprintf(out, "ledger digest: %x (%d entries)\n", acs.Digest(res.Ledger), len(res.Ledger))
+	fmt.Fprintf(out, "final members: %v (%d epochs)\n", res.FinalMembers, res.Epochs)
+	return nil
+}
+
+// parseMembers parses the -members genesis list ("0,1,2,3"; empty = static).
+func parseMembers(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var id int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &id); err != nil {
+			return nil, fmt.Errorf("-members: bad id %q", part)
+		}
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// parseChanges parses the -submit operation list: comma-separated items of
+// the form "slot:+party@addr" (add, @addr optional) or "slot:-party".
+func parseChanges(s string) ([]reconfig.ScheduledChange, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []reconfig.ScheduledChange
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		slotStr, opStr, ok := strings.Cut(item, ":")
+		if !ok || opStr == "" {
+			return nil, fmt.Errorf("-submit: bad op %q (want slot:+party@addr or slot:-party)", item)
+		}
+		var slot int
+		if _, err := fmt.Sscanf(slotStr, "%d", &slot); err != nil {
+			return nil, fmt.Errorf("-submit: bad slot in %q", item)
+		}
+		add := opStr[0] == '+'
+		if !add && opStr[0] != '-' {
+			return nil, fmt.Errorf("-submit: op %q must start with + or -", item)
+		}
+		partyStr, addr, _ := strings.Cut(opStr[1:], "@")
+		var party int
+		if _, err := fmt.Sscanf(partyStr, "%d", &party); err != nil {
+			return nil, fmt.Errorf("-submit: bad party in %q", item)
+		}
+		if !add && addr != "" {
+			return nil, fmt.Errorf("-submit: removal %q cannot carry an address", item)
+		}
+		out = append(out, reconfig.ScheduledChange{
+			Slot:   slot,
+			Change: reconfig.Change{Add: add, Party: party, Addr: addr},
+		})
+	}
+	return out, nil
 }
 
 // runMPC is -mode mpc: secure evaluation of the private-statistics

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"asyncft/internal/reconfig"
 	"bytes"
 	"fmt"
 	"net"
@@ -36,7 +37,15 @@ func freeAddrs(t *testing.T, n int) []string {
 // (id and peers filled in per party) and returns each party's output.
 func launch(t *testing.T, n int, mk func(id int, peers []string) options) []string {
 	t.Helper()
-	peers := freeAddrs(t, n)
+	return launchOn(t, freeAddrs(t, n), mk)
+}
+
+// launchOn is launch with a caller-provided address list, for tests that
+// need to reference a party's endpoint inside the options (e.g. a -submit
+// operation carrying a joiner's address).
+func launchOn(t *testing.T, peers []string, mk func(id int, peers []string) options) []string {
+	t.Helper()
+	n := len(peers)
 	outs := make([]bytes.Buffer, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -271,5 +280,106 @@ func TestRunNodeRejectsBadResume(t *testing.T) {
 	}
 	if err := runNode(o, &bytes.Buffer{}); err == nil {
 		t.Fatal("resume ≥ slots accepted")
+	}
+}
+
+// TestE2EDynamicMembershipChurnOverTCP is the churn e2e over real loopback
+// TCP: five processes, genesis members {0,1,2,3}, with node 4 started as a
+// joiner the members initially have NO address for — their -peers slot for
+// it is empty. Node 0 proposes the join at slot 2 with node 4's endpoint
+// attached, so the members learn the address from the committed operation
+// (transport.AddPeer) and the joiner's statesync bootstrap converges on
+// the retried head requests. Node 1 proposes its own retirement at slot 6
+// and follows the tail as an observer. Every node — members, joiner,
+// retiree — must print the byte-identical ledger listing, digest, and
+// final member set, and the joiner's own batches must have committed.
+func TestE2EDynamicMembershipChurnOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP listeners")
+	}
+	const n, slots = 5, 12
+	allAddrs := freeAddrs(t, n)
+	outs := launchOn(t, allAddrs, func(id int, peers []string) options {
+		o := options{
+			id: id, peers: peers, t: 1, mode: "abc", input: "tx",
+			k: 1, batch: 1, slots: slots, width: 0,
+			members: []int{0, 1, 2, 3},
+			pace:    50 * time.Millisecond,
+			timeout: 120 * time.Second, grace: 3 * time.Second,
+		}
+		if id != 4 {
+			// Members start without the joiner's endpoint: they learn it
+			// from the committed add operation, not from configuration.
+			o.peers = append([]string(nil), peers...)
+			o.peers[4] = ""
+		}
+		if id == 0 {
+			o.submits = mustChanges(t, fmt.Sprintf("2:+4@%s", allAddrs[4]))
+		}
+		if id == 1 {
+			o.retire = 6
+		}
+		return o
+	})
+	_ = allAddrs
+	var digest, members string
+	joinerCommitted := false
+	for id, out := range outs {
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("party %d: truncated output:\n%s", id, out)
+		}
+		dl, ml := lines[len(lines)-2], lines[len(lines)-1]
+		if !strings.HasPrefix(dl, "ledger digest: ") || !strings.HasPrefix(ml, "final members: ") {
+			t.Fatalf("party %d: missing digest/members lines:\n%s", id, out)
+		}
+		if digest == "" {
+			digest, members = dl, ml
+		} else if digest != dl || members != ml {
+			t.Fatalf("outputs diverge:\nparty 0: %s / %s\nparty %d: %s / %s", digest, members, id, dl, ml)
+		}
+		if outs[0] != out {
+			t.Fatalf("ledger listings differ between party 0 and party %d", id)
+		}
+		if strings.Contains(out, `payload="tx/p4/`) || strings.Contains(out, "tx/p4/") {
+			joinerCommitted = true
+		}
+	}
+	if !strings.Contains(members, "[0 2 3 4]") {
+		t.Fatalf("final member set %q, want [0 2 3 4]", members)
+	}
+	if !joinerCommitted {
+		t.Fatal("joiner's own batches never committed")
+	}
+}
+
+// mustChanges parses a -submit spec or fails the test.
+func mustChanges(t *testing.T, s string) []reconfig.ScheduledChange {
+	t.Helper()
+	chs, err := parseChanges(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chs
+}
+
+// TestParseChanges covers the -submit grammar.
+func TestParseChanges(t *testing.T) {
+	chs, err := parseChanges("2:+4@127.0.0.1:7004, 6:-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chs) != 2 || !chs[0].Change.Add || chs[0].Change.Party != 4 ||
+		chs[0].Change.Addr != "127.0.0.1:7004" || chs[0].Slot != 2 ||
+		chs[1].Change.Add || chs[1].Change.Party != 1 || chs[1].Slot != 6 {
+		t.Fatalf("parsed %+v", chs)
+	}
+	for _, bad := range []string{"x", "2:4", "2:+x", "a:+4", "2:-1@addr"} {
+		if _, err := parseChanges(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	if got, err := parseChanges("  "); err != nil || got != nil {
+		t.Fatalf("empty spec: %v %v", got, err)
 	}
 }

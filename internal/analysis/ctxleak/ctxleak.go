@@ -33,6 +33,7 @@ var protocolPkgs = map[string]bool{
 	"asyncft/internal/transport": true,
 	"asyncft/internal/batch":     true,
 	"asyncft/internal/svss":      true,
+	"asyncft/internal/reconfig":  true,
 }
 
 // Analyzer is the ctxleak analyzer.

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"asyncft/internal/acs"
+	"asyncft/internal/ba"
+	"asyncft/internal/core"
+	"asyncft/internal/network"
+	"asyncft/internal/reconfig"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+// E15EpochSwitch measures dynamic membership (internal/reconfig): what one
+// mid-run membership swap — quiesce at the boundary, SVSS pool re-deal to
+// the new set, per-epoch group re-key, joiner bootstrap via state transfer
+// — costs a running ledger, for member-set sizes m ∈ {4..10} under
+// latency-bound network.Delay links (0.2–1 ms). For each m a static run
+// (one epoch, no operations) fixes the baseline slots/s; an otherwise
+// identical run swaps one party at the midpoint (add m, remove 0) and
+// reports its slots/s, the throughput retention churn/static, and the
+// slowest party's switch wall (barrier → new group ready, pool re-deal
+// included). Every run is verified end to end: bit-identical ledgers
+// across all parties including the retiree-turned-observer, agreed final
+// member sets, two epochs everywhere, and the pool secret opening to the
+// same value before and after the re-deal. The headline is the throughput
+// retention at the largest m — a switch must dent the ledger, not stall
+// it.
+func medianDuration(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+func E15EpochSwitch(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "epoch-switch cost vs member-set size m (t=1, one mid-run swap, 0.2–1ms link delay)",
+		Claim:   "a mid-run membership swap (quiesce, pool re-deal, re-key, joiner bootstrap) completes in one switch-wall pause and retains ≥0.25x of static slots/s, with bit-identical ledgers and the pool secret intact",
+		Columns: []string{"m", "static", "slots/s", "churn", "slots/s", "retention", "switch"},
+	}
+	// The local inner coin with a deep round cap: Ben-Or's private coin
+	// has exponential worst-case expectation, and at m=10 a split inner
+	// BA occasionally outlives the default 64-round failsafe. The deep
+	// cap lets such a split resolve (expected ~2^{m-1} rounds at a few ms
+	// each) instead of failing the sweep; the weak-coin alternative is
+	// almost-surely terminating but its per-split SVSS cost dominates the
+	// very switch latency this experiment measures.
+	cfg := core.Config{K: 1, Eps: 0.1, InnerCoin: core.InnerCoinLocal,
+		BA: ba.Options{MaxRounds: 16384}}
+	const lag = 2
+	// Medians over several seeds per cell: a single local-coin split BA
+	// can cost more than the epoch switch itself, and one trial per cell
+	// would report that tail, not the trend.
+	slots, sizes, trials := 8, []int{4, 6}, 1
+	if scale >= 1 {
+		slots, sizes, trials = 12, []int{4, 6, 8, 10}, 5
+	}
+	swapAt := slots / 2
+
+	headline := 0.0
+	seed := int64(16000)
+	for _, m := range sizes {
+		genesis := make([]int, m)
+		for i := range genesis {
+			genesis[i] = i
+		}
+		// The universe holds one spare party: the joiner of the churn run,
+		// a pure observer of the static one.
+		run := func(seed int64, changes []reconfig.ScheduledChange) (map[int]*reconfig.Result, time.Duration, error) {
+			c := testkit.New(m+1, 1, testkit.WithSeed(seed),
+				testkit.WithPolicy(network.NewDelay(seed, 200*time.Microsecond, time.Millisecond)),
+				testkit.WithTimeout(600*time.Second))
+			defer c.Close()
+			src := reconfig.NewSource(changes...)
+			parties := make([]int, m+1)
+			for i := range parties {
+				parties[i] = i
+			}
+			start := time.Now()
+			res := c.Run(parties, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+				return reconfig.Run(ctx, c.Ctx, env, reconfig.Options{
+					Session: "e15",
+					Genesis: genesis,
+					Lag:     lag,
+					Slots:   slots,
+					Input: func(slot int) []byte {
+						return []byte(fmt.Sprintf("e15/p%d/s%d", env.ID, slot))
+					},
+					Core:      cfg,
+					Source:    src,
+					PoolSize:  1,
+					CheckPool: true,
+				})
+			})
+			wall := time.Since(start)
+			out := make(map[int]*reconfig.Result, len(res))
+			ledgers := make(map[int][]acs.Entry, len(res))
+			for id, r := range res {
+				if r.Err != nil {
+					return nil, 0, fmt.Errorf("party %d: %w", id, r.Err)
+				}
+				out[id] = r.Value.(*reconfig.Result)
+				ledgers[id] = out[id].Ledger
+			}
+			if _, err := acs.AgreeLedgers(ledgers); err != nil {
+				return nil, 0, err
+			}
+			return out, wall, nil
+		}
+
+		var staticWalls, churnWalls, switchWalls []time.Duration
+		for trial := 0; trial < trials; trial++ {
+			static, staticWall, err := run(seed, nil)
+			if err != nil {
+				return nil, fmt.Errorf("E15 m=%d static: %w", m, err)
+			}
+			seed++
+			churn, churnWall, err := run(seed, []reconfig.ScheduledChange{
+				{Slot: swapAt, Change: reconfig.Change{Add: true, Party: m}},
+				{Slot: swapAt, Change: reconfig.Change{Add: false, Party: 0}},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E15 m=%d churn: %w", m, err)
+			}
+			seed++
+
+			var maxSwitch time.Duration
+			for id, r := range churn {
+				if r.Epochs != 2 {
+					return nil, fmt.Errorf("E15 m=%d: party %d saw %d epochs, want 2", m, id, r.Epochs)
+				}
+				for _, sw := range r.SwitchWall {
+					if sw > maxSwitch {
+						maxSwitch = sw
+					}
+				}
+				if r.PoolGenesis != nil && r.PoolFinal != nil && r.PoolGenesis[0] != r.PoolFinal[0] {
+					return nil, fmt.Errorf("E15 m=%d: pool secret changed across the re-deal at party %d", m, id)
+				}
+			}
+			if st := static[0]; st.Epochs != 1 {
+				return nil, fmt.Errorf("E15 m=%d: static run saw %d epochs, want 1", m, st.Epochs)
+			}
+			if jr := churn[m]; jr.JoinedAt < 0 {
+				return nil, fmt.Errorf("E15 m=%d: replacement party %d never joined", m, m)
+			}
+			staticWalls = append(staticWalls, staticWall)
+			churnWalls = append(churnWalls, churnWall)
+			switchWalls = append(switchWalls, maxSwitch)
+		}
+
+		staticWall := medianDuration(staticWalls)
+		churnWall := medianDuration(churnWalls)
+		staticRate := float64(slots) / staticWall.Seconds()
+		churnRate := float64(slots) / churnWall.Seconds()
+		retention := churnRate / staticRate
+		if m == sizes[len(sizes)-1] {
+			headline = retention
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(m), ms(staticWall), fmt.Sprintf("%.0f", staticRate),
+			ms(churnWall), fmt.Sprintf("%.0f", churnRate),
+			f2(retention), ms(medianDuration(switchWalls)),
+		})
+	}
+	t.Notes = fmt.Sprintf("%d-slot runs, swap at slot %d, activation lag %d, pool size 1 opened before and after; medians over %d seed(s) per cell; switch is the slowest party's barrier→ready wall; every run replicated bit-identically across all m+1 parties", slots, swapAt, lag, trials)
+	t.Headline, t.HeadlineName = headline, fmt.Sprintf("churn/static slots/s retention at m=%d", sizes[len(sizes)-1])
+	if headline < 0.25 {
+		return t, fmt.Errorf("E15: throughput retention %.2fx < 0.25x under one mid-run swap", headline)
+	}
+	return t, nil
+}

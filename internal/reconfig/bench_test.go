@@ -1,0 +1,51 @@
+package reconfig
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+// BenchmarkEpochSwitch measures ledger throughput across a full epoch
+// boundary: a 12-slot run on a 6-party universe with one mid-run swap
+// (join + removal), so the pipeline quiesces, the pool is re-dealt onto
+// the new group, and admission resumes. The headline is end-to-end churn
+// slots per second — the dip this number shows against the static-run
+// slot rate is the cost of a membership change, and the CI bench gate
+// tracks it for regressions.
+func BenchmarkEpochSwitch(b *testing.B) {
+	const universe, tf, slots = 6, 1, 12
+	parties := []int{0, 1, 2, 3, 4, 5}
+	for i := 0; i < b.N; i++ {
+		c := testkit.New(universe, tf,
+			testkit.WithSeed(int64(i+1)),
+			testkit.WithTimeout(480*time.Second))
+		res := c.Run(parties, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			return Run(ctx, c.Ctx, env, Options{
+				Session:  "bench/epoch",
+				Genesis:  []int{0, 1, 2, 3},
+				Slots:    slots,
+				Core:     testCfg(),
+				PoolSize: 1,
+				Input:    func(slot int) []byte { return payloadFor(env.ID, slot) },
+				Source: NewSource(
+					ScheduledChange{Slot: 3, Change: Change{Add: true, Party: 4}},
+					ScheduledChange{Slot: 3, Change: Change{Add: false, Party: 0}},
+				),
+			})
+		})
+		for id, r := range res {
+			if r.Err != nil {
+				b.Fatalf("party %d: %v", id, r.Err)
+			}
+			if rr := r.Value.(*Result); rr.Epochs != 2 {
+				b.Fatalf("party %d saw %d epochs, want 2", id, rr.Epochs)
+			}
+		}
+		c.Close()
+	}
+	b.ReportMetric(float64(slots*b.N)/b.Elapsed().Seconds(), "churn_slots/s")
+}

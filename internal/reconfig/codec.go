@@ -1,0 +1,105 @@
+package reconfig
+
+import (
+	"bytes"
+
+	"asyncft/internal/wire"
+)
+
+// Change is one membership operation carried on the ledger. Add installs
+// Party into the member set; !Add removes it. Addr optionally carries the
+// party's transport address with an AddParty (how a real deployment's
+// existing members learn where to reach a joiner — see transport.AddPeer);
+// it is advisory and never affects the epoch schedule.
+type Change struct {
+	Add   bool
+	Party int
+	Addr  string
+}
+
+// entryMagic prefixes every ledger entry that carries membership
+// operations. The prefix is reserved: an application payload beginning
+// with these bytes would be parsed as an ops entry at every party alike
+// (deterministically — agreement is never at risk), so applications must
+// not start payloads with it. The leading NUL keeps accidental collisions
+// with text payloads out of the question.
+var entryMagic = []byte("\x00rcfg1")
+
+// Codec bounds. Oversized fields make an entry malformed; malformed
+// entries deterministically decode as plain application payloads, so a
+// Byzantine party cannot desync the schedule with garbage — only submit
+// app bytes like anyone else.
+const (
+	// MaxChangesPerEntry bounds the operations one entry may carry.
+	MaxChangesPerEntry = 64
+	// MaxAddrLen bounds an advisory transport address.
+	MaxAddrLen = 256
+	// maxParty bounds party indices accepted by the decoder; real indices
+	// are bounded by the universe size, checked later by the schedule.
+	maxParty = 1 << 20
+	// maxAppBytes bounds the embedded application payload (comfortably
+	// above the broadcast value cap, so no legitimate entry is refused).
+	maxAppBytes = 4 << 20
+)
+
+// EncodePayload encodes membership operations plus an optional trailing
+// application payload into one ledger entry. With no changes the app
+// bytes are returned as-is (no magic framing), so ops-free slots carry
+// exactly what the application submitted.
+func EncodePayload(changes []Change, app []byte) []byte {
+	if len(changes) == 0 {
+		return app
+	}
+	var w wire.Writer
+	w.Int(len(changes))
+	for _, ch := range changes {
+		flags := byte(0)
+		if ch.Add {
+			flags = 1
+		}
+		w.Byte(flags)
+		w.Int(ch.Party)
+		w.BytesField([]byte(ch.Addr))
+	}
+	w.BytesField(app)
+	return append(append([]byte{}, entryMagic...), w.Bytes()...)
+}
+
+// DecodePayload splits a committed entry into its membership operations
+// and application payload. Entries without the magic prefix — including
+// every malformed ops entry — are plain app data: (nil, payload, false).
+// The decode is a pure function of the bytes, so all parties classify
+// every committed entry identically and the epoch schedule cannot
+// diverge on hostile input.
+func DecodePayload(payload []byte) (changes []Change, app []byte, ok bool) {
+	if !bytes.HasPrefix(payload, entryMagic) {
+		return nil, payload, false
+	}
+	r := wire.NewReader(payload[len(entryMagic):])
+	n := r.Int()
+	if r.Err() != nil || n < 1 || n > MaxChangesPerEntry {
+		return nil, payload, false
+	}
+	out := make([]Change, 0, n)
+	for i := 0; i < n; i++ {
+		flags := r.Byte()
+		party := r.Int()
+		addr := r.BytesField(MaxAddrLen)
+		if r.Err() != nil || flags > 1 || party > maxParty {
+			return nil, payload, false
+		}
+		out = append(out, Change{Add: flags == 1, Party: party, Addr: string(addr)})
+	}
+	appBytes := r.BytesField(maxAppBytes)
+	if r.Err() != nil {
+		return nil, payload, false
+	}
+	// Canonical-form check: re-encoding must reproduce the input exactly,
+	// which rejects trailing garbage and every non-canonical varint in one
+	// stroke. Losers of this check are app data like any other malformed
+	// entry.
+	if !bytes.Equal(EncodePayload(out, appBytes), payload) {
+		return nil, payload, false
+	}
+	return out, appBytes, true
+}

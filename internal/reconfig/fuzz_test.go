@@ -1,0 +1,61 @@
+package reconfig
+
+import (
+	"bytes"
+	"testing"
+
+	"asyncft/internal/acs"
+)
+
+// FuzzReconfigCodec feeds arbitrary bytes through the payload codec and
+// the schedule fold. The invariants under attack: DecodePayload never
+// panics; anything it rejects is preserved verbatim as application data;
+// anything it accepts re-encodes to the identical bytes (canonical form,
+// so no two wire forms of the same operation list exist); and folding a
+// ledger entry carrying the bytes never panics or moves the member set
+// outside its guard rails — a malformed entry cannot desync the epoch
+// schedule, only be ignored by it.
+func FuzzReconfigCodec(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("plain app payload"))
+	f.Add([]byte(entryMagic))
+	f.Add(EncodePayload([]Change{{Add: true, Party: 4, Addr: "127.0.0.1:1"}}, []byte("app")))
+	f.Add(EncodePayload([]Change{{Add: false, Party: 0}, {Add: true, Party: 7}}, nil))
+	f.Add(append([]byte(entryMagic), 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		changes, app, ok := DecodePayload(data)
+		if !ok {
+			if changes != nil {
+				t.Fatalf("rejected payload returned ops %v", changes)
+			}
+			if !bytes.Equal(app, data) {
+				t.Fatalf("rejected payload not preserved as app data")
+			}
+		} else {
+			re := EncodePayload(changes, app)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("accepted payload is not canonical: %x re-encodes to %x", data, re)
+			}
+			if len(changes) > MaxChangesPerEntry {
+				t.Fatalf("accepted %d ops, cap is %d", len(changes), MaxChangesPerEntry)
+			}
+		}
+
+		// Fold the bytes as a committed entry: the schedule must stay
+		// within its guard rails whatever arrives on the ledger.
+		st := acs.NewStore()
+		st.SetSlot(0, []acs.Entry{{Slot: 0, Party: 0, Payload: data}})
+		st.SetSlot(1, []acs.Entry{})
+		sc := newSchedule([]int{0, 1, 2, 3}, 1, 8)
+		mem := sc.membershipAt(st, 1)
+		if len(mem) < MinMembers {
+			t.Fatalf("schedule shrank below MinMembers: %v", mem)
+		}
+		for _, p := range mem {
+			if p < 0 || p >= 8 {
+				t.Fatalf("member %d outside universe", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package reconfig
+
+import (
+	"sync/atomic"
+
+	"asyncft/internal/runtime"
+	"asyncft/internal/wire"
+)
+
+// group is one epoch's virtual cluster as seen by one physical party: a
+// fresh runtime.Node/Env of exactly the epoch's m members, with virtual
+// indices 0..m−1 assigned by sorted physical id. Every existing protocol
+// (A-Cast, CommonSubset, SVSS, the full ACS slot) runs unchanged inside
+// the group — reseeding core/runtime party indices for epoch k+1 is the
+// construction of this struct, not a change to any protocol.
+//
+// Wiring: outbound, the group's Sender translates virtual ids back to
+// physical ones and forwards to the physical transport; inbound, a
+// RoutePrefix claim on the epoch's session subtree translates physical
+// senders to virtual ids and dispatches into the virtual node. Traffic
+// from physical parties outside the member set is dropped at the route —
+// a removed party is silenced for epoch k+1 by construction, exactly the
+// peer-table reseeding the epoch switch owes the transport layer.
+type group struct {
+	root    string // session subtree: SubSession(session, "e", epoch)
+	members []int  // sorted physical ids
+	env     *runtime.Env
+	vnode   *runtime.Node
+	vid     int         // this party's virtual id
+	toVirt  map[int]int // physical id -> virtual id
+	closed  atomic.Bool
+}
+
+// groupSender is the outbound translation: envelopes leave the virtual
+// node with virtual ids and hit the physical wire with physical ones.
+type groupSender struct {
+	g    *group
+	phys *runtime.Env
+}
+
+func (s *groupSender) Send(env wire.Envelope) {
+	if s.g.closed.Load() {
+		return
+	}
+	if env.To < 0 || env.To >= len(s.g.members) {
+		return
+	}
+	env.From = s.phys.ID
+	env.To = s.g.members[env.To]
+	s.phys.Net.Send(env)
+}
+
+// newGroup builds this party's side of the epoch group and claims the
+// epoch's session subtree on the physical node. Messages that arrived
+// before the claim (a fast peer already deep in epoch k+1 while this
+// party was still syncing its join) were buffered in physical mailboxes
+// and are adopted into the virtual node by RoutePrefix — the asynchronous
+// model's buffering survives the translation layer.
+func newGroup(phys *runtime.Env, session string, epoch int, members []int) *group {
+	m := len(members)
+	g := &group{
+		root:    runtime.SubSession(session, "e", epoch),
+		members: append([]int(nil), members...),
+		vid:     indexOf(members, phys.ID),
+		toVirt:  make(map[int]int, m),
+	}
+	for v, p := range members {
+		g.toVirt[p] = v
+	}
+	t := (m - 1) / 3
+	g.vnode = runtime.NewNode(g.vid, m, t)
+	forked := phys.Fork(g.root) // decorrelated randomness per epoch
+	g.env = &runtime.Env{
+		ID:   g.vid,
+		N:    m,
+		T:    t,
+		Node: g.vnode,
+		Net:  &groupSender{g: g, phys: phys},
+		Rand: forked.Rand,
+	}
+	// The remove func is deliberately dropped: the route stays claimed
+	// after Close so stray frames from slower peers die here instead of
+	// accumulating in physical mailboxes.
+	vnode := g.vnode
+	phys.Node.RoutePrefix(g.root+"/", func(env wire.Envelope) {
+		if g.closed.Load() {
+			return
+		}
+		vfrom, ok := g.toVirt[env.From]
+		if !ok {
+			return // not a member of this epoch: silenced
+		}
+		env.From = vfrom
+		env.To = g.vid
+		vnode.Dispatch(env)
+	})
+	return g
+}
+
+// Close tears the group down: inbound epoch traffic is discarded from now
+// on (the route stays claimed so stray frames from slower peers die here
+// instead of accumulating in physical mailboxes), outbound sends drop,
+// and the virtual node's mailboxes release every blocked receiver with
+// ErrClosed. This is the removed party's drain: the caller has already
+// barriered on its in-flight slots, so nothing live is cut.
+func (g *group) Close() {
+	if g.closed.Swap(true) {
+		return
+	}
+	g.vnode.Close()
+}

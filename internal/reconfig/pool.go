@@ -1,0 +1,243 @@
+package reconfig
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"asyncft/internal/commonsubset"
+	"asyncft/internal/core"
+	"asyncft/internal/field"
+	"asyncft/internal/runtime"
+	"asyncft/internal/svss"
+)
+
+// The pool is the epoch switch's long-lived SVSS-held state: PoolSize
+// secrets dealt once at genesis and re-dealt to every new member set at
+// each boundary, entirely over the existing SVSS + CommonSubset + batched
+// opening machinery. Correctness argument, in the standard proactive-
+// resharing shape:
+//
+// Party i of the old epoch holds row f_i of a symmetric bivariate sharing
+// of secret p; its Shamir share is u_i = f_i(0), and p interpolates from
+// any t_old+1 shares at zero. At the boundary each surviving member
+// (old ∩ new) deals its u_i as a fresh sharing over the NEW group; the
+// new group agrees — via CommonSubset with threshold t_old+1 — on a core
+// set of dealers whose deals completed, and every new member combines its
+// rows of the first t_old+1 core deals with the Lagrange-at-zero weights
+// of the dealers' OLD evaluation points. Linearity of the sharing makes
+// the combination a fresh degree-t_new sharing of Σ λ_i·u_i = p: same
+// secrets, brand-new polynomials, zero knowledge handed to parties that
+// left. A removed party's stale rows are useless for the new sharing, and
+// a joiner holds full-rank rows without ever seeing old material.
+
+// dealVector runs the share phase of count deals for each eligible dealer
+// on the (virtual) group env, agrees on a core set of k dealers whose
+// whole vector completed, and returns the sorted core set plus this
+// party's rows of every in-set deal. It is the mpc dealAll pattern with
+// an eligibility restriction: only eligible virtual ids deal (resharing
+// dealers must sit in both epochs), and the predicate can only flip for
+// them, so the agreed set always consists of actual dealers.
+func dealVector(ctx, helperCtx context.Context, env *runtime.Env, session string, eligible []int, count, k int, secrets []field.Elem, cfg core.Config) ([]int, map[int][]field.Poly, error) {
+	sess := func(d, i int) string { return runtime.SubSession(session, "d", d, i) }
+
+	pred := commonsubset.NewPredicate()
+	var mu sync.Mutex
+	rows := make(map[int][]field.Poly, len(eligible))
+	remaining := make(map[int]int, len(eligible))
+	ready := make(chan int, len(eligible))
+	errc := make(chan error, len(eligible)*count)
+	for _, d := range eligible {
+		rows[d] = make([]field.Poly, count)
+		remaining[d] = count
+	}
+	for _, d := range eligible {
+		for i := 0; i < count; i++ {
+			d, i := d, i
+			s := sess(d, i)
+			senv := env.Fork(s)
+			var secret field.Elem
+			if d == env.ID {
+				secret = secrets[i]
+			}
+			go func() {
+				sh, err := svss.RunShare(helperCtx, senv, s, d, secret)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if sh.Row == nil {
+					if err := svss.AwaitRow(helperCtx, senv, sh); err != nil {
+						errc <- err
+						return
+					}
+				}
+				mu.Lock()
+				rows[d][i] = sh.Row
+				remaining[d]--
+				done := remaining[d] == 0
+				mu.Unlock()
+				if done {
+					pred.Set(d)
+					ready <- d
+				}
+			}()
+		}
+	}
+
+	csSess := runtime.SubSession(session, "cs")
+	set, err := commonsubset.Run(ctx, env, csSess, pred, k,
+		cfg.CoinsFor(helperCtx, env, csSess), commonsubset.Options{BA: cfg.BA})
+	if err != nil {
+		return nil, nil, fmt.Errorf("reconfig deal %s: %w", session, err)
+	}
+
+	waiting := map[int]bool{}
+	mu.Lock()
+	for _, d := range set {
+		if remaining[d] > 0 {
+			waiting[d] = true
+		}
+	}
+	mu.Unlock()
+	for len(waiting) > 0 {
+		select {
+		case d := <-ready:
+			delete(waiting, d)
+		case err := <-errc:
+			return nil, nil, fmt.Errorf("reconfig deal %s: %w", session, err)
+		case <-ctx.Done():
+			return nil, nil, fmt.Errorf("reconfig deal %s: %w", session, ctx.Err())
+		}
+	}
+	out := make(map[int][]field.Poly, len(set))
+	mu.Lock()
+	for _, d := range set {
+		out[d] = rows[d]
+	}
+	mu.Unlock()
+	return set, out, nil
+}
+
+// dealPool deals the genesis pool on the epoch-0 group: every member
+// contributes size random secrets, CommonSubset picks a core set of
+// ≥ m−t dealers, and pool secret j is the aggregate Σ_{d∈S} v_dj — so
+// each pool value is uniform and secret as long as one core dealer is
+// honest, the exact trust statement of the coin and triple layers.
+func dealPool(ctx, helperCtx context.Context, env *runtime.Env, groupRoot string, size int, cfg core.Config) ([]field.Poly, error) {
+	secrets := make([]field.Elem, size)
+	for i := range secrets {
+		secrets[i] = field.Random(env.Rand)
+	}
+	all := make([]int, env.N)
+	for i := range all {
+		all[i] = i
+	}
+	sess := runtime.SubSession(groupRoot, "pool", "deal")
+	set, dealt, err := dealVector(ctx, helperCtx, env, sess, all, size, env.N-env.T, secrets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pool := make([]field.Poly, size)
+	for j := 0; j < size; j++ {
+		acc := field.Poly{0}
+		for _, d := range set {
+			acc = addRow(acc, dealt[d][j])
+		}
+		pool[j] = acc
+	}
+	return pool, nil
+}
+
+// resharePool re-deals the pool onto the new epoch's group at a boundary.
+// oldRows is this party's pool state from the outgoing epoch (nil at a
+// joiner). Dealers are the surviving members (old ∩ new, in their NEW
+// virtual indices); the Lagrange weights interpolate over their OLD
+// virtual evaluation points, where the shares actually live. Requires
+// ≥ t_old+1 survivors, checked by the caller's schedule guard.
+func resharePool(ctx, helperCtx context.Context, env *runtime.Env, groupRoot string, oldRows []field.Poly, oldMembers, newMembers []int, size, tOld int, cfg core.Config) ([]field.Poly, error) {
+	survivors := intersect(newMembers, oldMembers) // sorted physical ids
+	if len(survivors) < tOld+1 {
+		return nil, fmt.Errorf("reconfig %s: only %d surviving members, pool re-deal needs %d", groupRoot, len(survivors), tOld+1)
+	}
+	dealers := make([]int, len(survivors))       // new virtual ids
+	oldVirt := make(map[int]int, len(survivors)) // new vid -> old vid
+	for i, p := range survivors {
+		dealers[i] = indexOf(newMembers, p)
+		oldVirt[dealers[i]] = indexOf(oldMembers, p)
+	}
+
+	secrets := make([]field.Elem, size)
+	if oldRows != nil {
+		for j, row := range oldRows {
+			secrets[j] = row.Secret() // u_i = f_i(0), this party's old share
+		}
+	}
+	sess := runtime.SubSession(groupRoot, "pool", "reshare")
+	set, dealt, err := dealVector(ctx, helperCtx, env, sess, dealers, size, tOld+1, secrets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	use := set[:tOld+1] // sorted; t_old+1 points determine the old polynomial
+	oldIdx := make([]int, len(use))
+	for i, d := range use {
+		oldIdx[i] = oldVirt[d]
+	}
+	lam := lagrangeAtZero(oldIdx)
+	pool := make([]field.Poly, size)
+	for j := 0; j < size; j++ {
+		acc := field.Poly{0}
+		for i, d := range use {
+			acc = addRow(acc, scaleRow(lam[i], dealt[d][j]))
+		}
+		pool[j] = acc
+	}
+	return pool, nil
+}
+
+// openPool opens every pool secret on the epoch group via one batched
+// reconstruction round — the self-check used at genesis and at the final
+// epoch to certify the pool survived every re-deal bit-exact. Opening
+// obviously destroys secrecy; it is a verification mode, not part of a
+// production switch.
+func openPool(ctx context.Context, env *runtime.Env, groupRoot string, pool []field.Poly, cfg core.Config) ([]field.Elem, error) {
+	sess := runtime.SubSession(groupRoot, "pool", "open") + svss.RecSuffix
+	return svss.RunRecBatch(ctx, env, sess, -1, pool, cfg.SVSS)
+}
+
+// Row arithmetic over bivariate sharing rows (nil-propagating, matching
+// the mpc package's discipline: a nil row is a Byzantine dealer's hole).
+
+func addRow(a, b field.Poly) field.Poly {
+	if a == nil || b == nil {
+		return nil
+	}
+	return field.AddPoly(a, b)
+}
+
+func scaleRow(k field.Elem, p field.Poly) field.Poly {
+	if p == nil {
+		return nil
+	}
+	return field.ScalePoly(k, p)
+}
+
+// lagrangeAtZero returns weights λ_i with h(0) = Σ λ_i·h(X(idxs[i])) for
+// any polynomial h of degree < len(idxs) over the party evaluation points.
+func lagrangeAtZero(idxs []int) []field.Elem {
+	lam := make([]field.Elem, len(idxs))
+	for i, ii := range idxs {
+		xi := field.X(ii)
+		num, den := field.Elem(1), field.Elem(1)
+		for j, jj := range idxs {
+			if j == i {
+				continue
+			}
+			xj := field.X(jj)
+			num = field.Mul(num, xj)
+			den = field.Mul(den, field.Sub(xj, xi))
+		}
+		lam[i] = field.Div(num, den)
+	}
+	return lam
+}

@@ -1,0 +1,141 @@
+package reconfig
+
+import (
+	"testing"
+	"time"
+
+	"asyncft/internal/network"
+	"asyncft/internal/testkit"
+)
+
+// TestRollingReplacementChurnScenario is the headline churn scenario: all
+// four genesis parties are replaced one at a time during a 24-slot run,
+// so the final epoch's member set is entirely disjoint from genesis. The
+// harness asserts bit-identical ledgers across the whole universe (the
+// retired originals follow as observers to the very end), pool survival
+// across every re-deal, and that each joiner's own submissions commit.
+func TestRollingReplacementChurnScenario(t *testing.T) {
+	c := testkit.New(8, 1, testkit.WithSeed(29), testkit.WithTimeout(480*time.Second))
+	defer c.Close()
+
+	swaps := make([]ScheduledChange, 0, 8)
+	for i := 0; i < 4; i++ {
+		at := 4 * (i + 1) // slots 4, 8, 12, 16
+		swaps = append(swaps,
+			ScheduledChange{Slot: at, Change: Change{Add: true, Party: 4 + i}},
+			ScheduledChange{Slot: at, Change: Change{Add: false, Party: i}},
+		)
+	}
+	res := runDynamic(t, c, []int{0, 1, 2, 3, 4, 5, 6, 7}, Options{
+		Session:   "rc/rolling",
+		Genesis:   []int{0, 1, 2, 3},
+		Slots:     24,
+		Core:      testCfg(),
+		PoolSize:  1,
+		CheckPool: true,
+		Source:    NewSource(swaps...),
+	})
+
+	if got := res[4].FinalMembers; !equalInts(got, []int{4, 5, 6, 7}) {
+		t.Fatalf("final members %v, want the entirely-new set {4 5 6 7}", got)
+	}
+	for i := 0; i < 4; i++ {
+		if res[i].RemovedAt < 0 {
+			t.Fatalf("original party %d never removed", i)
+		}
+		joiner := res[4+i]
+		if joiner.JoinedAt < 0 {
+			t.Fatalf("replacement party %d never joined", 4+i)
+		}
+		slots := committedBy(res[7].Ledger, 4+i)
+		if len(slots) == 0 {
+			t.Fatalf("replacement party %d committed nothing", 4+i)
+		}
+		for _, s := range slots {
+			if s < joiner.JoinedAt {
+				t.Fatalf("party %d batch committed at slot %d before join boundary %d", 4+i, s, joiner.JoinedAt)
+			}
+		}
+	}
+	for id, rr := range res {
+		if rr.Epochs != 5 {
+			t.Fatalf("party %d saw %d epochs, want 5", id, rr.Epochs)
+		}
+	}
+}
+
+// TestJoinDuringLoadScenario grows the group while slots are in flight
+// under an adversarial delay policy: two joiners arrive at different
+// boundaries while the pipeline keeps admitting slots, exercising the
+// drain-under-old-gate path and the joiners' statesync bootstrap with
+// reordered, delayed delivery.
+func TestJoinDuringLoadScenario(t *testing.T) {
+	c := testkit.New(6, 1,
+		testkit.WithSeed(31),
+		testkit.WithTimeout(480*time.Second),
+		testkit.WithPolicy(network.NewDelay(31, 200*time.Microsecond, time.Millisecond)))
+	defer c.Close()
+
+	res := runDynamic(t, c, []int{0, 1, 2, 3, 4, 5}, Options{
+		Session:   "rc/joinload",
+		Genesis:   []int{0, 1, 2, 3},
+		Slots:     12,
+		Width:     2, // pipelined admission across the boundary
+		Core:      testCfg(),
+		PoolSize:  1,
+		CheckPool: true,
+		Source: NewSource(
+			ScheduledChange{Slot: 2, Change: Change{Add: true, Party: 4}},
+			ScheduledChange{Slot: 5, Change: Change{Add: true, Party: 5}},
+		),
+	})
+	if got := res[0].FinalMembers; !equalInts(got, []int{0, 1, 2, 3, 4, 5}) {
+		t.Fatalf("final members %v", got)
+	}
+	for _, j := range []int{4, 5} {
+		if res[j].JoinedAt < 0 {
+			t.Fatalf("joiner %d never joined", j)
+		}
+		if len(committedBy(res[0].Ledger, j)) == 0 {
+			t.Fatalf("joiner %d committed nothing", j)
+		}
+	}
+}
+
+// TestCrashedPartyRemovalScenario removes a party that has stopped
+// participating entirely: party 4 is crashed from the start, the
+// surviving members vote it out and co-opt a replacement, and the run
+// completes without it. The crashed party is excluded from the harness
+// (it can neither run the driver nor sync), so agreement is asserted over
+// the remaining universe.
+func TestCrashedPartyRemovalScenario(t *testing.T) {
+	c := testkit.New(6, 1,
+		testkit.WithSeed(37),
+		testkit.WithTimeout(480*time.Second),
+		testkit.WithCrashed(4))
+	defer c.Close()
+
+	res := runDynamic(t, c, []int{0, 1, 2, 3, 5}, Options{
+		Session:  "rc/crashrm",
+		Genesis:  []int{0, 1, 2, 3, 4},
+		Slots:    10,
+		Core:     testCfg(),
+		PoolSize: 1,
+		// No pool check: the crashed member cannot participate in the
+		// final opening round, and the point here is the schedule, not
+		// the pool.
+		Source: NewSource(
+			ScheduledChange{Slot: 1, Change: Change{Add: false, Party: 4}},
+			ScheduledChange{Slot: 1, Change: Change{Add: true, Party: 5}},
+		),
+	})
+	if got := res[0].FinalMembers; !equalInts(got, []int{0, 1, 2, 3, 5}) {
+		t.Fatalf("final members %v", got)
+	}
+	if res[5].JoinedAt < 0 {
+		t.Fatal("replacement never joined")
+	}
+	if len(committedBy(res[0].Ledger, 5)) == 0 {
+		t.Fatal("replacement committed nothing")
+	}
+}

@@ -1,0 +1,137 @@
+package reconfig
+
+import (
+	"sort"
+
+	"asyncft/internal/acs"
+)
+
+// MinMembers is the smallest member set an epoch may have: below four
+// parties the group tolerates zero faults and a single slow replica
+// stalls liveness, so committed changes that would shrink the set past
+// this bound are deterministically ignored.
+const MinMembers = 4
+
+// DefaultLag is the default activation lag: a membership change committed
+// in slot k reshapes the member set at slot k+Lag. The lag is what makes
+// the schedule computable before a slot starts — slot s's membership
+// depends only on slots ≤ s−Lag, which the admission gate has already
+// forced to commit — and it equals the maximum pipeline depth across a
+// boundary.
+const DefaultLag = 2
+
+// schedule deterministically folds committed membership operations into
+// the per-slot member set. Every party — member, joiner, observer — runs
+// the identical fold over the identical committed prefix, which is the
+// whole consistency argument: epoch boundaries are data, not messages.
+//
+// The fold reads slots pre-deduplication (acs.Store.Slot), in slot order,
+// entries within a slot in committed order, operations within an entry in
+// encoded order; operations are set-idempotent (re-adding a member or
+// removing a non-member is a no-op), so the n-fold duplication from every
+// member submitting pending ops is harmless by construction.
+type schedule struct {
+	lag      int
+	universe int // party indices are in [0, universe)
+	members  []int
+	set      map[int]bool
+	applied  int // slots whose operations are folded in
+}
+
+func newSchedule(genesis []int, lag, universe int) *schedule {
+	sc := &schedule{lag: lag, universe: universe, set: make(map[int]bool, len(genesis))}
+	for _, p := range genesis {
+		sc.set[p] = true
+	}
+	sc.members = sortedMembers(sc.set)
+	return sc
+}
+
+// membershipAt returns the member set of slot s, folding in committed
+// operations from slots ≤ s−lag. The caller must have those slots
+// committed in store (the admission gate's contract); querying must be in
+// non-decreasing s order.
+func (sc *schedule) membershipAt(store *acs.Store, s int) []int {
+	for k := sc.applied; k <= s-sc.lag; k++ {
+		entries, ok := store.Slot(k)
+		if !ok {
+			break // gate violation; fold what is available deterministically
+		}
+		for _, e := range entries {
+			changes, _, ok := DecodePayload(e.Payload)
+			if !ok {
+				continue
+			}
+			for _, ch := range changes {
+				sc.apply(ch)
+			}
+		}
+		sc.applied = k + 1
+	}
+	return sc.members
+}
+
+// apply folds one committed operation, enforcing the deterministic guard
+// rails: indices must lie in the universe, and removals never shrink the
+// set below MinMembers.
+func (sc *schedule) apply(ch Change) {
+	if ch.Party < 0 || ch.Party >= sc.universe {
+		return
+	}
+	if ch.Add {
+		if sc.set[ch.Party] {
+			return
+		}
+		sc.set[ch.Party] = true
+	} else {
+		if !sc.set[ch.Party] || len(sc.set) <= MinMembers {
+			return
+		}
+		delete(sc.set, ch.Party)
+	}
+	sc.members = sortedMembers(sc.set)
+}
+
+func sortedMembers(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func indexOf(members []int, id int) int {
+	for i, p := range members {
+		if p == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func intersect(a, b []int) []int {
+	in := make(map[int]bool, len(b))
+	for _, p := range b {
+		in[p] = true
+	}
+	var out []int
+	for _, p := range a { // preserves sorted order of a
+		if in[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package reconfig
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"asyncft/internal/network"
+	rt "asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+// TestSoakChurn is the nightly soak lane: repeated churn cycles under an
+// adversarial delay policy, with goroutine and heap deltas checked after
+// every cycle so a slow leak across epoch switches fails the lane instead
+// of an operator's pager. Gated on SOAK=1 — the regular test and race
+// jobs never pay for it. Budget is calibrated well inside the workflow's
+// 20-minute ceiling; CYCLES overrides the default for local runs.
+func TestSoakChurn(t *testing.T) {
+	if os.Getenv("SOAK") == "" {
+		t.Skip("soak lane only; set SOAK=1 to run")
+	}
+	cycles := 20
+	if s := os.Getenv("CYCLES"); s != "" {
+		fmt.Sscanf(s, "%d", &cycles)
+	}
+
+	runtime.GC()
+	gBase := runtime.NumGoroutine()
+	var mBase runtime.MemStats
+	runtime.ReadMemStats(&mBase)
+
+	for cy := 0; cy < cycles; cy++ {
+		seed := int64(1000 + cy)
+		c := testkit.New(8, 1,
+			testkit.WithSeed(seed),
+			testkit.WithTimeout(480*time.Second),
+			testkit.WithPolicy(network.NewDelay(seed, 200*time.Microsecond, time.Millisecond)))
+
+		// One full churn cycle: two swaps, a solo join and a solo
+		// removal, across a 16-slot run — every boundary flavor the
+		// driver supports, under delayed, reordered delivery.
+		res := runDynamic(t, c, []int{0, 1, 2, 3, 4, 5, 6, 7}, Options{
+			Session:   rt.SubSession("soak", cy),
+			Genesis:   []int{0, 1, 2, 3},
+			Slots:     16,
+			Width:     2,
+			Core:      testCfg(),
+			PoolSize:  1,
+			CheckPool: true,
+			Source: NewSource(
+				ScheduledChange{Slot: 2, Change: Change{Add: true, Party: 4}},
+				ScheduledChange{Slot: 2, Change: Change{Add: false, Party: 0}},
+				ScheduledChange{Slot: 6, Change: Change{Add: true, Party: 5}},
+				ScheduledChange{Slot: 6, Change: Change{Add: false, Party: 1}},
+				ScheduledChange{Slot: 9, Change: Change{Add: true, Party: 6}},
+				ScheduledChange{Slot: 12, Change: Change{Add: false, Party: 2}},
+			),
+		})
+		if got := res[3].FinalMembers; !equalInts(got, []int{3, 4, 5, 6}) {
+			t.Fatalf("cycle %d: final members %v", cy, got)
+		}
+		c.Close()
+
+		// Leak check: poll the goroutine count back to baseline, then
+		// compare live heap against the pre-soak snapshot.
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			runtime.GC()
+			if runtime.NumGoroutine() <= gBase+5 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("cycle %d: goroutine leak: baseline %d, now %d",
+					cy, gBase, runtime.NumGoroutine())
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if m.HeapAlloc > mBase.HeapAlloc+64<<20 {
+			t.Fatalf("cycle %d: heap growth: baseline %d MiB, now %d MiB",
+				cy, mBase.HeapAlloc>>20, m.HeapAlloc>>20)
+		}
+		if cy%5 == 4 {
+			t.Logf("cycle %d/%d ok: %d goroutines, %d MiB heap",
+				cy+1, cycles, runtime.NumGoroutine(), m.HeapAlloc>>20)
+		}
+	}
+}

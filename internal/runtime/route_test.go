@@ -1,0 +1,98 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"asyncft/internal/wire"
+)
+
+func routedEnv(session string, seq byte) wire.Envelope {
+	return wire.Envelope{From: 1, To: 0, Session: session, Type: 7, Payload: []byte{seq}}
+}
+
+// A prefix claim must divert new traffic and adopt what was already
+// buffered, in arrival order, without losing anything in between.
+func TestRoutePrefixAdoptsBufferedMailboxes(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	defer nd.Close()
+
+	// Buffered before the claim: two sessions under the prefix, one outside.
+	nd.Dispatch(routedEnv("g/e/0/rbc/1", 1))
+	nd.Dispatch(routedEnv("g/e/0/rbc/1", 2))
+	nd.Dispatch(routedEnv("g/e/0/cs", 3))
+	nd.Dispatch(routedEnv("g/e/1/cs", 4))
+
+	var got []wire.Envelope
+	remove := nd.RoutePrefix("g/e/0/", func(env wire.Envelope) {
+		got = append(got, env)
+	})
+	if len(got) != 3 {
+		t.Fatalf("adopted %d buffered messages, want 3", len(got))
+	}
+	perSession := map[string][]byte{}
+	for _, env := range got {
+		perSession[env.Session] = append(perSession[env.Session], env.Payload[0])
+	}
+	if s := perSession["g/e/0/rbc/1"]; len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Fatalf("rbc session drained out of order: %v", s)
+	}
+
+	// New traffic under the prefix goes to the handler, not a mailbox.
+	nd.Dispatch(routedEnv("g/e/0/rbc/2", 5))
+	if len(got) != 4 || got[3].Payload[0] != 5 {
+		t.Fatalf("live message not routed: %v", got)
+	}
+
+	// Traffic outside the prefix still reaches mailboxes.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	env, err := nd.Mailbox("g/e/1/cs").Recv(ctx)
+	if err != nil || env.Payload[0] != 4 {
+		t.Fatalf("unrouted session broken: %v %v", env, err)
+	}
+
+	// After removal the prefix buffers in mailboxes again.
+	remove()
+	nd.Dispatch(routedEnv("g/e/0/rbc/2", 6))
+	if len(got) != 4 {
+		t.Fatalf("removed route still consuming: %d", len(got))
+	}
+	env, err = nd.Mailbox("g/e/0/rbc/2").Recv(ctx)
+	if err != nil || env.Payload[0] != 6 {
+		t.Fatalf("post-removal delivery broken: %v %v", env, err)
+	}
+}
+
+// An adopted mailbox is closed: a receiver blocked on it (or arriving
+// later through the old handle) gets ErrClosed instead of hanging on a
+// queue the route now owns.
+func TestRoutePrefixClosesAdoptedMailboxes(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	defer nd.Close()
+
+	box := nd.Mailbox("g/e/0/rbc/1")
+	nd.RoutePrefix("g/e/0/", func(wire.Envelope) {})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := box.Recv(ctx); err != ErrClosed {
+		t.Fatalf("recv on adopted mailbox: %v, want ErrClosed", err)
+	}
+}
+
+// Overlength check that the newest claim wins when prefixes nest — the
+// later, more specific epoch subtree must shadow a stale broader claim.
+func TestRoutePrefixNewestWins(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	defer nd.Close()
+
+	var broad, narrow int
+	nd.RoutePrefix("g/", func(wire.Envelope) { broad++ })
+	nd.RoutePrefix("g/e/1/", func(wire.Envelope) { narrow++ })
+	nd.Dispatch(routedEnv("g/e/1/cs", 1))
+	nd.Dispatch(routedEnv("g/e/0/cs", 2))
+	if narrow != 1 || broad != 1 {
+		t.Fatalf("narrow=%d broad=%d, want 1/1", narrow, broad)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 
 	"asyncft/internal/wire"
@@ -30,10 +31,20 @@ type Node struct {
 
 	mu      sync.Mutex
 	boxes   map[string]*Mailbox
+	routes  []*route       // prefix handlers, consulted before mailboxes
 	shunGen map[int]uint64 // party -> generation at which it was shunned
 	gen     uint64         // monotonically increases with each new mailbox
 	shuns   int            // total shun events recorded by this node
 	closed  bool
+}
+
+// route diverts every envelope whose session starts with prefix to h
+// instead of a mailbox. Routes carry epoch-group traffic in
+// internal/reconfig: one physical node hosts a sequence of virtual
+// per-epoch nodes, each claiming its session subtree.
+type route struct {
+	prefix string
+	h      func(wire.Envelope)
 }
 
 // NewNode creates a node for party id among n parties tolerating t faults.
@@ -56,8 +67,21 @@ func (nd *Node) ID() int { return nd.id }
 // before the envelope is retained, so a hot session decoded from the wire
 // thousands of times pins exactly one string: freshly decoded duplicates
 // become garbage at the next GC instead of accumulating in mailboxes.
+//
+// Sessions claimed by a RoutePrefix handler bypass mailboxes (and the shun
+// filter — a routed subtree does its own sender admission). The route check
+// and the mailbox push happen under one critical section, so a message is
+// either seen by RoutePrefix's adoption sweep or diverted to the route;
+// none can slip into a mailbox the sweep already drained.
 func (nd *Node) Dispatch(env wire.Envelope) {
 	nd.mu.Lock()
+	for i := len(nd.routes) - 1; i >= 0; i-- {
+		if r := nd.routes[i]; strings.HasPrefix(env.Session, r.prefix) {
+			nd.mu.Unlock()
+			r.h(env)
+			return
+		}
+	}
 	box := nd.box(env.Session)
 	env.Session = box.session
 	if g, shunned := nd.shunGen[env.From]; shunned && box.gen > g {
@@ -68,8 +92,52 @@ func (nd *Node) Dispatch(env wire.Envelope) {
 		nd.mu.Unlock()
 		return
 	}
-	nd.mu.Unlock()
 	box.push(env)
+	nd.mu.Unlock()
+}
+
+// RoutePrefix claims the session subtree rooted at prefix: every envelope
+// whose session starts with prefix is handed to h instead of a mailbox,
+// from this call on. Messages that arrived before the claim are not lost —
+// mailboxes already buffering sessions under the prefix are adopted:
+// removed from the node, drained into h in arrival order, and closed. The
+// returned function releases the claim (buffered messages handed to h are
+// not returned).
+//
+// h is called from Dispatch's goroutine (the transport read loop or the
+// simulated router) and must not block.
+func (nd *Node) RoutePrefix(prefix string, h func(wire.Envelope)) (remove func()) {
+	r := &route{prefix: prefix, h: h}
+	nd.mu.Lock()
+	nd.routes = append(nd.routes, r)
+	var adopted []*Mailbox
+	for s, b := range nd.boxes {
+		if strings.HasPrefix(s, prefix) {
+			delete(nd.boxes, s)
+			adopted = append(adopted, b)
+		}
+	}
+	nd.mu.Unlock()
+	for _, b := range adopted {
+		for {
+			env, ok := b.TryRecv()
+			if !ok {
+				break
+			}
+			h(env)
+		}
+		b.close()
+	}
+	return func() {
+		nd.mu.Lock()
+		defer nd.mu.Unlock()
+		for i, cur := range nd.routes {
+			if cur == r {
+				nd.routes = append(nd.routes[:i], nd.routes[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 // box returns (creating if needed) the mailbox for a session. Caller holds mu.

@@ -13,8 +13,8 @@ import (
 	"asyncft/internal/runtime"
 )
 
-// headRetryInterval is how often an unanswered head request re-broadcasts
-// (see fetchHead).
+// headRetryInterval is the default for how often an unanswered head
+// request re-broadcasts (see fetchHead and Options.HeadRetry).
 const headRetryInterval = 2 * time.Second
 
 // Fetch retrieves and verifies the committed entries of slots [lo, hi)
@@ -41,7 +41,7 @@ func Fetch(ctx context.Context, env *runtime.Env, name string, lo, hi int, ancho
 	if !req.valid() {
 		return nil, fmt.Errorf("statesync %s: range [%d, %d) exceeds %d chunks", name, lo, hi, maxBoundsPerHead)
 	}
-	h, err := fetchHead(ctx, env, name, req)
+	h, err := fetchHead(ctx, env, name, req, opts.headRetry())
 	if err != nil {
 		return nil, err
 	}
@@ -113,14 +113,14 @@ func Sync(ctx context.Context, env *runtime.Env, name string, store *acs.Store, 
 // slot was displaced by this party's other concurrent sync client (one
 // pending request per requester) answers the re-send once the range is
 // available, so concurrent clients contend for the slot but never starve.
-func fetchHead(ctx context.Context, env *runtime.Env, name string, req headReq) (head, error) {
+func fetchHead(ctx context.Context, env *runtime.Env, name string, req headReq, retry time.Duration) (head, error) {
 	session := HeadSession(name)
 	request := encodeHeadReq(req)
 	env.SendAll(session, msgHeadReq, request)
 	reply := runtime.SubSession(session, "r", env.ID, req.nonce)
 	latest := make(map[int]string) // sender -> its current head encoding
 	for {
-		wctx, cancel := context.WithTimeout(ctx, headRetryInterval)
+		wctx, cancel := context.WithTimeout(ctx, retry)
 		msg, err := env.Recv(wctx, reply)
 		cancel()
 		if err != nil {

@@ -35,6 +35,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"sync"
+	"time"
 
 	"asyncft/internal/acs"
 	"asyncft/internal/rbc"
@@ -72,6 +73,12 @@ type Options struct {
 	// threshold travel as per-server Reed–Solomon fragments instead of
 	// full copies (see rbc.ServePulls).
 	RBC rbc.Options
+	// HeadRetry is how often an unanswered head request re-broadcasts
+	// (default 2s). Bootstrap paths that race a live ledger — a joiner
+	// entering a dynamic-membership run — tighten this so the first
+	// request lost to a not-yet-known peer address does not cost a full
+	// interval of lag.
+	HeadRetry time.Duration
 }
 
 func (o Options) chunkSlots() int {
@@ -86,6 +93,13 @@ func (o Options) maxChunkBytes() int {
 		return o.MaxChunkBytes
 	}
 	return DefaultMaxChunkBytes
+}
+
+func (o Options) headRetry() time.Duration {
+	if o.HeadRetry > 0 {
+		return o.HeadRetry
+	}
+	return headRetryInterval
 }
 
 // Message types of the head session. Chunk transfer reuses the rbc pull

@@ -101,8 +101,9 @@ func (p *peer) pending() int {
 }
 
 // Listen starts a transport for party id. addrs maps every party id to its
-// host:port; addrs[id] is the local listen address. handler receives all
-// inbound messages.
+// host:port; addrs[id] is the local listen address, and empty entries are
+// ignored (an unknown peer whose address arrives later via AddPeer).
+// handler receives all inbound messages.
 func Listen(id int, addrs map[int]string, handler Handler) (*TCP, error) {
 	local, ok := addrs[id]
 	if !ok {
@@ -112,9 +113,17 @@ func Listen(id int, addrs map[int]string, handler Handler) (*TCP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", local, err)
 	}
+	// The table is copied (dropping empty entries): AddPeer mutates it at
+	// runtime and must not race the caller's map.
+	table := make(map[int]string, len(addrs))
+	for id, a := range addrs {
+		if a != "" {
+			table[id] = a
+		}
+	}
 	t := &TCP{
 		id:      id,
-		addrs:   addrs,
+		addrs:   table,
 		ln:      ln,
 		handler: handler,
 		peers:   make(map[int]*peer),
@@ -128,6 +137,31 @@ func Listen(id int, addrs map[int]string, handler Handler) (*TCP, error) {
 // Addr returns the bound listen address (useful with ":0" ports).
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
 
+// AddPeer installs (or replaces) a peer's address at runtime — the hook
+// dynamic membership uses when a committed AddParty entry carries the
+// joiner's address. Frames already queued to the peer dial the new address
+// on the next (re)connect; an id whose address was unknown simply starts
+// accepting sends. Idempotent and safe under concurrent Send.
+func (t *TCP) AddPeer(id int, addr string) {
+	if addr == "" || id == t.id {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.addrs[id] = addr
+}
+
+// addrOf reads the (mutable) peer table.
+func (t *TCP) addrOf(id int) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.addrs[id]
+	return a, ok
+}
+
 // Send implements runtime.Sender. Self-sends short-circuit to the handler;
 // everything else is queued to the destination's writer goroutine.
 func (t *TCP) Send(env wire.Envelope) {
@@ -135,7 +169,7 @@ func (t *TCP) Send(env wire.Envelope) {
 		t.handler(env)
 		return
 	}
-	if _, ok := t.addrs[env.To]; !ok {
+	if _, ok := t.addrOf(env.To); !ok {
 		return // unknown destination: drop, like the simulated router
 	}
 	frame := wire.GetBuf()
@@ -266,8 +300,9 @@ func (t *TCP) writeLoop(to int, p *peer) {
 		}
 		for { // send the whole batch, redialing until it is flushed
 			if conn == nil {
+				addr, _ := t.addrOf(to)
 				var err error
-				conn, err = net.DialTimeout("tcp", t.addrs[to], 2*time.Second)
+				conn, err = net.DialTimeout("tcp", addr, 2*time.Second)
 				if err != nil {
 					select {
 					case <-time.After(backoff):

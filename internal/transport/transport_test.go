@@ -234,6 +234,80 @@ func TestReconnectAfterPeerRestart(t *testing.T) {
 	}
 }
 
+// TestAddPeerEnablesDelivery: a destination unknown at Listen time is
+// dropped, then starts receiving once AddPeer installs its address — the
+// joiner path of dynamic membership, where a committed AddParty entry
+// carries the new party's address.
+func TestAddPeerEnablesDelivery(t *testing.T) {
+	joinerNode := runtime.NewNode(1, 2, 0)
+	joiner, err := Listen(1, map[int]string{1: "127.0.0.1:0"}, joinerNode.Dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+	defer joinerNode.Close()
+
+	senderNode := runtime.NewNode(0, 2, 0)
+	// Empty entry: peer 1 exists in the universe but its address is unknown.
+	sender, err := Listen(0, map[int]string{0: "127.0.0.1:0", 1: ""}, senderNode.Dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	defer senderNode.Close()
+
+	sender.Send(wire.Envelope{From: 0, To: 1, Session: "join", Type: 1, Payload: []byte("early")})
+	sender.AddPeer(1, joiner.Addr())
+	sender.Send(wire.Envelope{From: 0, To: 1, Session: "join", Type: 1, Payload: []byte("after")})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	env, err := joinerNode.Mailbox("join").Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-AddPeer send was dropped (unknown destination semantics);
+	// the post-AddPeer send is the first to arrive.
+	if string(env.Payload) != "after" {
+		t.Fatalf("got %q, want %q", env.Payload, "after")
+	}
+}
+
+// AddPeer must be safe under concurrent senders (race detector checks).
+func TestAddPeerConcurrentWithSend(t *testing.T) {
+	recvNode := runtime.NewNode(1, 3, 0)
+	recv, err := Listen(1, map[int]string{1: "127.0.0.1:0"}, recvNode.Dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	defer recvNode.Close()
+	senderNode := runtime.NewNode(0, 3, 0)
+	sender, err := Listen(0, map[int]string{0: "127.0.0.1:0"}, senderNode.Dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	defer senderNode.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	//asyncftvet:ignore ctxleak finite loop, joined by wg.Wait below
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			sender.Send(wire.Envelope{From: 0, To: 1, Session: "c", Type: 1, Payload: []byte{byte(i)}})
+		}
+	}()
+	//asyncftvet:ignore ctxleak finite loop, joined by wg.Wait below
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			sender.AddPeer(1, recv.Addr())
+		}
+	}()
+	wg.Wait()
+}
+
 func TestUnknownDestinationDropped(t *testing.T) {
 	c := newTCPCluster(t, 2, 0)
 	defer c.close()

@@ -1,0 +1,259 @@
+package asyncft
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"asyncft/internal/reconfig"
+	"asyncft/internal/runtime"
+)
+
+// foldMembership replays the committed membership operations of a ledger
+// exactly like every party does internally: an operation committed in slot
+// k reshapes the member set at slot k+lag. It returns the join slot per
+// party (−1 for genesis members) and the final member set — the test-side
+// oracle for asserting who was a member when.
+func foldMembership(ledger []LedgerEntry, genesis []int, lag, slots, universe int) (map[int]int, []int) {
+	set := make(map[int]bool, len(genesis))
+	for _, p := range genesis {
+		set[p] = true
+	}
+	joined := make(map[int]int)
+	for _, p := range genesis {
+		joined[p] = -1
+	}
+	bySlot := make(map[int][]LedgerEntry)
+	for _, e := range ledger {
+		bySlot[e.Slot] = append(bySlot[e.Slot], e)
+	}
+	for s := 0; s < slots; s++ {
+		for _, e := range bySlot[s] {
+			changes, _, ok := reconfig.DecodePayload(e.Payload)
+			if !ok {
+				continue
+			}
+			for _, ch := range changes {
+				if ch.Party < 0 || ch.Party >= universe {
+					continue
+				}
+				if ch.Add {
+					if !set[ch.Party] {
+						set[ch.Party] = true
+						if _, seen := joined[ch.Party]; !seen {
+							joined[ch.Party] = s + lag
+						}
+					}
+				} else if set[ch.Party] && len(set) > reconfig.MinMembers {
+					delete(set, ch.Party)
+				}
+			}
+		}
+	}
+	var final []int
+	for p := range set {
+		final = append(final, p)
+	}
+	return joined, final
+}
+
+// TestRollingReplacementScenario is the acceptance scenario for dynamic
+// membership: an 8-party cluster starts a ledger on parties {0,1,2,3} and
+// replaces every original one at a time during a 24-slot run, so the
+// surviving set {4,5,6,7} is entirely disjoint from genesis. The run's
+// built-in checks enforce bit-identical ledgers across all eight parties
+// (the retired originals follow as observers) plus final-member and pool
+// agreement; the test additionally asserts each joiner's own submissions
+// committed, and only after its join boundary.
+func TestRollingReplacementScenario(t *testing.T) {
+	const slots, lag = 24, 2
+	c, err := New(Config{N: 8, T: 1, Seed: 17, Coin: CoinLocal, CoinRounds: 1, Timeout: 300 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var changes []MembershipChange
+	for i := 0; i < 4; i++ {
+		at := 4 * (i + 1) // slots 4, 8, 12, 16
+		changes = append(changes,
+			MembershipChange{Slot: at, Add: true, Party: 4 + i},
+			MembershipChange{Slot: at, Add: false, Party: i},
+		)
+	}
+	genesis := []int{0, 1, 2, 3}
+	ledger, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{
+		Session:  "rolling",
+		Slots:    slots,
+		Payloads: ledgerPayload,
+		DynamicMembership: &DynamicMembership{
+			Genesis:   genesis,
+			Lag:       lag,
+			Changes:   changes,
+			PoolSize:  2,
+			CheckPool: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	joined, final := foldMembership(ledger, genesis, lag, slots, 8)
+	if len(final) != 4 {
+		t.Fatalf("final member set %v, want 4 parties", final)
+	}
+	for _, p := range final {
+		if p < 4 {
+			t.Fatalf("original party %d survived the rolling replacement: %v", p, final)
+		}
+	}
+	for p := 4; p < 8; p++ {
+		join, ok := joined[p]
+		if !ok {
+			t.Fatalf("replacement party %d never joined", p)
+		}
+		var slots []int
+		for _, e := range ledger {
+			if _, app, _ := reconfig.DecodePayload(e.Payload); bytes.HasPrefix(app, []byte(fmt.Sprintf("tx/p%d/", p))) {
+				slots = append(slots, e.Slot)
+			}
+		}
+		if len(slots) == 0 {
+			t.Fatalf("replacement party %d committed no batches", p)
+		}
+		for _, s := range slots {
+			if s < join {
+				t.Fatalf("party %d batch committed at slot %d before its join boundary %d", p, s, join)
+			}
+		}
+	}
+}
+
+// TestByzantineRemovalScenario removes an actively Byzantine party
+// mid-run: genesis member 3 floods the run's epoch-0 sessions with
+// garbage instead of running the protocol, the honest members vote it out
+// and co-opt party 4, and the ledger completes with the noise source
+// silenced at the epoch-1 route by construction.
+func TestByzantineRemovalScenario(t *testing.T) {
+	const slots, lag = 10, 2
+	e0 := runtime.SubSession("abc/brm", "e", 0)
+	cfg := Config{N: 6, T: 1, Seed: 23, Coin: CoinLocal, CoinRounds: 1, Timeout: 300 * time.Second,
+		Byzantine: map[int]Behavior{3: Noise(
+			runtime.SubSession(e0, "slot", 0, "rbc", 0),
+			runtime.SubSession(e0, "slot", 1, "cs"),
+			runtime.SubSession(e0, "pool", "deal"),
+		)}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	genesis := []int{0, 1, 2, 3}
+	ledger, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{
+		Session:  "brm",
+		Slots:    slots,
+		Payloads: ledgerPayload,
+		DynamicMembership: &DynamicMembership{
+			Genesis: genesis,
+			Lag:     lag,
+			Changes: []MembershipChange{
+				{Slot: 1, Add: true, Party: 4},
+				{Slot: 1, Add: false, Party: 3},
+			},
+			PoolSize: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, final := foldMembership(ledger, genesis, lag, slots, 6)
+	for _, p := range final {
+		if p == 3 {
+			t.Fatalf("Byzantine party 3 still a member at the end: %v", final)
+		}
+	}
+	for _, e := range ledger {
+		if _, app, _ := reconfig.DecodePayload(e.Payload); bytes.HasPrefix(app, []byte("tx/p4/")) {
+			return // the co-opted replacement committed a batch
+		}
+	}
+	t.Fatal("replacement party 4 committed nothing")
+}
+
+// TestReconfigureMidRun injects a membership operation through the public
+// Cluster.Reconfigure entry point while the run is in flight, instead of
+// scheduling it up front.
+func TestReconfigureMidRun(t *testing.T) {
+	const slots = 10
+	c, err := New(Config{N: 6, T: 1, Seed: 29, Coin: CoinLocal, CoinRounds: 1, Timeout: 300 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Reconfigure("nosuch", MembershipChange{Slot: 0, Add: true, Party: 4}); err == nil {
+		t.Fatal("Reconfigure on an unregistered session must error")
+	}
+
+	go func() {
+		// Inject once the run has registered its source; before that the
+		// call reports an unknown session and we retry.
+		for {
+			err := c.Reconfigure("midrun", MembershipChange{Slot: 2, Add: true, Party: 4})
+			if err == nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	ledger, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{
+		Session:  "midrun",
+		Slots:    slots,
+		Payloads: ledgerPayload,
+		DynamicMembership: &DynamicMembership{
+			Genesis: []int{0, 1, 2, 3},
+			Lag:     2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, final := foldMembership(ledger, []int{0, 1, 2, 3}, 2, slots, 6)
+	if _, ok := joined[4]; !ok {
+		t.Fatalf("injected join never activated; final set %v", final)
+	}
+}
+
+// TestDynamicMembershipSpecValidation exercises the public-surface guard
+// rails: bad genesis sets, Resume incompatibility, session reuse.
+func TestDynamicMembershipSpecValidation(t *testing.T) {
+	c, err := New(Config{N: 6, T: 1, Seed: 31, Coin: CoinLocal, CoinRounds: 1, Timeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bad := []AtomicBroadcastSpec{
+		{Session: "v1", Slots: 4, DynamicMembership: &DynamicMembership{Genesis: []int{0, 1, 2}}},
+		{Session: "v2", Slots: 4, DynamicMembership: &DynamicMembership{Genesis: []int{3, 2, 1, 0}}},
+		{Session: "v3", Slots: 4, DynamicMembership: &DynamicMembership{Genesis: []int{0, 1, 2, 9}}},
+		{Session: "v4", Slots: 4, DynamicMembership: &DynamicMembership{Genesis: []int{0, 0, 1, 2}}},
+		{Session: "v5", Slots: 4, Resume: map[int]int{1: 2},
+			DynamicMembership: &DynamicMembership{Genesis: []int{0, 1, 2, 3}}},
+	}
+	for _, spec := range bad {
+		if _, err := c.RunAtomicBroadcast(spec); err == nil {
+			t.Fatalf("spec %q accepted, want error", spec.Session)
+		}
+	}
+	if _, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{Session: "ok", Slots: 4,
+		DynamicMembership: &DynamicMembership{Genesis: []int{0, 1, 2, 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{Session: "ok", Slots: 4,
+		DynamicMembership: &DynamicMembership{Genesis: []int{0, 1, 2, 3}}}); err == nil {
+		t.Fatal("session reuse accepted, want error")
+	}
+}
