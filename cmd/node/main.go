@@ -51,7 +51,14 @@
 // leave its slot in -peers empty) — the transport adds the peer on commit.
 // All nodes must agree on -members, -slots and -lag; -submit/-retire may
 // differ per node, since the committed ledger, not the flag, is what every
-// replica folds into the epoch schedule.
+// replica folds into the epoch schedule. Commitment orders an operation
+// but does not authorize it: the schedule applies an operation only when
+// the committed entries of one slot carry it from ≥ t+1 distinct members,
+// so operators must -submit the same operation (same slot, same op; the
+// @addr may vary) on at least t+1 member nodes — 2t+1 to be safe, since a
+// slot's committed entries can omit up to t contributors. A lone -submit
+// is harmless and inert, which is exactly what makes a Byzantine member's
+// forged operation inert too.
 //
 // -mode mpc switches the node to secure circuit evaluation (internal/mpc):
 // every party contributes one private input (-x, never revealed) and the

@@ -286,11 +286,14 @@ func TestRunNodeRejectsBadResume(t *testing.T) {
 // TestE2EDynamicMembershipChurnOverTCP is the churn e2e over real loopback
 // TCP: five processes, genesis members {0,1,2,3}, with node 4 started as a
 // joiner the members initially have NO address for — their -peers slot for
-// it is empty. Node 0 proposes the join at slot 2 with node 4's endpoint
-// attached, so the members learn the address from the committed operation
-// (transport.AddPeer) and the joiner's statesync bootstrap converges on
-// the retried head requests. Node 1 proposes its own retirement at slot 6
-// and follows the tail as an observer. Every node — members, joiner,
+// it is empty. Nodes 0, 2 and 3 co-propose the join at slot 2 with node
+// 4's endpoint attached — the schedule applies an operation only when
+// ≥ t+1 distinct members' committed entries carry it — so the members
+// learn the address from the committed operation (transport.AddPeer) and
+// the joiner's statesync bootstrap converges on the retried head
+// requests. Node 1 proposes its own retirement at slot 6 via -retire,
+// co-signed by nodes 2 and 3 via -submit, and follows the tail as an
+// observer. Every node — members, joiner,
 // retiree — must print the byte-identical ledger listing, digest, and
 // final member set, and the joiner's own batches must have committed.
 func TestE2EDynamicMembershipChurnOverTCP(t *testing.T) {
@@ -313,11 +316,17 @@ func TestE2EDynamicMembershipChurnOverTCP(t *testing.T) {
 			o.peers = append([]string(nil), peers...)
 			o.peers[4] = ""
 		}
-		if id == 0 {
+		// Endorsement: ops apply only when ≥ t+1 distinct members carry
+		// them in one committed slot, so each op is co-proposed by 2t+1
+		// members (any slot core set then contains ≥ t+1 of them).
+		if id == 0 || id == 2 || id == 3 {
 			o.submits = mustChanges(t, fmt.Sprintf("2:+4@%s", allAddrs[4]))
 		}
 		if id == 1 {
 			o.retire = 6
+		}
+		if id == 2 || id == 3 {
+			o.submits = append(o.submits, mustChanges(t, "6:-1")...)
 		}
 		return o
 	})

@@ -83,16 +83,23 @@
 //     atomic-broadcast run is itself replicated state. Membership
 //     operations (add/remove a party) are submitted as ordered ledger
 //     entries, and every replica folds the committed operations into the
-//     same epoch schedule: an operation committed in slot k reshapes the
-//     member set at slot k+lag, so all parties cross the same epoch
+//     same epoch schedule: an operation applies only when one slot's
+//     committed entries carry it from ≥ t+1 distinct contributors (so a
+//     Byzantine member can neither admit colluders nor evict honest
+//     parties on its own), and a processed operation from slot k reshapes
+//     the member set at slot k+lag, so all parties cross the same epoch
 //     boundary at the same slot. The lifecycle of one switch E_i → E_i+1
-//     (boundary at slot s, operation committed at slot s−lag): (1) the
+//     (boundary at slot s, operation processed at slot s−lag): (1) the
 //     admission gate quiesces at slot s and in-flight slots below s
-//     drain; (2) the members of E_i re-share each SVSS-pooled secret to
-//     the members of E_i+1 — Lagrange at zero over the old shares, the
-//     secrets never reconstructed in the clear; (3) the per-epoch group
-//     re-keys: virtual party indices, session routes and transport peer
-//     tables are rebuilt for the E_i+1 member set; (4) a joiner
+//     drain; (2) the ≥ 2t+1 surviving members of E_i re-share each
+//     SVSS-pooled secret to the members of E_i+1 — Lagrange at zero over
+//     the old shares, the secrets never reconstructed in the clear, the
+//     dealt values checked against the old sharing's Reed–Solomon code
+//     before installation (a corrupt re-deal aborts loudly with
+//     reconfig.ErrReshareCheck instead of drifting the pool); (3) the
+//     per-epoch group re-keys: virtual party indices, session routes and
+//     transport peer tables are rebuilt for the E_i+1 member set; (4) a
+//     joiner
 //     bootstraps slots [0, s) via state transfer from t+1-agreed heads
 //     of the E_i quorum, then participates live; (5) E_i+1 runs slot s
 //     onward, while removed parties drain their frames and follow the

@@ -1,11 +1,106 @@
 package reconfig
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"asyncft/internal/runtime"
 	"asyncft/internal/wire"
 )
+
+// epochRouter multiplexes every epoch group of one run behind a single
+// RoutePrefix claim on the run's epoch subtree. The physical node's
+// dispatch then does one prefix scan per run instead of one per epoch
+// ever entered: the router parses the epoch number out of the session and
+// hands the frame to that epoch's group via a map lookup, so per-message
+// cost stays O(1) no matter how many boundaries a long-lived node has
+// crossed.
+//
+// Frames for an epoch this party has not entered yet are buffered and
+// handed over when the group registers — the same adopt-on-claim
+// semantics the per-epoch RoutePrefix used to get from physical
+// mailboxes, so a fast peer already deep in epoch k+1 costs a slow
+// joiner nothing. Frames for epochs the party skipped (it was not a
+// member and never will be — registration is in increasing epoch order),
+// for closed groups, for malformed epoch segments and for epoch numbers
+// a run of Slots slots can never reach are dropped at the router, which
+// also turns session-flooding garbage into an O(1) discard instead of an
+// unbounded physical-mailbox pile.
+type epochRouter struct {
+	session string
+	prefix  string // SubSession(session, "e") + "/"
+	max     int    // valid epochs are [0, max)
+
+	mu      sync.Mutex
+	groups  map[int]*group
+	pending map[int][]wire.Envelope // future epochs, flushed on register
+	next    int                     // lowest epoch not yet registered
+}
+
+// newEpochRouter claims the run's epoch subtree on the physical node.
+// The claim deliberately lasts for the node's lifetime (the remove func
+// is dropped): after the run, stray frames from slower peers die here
+// instead of accumulating in physical mailboxes.
+func newEpochRouter(phys *runtime.Env, session string, maxEpochs int) *epochRouter {
+	r := &epochRouter{
+		session: session,
+		prefix:  runtime.SubSession(session, "e") + "/",
+		max:     maxEpochs,
+		groups:  make(map[int]*group),
+		pending: make(map[int][]wire.Envelope),
+	}
+	phys.Node.RoutePrefix(r.prefix, r.dispatch)
+	return r
+}
+
+func (r *epochRouter) dispatch(env wire.Envelope) {
+	// The epoch is the first session segment after the prefix; anything
+	// malformed or out of range is garbage by construction.
+	rest := env.Session[len(r.prefix):]
+	epoch, i := 0, 0
+	for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+		epoch = epoch*10 + int(rest[i]-'0')
+		if epoch >= r.max {
+			return
+		}
+		i++
+	}
+	if i == 0 || (i < len(rest) && rest[i] != '/') {
+		return
+	}
+
+	r.mu.Lock()
+	if g, ok := r.groups[epoch]; ok {
+		r.mu.Unlock()
+		g.deliver(env)
+		return
+	}
+	if epoch >= r.next {
+		r.pending[epoch] = append(r.pending[epoch], env)
+	}
+	r.mu.Unlock()
+}
+
+// register installs an epoch's group and flushes the frames that arrived
+// ahead of it. Epochs register in increasing order; pending buffers for
+// epochs this party skipped are released.
+func (r *epochRouter) register(epoch int, g *group) {
+	r.mu.Lock()
+	r.groups[epoch] = g
+	if epoch >= r.next {
+		r.next = epoch + 1
+	}
+	buffered := r.pending[epoch]
+	for e := range r.pending {
+		if e < r.next {
+			delete(r.pending, e)
+		}
+	}
+	r.mu.Unlock()
+	for _, env := range buffered {
+		g.deliver(env)
+	}
+}
 
 // group is one epoch's virtual cluster as seen by one physical party: a
 // fresh runtime.Node/Env of exactly the epoch's m members, with virtual
@@ -15,12 +110,13 @@ import (
 // construction of this struct, not a change to any protocol.
 //
 // Wiring: outbound, the group's Sender translates virtual ids back to
-// physical ones and forwards to the physical transport; inbound, a
-// RoutePrefix claim on the epoch's session subtree translates physical
-// senders to virtual ids and dispatches into the virtual node. Traffic
-// from physical parties outside the member set is dropped at the route —
-// a removed party is silenced for epoch k+1 by construction, exactly the
-// peer-table reseeding the epoch switch owes the transport layer.
+// physical ones and forwards to the physical transport; inbound, the
+// run's epochRouter hands the epoch's frames to deliver, which translates
+// physical senders to virtual ids and dispatches into the virtual node.
+// Traffic from physical parties outside the member set is dropped at
+// delivery — a removed party is silenced for epoch k+1 by construction,
+// exactly the peer-table reseeding the epoch switch owes the transport
+// layer.
 type group struct {
 	root    string // session subtree: SubSession(session, "e", epoch)
 	members []int  // sorted physical ids
@@ -50,16 +146,15 @@ func (s *groupSender) Send(env wire.Envelope) {
 	s.phys.Net.Send(env)
 }
 
-// newGroup builds this party's side of the epoch group and claims the
-// epoch's session subtree on the physical node. Messages that arrived
-// before the claim (a fast peer already deep in epoch k+1 while this
-// party was still syncing its join) were buffered in physical mailboxes
-// and are adopted into the virtual node by RoutePrefix — the asynchronous
-// model's buffering survives the translation layer.
-func newGroup(phys *runtime.Env, session string, epoch int, members []int) *group {
+// newGroup builds this party's side of the epoch group and registers it
+// with the run's router. Messages that arrived before registration (a
+// fast peer already deep in epoch k+1 while this party was still syncing
+// its join) were buffered at the router and are delivered on register —
+// the asynchronous model's buffering survives the translation layer.
+func newGroup(phys *runtime.Env, router *epochRouter, epoch int, members []int) *group {
 	m := len(members)
 	g := &group{
-		root:    runtime.SubSession(session, "e", epoch),
+		root:    runtime.SubSession(router.session, "e", epoch),
 		members: append([]int(nil), members...),
 		vid:     indexOf(members, phys.ID),
 		toVirt:  make(map[int]int, m),
@@ -78,31 +173,31 @@ func newGroup(phys *runtime.Env, session string, epoch int, members []int) *grou
 		Net:  &groupSender{g: g, phys: phys},
 		Rand: forked.Rand,
 	}
-	// The remove func is deliberately dropped: the route stays claimed
-	// after Close so stray frames from slower peers die here instead of
-	// accumulating in physical mailboxes.
-	vnode := g.vnode
-	phys.Node.RoutePrefix(g.root+"/", func(env wire.Envelope) {
-		if g.closed.Load() {
-			return
-		}
-		vfrom, ok := g.toVirt[env.From]
-		if !ok {
-			return // not a member of this epoch: silenced
-		}
-		env.From = vfrom
-		env.To = g.vid
-		vnode.Dispatch(env)
-	})
+	router.register(epoch, g)
 	return g
 }
 
+// deliver is the inbound translation: physical sender to virtual id,
+// then into the virtual node. Closed groups and non-members discard.
+func (g *group) deliver(env wire.Envelope) {
+	if g.closed.Load() {
+		return
+	}
+	vfrom, ok := g.toVirt[env.From]
+	if !ok {
+		return // not a member of this epoch: silenced
+	}
+	env.From = vfrom
+	env.To = g.vid
+	g.vnode.Dispatch(env)
+}
+
 // Close tears the group down: inbound epoch traffic is discarded from now
-// on (the route stays claimed so stray frames from slower peers die here
-// instead of accumulating in physical mailboxes), outbound sends drop,
-// and the virtual node's mailboxes release every blocked receiver with
-// ErrClosed. This is the removed party's drain: the caller has already
-// barriered on its in-flight slots, so nothing live is cut.
+// on (the group stays registered so stray frames from slower peers die in
+// deliver instead of accumulating anywhere), outbound sends drop, and the
+// virtual node's mailboxes release every blocked receiver with ErrClosed.
+// This is the removed party's drain: the caller has already barriered on
+// its in-flight slots, so nothing live is cut.
 func (g *group) Close() {
 	if g.closed.Swap(true) {
 		return

@@ -69,7 +69,7 @@ func TestGroupCloseSilencesEpochTraffic(t *testing.T) {
 
 	members := []int{0, 1, 2, 3}
 	res := c.Run(members, func(ctx context.Context, env *rt.Env) (interface{}, error) {
-		g := newGroup(env, "wbx", 0, members)
+		g := newGroup(env, newEpochRouter(env, "wbx", 4), 0, members)
 		sess := rt.SubSession(g.root, "ping")
 
 		// Live round-trip through the virtual translation layer: each

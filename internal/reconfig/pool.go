@@ -2,6 +2,7 @@ package reconfig
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -12,6 +13,14 @@ import (
 	"asyncft/internal/svss"
 )
 
+// ErrReshareCheck is returned when the boundary re-deal fails the
+// consistency check: some dealer in the agreed core set re-shared a value
+// that does not lie on the outgoing epoch's sharing polynomial. The switch
+// aborts loudly instead of installing a silently corrupted pool —
+// detect-and-abort, the same discipline as mpc.ErrTripleCheck at the
+// optimal t < n/3 resilience.
+var ErrReshareCheck = errors.New("reconfig: pool re-share failed the consistency check")
+
 // The pool is the epoch switch's long-lived SVSS-held state: PoolSize
 // secrets dealt once at genesis and re-dealt to every new member set at
 // each boundary, entirely over the existing SVSS + CommonSubset + batched
@@ -19,20 +28,52 @@ import (
 // resharing shape:
 //
 // Party i of the old epoch holds row f_i of a symmetric bivariate sharing
-// of secret p; its Shamir share is u_i = f_i(0), and p interpolates from
-// any t_old+1 shares at zero. At the boundary each surviving member
-// (old ∩ new) deals its u_i as a fresh sharing over the NEW group; the
-// new group agrees — via CommonSubset with threshold t_old+1 — on a core
-// set of dealers whose deals completed, and every new member combines its
-// rows of the first t_old+1 core deals with the Lagrange-at-zero weights
-// of the dealers' OLD evaluation points. Linearity of the sharing makes
-// the combination a fresh degree-t_new sharing of Σ λ_i·u_i = p: same
-// secrets, brand-new polynomials, zero knowledge handed to parties that
-// left. A removed party's stale rows are useless for the new sharing, and
-// a joiner holds full-rank rows without ever seeing old material.
+// of secret p; its Shamir share is u_i = f_i(0) = F(x_i) where F is the
+// degree-t_old polynomial with F(0) = p. At the boundary each surviving
+// member (old ∩ new) deals its u_i as a fresh sharing over the NEW group;
+// the new group agrees — via CommonSubset — on a core set D of dealers
+// whose deals completed, and every new member combines its rows of ALL
+// in-set deals with the Lagrange-at-zero weights of the dealers' OLD
+// evaluation points. Linearity of the sharing makes the combination a
+// fresh degree-t_new sharing of Σ λ_i·u_i = F(0) = p: same secrets,
+// brand-new polynomials, zero knowledge handed to parties that left.
+//
+// Fault tolerance of the combination, by the numbers:
+//
+//   - Liveness. The schedule's boundary guard keeps the survivor count
+//     s = |old ∩ new| at ≥ 2·t_old+1, and the CommonSubset threshold is
+//     k = s − t_old, so the ≥ s − t_old honest survivors always complete
+//     enough deals for the agreed set to form: a crashed or silent
+//     survivor can no longer wedge the switch (with the old ≥ t_old+1
+//     bound, a single faulty survivor starved the threshold forever).
+//
+//   - Safety. SVSS only guarantees each dealer shared SOME value
+//     consistently — a Byzantine survivor can deal u'_i ≠ u_i. Correct
+//     values (u_d)_{d∈D} form a Reed–Solomon codeword of degree t_old, so
+//     the group checks the dealt vector against the code before trusting
+//     it: with R the first t_old+1 core dealers as reference, the
+//     |D|−t_old−1 syndrome values δ_d = u_d − Σ_{i∈R} μ_i,d·u_i (μ the
+//     Lagrange weights from R's old points to x_d) are linear functionals
+//     that vanish on every codeword. Their sharings are free linear
+//     combinations of the dealt rows; one RunRecBatch round opens them
+//     all. Any nonzero δ aborts with ErrReshareCheck. Because a parity
+//     check vanishes on the true codeword, the opened values depend only
+//     on the Byzantine dealers' error terms — the check leaks nothing
+//     about p (all zeros in an honest run).
+//
+//     The δ's span the full dual code, so corruption goes undetected only
+//     if the dealt vector IS a different codeword, which takes ≥ |D|−t_old
+//     coordinated bad dealers in the core set. With ≤ t_old faulty
+//     survivors that is impossible once |D| ≥ 2·t_old+1 (detection is then
+//     unconditional); at the minimum survivor count the agreed set can be
+//     as small as t_old+1, where the code has no redundancy and no
+//     information-theoretic check exists — the residual assumption at such
+//     a boundary is that the core set's dealers are honest, and deployments
+//     that re-share secrets should keep churn per boundary small enough
+//     that s ≥ 3·t_old+1 (e.g. one change at a time at m ≥ 5).
 
 // dealVector runs the share phase of count deals for each eligible dealer
-// on the (virtual) group env, agrees on a core set of k dealers whose
+// on the (virtual) group env, agrees on a core set of ≥ k dealers whose
 // whole vector completed, and returns the sorted core set plus this
 // party's rows of every in-set deal. It is the mpc dealAll pattern with
 // an eligibility restriction: only eligible virtual ids deal (resharing
@@ -153,12 +194,15 @@ func dealPool(ctx, helperCtx context.Context, env *runtime.Env, groupRoot string
 // oldRows is this party's pool state from the outgoing epoch (nil at a
 // joiner). Dealers are the surviving members (old ∩ new, in their NEW
 // virtual indices); the Lagrange weights interpolate over their OLD
-// virtual evaluation points, where the shares actually live. Requires
-// ≥ t_old+1 survivors, checked by the caller's schedule guard.
+// virtual evaluation points, where the shares actually live. The schedule's
+// boundary guard keeps survivors at ≥ 2·t_old+1, which makes the core-set
+// threshold s − t_old live against t_old faulty survivors; the combined
+// result is installed only after the dealt secrets pass the Reed–Solomon
+// consistency check described at the top of this file.
 func resharePool(ctx, helperCtx context.Context, env *runtime.Env, groupRoot string, oldRows []field.Poly, oldMembers, newMembers []int, size, tOld int, cfg core.Config) ([]field.Poly, error) {
 	survivors := intersect(newMembers, oldMembers) // sorted physical ids
-	if len(survivors) < tOld+1 {
-		return nil, fmt.Errorf("reconfig %s: only %d surviving members, pool re-deal needs %d", groupRoot, len(survivors), tOld+1)
+	if len(survivors) < 2*tOld+1 {
+		return nil, fmt.Errorf("reconfig %s: only %d surviving members, pool re-deal needs %d", groupRoot, len(survivors), 2*tOld+1)
 	}
 	dealers := make([]int, len(survivors))       // new virtual ids
 	oldVirt := make(map[int]int, len(survivors)) // new vid -> old vid
@@ -174,20 +218,55 @@ func resharePool(ctx, helperCtx context.Context, env *runtime.Env, groupRoot str
 		}
 	}
 	sess := runtime.SubSession(groupRoot, "pool", "reshare")
-	set, dealt, err := dealVector(ctx, helperCtx, env, sess, dealers, size, tOld+1, secrets, cfg)
+	k := len(survivors) - tOld // ≥ t_old+1 honest survivors always complete
+	set, dealt, err := dealVector(ctx, helperCtx, env, sess, dealers, size, k, secrets, cfg)
 	if err != nil {
 		return nil, err
 	}
-	use := set[:tOld+1] // sorted; t_old+1 points determine the old polynomial
-	oldIdx := make([]int, len(use))
-	for i, d := range use {
+	oldIdx := make([]int, len(set))
+	for i, d := range set {
 		oldIdx[i] = oldVirt[d]
 	}
-	lam := lagrangeAtZero(oldIdx)
+
+	// Consistency check before anything is installed: open the syndromes
+	// of the dealt vector against the degree-t_old Reed–Solomon code (one
+	// batched reconstruction round, all-zero in an honest run). Skipped
+	// only when the agreed set has no redundancy (|D| = t_old+1) — see the
+	// correctness argument above for the exact guarantee at each size.
+	if len(set) > tOld+1 {
+		ref := set[:tOld+1]
+		refIdx := oldIdx[:tOld+1]
+		deltas := make([]field.Poly, 0, (len(set)-len(ref))*size)
+		for di := tOld + 1; di < len(set); di++ {
+			mu := lagrangeAt(refIdx, field.X(oldIdx[di]))
+			for j := 0; j < size; j++ {
+				interp := field.Poly{0}
+				for i, rd := range ref {
+					interp = addRow(interp, scaleRow(mu[i], dealt[rd][j]))
+				}
+				deltas = append(deltas, subRow(dealt[set[di]][j], interp))
+			}
+		}
+		checkSess := runtime.SubSession(groupRoot, "pool", "reshare", "check") + svss.RecSuffix
+		vals, err := svss.RunRecBatch(ctx, env, checkSess, -1, deltas, cfg.SVSS)
+		if err != nil {
+			return nil, fmt.Errorf("reconfig %s: re-share check open: %w", groupRoot, err)
+		}
+		for _, v := range vals {
+			if v != field.Elem(0) {
+				return nil, fmt.Errorf("reconfig %s: %w", groupRoot, ErrReshareCheck)
+			}
+		}
+	}
+
+	// Combine over the FULL agreed set: any |D| ≥ t_old+1 points of a
+	// degree-t_old polynomial interpolate it exactly, and the check above
+	// vouches that the points are on one polynomial.
+	lam := lagrangeAt(oldIdx, field.Elem(0))
 	pool := make([]field.Poly, size)
 	for j := 0; j < size; j++ {
 		acc := field.Poly{0}
-		for i, d := range use {
+		for i, d := range set {
 			acc = addRow(acc, scaleRow(lam[i], dealt[d][j]))
 		}
 		pool[j] = acc
@@ -215,6 +294,13 @@ func addRow(a, b field.Poly) field.Poly {
 	return field.AddPoly(a, b)
 }
 
+func subRow(a, b field.Poly) field.Poly {
+	if a == nil || b == nil {
+		return nil
+	}
+	return field.AddPoly(a, field.ScalePoly(field.Neg(field.New(1)), b))
+}
+
 func scaleRow(k field.Elem, p field.Poly) field.Poly {
 	if p == nil {
 		return nil
@@ -222,22 +308,23 @@ func scaleRow(k field.Elem, p field.Poly) field.Poly {
 	return field.ScalePoly(k, p)
 }
 
-// lagrangeAtZero returns weights λ_i with h(0) = Σ λ_i·h(X(idxs[i])) for
-// any polynomial h of degree < len(idxs) over the party evaluation points.
-func lagrangeAtZero(idxs []int) []field.Elem {
-	lam := make([]field.Elem, len(idxs))
+// lagrangeAt returns weights w_i with h(at) = Σ w_i·h(X(idxs[i])) for any
+// polynomial h of degree < len(idxs) over the party evaluation points;
+// at = 0 recovers the classic share-combination weights.
+func lagrangeAt(idxs []int, at field.Elem) []field.Elem {
+	w := make([]field.Elem, len(idxs))
 	for i, ii := range idxs {
 		xi := field.X(ii)
-		num, den := field.Elem(1), field.Elem(1)
+		num, den := field.New(1), field.New(1)
 		for j, jj := range idxs {
 			if j == i {
 				continue
 			}
 			xj := field.X(jj)
-			num = field.Mul(num, xj)
-			den = field.Mul(den, field.Sub(xj, xi))
+			num = field.Mul(num, field.Sub(at, xj))
+			den = field.Mul(den, field.Sub(xi, xj))
 		}
-		lam[i] = field.Div(num, den)
+		w[i] = field.Div(num, den)
 	}
-	return lam
+	return w
 }

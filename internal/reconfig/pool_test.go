@@ -1,0 +1,107 @@
+package reconfig
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"asyncft/internal/field"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+// TestReshareCorruptionDetected is the safety regression for the boundary
+// re-deal: a Byzantine survivor that re-shares a wrong value (its old
+// share plus one) must never silently corrupt the pool. Two outcomes are
+// acceptable, and every party must land on the same one: the agreed core
+// set contains the corrupt deal and all parties abort with
+// ErrReshareCheck, or CommonSubset happened to exclude the corrupt dealer
+// and the pool survives bit-exact. Success with a drifted secret is the
+// bug this test exists to catch.
+func TestReshareCorruptionDetected(t *testing.T) {
+	c := testkit.New(5, 1, testkit.WithSeed(59), testkit.WithTimeout(240*time.Second))
+	defer c.Close()
+
+	members := []int{0, 1, 2, 3, 4}
+	type outcome struct {
+		genesis, final []field.Elem
+		reshareErr     error
+	}
+	cfg := testCfg()
+	res := c.Run(members, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		router := newEpochRouter(env, "wbx/corrupt", 4)
+		oldG := newGroup(env, router, 0, members)
+		pool, err := dealPool(ctx, c.Ctx, oldG.env, oldG.root, 1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		genesis, err := openPool(ctx, oldG.env, oldG.root, pool, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		rows := pool
+		if env.ID == 4 { // Byzantine survivor: deals u_4 + 1
+			rows = []field.Poly{field.AddPoly(pool[0], field.Poly{field.New(1)})}
+		}
+		newG := newGroup(env, router, 1, members)
+		newPool, rerr := resharePool(ctx, c.Ctx, newG.env, newG.root, rows, members, members, 1, 1, cfg)
+		if rerr != nil {
+			return outcome{genesis: genesis, reshareErr: rerr}, nil
+		}
+		final, err := openPool(ctx, newG.env, newG.root, newPool, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return outcome{genesis: genesis, final: final}, nil
+	})
+
+	aborted, survived := 0, 0
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+		o := r.Value.(outcome)
+		if o.reshareErr != nil {
+			if !errors.Is(o.reshareErr, ErrReshareCheck) {
+				t.Fatalf("party %d aborted with %v, want ErrReshareCheck", id, o.reshareErr)
+			}
+			aborted++
+			continue
+		}
+		if !equalElems(o.final, o.genesis) {
+			t.Fatalf("party %d: silent pool corruption: genesis %v, final %v", id, o.genesis, o.final)
+		}
+		survived++
+	}
+	if aborted != 0 && survived != 0 {
+		t.Fatalf("split verdict: %d parties aborted, %d succeeded", aborted, survived)
+	}
+	if aborted == 0 {
+		t.Logf("corrupt dealer excluded from the core set; pool survived intact")
+	}
+}
+
+// TestReshareRejectsThinSurvivorSet: the re-deal refuses to run with
+// fewer than 2·t_old+1 survivors — the bound below which a single faulty
+// survivor could wedge the CommonSubset threshold forever and the
+// consistency check loses its redundancy.
+func TestReshareRejectsThinSurvivorSet(t *testing.T) {
+	c := testkit.New(8, 1, testkit.WithSeed(61), testkit.WithTimeout(60*time.Second))
+	defer c.Close()
+
+	old := []int{0, 1, 2, 3}
+	next := []int{0, 1, 4, 5} // only 2 survivors < 2·1+1
+	res := c.Run(next, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		router := newEpochRouter(env, "wbx/thin", 4)
+		g := newGroup(env, router, 1, next)
+		_, err := resharePool(ctx, c.Ctx, g.env, g.root, nil, old, next, 1, 1, testCfg())
+		return nil, err
+	})
+	for id, r := range res {
+		if r.Err == nil {
+			t.Fatalf("party %d: thin survivor set accepted", id)
+		}
+	}
+}

@@ -7,9 +7,15 @@
 // identical committed prefix, every party deterministically folds the
 // committed operations into the identical epoch schedule E0 → E1 → … —
 // epoch boundaries are data, not messages, and no extra agreement round
-// is ever needed. A change committed in slot k activates at slot k+Lag,
-// which keeps slot s's member set computable from slots the admission
-// gate has already forced to commit.
+// is ever needed. Commitment orders an operation but does not authorize
+// it: an operation is applied only when the committed entries of one slot
+// carry it from ≥ t+1 distinct contributors (schedule.go), so every
+// applied change was submitted by at least one honest member — every
+// member re-submitting every due operation (the Source contract) is what
+// both defeats censorship and produces the endorsement quorum. A change
+// processed in slot k activates at slot k+Lag, which keeps slot s's
+// member set computable from slots the admission gate has already forced
+// to commit.
 //
 // One epoch switch, in order:
 //
@@ -21,13 +27,15 @@
 //     opening machinery — surviving members deal their shares, and the
 //     new group interpolates at the old evaluation points (pool.go).
 //  3. Reseed. A fresh virtual runtime.Node/Env with the new epoch's
-//     indices (m' parties, t' = ⌊(m'−1)/3⌋) claims the epoch's session
-//     subtree via runtime.RoutePrefix; the translation layer reseeds the
-//     party indices and silences non-members at the route (group.go).
+//     indices (m' parties, t' = ⌊(m'−1)/3⌋) registers with the run's
+//     epoch router (one runtime.RoutePrefix claim per run, O(1) dispatch
+//     per message however many boundaries the node crosses); the
+//     translation layer reseeds the party indices and silences
+//     non-members at delivery (group.go).
 //  4. Bootstrap. A joiner syncs the committed prefix via statesync
 //     against the old epoch's quorum before entering the live epoch;
-//     messages the new epoch already sent it sit buffered in physical
-//     mailboxes and are adopted when its group claims the route.
+//     messages the new epoch already sent it sit buffered at the epoch
+//     router and are delivered when its group registers.
 //
 // A removed party drains exactly like everyone else at the boundary, then
 // tears its group down (mailboxes closed, inbound epoch traffic
@@ -58,11 +66,14 @@ type ScheduledChange struct {
 }
 
 // Source is the thread-safe feed of membership operations this party
-// submits. Every current member submits every due operation until it is
-// seen committed — n-fold duplication the set-idempotent schedule absorbs
-// for free, and the reason a Byzantine member cannot censor a
-// reconfiguration by refusing to propose it. Operations can be scheduled
-// up front or injected mid-run (Cluster.Reconfigure).
+// submits. Every current member submits every due operation until the
+// schedule processes it — m-fold duplication the set-idempotent schedule
+// absorbs for free, and the mechanism behind both liveness properties of
+// the endorsement rule: a Byzantine member cannot censor a
+// reconfiguration by refusing to propose it, and an operation every
+// honest member wants reaches the ≥ t+1 distinct-contributor quorum in
+// the first slot that commits after it falls due. Operations can be
+// scheduled up front or injected mid-run (Cluster.Reconfigure).
 type Source struct {
 	mu      sync.Mutex
 	pending []ScheduledChange
@@ -93,8 +104,10 @@ func (s *Source) due(slot int) []Change {
 	return out
 }
 
-// markCommitted drops every pending operation matching a committed one
-// (keyed by direction and party; the advisory Addr is ignored).
+// markCommitted drops every pending operation matching one the schedule
+// has processed (keyed by direction and party; the advisory Addr is
+// ignored). Called from the schedule's fold once the endorsement
+// threshold is crossed — not on first sight of a committing entry.
 func (s *Source) markCommitted(ch Change) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -222,6 +235,7 @@ type runner struct {
 	o      Options
 	store  *acs.Store
 	sched  *schedule
+	router *epochRouter
 	g      *group
 	member bool
 
@@ -260,6 +274,16 @@ func Run(ctx, helperCtx context.Context, env *runtime.Env, opts Options) (*Resul
 		sched: newSchedule(o.Genesis, o.Lag, env.N),
 		res:   &Result{Store: store, JoinedAt: -1, RemovedAt: -1},
 	}
+	// Pending submissions retire when the schedule actually processes the
+	// operation (endorsement threshold crossed), not on first sight of a
+	// committing entry: an op only a minority committed must keep being
+	// re-submitted until a quorum of entries carries it.
+	r.sched.onProcessed = func(ch Change, slot int) { o.Source.markCommitted(ch) }
+	// One route claim for the whole run: every epoch group registers with
+	// the router, so physical dispatch stays O(1) across boundaries. A run
+	// of Slots slots has at most one boundary per slot, hence < Slots+1
+	// epochs.
+	r.router = newEpochRouter(env, o.Session, o.Slots+1)
 	if err := r.run(ctx, helperCtx); err != nil {
 		return nil, err
 	}
@@ -347,7 +371,7 @@ func (r *runner) switchEpoch(ctx, helperCtx context.Context, prevMem, mem []int,
 
 	var newG *group
 	if isMember {
-		newG = newGroup(r.env, o.Session, epoch, mem)
+		newG = newGroup(r.env, r.router, epoch, mem)
 	}
 
 	// Pool handover. Genesis deals fresh secrets; later boundaries
@@ -478,7 +502,6 @@ func (r *runner) scanCommitted() {
 		for _, e := range entries {
 			changes, app, _ := DecodePayload(e.Payload)
 			for _, ch := range changes {
-				r.o.Source.markCommitted(ch)
 				if r.o.OnChange != nil {
 					r.o.OnChange(ch, k)
 				}

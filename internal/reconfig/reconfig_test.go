@@ -187,11 +187,23 @@ func opsEntry(slot, party int, chs ...Change) acs.Entry {
 	return acs.Entry{Slot: slot, Party: party, Payload: EncodePayload(chs, nil)}
 }
 
+// endorsed builds one committed entry per backer, all carrying the same
+// operations — the shape the Source contract produces, and the minimum
+// the endorsement rule accepts when len(backers) ≥ t+1.
+func endorsed(slot int, backers []int, chs ...Change) []acs.Entry {
+	entries := make([]acs.Entry, 0, len(backers))
+	for _, p := range backers {
+		entries = append(entries, opsEntry(slot, p, chs...))
+	}
+	return entries
+}
+
 func TestScheduleFoldsCommittedOpsAtLag(t *testing.T) {
+	// Genesis m=4, t=1: ops need ≥ 2 distinct contributors to apply.
 	st := storeWith(t,
-		[]acs.Entry{opsEntry(0, 0, Change{Add: true, Party: 4})},
+		endorsed(0, []int{0, 1}, Change{Add: true, Party: 4}),
 		[]acs.Entry{},
-		[]acs.Entry{opsEntry(2, 1, Change{Add: false, Party: 0})},
+		endorsed(2, []int{1, 2}, Change{Add: false, Party: 0}),
 		[]acs.Entry{},
 		[]acs.Entry{},
 	)
@@ -217,12 +229,12 @@ func TestScheduleFoldsCommittedOpsAtLag(t *testing.T) {
 
 func TestScheduleGuardsDeterministically(t *testing.T) {
 	st := storeWith(t,
-		[]acs.Entry{opsEntry(0, 0,
+		endorsed(0, []int{0, 1},
 			Change{Add: false, Party: 0}, // would shrink below MinMembers: ignored
 			Change{Add: true, Party: 99}, // outside universe: ignored
 			Change{Add: true, Party: 2},  // already a member: no-op
 			Change{Add: false, Party: 7}, // not a member: no-op
-		)},
+		),
 		[]acs.Entry{},
 		[]acs.Entry{},
 	)
@@ -230,6 +242,62 @@ func TestScheduleGuardsDeterministically(t *testing.T) {
 	if got := sc.membershipAt(st, 2); !equalInts(got, []int{0, 1, 2, 3}) {
 		t.Fatalf("guard rails violated: %v", got)
 	}
+}
+
+// TestScheduleRejectsUnendorsedOps is the forgery regression for the
+// endorsement rule: a membership operation carried by a single committed
+// entry — what one Byzantine member can always manufacture — must never
+// apply, in either direction, no matter how many slots re-commit it from
+// the same lone contributor.
+func TestScheduleRejectsUnendorsedOps(t *testing.T) {
+	st := storeWith(t,
+		[]acs.Entry{opsEntry(0, 1, Change{Add: true, Party: 6}, Change{Add: false, Party: 0})},
+		[]acs.Entry{opsEntry(1, 1, Change{Add: true, Party: 6}, Change{Add: false, Party: 0})},
+		[]acs.Entry{},
+		[]acs.Entry{},
+	)
+	sc := newSchedule([]int{0, 1, 2, 3, 4}, 1, 8) // m=5, t=1: needs 2 backers
+	processed := 0
+	sc.onProcessed = func(Change, int) { processed++ }
+	if got := sc.membershipAt(st, 3); !equalInts(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("unendorsed ops applied: %v", got)
+	}
+	if processed != 0 {
+		t.Fatalf("unendorsed ops reported processed %d times", processed)
+	}
+}
+
+// TestScheduleRemovalKeepsReshareQuorum: an endorsed batch of removals
+// stops applying once it would leave fewer than 2·t+1 survivors of the
+// slot's base set — the dealer quorum the boundary pool re-share needs.
+func TestScheduleRemovalKeepsReshareQuorum(t *testing.T) {
+	// m=7, t=2: ops need 3 backers; removals must keep ≥ 5 of the base 7.
+	st := storeWith(t,
+		endorsed(0, []int{3, 4, 5},
+			Change{Add: false, Party: 0}, // 6 survivors: applied
+			Change{Add: false, Party: 1}, // 5 survivors: applied
+			Change{Add: false, Party: 2}, // 4 survivors: ignored
+		),
+		[]acs.Entry{},
+	)
+	sc := newSchedule([]int{0, 1, 2, 3, 4, 5, 6}, 1, 8)
+	if got := sc.membershipAt(st, 1); !equalInts(got, []int{2, 3, 4, 5, 6}) {
+		t.Fatalf("survivor guard broken: %v", got)
+	}
+}
+
+// TestMembershipAtPanicsOnMissingSlot: a gate violation (querying a slot
+// whose fold window is not fully committed) must fail loudly instead of
+// deterministically folding a partial prefix.
+func TestMembershipAtPanicsOnMissingSlot(t *testing.T) {
+	st := acs.NewStore() // nothing committed
+	sc := newSchedule([]int{0, 1, 2, 3}, 1, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("membershipAt folded past a missing slot without panicking")
+		}
+	}()
+	sc.membershipAt(st, 1)
 }
 
 func TestScheduleDuplicateOpsIdempotent(t *testing.T) {

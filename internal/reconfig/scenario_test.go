@@ -1,10 +1,14 @@
 package reconfig
 
 import (
+	"context"
 	"testing"
 	"time"
 
+	"asyncft/internal/acs"
+	"asyncft/internal/adversary"
 	"asyncft/internal/network"
+	"asyncft/internal/runtime"
 	"asyncft/internal/testkit"
 )
 
@@ -99,6 +103,92 @@ func TestJoinDuringLoadScenario(t *testing.T) {
 		if len(committedBy(res[0].Ledger, j)) == 0 {
 			t.Fatalf("joiner %d committed nothing", j)
 		}
+	}
+}
+
+// TestByzantinePartyRemovalScenario removes an *actively misbehaving*
+// member mid-run. While it is still a member, party 4 (a) floods the
+// run's epoch subtree — live sessions, future epochs, unreachable and
+// malformed epoch segments — with garbage, and (b) commits forged
+// membership operations in its own entries: evict honest party 0, admit
+// colluder 6. The survivors vote it out and co-opt a replacement. The
+// run must shrug off the noise (the router discards out-of-range
+// sessions, honest protocols ignore garbage frames), the forged ops must
+// never clear the t+1 distinct-contributor endorsement bar, and the pool
+// must survive the boundary that excises the Byzantine member — with
+// bit-identical ledgers across the whole universe, the removed party
+// included.
+func TestByzantinePartyRemovalScenario(t *testing.T) {
+	c := testkit.New(7, 1, testkit.WithSeed(53), testkit.WithTimeout(480*time.Second))
+	defer c.Close()
+
+	const session = "rc/byzrm"
+	honest := NewSource(
+		ScheduledChange{Slot: 1, Change: Change{Add: false, Party: 4}},
+		ScheduledChange{Slot: 1, Change: Change{Add: true, Party: 5}},
+	)
+	forged := NewSource(
+		ScheduledChange{Slot: 0, Change: Change{Add: false, Party: 0}},
+		ScheduledChange{Slot: 0, Change: Change{Add: true, Party: 6}},
+	)
+	noisy := []string{
+		runtime.SubSession(session, "e", 0, "slot", 0, "cs"),
+		runtime.SubSession(session, "e", 0, "pool", "deal"),
+		runtime.SubSession(session, "e", 1, "slot", 5, "rbc", 0),
+		runtime.SubSession(session, "e", 1, "pool", "reshare"),
+		runtime.SubSession(session, "e", 99),    // epoch the run can never reach
+		runtime.SubSession(session, "e", "nan"), // malformed epoch segment
+	}
+	go func() {
+		_ = adversary.Noise{Sessions: noisy, Messages: 512}.Run(c.Ctx, c.Envs[4])
+	}()
+
+	parties := []int{0, 1, 2, 3, 4, 5, 6}
+	res := c.Run(parties, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		o := Options{
+			Session:   session,
+			Genesis:   []int{0, 1, 2, 3, 4},
+			Slots:     10,
+			Core:      testCfg(),
+			PoolSize:  1,
+			CheckPool: true,
+			Source:    honest,
+			Input:     func(slot int) []byte { return payloadFor(env.ID, slot) },
+		}
+		if env.ID == 4 {
+			o.Source = forged
+		}
+		return Run(ctx, c.Ctx, env, o)
+	})
+
+	out := make(map[int]*Result, len(res))
+	ledgers := make(map[int][]acs.Entry, len(res))
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+		out[id] = r.Value.(*Result)
+		ledgers[id] = out[id].Ledger
+	}
+	if _, err := acs.AgreeLedgers(ledgers); err != nil {
+		t.Fatal(err)
+	}
+	for id, rr := range out {
+		if !equalInts(rr.FinalMembers, []int{0, 1, 2, 3, 5}) {
+			t.Fatalf("party %d final members %v", id, rr.FinalMembers)
+		}
+	}
+	if out[4].RemovedAt < 0 {
+		t.Fatal("Byzantine party 4 never removed")
+	}
+	if out[0].RemovedAt >= 0 {
+		t.Fatalf("forged removal of honest party 0 applied at slot %d", out[0].RemovedAt)
+	}
+	if out[6].JoinedAt >= 0 {
+		t.Fatalf("forged admission of colluder 6 applied at slot %d", out[6].JoinedAt)
+	}
+	if out[5].JoinedAt < 0 || len(committedBy(out[0].Ledger, 5)) == 0 {
+		t.Fatal("replacement party 5 never joined or committed nothing")
 	}
 }
 

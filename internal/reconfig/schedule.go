@@ -1,6 +1,7 @@
 package reconfig
 
 import (
+	"fmt"
 	"sort"
 
 	"asyncft/internal/acs"
@@ -25,17 +26,39 @@ const DefaultLag = 2
 // the identical fold over the identical committed prefix, which is the
 // whole consistency argument: epoch boundaries are data, not messages.
 //
-// The fold reads slots pre-deduplication (acs.Store.Slot), in slot order,
-// entries within a slot in committed order, operations within an entry in
-// encoded order; operations are set-idempotent (re-adding a member or
-// removing a non-member is a no-op), so the n-fold duplication from every
-// member submitting pending ops is harmless by construction.
+// The fold reads slots pre-deduplication (acs.Store.Slot), in slot order;
+// an operation takes effect only under the endorsement rule: it must
+// appear in the committed entries of ≥ t_k+1 DISTINCT contributors of one
+// slot k, where t_k = ⌊(m_k−1)/3⌋ is the fault bound of slot k's member
+// set. Commitment alone is ordering, not authorization — a single
+// Byzantine member commits whatever entry it likes, and without the
+// quorum rule it could add colluders or evict honest members unilaterally.
+// With it, any applied operation was submitted by at least one honest
+// member. Legitimate operations clear the bar for free: every current
+// member re-submits every due operation until it is folded (the Source
+// contract), a committed slot carries entries from ≥ m_k−t_k
+// contributors, and ≥ m_k−2·t_k ≥ t_k+1 of those are honest.
+//
+// Endorsed operations apply in first-appearance order (entries in
+// committed order, operations in encoded order) and are set-idempotent,
+// so the m-fold duplication from every member submitting is harmless by
+// construction. Two deterministic guard rails bound what any quorum can
+// do to the set: removals never shrink it below MinMembers, and a slot's
+// removals never leave fewer than 2·t_base+1 survivors of the set that
+// was current when the slot folded — the overlap the boundary pool
+// re-share needs to stay both live and checkable (pool.go).
 type schedule struct {
 	lag      int
 	universe int // party indices are in [0, universe)
 	members  []int
 	set      map[int]bool
-	applied  int // slots whose operations are folded in
+	applied  int   // slots whose operations are folded in
+	sizes    []int // sizes[s] = |member set of slot s|, for s < applied+lag
+
+	// onProcessed, when non-nil, runs for every endorsed operation as its
+	// slot folds (even when a guard rail then ignores it) — the signal
+	// that re-submitting it is pointless from now on.
+	onProcessed func(ch Change, slot int)
 }
 
 func newSchedule(genesis []int, lag, universe int) *schedule {
@@ -44,37 +67,78 @@ func newSchedule(genesis []int, lag, universe int) *schedule {
 		sc.set[p] = true
 	}
 	sc.members = sortedMembers(sc.set)
+	// Slots [0, lag) precede any foldable operation: genesis membership.
+	for s := 0; s < lag; s++ {
+		sc.sizes = append(sc.sizes, len(sc.members))
+	}
 	return sc
 }
 
 // membershipAt returns the member set of slot s, folding in committed
 // operations from slots ≤ s−lag. The caller must have those slots
-// committed in store (the admission gate's contract); querying must be in
-// non-decreasing s order.
+// committed in store (the admission gate's contract — a missing slot is a
+// driver bug and panics rather than letting parties fold divergent
+// prefixes); querying must be in non-decreasing s order.
 func (sc *schedule) membershipAt(store *acs.Store, s int) []int {
 	for k := sc.applied; k <= s-sc.lag; k++ {
 		entries, ok := store.Slot(k)
 		if !ok {
-			break // gate violation; fold what is available deterministically
+			panic(fmt.Sprintf("reconfig: membershipAt(%d) needs slot %d committed; admission-gate contract violated", s, k))
 		}
-		for _, e := range entries {
-			changes, _, ok := DecodePayload(e.Payload)
-			if !ok {
-				continue
-			}
-			for _, ch := range changes {
-				sc.apply(ch)
-			}
-		}
+		sc.foldSlot(k, entries)
 		sc.applied = k + 1
+		sc.sizes = append(sc.sizes, len(sc.members)) // slot k+lag's size
 	}
 	return sc.members
 }
 
-// apply folds one committed operation, enforcing the deterministic guard
-// rails: indices must lie in the universe, and removals never shrink the
-// set below MinMembers.
-func (sc *schedule) apply(ch Change) {
+// foldSlot applies slot k's endorsed operations. The endorsement
+// threshold comes from slot k's own member-set size, which the sequential
+// fold has already recorded (sizes[k] exists because lag ≥ 1).
+func (sc *schedule) foldSlot(k int, entries []acs.Entry) {
+	tk := (sc.sizes[k] - 1) / 3
+
+	type opKey struct {
+		add   bool
+		party int
+	}
+	backers := make(map[opKey]map[int]bool)
+	var order []opKey
+	first := make(map[opKey]Change)
+	for _, e := range entries {
+		changes, _, ok := DecodePayload(e.Payload)
+		if !ok {
+			continue
+		}
+		for _, ch := range changes {
+			key := opKey{ch.Add, ch.Party}
+			if backers[key] == nil {
+				backers[key] = make(map[int]bool)
+				order = append(order, key)
+				first[key] = ch
+			}
+			backers[key][e.Party] = true
+		}
+	}
+
+	base := append([]int(nil), sc.members...)
+	tBase := (len(base) - 1) / 3
+	for _, key := range order {
+		if len(backers[key]) < tk+1 {
+			continue // unendorsed: at most t_k Byzantine contributors back it
+		}
+		if sc.onProcessed != nil {
+			sc.onProcessed(first[key], k)
+		}
+		sc.apply(first[key], base, tBase)
+	}
+}
+
+// apply folds one endorsed operation, enforcing the deterministic guard
+// rails: indices must lie in the universe, removals never shrink the set
+// below MinMembers, and the slot's removals keep ≥ 2·t_base+1 survivors
+// of base (the set current when the slot started folding).
+func (sc *schedule) apply(ch Change, base []int, tBase int) {
 	if ch.Party < 0 || ch.Party >= sc.universe {
 		return
 	}
@@ -86,6 +150,15 @@ func (sc *schedule) apply(ch Change) {
 	} else {
 		if !sc.set[ch.Party] || len(sc.set) <= MinMembers {
 			return
+		}
+		survivors := 0
+		for _, p := range base {
+			if sc.set[p] && p != ch.Party {
+				survivors++
+			}
+		}
+		if survivors < 2*tBase+1 {
+			return // would starve the boundary re-share's dealer quorum
 		}
 		delete(sc.set, ch.Party)
 	}

@@ -12,8 +12,11 @@ import (
 )
 
 // MembershipChange is one dynamic-membership operation: from slot Slot on,
-// every current member submits it with its slot batches until it commits,
-// and the committed operation reshapes the member set Lag slots later.
+// every current member submits it with its slot batches until the schedule
+// processes it. An operation applies only when the committed entries of
+// one slot carry it from ≥ t+1 distinct members — met automatically here,
+// since the cluster feeds every member the same operation — and the
+// processed operation reshapes the member set Lag slots later.
 // Addr is an advisory transport address for the added party, surfaced to
 // deployments (cmd/node) so existing members can learn a joiner's
 // endpoint; the simulated cluster ignores it.
@@ -80,10 +83,13 @@ func (d *DynamicMembership) validate(n int) error {
 
 // Reconfigure injects a membership operation into a dynamic-membership run
 // that is already in flight (or about to start): every current member will
-// submit it from slot ch.Slot on until it commits. The session must name a
+// submit it from slot ch.Slot on until the schedule processes it, which
+// gives the operation its ≥ t+1 distinct-contributor endorsement in the
+// first slot that commits after it falls due. The session must name a
 // RunAtomicBroadcast call with DynamicMembership set; operations that
 // would violate the schedule's guard rails (unknown party, shrinking below
-// the minimum) are submitted but deterministically ignored by every party.
+// the minimum, starving the re-share quorum) are submitted but
+// deterministically ignored by every party.
 func (c *Cluster) Reconfigure(session string, ch MembershipChange) error {
 	c.syncMu.Lock()
 	src, ok := c.reconfigSrcs["abc/"+session]
