@@ -84,6 +84,14 @@ func BenchmarkCodedBroadcast(b *testing.B) {
 	runExperiment(b, experiments.E12CodedBroadcast)
 }
 
+// BenchmarkFastPathLedgerThroughput runs E16 at smoke scale: the
+// unanimous-slot fast path × BCA agreement-core grid under link delay,
+// reporting the gated fast-path speedup over classic slot agreement at
+// the largest swept n.
+func BenchmarkFastPathLedgerThroughput(b *testing.B) {
+	runExperiment(b, experiments.E16AgreementCore)
+}
+
 func BenchmarkAblationReconstruct(b *testing.B) {
 	runExperiment(b, experiments.AblationReconstruct)
 }

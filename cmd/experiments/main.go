@@ -41,6 +41,7 @@ func main() {
 		{"E13", experiments.E13CircuitThroughput},
 		{"E14", experiments.E14CatchupLatency},
 		{"E15", experiments.E15EpochSwitch},
+		{"E16", experiments.E16AgreementCore},
 		{"A1", experiments.AblationReconstruct},
 		{"A2", experiments.AblationPolicy},
 	}

@@ -89,6 +89,7 @@ import (
 	"asyncft/internal/runtime"
 	"asyncft/internal/statesync"
 	"asyncft/internal/svss"
+	"asyncft/internal/trace"
 	"asyncft/internal/transport"
 )
 
@@ -109,6 +110,9 @@ type options struct {
 	width    int
 	resume   int
 	noCoded  bool
+	fastPath bool
+	bca      bool
+	agTrace  bool
 	seed     int64
 	timeout  time.Duration
 	grace    time.Duration
@@ -139,6 +143,9 @@ func main() {
 	slots := flag.Int("slots", 4, "abc: number of atomic-broadcast slots (same value at every party)")
 	width := flag.Int("width", 0, "abc: slots in flight at once (0 = all; same value at every party)")
 	noCoded := flag.Bool("no-coded", false, "abc: disable erasure-coded A-Cast dispersal (classic full-value echo)")
+	fastPath := flag.Bool("fastpath", false, "abc: unanimous-slot fast path — commit the full contributor set after one confirmation round when all n A-Casts deliver (same value at every party)")
+	bca := flag.Bool("bca", false, "abc: BCA-based binary agreement rounds with AUX→VAL vote reuse (same value at every party)")
+	agTrace := flag.Bool("agreetrace", false, "abc: dump per-slot agreement milestones (fast commits, fallbacks, rounds) after the ledger")
 	resume := flag.Int("resume", 0, "abc: restarted-replica mode — skip slots [0,resume), catch them up via state transfer from peers, then join live slots")
 	members := flag.String("members", "", "abc: comma-separated genesis member ids — enables dynamic membership (same value at every node)")
 	submit := flag.String("submit", "", "abc dynamic: membership ops to propose, e.g. 2:+4@127.0.0.1:7004,6:-1")
@@ -153,7 +160,8 @@ func main() {
 	o := options{
 		id: *id, t: *tf, mode: *mode, protocol: *protocol, input: *input,
 		secret: *secret, x: *x, bit: *bit, k: *k, batch: *batchK, slots: *slots,
-		width: *width, resume: *resume, noCoded: *noCoded, seed: *seed,
+		width: *width, resume: *resume, noCoded: *noCoded,
+		fastPath: *fastPath, bca: *bca, agTrace: *agTrace, seed: *seed,
 		timeout: *timeout, grace: *grace, retire: *retire, lag: *lagFlag,
 		pace: *pace,
 	}
@@ -254,9 +262,23 @@ func runLedger(ctx context.Context, env *runtime.Env, o options, out io.Writer) 
 	if o.noCoded {
 		cfg.RBC.CodedThreshold = -1
 	}
+	cfg.FastPath = o.fastPath
+	cfg.BA.UseBCA = o.bca
+	// Agreement-core observability: rounds per decision and fast-path hit
+	// rate. These are per-party (a resumed replica runs fewer slots live),
+	// so they go to the log, keeping stdout bit-identical across parties.
+	cfg.Stats = &core.AgreementStats{}
+	rec := trace.New(4 * o.slots)
+	cfg.Trace = rec
+	printAgreement := func() {
+		log.Printf("party %d agreement: %s", env.ID, cfg.Stats.String())
+		if o.agTrace {
+			rec.Dump(os.Stderr)
+		}
+	}
 	const sess = "node/abc"
 	if len(o.members) > 0 {
-		return runDynamicLedger(ctx, env, o, sess, cfg, out)
+		return runDynamicLedger(ctx, env, o, sess, cfg, printAgreement, out)
 	}
 	store := acs.NewStore()
 	go statesync.Serve(ctx, env, sess, store, statesync.Options{})
@@ -278,6 +300,7 @@ func runLedger(ctx context.Context, env *runtime.Env, o options, out io.Writer) 
 	for i, e := range ledger {
 		fmt.Fprintf(out, "ledger[%d] slot=%d party=%d payload=%q\n", i, e.Slot, e.Party, e.Payload)
 	}
+	printAgreement()
 	fmt.Fprintf(out, "ledger digest: %x (%d entries)\n", acs.Digest(ledger), len(ledger))
 	return nil
 }
@@ -289,7 +312,7 @@ func runLedger(ctx context.Context, env *runtime.Env, o options, out io.Writer) 
 // digest and final member set as every other node. Committed AddParty
 // operations that carry an address feed the transport's peer table, which
 // is how existing members learn a joiner's endpoint mid-run.
-func runDynamicLedger(ctx context.Context, env *runtime.Env, o options, sess string, cfg core.Config, out io.Writer) error {
+func runDynamicLedger(ctx context.Context, env *runtime.Env, o options, sess string, cfg core.Config, printAgreement func(), out io.Writer) error {
 	src := reconfig.NewSource(o.submits...)
 	if o.retire > 0 {
 		src.Schedule(reconfig.ScheduledChange{
@@ -336,6 +359,7 @@ func runDynamicLedger(ctx context.Context, env *runtime.Env, o options, sess str
 	for i, e := range res.Ledger {
 		fmt.Fprintf(out, "ledger[%d] slot=%d party=%d payload=%q\n", i, e.Slot, e.Party, e.Payload)
 	}
+	printAgreement()
 	fmt.Fprintf(out, "ledger digest: %x (%d entries)\n", acs.Digest(res.Ledger), len(res.Ledger))
 	fmt.Fprintf(out, "final members: %v (%d epochs)\n", res.FinalMembers, res.Epochs)
 	return nil

@@ -130,6 +130,33 @@ func TestE2ECodedLedgerOverTCP(t *testing.T) {
 	}
 }
 
+// TestE2EFastPathLedgerOverTCP runs the agreement-core optimizations over
+// real sockets: -fastpath and -bca at every node. All-honest loopback
+// delivery means every slot should fast-commit the FULL contributor set (n
+// entries per slot, strictly more than the classic path's n−t floor), and
+// the listing must stay byte-identical.
+func TestE2EFastPathLedgerOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP listeners")
+	}
+	const n, slots = 4, 3
+	outs := launch(t, n, func(id int, peers []string) options {
+		return options{
+			id: id, peers: peers, t: 1, mode: "abc", input: "tx",
+			fastPath: true, bca: true,
+			k: 1, batch: 1, slots: slots, width: 0, timeout: 90 * time.Second,
+		}
+	})
+	for id, out := range outs {
+		if outs[0] != out {
+			t.Fatalf("fast-path ledger outputs differ between party 0 and party %d", id)
+		}
+		if got := strings.Count(out, "ledger["); got != slots*n {
+			t.Fatalf("party %d: %d ledger entries, want the full %d", id, got, slots*n)
+		}
+	}
+}
+
 // TestE2EBatchedCoinFlips runs 4 in-process nodes over loopback TCP with
 // -batch 3 coin flips and asserts per-instance agreement across parties.
 func TestE2EBatchedCoinFlips(t *testing.T) {

@@ -43,6 +43,23 @@
 //     error-corrected reconstruction (internal/rs). Toggle per run with
 //     AtomicBroadcastSpec.NoCodedBroadcast.
 //
+//   - An agreement core with three stackable optimizations (internal/acs,
+//     internal/ba, internal/core), all off by default and none load-bearing
+//     for safety. The unanimous-slot fast path (core.Config.FastPath)
+//     commits a slot whose n A-Casts all delivered with one FAST(digest)
+//     confirmation round and zero BA instances, falling back to full
+//     CommonSubset agreement on any SLOW vote, digest mismatch or timeout
+//     — measured 2.5–4× slots/s at n = 8–16 (experiment E16). BCA rounds
+//     (ba.Options.UseBCA) replace the two-phase inner ABA round with
+//     MMR-style BV-broadcast + AUX, reusing round-r AUX votes as round-r+1
+//     VAL credit. The guided coin schedule (core.Config.CoinsFor) fixes
+//     the first two coin values to 1 then 0 so unanimous instances decide
+//     deterministically without invoking a coin protocol, and
+//     core.Config.SharedCoin amortizes one weak-coin flip per (slot,
+//     round) across all n BA instances. Per-run instrumentation lands in
+//     core.AgreementStats (fast-path hit rate, BA rounds per decision)
+//     and an optional trace.Recorder.
+//
 //   - General asynchronous MPC (Compute, internal/mpc): an
 //     arithmetic-circuit evaluation engine over the shared field. Inputs
 //     are dealt via SVSS with a CommonSubset-agreed contributor core set;

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sort"
 
+	"asyncft/internal/ba"
 	"asyncft/internal/batch"
 	"asyncft/internal/commonsubset"
 	"asyncft/internal/core"
@@ -74,18 +75,62 @@ func RunSlot(ctx, helperCtx context.Context, env *runtime.Env, session string, s
 	if len(payload) > MaxPayloadSize {
 		return nil, fmt.Errorf("acs %s: payload %d bytes exceeds cap %d", session, len(payload), MaxPayloadSize)
 	}
-	n := env.N
-
-	// Phase 1: n concurrent A-Casts, one per proposer. They run under
-	// helperCtx because peers may need our echoes after we return, and
-	// broadcasts outside the agreed set may never deliver at all.
-	type deliv struct {
-		j   int
-		val []byte
-		err error
+	cfg = cfg.WithDefaults()
+	st := startBroadcasts(helperCtx, env, session, payload, cfg)
+	if cfg.FastPath {
+		return runSlotFast(ctx, helperCtx, env, session, slot, st, cfg)
 	}
-	delivc := make(chan deliv, n)
-	pred := commonsubset.NewPredicate()
+	return runSlotAgree(ctx, helperCtx, env, session, slot, st, cfg)
+}
+
+// SlotError reports a failed atomic-broadcast slot, preserving the slot
+// index so deep failures (e.g. a BA instance exhausting ba.ErrMaxRounds
+// inside the slot's CommonSubset) stay attributable. errors.As recovers a
+// *commonsubset.BAError for the failing instance; errors.Is sees through to
+// the root cause.
+type SlotError struct {
+	// Session is the slot's session.
+	Session string
+	// Slot is the slot index.
+	Slot int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *SlotError) Error() string {
+	return fmt.Sprintf("acs %s: slot %d: %v", e.Session, e.Slot, e.Err)
+}
+
+func (e *SlotError) Unwrap() error { return e.Err }
+
+// deliv is one A-Cast completion.
+type deliv struct {
+	j   int
+	val []byte
+	err error
+}
+
+// slotState is the broadcast-phase state a slot accumulates before (and
+// during) agreement; the fast path hands it to the full-agreement fallback
+// with deliveries already consumed.
+type slotState struct {
+	delivc chan deliv
+	pred   *commonsubset.Predicate
+	got    map[int][]byte
+	errs   map[int]error
+}
+
+// startBroadcasts launches phase 1: n concurrent A-Casts, one per proposer.
+// They run under helperCtx because peers may need our echoes after we
+// return, and broadcasts outside the agreed set may never deliver at all.
+func startBroadcasts(helperCtx context.Context, env *runtime.Env, session string, payload []byte, cfg core.Config) *slotState {
+	n := env.N
+	st := &slotState{
+		delivc: make(chan deliv, n),
+		pred:   commonsubset.NewPredicate(),
+		got:    make(map[int][]byte, n),
+		errs:   make(map[int]error, n),
+	}
 	for j := 0; j < n; j++ {
 		j := j
 		var in []byte
@@ -95,36 +140,63 @@ func RunSlot(ctx, helperCtx context.Context, env *runtime.Env, session string, s
 		sess := runtime.SubSession(session, "rbc", j)
 		go func() {
 			v, err := rbc.RunCoded(helperCtx, env, sess, j, in, cfg.RBC)
-			delivc <- deliv{j: j, val: v, err: err}
+			st.delivc <- deliv{j: j, val: v, err: err}
 		}()
 	}
+	return st
+}
 
-	// Phase 2: CommonSubset over the delivery predicate picks ≥ n−t
-	// contributors every nonfaulty party agrees on.
+// commitEntries assembles a slot's committed entries from an agreed
+// contributor set (sorted): increasing party order, empty batches elided.
+func commitEntries(slot int, set []int, got map[int][]byte) []Entry {
+	entries := make([]Entry, 0, len(set))
+	for _, j := range set {
+		if len(got[j]) == 0 {
+			continue // an agreed contributor with an empty batch adds nothing
+		}
+		entries = append(entries, Entry{Slot: slot, Party: j, Payload: got[j]})
+	}
+	return entries
+}
+
+// runSlotAgree is the full-agreement path: CommonSubset over the delivery
+// predicate picks ≥ n−t contributors every nonfaulty party agrees on, then
+// the slot waits for delivery of every member's broadcast (guaranteed:
+// membership implies delivery at some nonfaulty party, hence eventually
+// here). It serves both as the default path and as the fast path's
+// fallback, resuming from whatever st already collected.
+func runSlotAgree(ctx, helperCtx context.Context, env *runtime.Env, session string, slot int, st *slotState, cfg core.Config) ([]Entry, error) {
+	n := env.N
 	csSess := runtime.SubSession(session, "cs")
 	type csOut struct {
 		set []int
 		err error
 	}
 	csc := make(chan csOut, 1)
+	var baDecided, baRounds int
+	csOpts := commonsubset.Options{BA: cfg.BA}
+	if cfg.Stats != nil || cfg.Trace != nil {
+		// Written on the CommonSubset goroutine, read here only after its
+		// result lands on csc (happens-before via the channel).
+		csOpts.Observer = func(j int, bst ba.Stats) {
+			baDecided++
+			baRounds += bst.Rounds
+		}
+	}
 	go func() {
-		set, err := commonsubset.Run(ctx, env, csSess, pred, n-env.T,
-			cfg.CoinsFor(helperCtx, env, csSess), commonsubset.Options{BA: cfg.BA})
+		set, err := commonsubset.Run(ctx, env, csSess, st.pred, n-env.T,
+			cfg.CoinsFor(helperCtx, env, csSess), csOpts)
 		csc <- csOut{set: set, err: err}
 	}()
 
-	// Phase 3: wait for the agreed set, then for delivery of every member's
-	// broadcast (guaranteed: membership implies delivery at some nonfaulty
-	// party, hence eventually here).
-	got := make(map[int][]byte, n)
-	errs := make(map[int]error, n)
+	got, errs := st.got, st.errs
 	var set []int
 	for {
 		if set != nil {
 			missing := false
 			for _, j := range set {
 				if err := errs[j]; err != nil {
-					return nil, fmt.Errorf("acs %s: broadcast %d: %w", session, j, err)
+					return nil, &SlotError{Session: session, Slot: slot, Err: fmt.Errorf("broadcast %d: %w", j, err)}
 				}
 				if _, ok := got[j]; !ok {
 					missing = true
@@ -135,7 +207,7 @@ func RunSlot(ctx, helperCtx context.Context, env *runtime.Env, session string, s
 			}
 		}
 		select {
-		case d := <-delivc:
+		case d := <-st.delivc:
 			if d.err != nil {
 				// A broadcast fails only when the runtime shuts down; it is
 				// fatal to the slot iff the agreed set needs that proposer.
@@ -143,25 +215,27 @@ func RunSlot(ctx, helperCtx context.Context, env *runtime.Env, session string, s
 				continue
 			}
 			got[d.j] = d.val
-			pred.Set(d.j)
+			st.pred.Set(d.j)
 		case r := <-csc:
 			if r.err != nil {
-				return nil, fmt.Errorf("acs %s: %w", session, r.err)
+				return nil, &SlotError{Session: session, Slot: slot, Err: r.err}
 			}
 			set = r.set
 		case <-ctx.Done():
-			return nil, fmt.Errorf("acs %s: %w", session, ctx.Err())
+			return nil, &SlotError{Session: session, Slot: slot, Err: ctx.Err()}
 		}
 	}
 
-	entries := make([]Entry, 0, len(set))
-	for _, j := range set { // CommonSubset returns the set sorted
-		if len(got[j]) == 0 {
-			continue // an agreed contributor with an empty batch adds nothing
-		}
-		entries = append(entries, Entry{Slot: slot, Party: j, Payload: got[j]})
+	if cfg.Stats != nil {
+		cfg.Stats.Slots.Add(1)
+		cfg.Stats.BADecisions.Add(int64(baDecided))
+		cfg.Stats.BARounds.Add(int64(baRounds))
 	}
-	return entries, nil
+	if cfg.Trace != nil {
+		cfg.Trace.Recordf(env.ID, session, "acs",
+			"slot %d full agreement: %d contributors, %d ba instances, %d rounds", slot, len(set), baDecided, baRounds)
+	}
+	return commitEntries(slot, set, got), nil
 }
 
 // Run executes slots 0..slots−1 of one atomic-broadcast session at this

@@ -1,0 +1,73 @@
+package acs
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"asyncft/internal/ba"
+	"asyncft/internal/commonsubset"
+	"asyncft/internal/core"
+	"asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+// BenchmarkSlotAgreementRounds measures the expected BA rounds per decision
+// of the agreement core on a slot's hardest instance: a CommonSubset BA with
+// genuinely split inputs. The construction is deterministic (the same one
+// the MaxRounds regression test uses): every predicate admits instances 0
+// and 1, parties 0 and 1 additionally admit instance 2, k=2 — so instance 2
+// starts with inputs 1,1,0,0 once the low gear engages. The production coin
+// factory (core.Config.CoinsFor: guided first rounds, then the configured
+// coin) plus BCA rounds must converge the split in a small constant number
+// of expected rounds; the pre-guided core left it to per-party local-coin
+// luck. Lower is better; the CI gate fails the bench when the contested
+// rounds/decision regresses.
+func BenchmarkSlotAgreementRounds(b *testing.B) {
+	const n, tf = 4, 1
+	cfg := core.Config{K: 1, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
+	cfg.BA.UseBCA = true
+	totalRounds, decisions := 0, 0
+	for i := 0; i < b.N; i++ {
+		c := testkit.New(n, tf, testkit.WithSeed(int64(i+1)), testkit.WithTimeout(120*time.Second))
+		sess := runtime.SubSession("bench/rounds", i)
+		res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			pred := commonsubset.NewPredicate()
+			pred.Set(0)
+			pred.Set(1)
+			if env.ID <= 1 {
+				pred.Set(2)
+			}
+			var contested ba.Stats
+			opts := commonsubset.Options{BA: cfg.BA, Observer: func(j int, st ba.Stats) {
+				if j == 2 {
+					contested = st
+				}
+			}}
+			set, err := commonsubset.Run(ctx, env, sess, pred, 2,
+				cfg.CoinsFor(c.Ctx, env, sess), opts)
+			if err != nil {
+				return nil, err
+			}
+			if len(set) < 2 {
+				b.Errorf("party %d: agreed set %v smaller than k", env.ID, set)
+			}
+			return contested, nil
+		})
+		for id, r := range res {
+			if r.Err != nil {
+				b.Fatalf("party %d: %v", id, r.Err)
+			}
+			st := r.Value.(ba.Stats)
+			if st.Rounds > 0 {
+				totalRounds += st.Rounds
+				decisions++
+			}
+		}
+		c.Close()
+	}
+	if decisions == 0 {
+		b.Fatal("no contested decisions recorded")
+	}
+	b.ReportMetric(float64(totalRounds)/float64(decisions), "rounds/decision")
+}

@@ -27,6 +27,7 @@ import (
 // protocolPkgs are the packages whose goroutines must observe a signal.
 var protocolPkgs = map[string]bool{
 	"asyncft/internal/acs":       true,
+	"asyncft/internal/ba":        true,
 	"asyncft/internal/rbc":       true,
 	"asyncft/internal/mpc":       true,
 	"asyncft/internal/statesync": true,

@@ -77,6 +77,11 @@ type Options struct {
 	// Stats, when non-nil, is filled with run instrumentation (single
 	// goroutine use only).
 	Stats *Stats
+	// UseBCA selects the Binding Crusader Agreement round structure (see
+	// bca.go) instead of the classic report/propose rounds. All nonfaulty
+	// parties of a session must agree on this flag; the two paths use
+	// disjoint message types and do not interoperate.
+	UseBCA bool
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +118,9 @@ func Run(ctx context.Context, env *runtime.Env, session string, input byte, coin
 	opts = opts.withDefaults()
 	if input > 1 {
 		return 0, fmt.Errorf("ba %s: input %d not binary", session, input)
+	}
+	if opts.UseBCA {
+		return runBCA(ctx, env, session, input, coin, opts)
 	}
 	n, t := env.N, env.T
 

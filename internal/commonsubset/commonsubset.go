@@ -78,9 +78,33 @@ type CoinFactory func(j int) ba.Coin
 
 // Options tune the protocol.
 type Options struct {
-	// BA configures the underlying agreement instances.
+	// BA configures the underlying agreement instances. When Observer is
+	// set, each instance gets its own ba.Stats (any BA.Stats field here is
+	// ignored), reported through Observer as instances halt.
 	BA ba.Options
+	// Observer, when non-nil, receives each BA instance's instrumentation
+	// after it halts. Called from Run's goroutine, never concurrently.
+	Observer func(j int, st ba.Stats)
 }
+
+// BAError reports a failed BA instance inside a CommonSubset, preserving
+// which instance failed so callers (e.g. internal/acs) can attribute a
+// round-cap failsafe to a concrete slot and proposer. It unwraps to the
+// instance's error, so errors.Is(err, ba.ErrMaxRounds) works through it.
+type BAError struct {
+	// Session is the CommonSubset session the instance belongs to.
+	Session string
+	// Instance is the BA index j (the proposer the instance voted on).
+	Instance int
+	// Err is the instance's error.
+	Err error
+}
+
+func (e *BAError) Error() string {
+	return fmt.Sprintf("commonsubset %s: ba %d: %v", e.Session, e.Instance, e.Err)
+}
+
+func (e *BAError) Unwrap() error { return e.Err }
 
 // Run executes one CommonSubset instance. All nonfaulty parties must call
 // Run with the same session and k. It returns the agreed set, sorted.
@@ -91,9 +115,10 @@ func Run(ctx context.Context, env *runtime.Env, session string, pred *Predicate,
 	}
 
 	type baOut struct {
-		j   int
-		v   byte
-		err error
+		j     int
+		v     byte
+		stats ba.Stats
+		err   error
 	}
 	results := make(chan baOut, n)
 	started := make([]bool, n)
@@ -104,9 +129,17 @@ func Run(ctx context.Context, env *runtime.Env, session string, pred *Predicate,
 		}
 		started[j] = true
 		sess := runtime.SubSession(session, "ba", j)
+		baOpts := opts.BA
+		if opts.Observer != nil {
+			baOpts.Stats = &ba.Stats{}
+		}
 		go func() {
-			v, err := ba.Run(ctx, env, sess, input, coins(j), opts.BA)
-			results <- baOut{j, v, err}
+			v, err := ba.Run(ctx, env, sess, input, coins(j), baOpts)
+			var st ba.Stats
+			if baOpts.Stats != nil {
+				st = *baOpts.Stats
+			}
+			results <- baOut{j, v, st, err}
 		}()
 	}
 
@@ -133,7 +166,10 @@ func Run(ctx context.Context, env *runtime.Env, session string, pred *Predicate,
 		select {
 		case r := <-results:
 			if r.err != nil {
-				return nil, fmt.Errorf("commonsubset %s: ba %d: %w", session, r.j, r.err)
+				return nil, &BAError{Session: session, Instance: r.j, Err: r.err}
+			}
+			if opts.Observer != nil {
+				opts.Observer(r.j, r.stats)
 			}
 			done++
 			if r.v == 1 {

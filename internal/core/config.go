@@ -8,12 +8,15 @@ package core
 import (
 	"context"
 	"math"
+	"time"
 
 	"asyncft/internal/ba"
 	"asyncft/internal/commonsubset"
+	"asyncft/internal/field"
 	"asyncft/internal/rbc"
 	"asyncft/internal/runtime"
 	"asyncft/internal/svss"
+	"asyncft/internal/trace"
 	"asyncft/internal/weakcoin"
 )
 
@@ -43,6 +46,11 @@ type Config struct {
 	Eps float64
 	// InnerCoin selects the BA-level coin (default: weak coin).
 	InnerCoin InnerCoinKind
+	// SharedCoin amortizes one weak-coin flip per (slot, round) across all
+	// n BA instances of a CommonSubset instead of one flip per instance per
+	// round; each instance derives its bit from the shared field element.
+	// Only meaningful with InnerCoinWeak (a local coin is already free).
+	SharedCoin bool
 	// SVSS configures secret-sharing reconstruction behavior.
 	SVSS svss.Options
 	// BA configures the binary agreement instances.
@@ -50,14 +58,39 @@ type Config struct {
 	// RBC configures reliable-broadcast dispersal (the erasure-coded
 	// fast-path threshold used by the atomic-broadcast slots).
 	RBC rbc.Options
+	// FastPath enables the unanimous-slot fast path in internal/acs: when
+	// all n A-Casts of a slot deliver before agreement starts, the slot
+	// commits the full contributor set after one confirmation round and
+	// skips the n BA instances. All nonfaulty parties of a session must
+	// agree on this flag. Safety never depends on it — any disagreement,
+	// digest mismatch or timeout falls back to full agreement.
+	FastPath bool
+	// FastPathWait is how long a slot with ≥ n−t (but not yet n) local
+	// deliveries waits for unanimity before falling back (default 200ms).
+	// It trades fallback latency against fast-path hit rate; safety is
+	// unaffected.
+	FastPathWait time.Duration
+	// Stats, when non-nil, aggregates agreement-core instrumentation
+	// (fast-path hit rate, BA rounds per decision) across slots.
+	Stats *AgreementStats
+	// Trace, when non-nil, receives per-slot agreement milestones
+	// ("fast-path commit", "fallback", rounds per decision).
+	Trace *trace.Recorder
 }
 
 func (c Config) withDefaults() Config {
 	if c.Eps <= 0 || c.Eps >= 0.5 {
 		c.Eps = 0.1
 	}
+	if c.FastPathWait <= 0 {
+		c.FastPathWait = 200 * time.Millisecond
+	}
 	return c
 }
+
+// WithDefaults exposes the resolved configuration (defaults filled in) for
+// packages that read tuning fields directly, e.g. internal/acs's fast path.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 // PaperK returns the paper's round count k = 4·⌈(e/(ε·π))²·n⁴⌉ for
 // Algorithm 1. The result saturates at math.MaxInt32 to stay usable in
@@ -85,6 +118,21 @@ func (c Config) innerCoins(helperCtx context.Context, env *runtime.Env, session 
 	if c.InnerCoin == InnerCoinLocal {
 		return func(j int) ba.Coin { return ba.LocalCoin(env) }
 	}
+	if c.SharedCoin {
+		sc := newSharedCoin()
+		return func(j int) ba.Coin {
+			return func(ctx context.Context, round int) (byte, error) {
+				v, err := sc.get(ctx, round, func() (field.Elem, error) {
+					sess := runtime.SubSession(session, "wc", round)
+					return weakcoin.FlipValue(helperCtx, helperCtx, env.Fork(sess), sess, c.SVSS)
+				})
+				if err != nil {
+					return 0, err
+				}
+				return deriveCoinBit(v, j), nil
+			}
+		}
+	}
 	return func(j int) ba.Coin {
 		return func(ctx context.Context, round int) (byte, error) {
 			sess := runtime.SubSession(session, "ba", j, "wc", round)
@@ -104,9 +152,32 @@ func (c Config) InnerCoinFor(helperCtx context.Context, env *runtime.Env, sessio
 	return c.withDefaults().innerCoin(helperCtx, env, session)
 }
 
+// guidedCoin fixes a BA coin's first two rounds to the schedule 1, 0
+// (Cobalt-style). Safety never depends on coin values, and almost-sure
+// termination only needs the coin to be random eventually — rounds ≥ 3
+// still invoke the real coin. The payoff: a CommonSubset's overwhelmingly
+// common instances — unanimous 1 (a delivered broadcast), unanimous 0 (the
+// low gear) — decide in one or two deterministic rounds with zero
+// coin-protocol invocations, which is where most of a slot's BA rounds
+// (and, under InnerCoinWeak, most of its coin flips) used to go.
+func guidedCoin(c ba.Coin) ba.Coin {
+	return func(ctx context.Context, round int) (byte, error) {
+		switch round {
+		case 1:
+			return 1, nil
+		case 2:
+			return 0, nil
+		}
+		return c(ctx, round)
+	}
+}
+
 // CoinsFor exposes the configured per-instance coin factory for a
 // CommonSubset rooted at session (used by protocols layered on this
-// package, e.g. internal/securesum and internal/beacon).
+// package, e.g. internal/acs, internal/mpc and internal/reconfig). The
+// factory's coins are guided (see guidedCoin); the core protocols of the
+// paper (CoinFlip, FBA) keep their unguided inner coins.
 func (c Config) CoinsFor(helperCtx context.Context, env *runtime.Env, session string) commonsubset.CoinFactory {
-	return c.withDefaults().innerCoins(helperCtx, env, session)
+	base := c.withDefaults().innerCoins(helperCtx, env, session)
+	return func(j int) ba.Coin { return guidedCoin(base(j)) }
 }

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"asyncft/internal/field"
+)
+
+func TestSharedCoinSingleFlight(t *testing.T) {
+	sc := newSharedCoin()
+	var runs int32
+	var wg sync.WaitGroup
+	// 8 "instances" × 3 rounds: exactly one run per round.
+	for j := 0; j < 8; j++ {
+		for r := 1; r <= 3; r++ {
+			wg.Add(1)
+			r := r
+			go func() {
+				defer wg.Done()
+				v, err := sc.get(context.Background(), r, func() (field.Elem, error) {
+					atomic.AddInt32(&runs, 1)
+					return field.Elem(1000 + r), nil
+				})
+				if err != nil || v != field.Elem(1000+r) {
+					t.Errorf("round %d: got %v, %v", r, v, err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if got := atomic.LoadInt32(&runs); got != 3 {
+		t.Fatalf("flip ran %d times, want 3 (one per round)", got)
+	}
+}
+
+func TestSharedCoinWaiterCancel(t *testing.T) {
+	sc := newSharedCoin()
+	block := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sc.get(ctx, 1, func() (field.Elem, error) {
+		<-block
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("cancelled waiter must return an error")
+	}
+	close(block)
+}
+
+func TestDeriveCoinBitDeterministicAndSpread(t *testing.T) {
+	// Same (value, instance) at different parties must agree; across
+	// instances the bits should not be constant for a typical value.
+	v := field.Elem(0x5eed)
+	var zeros, ones int
+	for j := 0; j < 64; j++ {
+		b := deriveCoinBit(v, j)
+		if b != deriveCoinBit(v, j) {
+			t.Fatal("derivation not deterministic")
+		}
+		if b > 1 {
+			t.Fatalf("non-binary bit %d", b)
+		}
+		if b == 0 {
+			zeros++
+		} else {
+			ones++
+		}
+	}
+	if zeros == 0 || ones == 0 {
+		t.Fatalf("degenerate derivation: zeros=%d ones=%d", zeros, ones)
+	}
+}

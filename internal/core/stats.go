@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// AgreementStats aggregates agreement-core instrumentation across the slots
+// of an atomic-broadcast run: how often the unanimous-slot fast path fired,
+// and how many BA rounds the full-agreement fallback burned per decision.
+// Attach one via Config.Stats; all fields are safe for concurrent update
+// from pipelined slots.
+type AgreementStats struct {
+	// Slots is the number of committed slots.
+	Slots atomic.Int64
+	// FastCommits counts slots committed via the unanimous fast path.
+	FastCommits atomic.Int64
+	// Fallbacks counts slots that armed the fast path but fell back to the
+	// full n-instance agreement (timeout, digest mismatch, or a peer's SLOW).
+	Fallbacks atomic.Int64
+	// BADecisions and BARounds accumulate, over every full-agreement BA
+	// instance, the instance count and the rounds each burned before
+	// halting; BARounds/BADecisions is the expected rounds per decision.
+	BADecisions atomic.Int64
+	BARounds    atomic.Int64
+}
+
+// RoundsPerDecision returns the average BA round count per decision, or 0
+// if no instance ran (pure fast-path runs).
+func (s *AgreementStats) RoundsPerDecision() float64 {
+	d := s.BADecisions.Load()
+	if d == 0 {
+		return 0
+	}
+	return float64(s.BARounds.Load()) / float64(d)
+}
+
+// FastPathRate returns the fraction of committed slots that took the fast
+// path, or 0 before any slot committed.
+func (s *AgreementStats) FastPathRate() float64 {
+	n := s.Slots.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.FastCommits.Load()) / float64(n)
+}
+
+// String renders a one-line production summary (cmd/node prints this after
+// a -mode abc run).
+func (s *AgreementStats) String() string {
+	return fmt.Sprintf("slots=%d fast=%d (%.0f%%) fallback=%d ba=%d rounds/decision=%.2f",
+		s.Slots.Load(), s.FastCommits.Load(), 100*s.FastPathRate(),
+		s.Fallbacks.Load(), s.BADecisions.Load(), s.RoundsPerDecision())
+}

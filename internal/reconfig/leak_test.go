@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"asyncft/internal/core"
 	rt "asyncft/internal/runtime"
 	"asyncft/internal/testkit"
 )
@@ -100,5 +101,57 @@ func TestGroupCloseSilencesEpochTraffic(t *testing.T) {
 		if r.Err != nil {
 			t.Fatalf("party %d: %v", id, r.Err)
 		}
+	}
+}
+
+// TestFastPathEpochBoundaryDrain re-runs the drain regression with the
+// unanimous-slot fast path armed. Fast-committed slots leave a background
+// responder listening for stragglers' SLOW announcements; the epoch-switch
+// contract is that those responders die with their epoch's group, so a
+// membership change (including a removal) leaves no goroutine behind once
+// the cluster closes. The run must also actually exercise the fast path —
+// an all-honest schedule commits essentially every slot without BA.
+func TestFastPathEpochBoundaryDrain(t *testing.T) {
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	func() {
+		c := testkit.New(5, 1, testkit.WithSeed(47), testkit.WithTimeout(240*time.Second))
+		defer c.Close()
+		stats := &core.AgreementStats{}
+		cfg := testCfg()
+		cfg.FastPath = true
+		cfg.FastPathWait = 2 * time.Second
+		cfg.Stats = stats // atomic; shared across parties as a run-wide aggregate
+		res := runDynamic(t, c, []int{0, 1, 2, 3, 4}, Options{
+			Session:  "rc/fpleak",
+			Genesis:  []int{0, 1, 2, 3, 4},
+			Slots:    8,
+			Core:     cfg,
+			PoolSize: 1,
+			Source:   NewSource(ScheduledChange{Slot: 1, Change: Change{Add: false, Party: 2}}),
+		})
+		if res[2].RemovedAt < 0 {
+			t.Fatal("party 2 never removed")
+		}
+		if stats.FastCommits.Load() == 0 {
+			t.Fatalf("fast path never taken in an all-honest run (stats: %s)", stats.String())
+		}
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak across fast-path epoch switch: baseline %d, now %d\n%s",
+				baseline, now, buf[:n])
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }

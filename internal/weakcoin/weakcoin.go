@@ -41,6 +41,18 @@ const msgAttach uint8 = 1
 // returns, mirroring the paper's "continue participating in all relevant
 // invocations until they terminate".
 func Flip(ctx, helperCtx context.Context, env *runtime.Env, session string, opts svss.Options) (byte, error) {
+	v, err := FlipValue(ctx, helperCtx, env, session, opts)
+	if err != nil {
+		return 0, err
+	}
+	return v.Bit(), nil
+}
+
+// FlipValue is Flip exposing the full reconstructed field element instead of
+// its parity. One flip can then seed many consumers — internal/core derives
+// an independent bit per BA instance from a single per-(slot, round) flip,
+// turning n coin protocols per round into one.
+func FlipValue(ctx, helperCtx context.Context, env *runtime.Env, session string, opts svss.Options) (field.Elem, error) {
 	n, t := env.N, env.T
 
 	// Share completion tracking shared between the dealer goroutines and the
@@ -261,7 +273,7 @@ func Flip(ctx, helperCtx context.Context, env *runtime.Env, session string, opts
 			return 0, fmt.Errorf("weakcoin %s: %w", session, ctx.Err())
 		}
 	}
-	return sum.Bit(), nil
+	return sum, nil
 }
 
 type recResult struct {
