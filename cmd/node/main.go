@@ -143,7 +143,7 @@ func main() {
 	slots := flag.Int("slots", 4, "abc: number of atomic-broadcast slots (same value at every party)")
 	width := flag.Int("width", 0, "abc: slots in flight at once (0 = all; same value at every party)")
 	noCoded := flag.Bool("no-coded", false, "abc: disable erasure-coded A-Cast dispersal (classic full-value echo)")
-	fastPath := flag.Bool("fastpath", false, "abc: unanimous-slot fast path — commit the full contributor set after one confirmation round when all n A-Casts deliver (same value at every party)")
+	fastPath := flag.Bool("fastpath", false, "abc: unanimous-slot fast path — commit the full contributor set after one confirmation round when all n A-Casts deliver (same value at every party; implies -bca, whose unanimous-input validity the fallback requires)")
 	bca := flag.Bool("bca", false, "abc: BCA-based binary agreement rounds with AUX→VAL vote reuse (same value at every party)")
 	agTrace := flag.Bool("agreetrace", false, "abc: dump per-slot agreement milestones (fast commits, fallbacks, rounds) after the ledger")
 	resume := flag.Int("resume", 0, "abc: restarted-replica mode — skip slots [0,resume), catch them up via state transfer from peers, then join live slots")

@@ -52,9 +52,13 @@
 //     — measured 2.5–4× slots/s at n = 8–16 (experiment E16). BCA rounds
 //     (ba.Options.UseBCA) replace the two-phase inner ABA round with
 //     MMR-style BV-broadcast + AUX, reusing round-r AUX votes as round-r+1
-//     VAL credit. The guided coin schedule (core.Config.CoinsFor) fixes
-//     the first two coin values to 1 then 0 so unanimous instances decide
-//     deterministically without invoking a coin protocol, and
+//     VAL credit; FastPath forces this engine, whose deterministic
+//     unanimous-input validity the fallback's safety argument requires.
+//     The guided coin schedule (core.Config.CoinsFor, applied only over
+//     the BCA engine, whose BV validity makes a deterministic schedule
+//     sound) fixes the first two coin values to 1 then 0 so unanimous
+//     instances decide deterministically without invoking a coin
+//     protocol, and
 //     core.Config.SharedCoin amortizes one weak-coin flip per (slot,
 //     round) across all n BA instances. Per-run instrumentation lands in
 //     core.AgreementStats (fast-path hit rate, BA rounds per decision)

@@ -174,7 +174,7 @@ func runSlotAgree(ctx, helperCtx context.Context, env *runtime.Env, session stri
 	}
 	csc := make(chan csOut, 1)
 	var baDecided, baRounds int
-	csOpts := commonsubset.Options{BA: cfg.BA}
+	csOpts := cfg.CSOptions()
 	if cfg.Stats != nil || cfg.Trace != nil {
 		// Written on the CommonSubset goroutine, read here only after its
 		// result lands on csc (happens-before via the channel).

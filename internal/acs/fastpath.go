@@ -14,6 +14,13 @@
 // validity the fallback also outputs the full set. Fast and fallback
 // committers agree, whatever the adversary does.
 //
+// That argument leans on the inner BA delivering unanimous-input validity
+// deterministically, which only the BCA engine does (BV-broadcast never
+// admits a value without an honest supporter; the classic report/propose
+// rounds can be steered to the coin by an adversarial scheduler even on
+// unanimous honest input). core.Config therefore forces BA.UseBCA whenever
+// FastPath is set — see Config.withDefaults.
+//
 // Fallback triggers (liveness only, never safety): a FAST digest mismatch
 // (impossible between nonfaulty parties, so it proves a Byzantine sender),
 // a peer's SLOW, or FastPathWait expiring after ≥ n−t deliveries. A party
@@ -30,6 +37,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"fmt"
+	"sync"
 	"time"
 
 	"asyncft/internal/commonsubset"
@@ -75,8 +83,21 @@ func runSlotFast(ctx, helperCtx context.Context, env *runtime.Env, session strin
 	// responder can keep reading after the slot returns; closes fpc on
 	// receive failure (runtime shutdown) so the responder exits too. Honest
 	// traffic is ≤ 2 messages per party, so the buffer never fills for
-	// honest senders.
+	// honest senders. Once resolved closes — the slot fell back, errored
+	// out, or its responder saw the SLOW it was waiting for — nobody reads
+	// fpc again, so the pump drops traffic instead of blocking: a Byzantine
+	// peer flooding FAST/SLOW can then neither wedge this goroutine on a
+	// full buffer nor grow the session mailbox without bound.
 	fpc := make(chan fpMsg, 4*n)
+	resolved := make(chan struct{})
+	var resolveOnce sync.Once
+	resolve := func() { resolveOnce.Do(func() { close(resolved) }) }
+	handedOff := false
+	defer func() {
+		if !handedOff {
+			resolve()
+		}
+	}()
 	go func() {
 		defer close(fpc)
 		for {
@@ -98,6 +119,9 @@ func runSlotFast(ctx, helperCtx context.Context, env *runtime.Env, session strin
 			}
 			select {
 			case fpc <- pm:
+			case <-resolved:
+				// Dropped: the slot resolved and this message can no
+				// longer influence anything.
 			case <-helperCtx.Done():
 				return
 			}
@@ -136,7 +160,8 @@ func runSlotFast(ctx, helperCtx context.Context, env *runtime.Env, session strin
 				cfg.Trace.Recordf(env.ID, session, "acs",
 					"slot %d fast-path commit: %d entries, 0 ba instances", slot, len(entries))
 			}
-			go fastResponder(helperCtx, env, session, fpSess, slowSeen, fpc, st.pred, cfg)
+			handedOff = true // the responder owns fpc consumption now
+			go fastResponder(helperCtx, env, session, fpSess, slowSeen, fpc, resolve, st.pred, cfg)
 			return entries, nil
 		}
 		select {
@@ -197,7 +222,9 @@ func runSlotFast(ctx, helperCtx context.Context, env *runtime.Env, session strin
 
 	// Fallback: announce, then run full agreement from the state collected
 	// so far. The SLOW broadcast wakes fast-committed peers' responders so
-	// the CommonSubset below always finds enough participants.
+	// the CommonSubset below always finds enough participants. Nothing
+	// reads fpc from here on, so flip the pump to drop mode first.
+	resolve()
 	if cfg.Stats != nil {
 		cfg.Stats.Fallbacks.Add(1)
 	}
@@ -214,7 +241,11 @@ func runSlotFast(ctx, helperCtx context.Context, env *runtime.Env, session strin
 // fallback CommonSubset in the background with its all-true predicate. Its
 // own output is discarded — the party already committed the full set, and
 // the safety argument above guarantees the fallback agrees with it.
-func fastResponder(helperCtx context.Context, env *runtime.Env, session, fpSess string, slowSeen bool, fpc <-chan fpMsg, pred *commonsubset.Predicate, cfg core.Config) {
+// resolve flips the slot's pump to drop mode; the responder calls it the
+// moment it stops consuming fpc (a SLOW arrived, or the run is ending) so
+// later floods can't wedge the pump.
+func fastResponder(helperCtx context.Context, env *runtime.Env, session, fpSess string, slowSeen bool, fpc <-chan fpMsg, resolve func(), pred *commonsubset.Predicate, cfg core.Config) {
+	defer resolve()
 	for !slowSeen {
 		select {
 		case pm, ok := <-fpc:
@@ -228,8 +259,9 @@ func fastResponder(helperCtx context.Context, env *runtime.Env, session, fpSess 
 			return
 		}
 	}
+	resolve()
 	env.SendAll(fpSess, msgSlow, nil)
 	csSess := runtime.SubSession(session, "cs")
 	_, _ = commonsubset.Run(helperCtx, env, csSess, pred, env.N-env.T,
-		cfg.CoinsFor(helperCtx, env, csSess), commonsubset.Options{BA: cfg.BA})
+		cfg.CoinsFor(helperCtx, env, csSess), cfg.CSOptions())
 }

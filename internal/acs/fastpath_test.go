@@ -1,7 +1,9 @@
 package acs
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"testing"
@@ -12,6 +14,7 @@ import (
 	"asyncft/internal/core"
 	"asyncft/internal/runtime"
 	"asyncft/internal/testkit"
+	"asyncft/internal/wire"
 )
 
 // fastCfg returns the local-coin test configuration with the unanimous-slot
@@ -216,6 +219,65 @@ func TestFastPathFullStack(t *testing.T) {
 	for id := range stats {
 		if stats[id].Fallbacks.Load() != 1 {
 			t.Errorf("party %d: expected exactly one fallback, stats: %s", id, stats[id].String())
+		}
+	}
+}
+
+// TestFastPathConfirmFlood floods slot confirmation sessions from a
+// Byzantine party with far more FAST/SLOW traffic than the pump buffers —
+// before the slots start, while they run, and after every honest party has
+// resolved them. The junk digests and SLOWs force the honest parties
+// through the fallback; the slots must still commit byte-identical ledgers,
+// with the post-resolution flood absorbed by the pump's resolved-drop path
+// (a blocking pump would wedge on the full 4n buffer and let the session
+// mailbox grow without bound). Run under -race, which also checks the drop
+// path races cleanly with the flood.
+func TestFastPathConfirmFlood(t *testing.T) {
+	const n, tf, slots = 4, 1, 2
+	sess := "abc/flood"
+	c := testkit.New(n, tf, testkit.WithSeed(83), testkit.WithTimeout(60*time.Second))
+	defer c.Close()
+	byz := n - 1
+	junkDigest := func() []byte {
+		var w wire.Writer
+		w.BytesField(bytes.Repeat([]byte{0xA5}, sha256.Size))
+		return w.Bytes()
+	}()
+	flood := func(burst int) {
+		for k := 0; k < slots; k++ {
+			fpSess := runtime.SubSession(runtime.SubSession(sess, "slot", k), "fp")
+			for i := 0; i < burst; i++ {
+				c.Envs[byz].SendAll(fpSess, msgFast, junkDigest)
+				c.Envs[byz].SendAll(fpSess, msgSlow, nil)
+			}
+		}
+	}
+	flood(8 * n) // pre-fill every pump buffer before the slots start
+	stats := make([]core.AgreementStats, n)
+	honest := []int{0, 1, 2}
+	res := c.Run(honest, func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		cfg := fastCfg(5 * time.Second)
+		cfg.Stats = &stats[env.ID]
+		var out [][]Entry
+		for k := 0; k < slots; k++ {
+			entries, err := RunSlot(ctx, c.Ctx, env, runtime.SubSession(sess, "slot", k), k, payloadFor(env.ID, k), cfg)
+			if err != nil {
+				return nil, err
+			}
+			flood(2 * n) // keep the pressure on between and after slots
+			out = append(out, entries)
+		}
+		return BuildLedger(out), nil
+	})
+	ledger := agreeLedgers(t, res)
+	if len(ledger) != slots*(n-tf) {
+		t.Fatalf("ledger has %d entries, want %d (the n−t honest contributors, every slot)", len(ledger), slots*(n-tf))
+	}
+	flood(8 * n) // post-resolution: only the drop path can absorb this
+	for _, id := range honest {
+		if stats[id].Fallbacks.Load() != slots {
+			t.Errorf("party %d: %d fallbacks, want %d (the flood's SLOWs must route every slot through full agreement; stats: %s)",
+				id, stats[id].Fallbacks.Load(), slots, stats[id].String())
 		}
 	}
 }

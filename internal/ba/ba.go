@@ -7,6 +7,15 @@
 // Properties (for any coin, even adversarial):
 //
 //   - Validity: a unanimous nonfaulty input is the only possible output.
+//     The BCA engine (Options.UseBCA) guarantees this deterministically —
+//     BV-broadcast admission never lets an estimate move to a value
+//     lacking an honest supporter. The classic report/propose rounds
+//     guarantee it only when the round's candidate reaches its quorum: a
+//     worst-case scheduler can mix t faulty reports into every party's
+//     n−t sample so no value clears the (n+t)/2 bar, handing the round to
+//     the coin — layers whose safety leans on unanimous-input validity
+//     (the acs fast path, the guided coin schedule) must therefore use
+//     the BCA engine, and core.Config enforces exactly that.
 //   - Correctness (agreement): no two nonfaulty parties output differently.
 //   - Termination: almost-sure, with expected round count governed by the
 //     coin quality — a perfect common coin gives O(1) expected rounds, the
@@ -80,7 +89,11 @@ type Options struct {
 	// UseBCA selects the Binding Crusader Agreement round structure (see
 	// bca.go) instead of the classic report/propose rounds. All nonfaulty
 	// parties of a session must agree on this flag; the two paths use
-	// disjoint message types and do not interoperate.
+	// disjoint message types and do not interoperate. Unlike the classic
+	// rounds, BCA provides unanimous-input validity deterministically (see
+	// the package comment), which the acs fast path and the guided coin
+	// schedule depend on — core.Config forces this flag on when FastPath
+	// is set.
 	UseBCA bool
 }
 

@@ -50,6 +50,11 @@ type Config struct {
 	// n BA instances of a CommonSubset instead of one flip per instance per
 	// round; each instance derives its bit from the shared field element.
 	// Only meaningful with InnerCoinWeak (a local coin is already free).
+	// All nonfaulty parties of a session must agree on this flag: it
+	// changes the weak-coin session namespace (one flip session per round
+	// instead of one per instance per round), so a mixed setting leaves
+	// every flip short of its n−t participants and deadlocks the first BA
+	// round that reaches the real coin.
 	SharedCoin bool
 	// SVSS configures secret-sharing reconstruction behavior.
 	SVSS svss.Options
@@ -64,6 +69,13 @@ type Config struct {
 	// skips the n BA instances. All nonfaulty parties of a session must
 	// agree on this flag. Safety never depends on it — any disagreement,
 	// digest mismatch or timeout falls back to full agreement.
+	//
+	// FastPath forces BA.UseBCA (see withDefaults): the fast path's safety
+	// argument needs the fallback agreement to satisfy unanimous-input
+	// validity against a worst-case scheduler, which only the BCA engine
+	// provides — its BV-broadcast never admits a value lacking an honest
+	// supporter, whereas the classic report/propose rounds can be steered
+	// to the coin even on unanimous honest input.
 	FastPath bool
 	// FastPathWait is how long a slot with ≥ n−t (but not yet n) local
 	// deliveries waits for unanimity before falling back (default 200ms).
@@ -84,6 +96,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FastPathWait <= 0 {
 		c.FastPathWait = 200 * time.Millisecond
+	}
+	if c.FastPath {
+		// The fast path commits the full contributor set on n matching
+		// FASTs and relies on the fallback CommonSubset reproducing that
+		// set from all-true predicates — i.e. on deterministic unanimous-
+		// input validity of the inner BA. The classic report/propose
+		// rounds only give that probabilistically (an adversarial
+		// scheduler can starve the round's candidate and hand the round
+		// to the coin), so the fast path always runs the BCA engine.
+		// FastPath already requires cluster-wide agreement, so the forced
+		// flag stays consistent on the wire.
+		c.BA.UseBCA = true
 	}
 	return c
 }
@@ -160,6 +184,16 @@ func (c Config) InnerCoinFor(helperCtx context.Context, env *runtime.Env, sessio
 // low gear) — decide in one or two deterministic rounds with zero
 // coin-protocol invocations, which is where most of a slot's BA rounds
 // (and, under InnerCoinWeak, most of its coin flips) used to go.
+//
+// The schedule is only sound over the BCA engine: BV-broadcast admission
+// means an estimate can only ever move to a value with an honest
+// supporter, so a fixed coin merely delays decisions. The classic
+// report/propose rounds lack that filter — a scheduler that starves the
+// round's candidate makes every honest party adopt the coin directly, and
+// a deterministic coin then steers the whole cluster onto a value no
+// honest party input (e.g. deciding 1 for a proposer that never
+// broadcast, hanging the slot on a delivery that never comes). CoinsFor
+// therefore applies guidedCoin only when BA.UseBCA is set.
 func guidedCoin(c ba.Coin) ba.Coin {
 	return func(ctx context.Context, round int) (byte, error) {
 		switch round {
@@ -174,10 +208,30 @@ func guidedCoin(c ba.Coin) ba.Coin {
 
 // CoinsFor exposes the configured per-instance coin factory for a
 // CommonSubset rooted at session (used by protocols layered on this
-// package, e.g. internal/acs, internal/mpc and internal/reconfig). The
-// factory's coins are guided (see guidedCoin); the core protocols of the
-// paper (CoinFlip, FBA) keep their unguided inner coins.
+// package, e.g. internal/acs, internal/mpc and internal/reconfig). Under
+// the BCA engine (BA.UseBCA, forced by FastPath) the factory's coins are
+// guided (see guidedCoin); the classic engine keeps unguided coins, since
+// a deterministic first-round schedule is unsound without BV-broadcast
+// validity. The core protocols of the paper (CoinFlip, FBA) keep their
+// unguided inner coins either way.
+//
+// Callers running a CommonSubset with these coins must build its options
+// via CSOptions (not from the unresolved BA field), so the engine the
+// coins assume and the engine the instances run can never disagree.
 func (c Config) CoinsFor(helperCtx context.Context, env *runtime.Env, session string) commonsubset.CoinFactory {
-	base := c.withDefaults().innerCoins(helperCtx, env, session)
+	c = c.withDefaults()
+	base := c.innerCoins(helperCtx, env, session)
+	if !c.BA.UseBCA {
+		return base
+	}
 	return func(j int) ba.Coin { return guidedCoin(base(j)) }
+}
+
+// CSOptions returns the commonsubset options matching CoinsFor's resolved
+// configuration. Every CommonSubset fed by CoinsFor must use it: passing
+// the raw BA field instead would let a resolved-only flag (FastPath
+// forcing UseBCA) produce guided coins over the classic engine — exactly
+// the unsound pairing CoinsFor exists to rule out.
+func (c Config) CSOptions() commonsubset.Options {
+	return commonsubset.Options{BA: c.withDefaults().BA}
 }

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"asyncft/internal/testkit"
+)
+
+// TestFastPathForcesBCA pins the safety coupling between the fast path and
+// the BA engine: the unanimous-slot fast path is only sound over the BCA
+// engine's deterministic unanimous-input validity, so resolving a config
+// with FastPath set must force BA.UseBCA — and CSOptions (the options
+// every CommonSubset fed by CoinsFor must use) must reflect the forced
+// flag even when the caller never resolved the config itself.
+func TestFastPathForcesBCA(t *testing.T) {
+	cfg := Config{FastPath: true}
+	if !cfg.WithDefaults().BA.UseBCA {
+		t.Fatal("FastPath did not force BA.UseBCA in WithDefaults")
+	}
+	if !cfg.CSOptions().BA.UseBCA {
+		t.Fatal("CSOptions lost the forced BA.UseBCA — a CommonSubset built from it would run the classic engine under guided coins")
+	}
+	if (Config{}).WithDefaults().BA.UseBCA {
+		t.Fatal("BA.UseBCA forced without FastPath")
+	}
+	if (Config{}).CSOptions().BA.UseBCA {
+		t.Fatal("CSOptions flipped BA.UseBCA without FastPath")
+	}
+}
+
+// TestCoinsForGatesGuidedSchedule pins the engine gate on the guided coin
+// schedule. Over the BCA engine the first two rounds are the fixed 1, 0
+// schedule; over the classic engine the schedule must NOT apply — classic
+// rounds lack BV-broadcast validity, and a deterministic round-1 coin
+// there lets a Byzantine proposer who never broadcasts drive every honest
+// party's low-gear instance to est = 1 and hang the slot on a delivery
+// that never comes.
+func TestCoinsForGatesGuidedSchedule(t *testing.T) {
+	c := testkit.New(4, 1, testkit.WithSeed(9), testkit.WithTimeout(30*time.Second))
+	defer c.Close()
+	env := c.Envs[0]
+	ctx := c.Ctx
+
+	bcaCfg := Config{InnerCoin: InnerCoinLocal}
+	bcaCfg.BA.UseBCA = true
+	coin := bcaCfg.CoinsFor(ctx, env, "guard/bca")(0)
+	for i := 0; i < 16; i++ {
+		if v, err := coin(ctx, 1); err != nil || v != 1 {
+			t.Fatalf("BCA round-1 coin = %d, %v; want the guided 1", v, err)
+		}
+		if v, err := coin(ctx, 2); err != nil || v != 0 {
+			t.Fatalf("BCA round-2 coin = %d, %v; want the guided 0", v, err)
+		}
+	}
+
+	classicCfg := Config{InnerCoin: InnerCoinLocal}
+	coin = classicCfg.CoinsFor(ctx, env, "guard/classic")(0)
+	seen := map[byte]bool{}
+	for i := 0; i < 128 && (!seen[0] || !seen[1]); i++ {
+		v, err := coin(ctx, 1)
+		if err != nil || v > 1 {
+			t.Fatalf("classic round-1 coin = %d, %v", v, err)
+		}
+		seen[v] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatal("classic round-1 coin looks deterministic — the guided schedule leaked past the UseBCA gate")
+	}
+}

@@ -14,14 +14,18 @@ import (
 
 // E16AgreementCore measures the next-gen agreement core under the
 // latency-bound network.Delay schedule: the unanimous-slot fast path
-// (skip the n BA instances when all n A-Casts deliver) crossed with
-// BCA-based BA rounds (AUX→VAL vote reuse), swept over n. Each (n, mode)
-// cell runs the same pipelined ledger from the same seed, so link delays
-// and BA round luck are comparable; every run re-verifies byte-identical
-// ledgers, because a throughput number from a forked ledger would be
-// meaningless. The headline is the fast-path speedup (fast+bca slots/s
-// over classic slots/s) at the largest n — the claim is ≥1.5× once the
-// per-slot cost is dominated by the n BA instances the fast path skips.
+// (skip the n BA instances when all n A-Casts deliver) against BCA-based
+// BA rounds (AUX→VAL vote reuse), swept over n. The grid has three modes,
+// not four: FastPath forces the BCA engine (its safety argument needs
+// BCA's deterministic unanimous-input validity — see core.Config), so a
+// "fast path over classic rounds" cell is not a representable
+// configuration. Each (n, mode) cell runs the same pipelined ledger from
+// the same seed, so link delays and BA round luck are comparable; every
+// run re-verifies byte-identical ledgers, because a throughput number
+// from a forked ledger would be meaningless. The headline is the
+// fast-path speedup (fast+bca slots/s over classic slots/s) at the
+// largest n — the claim is ≥1.5× once the per-slot cost is dominated by
+// the n BA instances the fast path skips.
 func E16AgreementCore(scale Scale) (*Table, error) {
 	t := &Table{
 		ID:      "E16",
@@ -46,7 +50,6 @@ func E16AgreementCore(scale Scale) (*Table, error) {
 	modes := []mode{
 		{"classic", false, false},
 		{"bca", false, true},
-		{"fast", true, false},
 		{"fast+bca", true, true},
 	}
 
@@ -105,7 +108,7 @@ func E16AgreementCore(scale Scale) (*Table, error) {
 			headline = rate["fast+bca"] / rate["classic"]
 		}
 	}
-	t.Notes = fmt.Sprintf("%d slots per cell, both modes of a cell share one seed; fast-path %% is the fraction of slots committed without any BA instance, rounds/decision covers the BAs that did run (0 when the fast path skipped them all)", slots)
+	t.Notes = fmt.Sprintf("%d slots per cell, all modes of an n share one seed; fast-path %% is the fraction of slots committed without any BA instance, rounds/decision covers the BAs that did run (0 when the fast path skipped them all); no fast-without-bca mode exists — FastPath forces the BCA engine", slots)
 	t.Headline, t.HeadlineName = headline, fmt.Sprintf("fast-path speedup over classic (n=%d)", topN)
 	if scale >= 1 && topN >= 8 && headline < 1.5 {
 		return t, fmt.Errorf("E16: fast-path speedup %.2fx < 1.5x at n=%d", headline, topN)

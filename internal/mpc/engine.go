@@ -247,7 +247,7 @@ func Evaluate(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 	}
 	csSess := runtime.SubSession(session, "cs")
 	contributors, err := commonsubset.Run(ctx, env, csSess, pred, n-t,
-		cfg.CoinsFor(helperCtx, env, csSess), commonsubset.Options{BA: cfg.BA})
+		cfg.CoinsFor(helperCtx, env, csSess), cfg.CSOptions())
 	if err != nil {
 		return nil, fmt.Errorf("mpc %s: %w", session, err)
 	}

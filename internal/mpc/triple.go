@@ -92,7 +92,7 @@ func dealAll(ctx, helperCtx context.Context, env *runtime.Env, session string, c
 
 	csSess := runtime.SubSession(session, "cs")
 	set, err := commonsubset.Run(ctx, env, csSess, pred, n-t,
-		cfg.CoinsFor(helperCtx, env, csSess), commonsubset.Options{BA: cfg.BA})
+		cfg.CoinsFor(helperCtx, env, csSess), cfg.CSOptions())
 	if err != nil {
 		return nil, nil, fmt.Errorf("mpc deal %s: %w", session, err)
 	}

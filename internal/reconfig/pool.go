@@ -128,7 +128,7 @@ func dealVector(ctx, helperCtx context.Context, env *runtime.Env, session string
 
 	csSess := runtime.SubSession(session, "cs")
 	set, err := commonsubset.Run(ctx, env, csSess, pred, k,
-		cfg.CoinsFor(helperCtx, env, csSess), commonsubset.Options{BA: cfg.BA})
+		cfg.CoinsFor(helperCtx, env, csSess), cfg.CSOptions())
 	if err != nil {
 		return nil, nil, fmt.Errorf("reconfig deal %s: %w", session, err)
 	}
