@@ -76,6 +76,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"asyncft/internal/acs"
@@ -84,6 +85,7 @@ import (
 	"asyncft/internal/core"
 	"asyncft/internal/field"
 	"asyncft/internal/mpc"
+	"asyncft/internal/obs"
 	"asyncft/internal/rbc"
 	"asyncft/internal/reconfig"
 	"asyncft/internal/runtime"
@@ -116,6 +118,12 @@ type options struct {
 	seed     int64
 	timeout  time.Duration
 	grace    time.Duration
+
+	// Observability: obsAddr serves /metrics, /healthz, /readyz and
+	// net/http/pprof on the given address ("" = disabled); traceFile dumps
+	// the run's slot-lifecycle spans as Chrome-trace JSON on exit.
+	obsAddr   string
+	traceFile string
 
 	// Dynamic membership (-mode abc only): members is the genesis set
 	// (empty = static run), submits the operations this node proposes,
@@ -152,6 +160,8 @@ func main() {
 	retire := flag.Int("retire", 0, "abc dynamic: propose this node's own removal at the given slot (0 = never)")
 	lagFlag := flag.Int("lag", 0, "abc dynamic: activation delay in slots for committed ops (0 = default)")
 	pace := flag.Duration("pace", 0, "abc dynamic: minimum delay between this node's slot proposals — throttles the ledger so joiners and observers keep up (0 = full speed)")
+	obsAddr := flag.String("obs", "", "operational HTTP endpoint address (host:port) serving /metrics, /healthz, /readyz and /debug/pprof (empty = disabled)")
+	traceFile := flag.String("tracefile", "", "write the run's slot-lifecycle spans as Chrome-trace JSON to this file (load via chrome://tracing or Perfetto)")
 	seed := flag.Int64("seed", 0, "randomness seed (default: derived from id)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "protocol deadline")
 	grace := flag.Duration("grace", 500*time.Millisecond, "linger after completion so helper goroutines can serve slower peers (0 = the 500ms default, negative = exit immediately)")
@@ -163,7 +173,7 @@ func main() {
 		width: *width, resume: *resume, noCoded: *noCoded,
 		fastPath: *fastPath, bca: *bca, agTrace: *agTrace, seed: *seed,
 		timeout: *timeout, grace: *grace, retire: *retire, lag: *lagFlag,
-		pace: *pace,
+		pace: *pace, obsAddr: *obsAddr, traceFile: *traceFile,
 	}
 	for _, a := range strings.Split(*peers, ",") {
 		o.peers = append(o.peers, strings.TrimSpace(a))
@@ -178,6 +188,21 @@ func main() {
 	if err := runNode(o, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// obsState carries the node's observability plane across the mode
+// runners: the shared metrics registry (nil when -obs is off), the span
+// recorder (nil when -tracefile is off), and the state-transfer readiness
+// the /readyz probe folds in when the node is resuming.
+type obsState struct {
+	reg *obs.Registry
+	rec *trace.Recorder
+
+	// syncStore/syncTarget are set by runLedger before state transfer
+	// starts: /readyz stays 503 until the store's contiguous prefix
+	// reaches the resume target.
+	syncStore  atomic.Pointer[acs.Store]
+	syncTarget int
 }
 
 // runNode executes one party end to end and writes its outputs to out. It
@@ -214,23 +239,62 @@ func runNode(o options, out io.Writer) error {
 	defer node.Close()
 	env := runtime.NewEnv(o.id, n, o.t, node, tcp, o.seed)
 
+	ob := &obsState{}
+	if o.traceFile != "" {
+		ob.rec = trace.New(64 * 1024)
+	}
+	if o.obsAddr != "" {
+		ob.reg = obs.NewRegistry()
+		tcp.Instrument(ob.reg)
+		node.Instrument(ob.reg)
+		ready := func() error {
+			if got, need := tcp.ConnectedPeers()+1, n-o.t; got < need {
+				return fmt.Errorf("connected to %d/%d parties (need %d)", got, n, need)
+			}
+			if st := ob.syncStore.Load(); st != nil && st.Next() < ob.syncTarget {
+				return fmt.Errorf("state transfer at slot %d/%d", st.Next(), ob.syncTarget)
+			}
+			return nil
+		}
+		srv, err := obs.StartServer(o.obsAddr, obs.ServerOptions{Registry: ob.reg, Ready: ready})
+		if err != nil {
+			return fmt.Errorf("obs endpoint: %w", err)
+		}
+		defer srv.Close()
+		log.Printf("party %d observability on http://%s (/metrics /healthz /readyz /debug/pprof)", o.id, srv.Addr())
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
 	defer cancel()
 
 	start := time.Now()
 	switch o.mode {
 	case "abc":
-		if err := runLedger(ctx, env, o, out); err != nil {
+		if err := runLedger(ctx, env, o, ob, out); err != nil {
 			return err
 		}
 	case "mpc":
-		if err := runMPC(ctx, env, o, out); err != nil {
+		if err := runMPC(ctx, env, o, ob, out); err != nil {
 			return err
 		}
 	default:
 		if err := runProtocol(ctx, env, o, out); err != nil {
 			return err
 		}
+	}
+	if o.traceFile != "" {
+		f, err := os.Create(o.traceFile)
+		if err != nil {
+			return fmt.Errorf("tracefile: %w", err)
+		}
+		if err := ob.rec.WriteChrome(f); err != nil {
+			f.Close()
+			return fmt.Errorf("tracefile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("tracefile: %w", err)
+		}
+		log.Printf("party %d wrote %d trace events to %s", o.id, ob.rec.Len(), o.traceFile)
 	}
 	log.Printf("party %d completed in %v", o.id, time.Since(start).Round(time.Millisecond))
 	// Give lingering helper goroutines a beat (and snapshot servers a
@@ -251,7 +315,7 @@ func runNode(o options, out io.Writer) error {
 // snapshots from it over the transport, so restarted replicas (-resume R)
 // can catch up [0, R) via internal/statesync while participating live in
 // the remaining slots — and still print the bit-identical ledger.
-func runLedger(ctx context.Context, env *runtime.Env, o options, out io.Writer) error {
+func runLedger(ctx context.Context, env *runtime.Env, o options, ob *obsState, out io.Writer) error {
 	if o.slots < 1 {
 		return fmt.Errorf("-slots must be ≥ 1, got %d", o.slots)
 	}
@@ -264,11 +328,15 @@ func runLedger(ctx context.Context, env *runtime.Env, o options, out io.Writer) 
 	}
 	cfg.FastPath = o.fastPath
 	cfg.BA.UseBCA = o.bca
+	cfg.Metrics = ob.reg
 	// Agreement-core observability: rounds per decision and fast-path hit
 	// rate. These are per-party (a resumed replica runs fewer slots live),
 	// so they go to the log, keeping stdout bit-identical across parties.
 	cfg.Stats = &core.AgreementStats{}
-	rec := trace.New(4 * o.slots)
+	rec := ob.rec
+	if rec == nil {
+		rec = trace.New(4 * o.slots)
+	}
 	cfg.Trace = rec
 	printAgreement := func() {
 		log.Printf("party %d agreement: %s", env.ID, cfg.Stats.String())
@@ -281,7 +349,13 @@ func runLedger(ctx context.Context, env *runtime.Env, o options, out io.Writer) 
 		return runDynamicLedger(ctx, env, o, sess, cfg, printAgreement, out)
 	}
 	store := acs.NewStore()
-	go statesync.Serve(ctx, env, sess, store, statesync.Options{})
+	if o.resume > 0 {
+		// /readyz additionally waits for the missed prefix to install.
+		ob.syncTarget = o.resume
+		ob.syncStore.Store(store)
+	}
+	syncOpts := statesync.Options{Metrics: ob.reg}
+	go statesync.Serve(ctx, env, sess, store, syncOpts)
 	input := func(slot int) []byte {
 		return []byte(fmt.Sprintf("%s/p%d/s%d", o.input, env.ID, slot))
 	}
@@ -290,7 +364,7 @@ func runLedger(ctx context.Context, env *runtime.Env, o options, out io.Writer) 
 	if o.resume > 0 {
 		// Restarted replica: catch up the missed prefix and run the live
 		// slots concurrently; both must finish before the ledger prints.
-		if err := statesync.Resume(ctx, ctx, env, sess, store, o.resume, o.slots, o.width, input, cfg, statesync.Options{}); err != nil {
+		if err := statesync.Resume(ctx, ctx, env, sess, store, o.resume, o.slots, o.width, input, cfg, syncOpts); err != nil {
 			return err
 		}
 	} else if err := acs.RunFrom(ctx, ctx, env, sess, 0, o.slots, o.width, input, cfg, store); err != nil {
@@ -340,7 +414,7 @@ func runDynamicLedger(ctx context.Context, env *runtime.Env, o options, sess str
 		// A joiner's very first head request races the commit that teaches
 		// the members its address; re-ask well under a slot interval so the
 		// lost request costs milliseconds, not the whole run.
-		Sync: statesync.Options{HeadRetry: 100 * time.Millisecond},
+		Sync: statesync.Options{HeadRetry: 100 * time.Millisecond, Metrics: cfg.Metrics},
 		OnChange: func(ch reconfig.Change, slot int) {
 			if ch.Add && ch.Addr != "" && tcp != nil {
 				tcp.AddPeer(ch.Party, ch.Addr)
@@ -424,8 +498,8 @@ func parseChanges(s string) ([]reconfig.ScheduledChange, error) {
 // contributes one private input (-x); the cluster opens only the two
 // aggregates [Σx, n·Σx² − (Σx)²], identical at every party, from which
 // mean and variance derive publicly.
-func runMPC(ctx context.Context, env *runtime.Env, o options, out io.Writer) error {
-	cfg := core.Config{K: o.k, Eps: 0.1, InnerCoin: core.InnerCoinLocal}
+func runMPC(ctx context.Context, env *runtime.Env, o options, ob *obsState, out io.Writer) error {
+	cfg := core.Config{K: o.k, Eps: 0.1, InnerCoin: core.InnerCoinLocal, Metrics: ob.reg, Trace: ob.rec}
 	x := o.x
 	if x == 0 {
 		x = uint64(3*o.id + 2)

@@ -3,8 +3,13 @@ package main
 import (
 	"asyncft/internal/reconfig"
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -386,6 +391,167 @@ func TestE2EDynamicMembershipChurnOverTCP(t *testing.T) {
 	}
 	if !joinerCommitted {
 		t.Fatal("joiner's own batches never committed")
+	}
+}
+
+// httpGet fetches a URL with a short timeout, returning (0, "") when the
+// server is not reachable — poll loops treat that as "not yet".
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	c := &http.Client{Timeout: 2 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, ""
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// TestE2EObservabilityEndpoint drives the full observability plane over
+// loopback TCP: 4 nodes in -mode abc with -fastpath, each serving its
+// operational HTTP endpoint (-obs) and dumping Chrome-trace JSON
+// (-tracefile). It asserts the readiness lifecycle — /healthz answers
+// immediately, /readyz stays 503 while the node lacks its n−t peer quorum
+// and flips to 200 once the cluster connects — then scrapes /metrics
+// mid-run for Prometheus series from every instrumented layer, and
+// finally validates each party's trace file as Chrome-trace JSON with
+// paired slot spans.
+func TestE2EObservabilityEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP listeners and HTTP servers")
+	}
+	const n, slots = 4, 3
+	peers := freeAddrs(t, n)
+	obsAddrs := freeAddrs(t, n)
+	dir := t.TempDir()
+	traceFile := func(id int) string { return filepath.Join(dir, fmt.Sprintf("trace-%d.json", id)) }
+	mk := func(id int) options {
+		return options{
+			id: id, peers: peers, t: 1, mode: "abc", input: "tx",
+			fastPath: true, bca: true,
+			k: 1, batch: 1, slots: slots, width: 0,
+			timeout: 90 * time.Second, grace: 5 * time.Second,
+			obsAddr: obsAddrs[id], traceFile: traceFile(id),
+		}
+	}
+	outs := make([]bytes.Buffer, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	startNode := func(id int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[id] = runNode(mk(id), &outs[id])
+		}()
+	}
+
+	// Phase 1: node 0 alone. Its endpoint must serve /healthz as soon as
+	// it is up, and /readyz must refuse while the peer quorum is missing.
+	startNode(0)
+	base := "http://" + obsAddrs[0]
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if code, _ := httpGet(t, base+"/healthz"); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("obs endpoint never served /healthz")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code, body := httpGet(t, base+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with no peers connected: %d %q, want 503", code, body)
+	}
+
+	// Phase 2: the rest of the cluster. /readyz flips to 200 once ≥ n−t
+	// parties (this one included) are connected.
+	for id := 1; id < n; id++ {
+		startNode(id)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		if code, _ := httpGet(t, base+"/readyz"); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never flipped to 200 after the cluster connected")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Phase 3: scrape /metrics until every instrumented layer shows up
+	// (the run plus its -grace linger keeps the endpoint alive).
+	wanted := []string{
+		"# TYPE transport_frames_out_total counter",
+		"transport_connected_peers",
+		"runtime_sessions_active",
+		"# TYPE acs_slot_commit_seconds histogram",
+		"acs_slot_commit_seconds_bucket{le=",
+		"acs_fastpath_hits_total",
+		"rbc_deliveries_total",
+		"transport_messages_total",
+	}
+	var metrics string
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		_, metrics = httpGet(t, base+"/metrics")
+		missing := ""
+		for _, w := range wanted {
+			if !strings.Contains(metrics, w) {
+				missing = w
+				break
+			}
+		}
+		if missing == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/metrics never exposed %q; last scrape:\n%s", missing, metrics)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d: %v", id, err)
+		}
+	}
+	for id := 1; id < n; id++ {
+		if outs[0].String() != outs[id].String() {
+			t.Fatalf("ledger outputs differ between party 0 and party %d", id)
+		}
+	}
+
+	// Phase 4: every party's -tracefile is valid Chrome-trace JSON with
+	// paired slot spans.
+	for id := 0; id < n; id++ {
+		data, err := os.ReadFile(traceFile(id))
+		if err != nil {
+			t.Fatalf("party %d trace: %v", id, err)
+		}
+		var events []map[string]interface{}
+		if err := json.Unmarshal(data, &events); err != nil {
+			t.Fatalf("party %d trace is not valid Chrome-trace JSON: %v", id, err)
+		}
+		if len(events) == 0 {
+			t.Fatalf("party %d trace is empty", id)
+		}
+		begins, ends := 0, 0
+		for _, e := range events {
+			if e["name"] == "slot" {
+				switch e["ph"] {
+				case "B":
+					begins++
+				case "E":
+					ends++
+				}
+			}
+		}
+		if begins != slots || ends != slots {
+			t.Fatalf("party %d trace: %d slot begins / %d ends, want %d each", id, begins, ends, slots)
+		}
 	}
 }
 

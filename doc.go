@@ -140,6 +140,18 @@
 //     precomputed-Lagrange fast path (internal/field.Domain) that is
 //     bit-identical to, and ~5× faster than, per-call weight recomputation.
 //
+//   - A unified observability plane (internal/obs, internal/trace): a
+//     stdlib-only metrics registry — counters, gauges, fixed-bucket
+//     histograms, single-label vecs, alloc-free on update hot paths —
+//     exposed in Prometheus text format, with an operational HTTP
+//     endpoint (/metrics, /healthz, /readyz, /debug/pprof) served by
+//     cmd/node's -obs flag; readiness means "connected to ≥ n−t peers
+//     and, when resuming, state transfer caught up". Every layer
+//     (transport, runtime, rbc, ba, acs, mpc, statesync, reconfig)
+//     registers its series on one shared registry via core.Config.Metrics,
+//     and slot-lifecycle spans (dispersal → confirm → agree) recorded
+//     through trace.Recorder export as Chrome-trace JSON (-tracefile).
+//
 // Everything runs over a simulated asynchronous network (package
 // internal/network) whose message scheduling the test harness fully
 // controls — FIFO, seeded random reordering, or targeted adversarial holds —

@@ -32,6 +32,8 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"asyncft/internal/ba"
 	"asyncft/internal/batch"
@@ -76,11 +78,27 @@ func RunSlot(ctx, helperCtx context.Context, env *runtime.Env, session string, s
 		return nil, fmt.Errorf("acs %s: payload %d bytes exceeds cap %d", session, len(payload), MaxPayloadSize)
 	}
 	cfg = cfg.WithDefaults()
+	m := newSlotMetrics(cfg.Metrics)
+	m.inflight.Inc()
+	defer m.inflight.Dec()
+	start := time.Now()
+	cfg.Trace.Begin(env.ID, session, "slot")
+	defer cfg.Trace.End(env.ID, session, "slot")
 	st := startBroadcasts(helperCtx, env, session, payload, cfg)
+	st.m = m
+	defer st.endDispersal() // close the span even on error or cancellation
+	var entries []Entry
+	var err error
 	if cfg.FastPath {
-		return runSlotFast(ctx, helperCtx, env, session, slot, st, cfg)
+		entries, err = runSlotFast(ctx, helperCtx, env, session, slot, st, cfg)
+	} else {
+		entries, err = runSlotAgree(ctx, helperCtx, env, session, slot, st, cfg)
 	}
-	return runSlotAgree(ctx, helperCtx, env, session, slot, st, cfg)
+	if err == nil {
+		m.commits.Inc()
+		m.latency.ObserveSince(start)
+	}
+	return entries, err
 }
 
 // SlotError reports a failed atomic-broadcast slot, preserving the slot
@@ -118,6 +136,19 @@ type slotState struct {
 	pred   *commonsubset.Predicate
 	got    map[int][]byte
 	errs   map[int]error
+	// quorum is n−t; once that many broadcasts have delivered locally the
+	// slot's "dispersal" span closes (agreement can finish from here).
+	quorum       int
+	endDispersal func()
+	m            slotMetrics
+}
+
+// noteDelivered closes the dispersal span once a quorum of broadcasts has
+// delivered locally. Callers invoke it after adding a delivery to got.
+func (st *slotState) noteDelivered() {
+	if len(st.got) >= st.quorum {
+		st.endDispersal()
+	}
 }
 
 // startBroadcasts launches phase 1: n concurrent A-Casts, one per proposer.
@@ -130,6 +161,13 @@ func startBroadcasts(helperCtx context.Context, env *runtime.Env, session string
 		pred:   commonsubset.NewPredicate(),
 		got:    make(map[int][]byte, n),
 		errs:   make(map[int]error, n),
+		quorum: n - env.T,
+	}
+	cfg.Trace.Begin(env.ID, session, "dispersal")
+	var dispersalOnce sync.Once
+	trc, id := cfg.Trace, env.ID
+	st.endDispersal = func() {
+		dispersalOnce.Do(func() { trc.End(id, session, "dispersal") })
 	}
 	for j := 0; j < n; j++ {
 		j := j
@@ -173,6 +211,12 @@ func runSlotAgree(ctx, helperCtx context.Context, env *runtime.Env, session stri
 		err error
 	}
 	csc := make(chan csOut, 1)
+	cfg.Trace.Begin(env.ID, session, "agree")
+	var agreeOnce sync.Once
+	endAgree := func() {
+		agreeOnce.Do(func() { cfg.Trace.End(env.ID, session, "agree") })
+	}
+	defer endAgree()
 	var baDecided, baRounds int
 	csOpts := cfg.CSOptions()
 	if cfg.Stats != nil || cfg.Trace != nil {
@@ -216,7 +260,9 @@ func runSlotAgree(ctx, helperCtx context.Context, env *runtime.Env, session stri
 			}
 			got[d.j] = d.val
 			st.pred.Set(d.j)
+			st.noteDelivered()
 		case r := <-csc:
+			endAgree()
 			if r.err != nil {
 				return nil, &SlotError{Session: session, Slot: slot, Err: r.err}
 			}

@@ -78,6 +78,12 @@ type fpMsg struct {
 func runSlotFast(ctx, helperCtx context.Context, env *runtime.Env, session string, slot int, st *slotState, cfg core.Config) ([]Entry, error) {
 	n, t := env.N, env.T
 	fpSess := runtime.SubSession(session, "fp")
+	cfg.Trace.Begin(env.ID, session, "confirm")
+	var confirmOnce sync.Once
+	endConfirm := func() {
+		confirmOnce.Do(func() { cfg.Trace.End(env.ID, session, "confirm") })
+	}
+	defer endConfirm()
 
 	// Pump FAST/SLOW traffic. Runs under helperCtx so the post-commit
 	// responder can keep reading after the slot returns; closes fpc on
@@ -152,6 +158,8 @@ func runSlotFast(ctx, helperCtx context.Context, env *runtime.Env, session strin
 	for fallback == "" {
 		if committable() {
 			entries := commitEntries(slot, allParties(n), st.got)
+			st.m.fastHits.Inc()
+			endConfirm()
 			if cfg.Stats != nil {
 				cfg.Stats.Slots.Add(1)
 				cfg.Stats.FastCommits.Add(1)
@@ -173,6 +181,7 @@ func runSlotFast(ctx, helperCtx context.Context, env *runtime.Env, session strin
 			}
 			st.got[d.j] = d.val
 			st.pred.Set(d.j)
+			st.noteDelivered()
 			if len(st.got) == n {
 				dg := fastDigest(slot, n, st.got)
 				myDigest = dg[:]
@@ -225,6 +234,8 @@ func runSlotFast(ctx, helperCtx context.Context, env *runtime.Env, session strin
 	// the CommonSubset below always finds enough participants. Nothing
 	// reads fpc from here on, so flip the pump to drop mode first.
 	resolve()
+	st.m.fallbacks.Inc()
+	endConfirm()
 	if cfg.Stats != nil {
 		cfg.Stats.Fallbacks.Add(1)
 	}

@@ -1,0 +1,31 @@
+// Slot-level observability: metric handles resolved once per slot from the
+// node's shared registry (core.Config.Metrics), plus the slot-lifecycle
+// spans ("slot" > "dispersal" / "confirm" / "agree") the Chrome-trace
+// exporter renders. Both are nil-safe end to end — an uninstrumented run
+// pays only a few nil checks per slot.
+package acs
+
+import (
+	"asyncft/internal/obs"
+)
+
+// slotMetrics carries the handles one slot touches. The zero value (no
+// registry configured) is a valid no-op: every obs handle method accepts a
+// nil receiver.
+type slotMetrics struct {
+	inflight  *obs.Gauge
+	commits   *obs.Counter
+	latency   *obs.Histogram
+	fastHits  *obs.Counter
+	fallbacks *obs.Counter
+}
+
+func newSlotMetrics(reg *obs.Registry) slotMetrics {
+	return slotMetrics{
+		inflight:  reg.Gauge("acs_slots_inflight", "Atomic-broadcast slots currently running at this party."),
+		commits:   reg.Counter("acs_slots_committed_total", "Atomic-broadcast slots committed locally."),
+		latency:   reg.Histogram("acs_slot_commit_seconds", "Wall time from slot start to local commit.", obs.DefLatencyBuckets),
+		fastHits:  reg.Counter("acs_fastpath_hits_total", "Slots committed on the unanimous fast path."),
+		fallbacks: reg.Counter("acs_fastpath_fallbacks_total", "Fast-path slots that fell back to full agreement."),
+	}
+}

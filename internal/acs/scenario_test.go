@@ -7,6 +7,7 @@ import (
 
 	"asyncft/internal/runtime"
 	"asyncft/internal/testkit"
+	"asyncft/internal/trace"
 )
 
 // TestLedgerScenarios drives the pipelined ledger through the testkit
@@ -77,8 +78,13 @@ func TestLedgerScenarios(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			c := testkit.New(n, tf, testkit.WithSeed(tc.seed), testkit.WithTimeout(90*time.Second))
+			// On failure the trace timeline — network sends/deliveries plus
+			// the slots' dispersal/agree spans — reconstructs what the fault
+			// schedule actually did.
+			rec := trace.New(4096)
+			c := testkit.New(n, tf, testkit.WithSeed(tc.seed), testkit.WithTimeout(90*time.Second), testkit.WithTrace(rec))
 			defer c.Close()
+			c.DumpOnFailure(t)
 			c.Start(testkit.Scenario{Name: tc.name, Steps: tc.steps(t)})
 			payload := payloadFor
 			size := 0
@@ -86,11 +92,13 @@ func TestLedgerScenarios(t *testing.T) {
 				size = 4096
 				payload = func(id, slot int) []byte { return bigPayloadFor(id, slot, size) }
 			}
+			cfg := localCfg
+			cfg.Trace = rec
 			body := func(ctx context.Context, env *runtime.Env) (interface{}, error) {
 				return Run(ctx, c.Ctx, env, "abc/scen", slots, 1, func(slot int) []byte {
 					c.Progress(slot)
 					return payload(env.ID, slot)
-				}, localCfg)
+				}, cfg)
 			}
 			waited := map[int]bool{}
 			for _, id := range tc.waited {

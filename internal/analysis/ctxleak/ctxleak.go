@@ -35,6 +35,10 @@ var protocolPkgs = map[string]bool{
 	"asyncft/internal/batch":     true,
 	"asyncft/internal/svss":      true,
 	"asyncft/internal/reconfig":  true,
+	// The observability plane runs HTTP-server goroutines next to the
+	// protocol stack; its serve loops must be bounded the same way (or
+	// document the listener-close handoff).
+	"asyncft/internal/obs": true,
 }
 
 // Analyzer is the ctxleak analyzer.

@@ -12,6 +12,13 @@
 // field named `Session`. An argument is flagged when it is a direct
 // fmt.Sprintf/Sprint/Sprintln call, or a local variable whose defining
 // assignment is one.
+//
+// The same taint machinery guards metric label values: the With methods of
+// the obs package's vec types are label sinks. A Sprintf-derived label
+// value means unbounded series cardinality (every distinct string mints a
+// new timeseries) and defeats With's resolve-once-and-cache contract —
+// label vocabularies must be small and fixed, with WithIndex for integer
+// ids.
 package sessionfmt
 
 import (
@@ -34,7 +41,7 @@ func run(pass *analysis.Pass) error {
 		return nil // the canonical helper's home
 	}
 	sprintfAssigns := collectSprintfVars(pass)
-	report := func(arg ast.Expr, what string) {
+	reportSession := func(arg ast.Expr, what string) {
 		if what != "" {
 			what += " "
 		}
@@ -42,7 +49,15 @@ func run(pass *analysis.Pass) error {
 			"session string %sbuilt with ad-hoc fmt.Sprintf; derive it with runtime.SubSession "+
 				"(asyncft.SubSession on the public API) so sessions stay canonical and collision-free", what)
 	}
-	check := func(arg ast.Expr) {
+	reportLabel := func(arg ast.Expr, what string) {
+		if what != "" {
+			what += " "
+		}
+		pass.Reportf(arg.Pos(),
+			"metric label value %sbuilt with fmt.Sprintf; label vocabularies must be small and "+
+				"fixed (use WithIndex for integer ids) — formatted labels mint unbounded series", what)
+	}
+	check := func(arg ast.Expr, report func(ast.Expr, string)) {
 		switch arg := analysis.Unparen(arg).(type) {
 		case *ast.CallExpr:
 			if isSprintf(pass.TypesInfo, arg) {
@@ -62,13 +77,17 @@ func run(pass *analysis.Pass) error {
 				if fn == nil {
 					return true
 				}
+				if isObsLabelSink(fn) && len(n.Args) == 1 {
+					check(n.Args[0], reportLabel)
+					return true
+				}
 				sig, ok := fn.Type().(*types.Signature)
 				if !ok {
 					return true
 				}
 				for i, arg := range n.Args {
 					if p := paramAt(sig, i); p != nil && p.Name() == "session" && isString(p.Type()) {
-						check(arg)
+						check(arg, reportSession)
 					}
 				}
 			case *ast.CompositeLit:
@@ -79,7 +98,7 @@ func run(pass *analysis.Pass) error {
 					}
 					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Session" {
 						if f, ok := pass.TypesInfo.Uses[key].(*types.Var); ok && isString(f.Type()) {
-							check(kv.Value)
+							check(kv.Value, reportSession)
 						}
 					}
 				}
@@ -132,6 +151,28 @@ func collectSprintfVars(pass *analysis.Pass) map[*types.Var]bool {
 		})
 	}
 	return tainted
+}
+
+// isObsLabelSink reports whether fn is a With method on one of the obs
+// package's vec types (CounterVec.With, GaugeVec.With) — the only places a
+// label value string enters the registry.
+func isObsLabelSink(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "With" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "asyncft/internal/obs"
 }
 
 func isSprintf(info *types.Info, call *ast.CallExpr) bool {

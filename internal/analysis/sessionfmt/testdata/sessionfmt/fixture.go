@@ -1,11 +1,13 @@
 // Fixture for the sessionfmt analyzer: fmt.Sprintf feeding a session sink
-// (a string parameter named session, or a Session struct field) is
-// flagged; Sprintf feeding anything else is not.
+// (a string parameter named session, or a Session struct field) or a
+// metric label sink (the obs vec With methods) is flagged; Sprintf feeding
+// anything else is not.
 package sessionfmt
 
 import (
 	"fmt"
 
+	"asyncft/internal/obs"
 	"asyncft/internal/wire"
 )
 
@@ -38,4 +40,29 @@ func goodOtherSprintf(i int) {
 	logf(fmt.Sprintf("round %d done", i)) // not a session sink
 	payload := []byte(fmt.Sprintf("tx/%d", i))
 	_ = payload
+}
+
+func badLabelDirect(reg *obs.Registry, peer int) {
+	v := reg.CounterVec("frames_total", "frames by peer", "peer")
+	v.With(fmt.Sprintf("peer%d", peer)).Inc() // want "metric label value built with fmt.Sprintf"
+}
+
+func badLabelVar(reg *obs.Registry, epoch int) {
+	g := reg.GaugeVec("epoch_members", "members by epoch", "epoch")
+	lbl := fmt.Sprintf("e%d", epoch)
+	g.With(lbl).Set(4) // want "metric label value lbl built with fmt.Sprintf"
+}
+
+func goodLabelFixed(reg *obs.Registry, ok bool) {
+	v := reg.CounterVec("redeals_total", "re-deals by outcome", "outcome")
+	if ok {
+		v.With("ok").Inc() // fixed vocabulary is the contract
+	} else {
+		v.With("failed").Inc()
+	}
+}
+
+func goodLabelIndex(reg *obs.Registry, peer int) {
+	v := reg.CounterVec("frames_total", "frames by peer", "peer")
+	v.WithIndex(peer).Inc() // integer ids go through WithIndex, not Sprintf
 }

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 
+	"asyncft/internal/obs"
 	"asyncft/internal/runtime"
 	"asyncft/internal/wire"
 )
@@ -95,6 +96,10 @@ type Options struct {
 	// schedule depend on — core.Config forces this flag on when FastPath
 	// is set.
 	UseBCA bool
+	// Metrics, when non-nil, receives aggregate counters across instances:
+	// rounds entered, decisions reached and coin callback invocations,
+	// each labeled by engine ("classic" or "bca").
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -132,9 +137,53 @@ func Run(ctx context.Context, env *runtime.Env, session string, input byte, coin
 	if input > 1 {
 		return 0, fmt.Errorf("ba %s: input %d not binary", session, input)
 	}
-	if opts.UseBCA {
-		return runBCA(ctx, env, session, input, coin, opts)
+	var m *baMetrics
+	if opts.Metrics != nil {
+		m = newBAMetrics(opts.Metrics, opts.UseBCA)
+		if opts.Stats == nil {
+			// The per-run Stats carry the round count the aggregate
+			// counters need; attach a private one when the caller brought
+			// none.
+			opts.Stats = &Stats{}
+		}
+		inner := coin
+		coin = func(ctx context.Context, round int) (byte, error) {
+			m.coins.Inc()
+			return inner(ctx, round)
+		}
 	}
+	run := runClassic
+	if opts.UseBCA {
+		run = runBCA
+	}
+	v, err := run(ctx, env, session, input, coin, opts)
+	if m != nil && err == nil {
+		m.rounds.Add(uint64(opts.Stats.Rounds))
+		m.decisions.Inc()
+	}
+	return v, err
+}
+
+// baMetrics are one engine's aggregate counters on a shared registry.
+type baMetrics struct {
+	rounds, decisions, coins *obs.Counter
+}
+
+func newBAMetrics(reg *obs.Registry, useBCA bool) *baMetrics {
+	engine := "classic"
+	if useBCA {
+		engine = "bca"
+	}
+	return &baMetrics{
+		rounds:    reg.CounterVec("ba_rounds_total", "BA rounds entered before halting, by engine.", "engine").With(engine),
+		decisions: reg.CounterVec("ba_decisions_total", "BA instances decided, by engine.", "engine").With(engine),
+		coins:     reg.CounterVec("ba_coin_invocations_total", "Coin callback invocations (guided rounds included), by engine.", "engine").With(engine),
+	}
+}
+
+// runClassic executes the report/propose round structure. opts are
+// resolved by Run.
+func runClassic(ctx context.Context, env *runtime.Env, session string, input byte, coin Coin, opts Options) (byte, error) {
 	n, t := env.N, env.T
 
 	rounds := map[int]*roundState{}

@@ -13,6 +13,7 @@ import (
 	"asyncft/internal/ba"
 	"asyncft/internal/commonsubset"
 	"asyncft/internal/field"
+	"asyncft/internal/obs"
 	"asyncft/internal/rbc"
 	"asyncft/internal/runtime"
 	"asyncft/internal/svss"
@@ -86,8 +87,16 @@ type Config struct {
 	// (fast-path hit rate, BA rounds per decision) across slots.
 	Stats *AgreementStats
 	// Trace, when non-nil, receives per-slot agreement milestones
-	// ("fast-path commit", "fallback", rounds per decision).
+	// ("fast-path commit", "fallback", rounds per decision) and the
+	// slot-lifecycle spans the Chrome-trace exporter renders.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, is the shared observability registry every
+	// layer under this configuration registers its instruments on:
+	// withDefaults copies it into BA.Metrics and RBC.Metrics, and the
+	// protocols layered on this package (acs, mpc, reconfig) read it for
+	// their own series. One registry per node — the operational HTTP
+	// endpoint (internal/obs) serves it as /metrics.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +117,12 @@ func (c Config) withDefaults() Config {
 		// FastPath already requires cluster-wide agreement, so the forced
 		// flag stays consistent on the wire.
 		c.BA.UseBCA = true
+	}
+	if c.Metrics != nil {
+		// One registry feeds every layer; the sub-option copies let ba and
+		// rbc instances register without knowing about core.
+		c.BA.Metrics = c.Metrics
+		c.RBC.Metrics = c.Metrics
 	}
 	return c
 }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestAgreementStatsConcurrent hammers one AgreementStats from many
+// goroutines the way pipelined slots do — every slot commits, some via the
+// fast path, the rest through a fallback BA — and checks the totals and
+// derived ratios are exact. Run under -race this also proves the
+// documented "safe for concurrent update" contract.
+func TestAgreementStatsConcurrent(t *testing.T) {
+	const (
+		workers      = 16
+		slotsEach    = 200
+		fastEvery    = 4 // every 4th slot takes the fast path
+		roundsPerBA  = 3
+		totalSlots   = workers * slotsEach
+		wantFast     = totalSlots / fastEvery
+		wantFallback = totalSlots - wantFast
+	)
+	var s AgreementStats
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < slotsEach; i++ {
+				s.Slots.Add(1)
+				if i%fastEvery == 0 {
+					s.FastCommits.Add(1)
+					continue
+				}
+				s.Fallbacks.Add(1)
+				s.BADecisions.Add(1)
+				s.BARounds.Add(roundsPerBA)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := s.Slots.Load(); got != totalSlots {
+		t.Errorf("Slots = %d, want %d", got, totalSlots)
+	}
+	if got := s.FastCommits.Load(); got != wantFast {
+		t.Errorf("FastCommits = %d, want %d", got, wantFast)
+	}
+	if got := s.Fallbacks.Load(); got != wantFallback {
+		t.Errorf("Fallbacks = %d, want %d", got, wantFallback)
+	}
+	if got := s.RoundsPerDecision(); got != roundsPerBA {
+		t.Errorf("RoundsPerDecision = %v, want %v", got, float64(roundsPerBA))
+	}
+	wantRate := float64(wantFast) / float64(totalSlots)
+	if got := s.FastPathRate(); math.Abs(got-wantRate) > 1e-12 {
+		t.Errorf("FastPathRate = %v, want %v", got, wantRate)
+	}
+}
+
+// TestAgreementStatsZero checks the derived ratios don't divide by zero on
+// a fresh (or pure fast-path) stats block.
+func TestAgreementStatsZero(t *testing.T) {
+	var s AgreementStats
+	if got := s.RoundsPerDecision(); got != 0 {
+		t.Errorf("RoundsPerDecision on zero stats = %v, want 0", got)
+	}
+	if got := s.FastPathRate(); got != 0 {
+		t.Errorf("FastPathRate on zero stats = %v, want 0", got)
+	}
+	if out := s.String(); !strings.Contains(out, "slots=0") {
+		t.Errorf("String() = %q, want it to render zero slots", out)
+	}
+}
+
+// TestAgreementStatsReadWhileWriting interleaves String/ratio reads with
+// writers; under -race this would flag any unsynchronized access, and the
+// invariant fast ≤ slots must hold in every observed snapshot-free read
+// ordering (fast is incremented after slots).
+func TestAgreementStatsReadWhileWriting(t *testing.T) {
+	var s AgreementStats
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s.Slots.Add(1)
+				s.FastCommits.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < 1000; i++ {
+		if fast, slots := s.FastCommits.Load(), s.Slots.Load(); fast > slots {
+			t.Fatalf("FastCommits %d observed above Slots %d", fast, slots)
+		}
+		_ = s.String()
+		_ = s.FastPathRate()
+	}
+	close(done)
+	wg.Wait()
+}

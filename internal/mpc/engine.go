@@ -54,9 +54,27 @@ import (
 	"asyncft/internal/commonsubset"
 	"asyncft/internal/core"
 	"asyncft/internal/field"
+	"asyncft/internal/obs"
 	"asyncft/internal/runtime"
 	"asyncft/internal/svss"
 )
+
+// mpcMetrics carries the observability handles the engine touches,
+// resolved per call from core.Config.Metrics. The zero value (no
+// registry) is a valid no-op: obs handles accept nil receivers.
+type mpcMetrics struct {
+	triples    *obs.Counter
+	openRounds *obs.Counter
+	openValues *obs.Counter
+}
+
+func newMPCMetrics(reg *obs.Registry) mpcMetrics {
+	return mpcMetrics{
+		triples:    reg.Counter("mpc_triples_generated_total", "Beaver triples produced by GenTriples."),
+		openRounds: reg.Counter("mpc_opening_rounds_total", "Batched opening rounds (one svss.RunRecBatch message exchange each)."),
+		openValues: reg.Counter("mpc_openings_total", "Secret-shared values opened across all batched rounds."),
+	}
+}
 
 // Options tune evaluation.
 type Options struct {
@@ -149,6 +167,7 @@ func Evaluate(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 	if own := ckt.InputsOf(env.ID); len(myInputs) != len(own) {
 		return nil, fmt.Errorf("mpc %s: party %d owns %d input wires, got %d values", session, env.ID, len(own), len(myInputs))
 	}
+	mm := newMPCMetrics(cfg.Metrics)
 
 	// Launch triple preprocessing for every layer immediately: it is
 	// input-independent, so it overlaps the input phase and — pipelined
@@ -309,6 +328,8 @@ func Evaluate(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 					if err != nil {
 						return nil, fmt.Errorf("mpc %s: layer %d gate %d: %w", session, l, k, err)
 					}
+					mm.openRounds.Inc()
+					mm.openValues.Add(uint64(len(open)))
 					rows[k] = mulRow(tr[0], vals[0], vals[1])
 					done[k] = true
 				}
@@ -333,6 +354,8 @@ func Evaluate(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 				if err != nil {
 					return nil, fmt.Errorf("mpc %s: layer %d openings: %w", session, l, err)
 				}
+				mm.openRounds.Inc()
+				mm.openValues.Add(uint64(len(open)))
 				for gi, k := range gates {
 					rows[k] = mulRow(prep.triples[gi], vals[2*gi], vals[2*gi+1])
 					done[k] = true
@@ -369,5 +392,7 @@ func Evaluate(ctx, helperCtx context.Context, env *runtime.Env, session string, 
 	if err != nil {
 		return nil, fmt.Errorf("mpc %s: output opening: %w", session, err)
 	}
+	mm.openRounds.Inc()
+	mm.openValues.Add(uint64(len(outRows)))
 	return &Result{Outputs: outputs, Contributors: contributors}, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"asyncft/internal/field"
 	"asyncft/internal/testkit"
+	"asyncft/internal/trace"
 )
 
 // TestEvaluateScenarios drives the MPC engine through the shared testkit
@@ -49,8 +50,10 @@ func TestEvaluateScenarios(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			c := testkit.New(n, tf, testkit.WithSeed(tc.seed), testkit.WithTimeout(120*time.Second))
+			c := testkit.New(n, tf, testkit.WithSeed(tc.seed), testkit.WithTimeout(120*time.Second),
+				testkit.WithTrace(trace.New(4096)))
 			defer c.Close()
+			c.DumpOnFailure(t)
 			c.Start(testkit.Scenario{Name: tc.name, Steps: tc.arm(c)})
 			c.Progress(0)
 			if tc.after != nil {

@@ -283,5 +283,6 @@ func GenTriples(ctx, helperCtx context.Context, env *runtime.Env, session string
 	for g := 0; g < m; g++ {
 		out[g] = Triple{A: aRow(g), B: bRow(g), C: cRows[g]}
 	}
+	newMPCMetrics(cfg.Metrics).triples.Add(uint64(m))
 	return out, nil
 }

@@ -1,116 +1,29 @@
 package network
 
 import (
-	"sort"
-	"strings"
-	"sync"
-
+	"asyncft/internal/obs"
 	"asyncft/internal/wire"
 )
 
-// Metrics counts traffic by top-level protocol (the first segment of the
-// session path) and by directed link (from → to), feeding the scaling
-// experiments (E6) and the bandwidth measurements of the coded-broadcast
-// study (E12 in EXPERIMENTS.md).
-type Metrics struct {
-	mu       sync.Mutex
-	messages uint64
-	bytes    uint64
-	byProto  map[string]*protoCounter
-	byLink   map[linkKey]*protoCounter
-}
-
-type protoCounter struct {
-	Messages uint64
-	Bytes    uint64
-}
-
-type linkKey struct{ from, to int }
-
-func (m *Metrics) init() {
-	m.byProto = make(map[string]*protoCounter)
-	m.byLink = make(map[linkKey]*protoCounter)
-}
-
-func (m *Metrics) record(env wire.Envelope) {
-	size := uint64(len(env.Payload) + len(env.Session) + 8)
-	proto := env.Session
-	if i := strings.IndexByte(proto, '/'); i >= 0 {
-		proto = proto[:i]
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.messages++
-	m.bytes += size
-	c := m.byProto[proto]
-	if c == nil {
-		c = &protoCounter{}
-		m.byProto[proto] = c
-	}
-	c.Messages++
-	c.Bytes += size
-	lk := linkKey{from: env.From, to: env.To}
-	l := m.byLink[lk]
-	if l == nil {
-		l = &protoCounter{}
-		m.byLink[lk] = l
-	}
-	l.Messages++
-	l.Bytes += size
-}
+// Traffic accounting lives in internal/obs so the simulated fabric and
+// the real TCP transport report per-party bandwidth through the same
+// accountant (and both render on one metrics registry via
+// Registry.AttachTraffic). These aliases keep the router's historical
+// snapshot API — feeding the scaling experiments (E6) and the bandwidth
+// measurements of the coded-broadcast study (E12 in EXPERIMENTS.md) —
+// pointing at the shared types.
 
 // ProtoStat is one per-protocol row of a metrics snapshot.
-type ProtoStat struct {
-	Proto    string
-	Messages uint64
-	Bytes    uint64
-}
+type ProtoStat = obs.ProtoStat
 
-// LinkStat is one directed-link row of a metrics snapshot: everything sent
-// from party From to party To (self-links included — parties send to
-// themselves through the fabric like to anyone else).
-type LinkStat struct {
-	From, To int
-	Messages uint64
-	Bytes    uint64
-}
+// LinkStat is one directed-link row of a metrics snapshot.
+type LinkStat = obs.LinkStat
 
-// MetricsSnapshot is an immutable copy of the counters.
-type MetricsSnapshot struct {
-	Messages uint64
-	Bytes    uint64
-	ByProto  []ProtoStat
-	ByLink   []LinkStat
-}
+// MetricsSnapshot is an immutable copy of the traffic counters.
+type MetricsSnapshot = obs.TrafficSnapshot
 
-// SentBy sums the bytes party id injected into the fabric across all its
-// outbound links — the per-party bandwidth number E12 reports.
-func (s MetricsSnapshot) SentBy(id int) uint64 {
-	var total uint64
-	for _, l := range s.ByLink {
-		if l.From == id {
-			total += l.Bytes
-		}
-	}
-	return total
-}
-
-func (m *Metrics) snapshot() MetricsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := MetricsSnapshot{Messages: m.messages, Bytes: m.bytes}
-	for name, c := range m.byProto {
-		s.ByProto = append(s.ByProto, ProtoStat{Proto: name, Messages: c.Messages, Bytes: c.Bytes})
-	}
-	sort.Slice(s.ByProto, func(i, j int) bool { return s.ByProto[i].Proto < s.ByProto[j].Proto })
-	for lk, c := range m.byLink {
-		s.ByLink = append(s.ByLink, LinkStat{From: lk.from, To: lk.to, Messages: c.Messages, Bytes: c.Bytes})
-	}
-	sort.Slice(s.ByLink, func(i, j int) bool {
-		if s.ByLink[i].From != s.ByLink[j].From {
-			return s.ByLink[i].From < s.ByLink[j].From
-		}
-		return s.ByLink[i].To < s.ByLink[j].To
-	})
-	return s
+// envelopeSize is the simulated fabric's wire-size estimate for an
+// envelope: payload plus session path plus a fixed header charge.
+func envelopeSize(env wire.Envelope) uint64 {
+	return uint64(len(env.Payload) + len(env.Session) + 8)
 }

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"asyncft/internal/obs"
 	"asyncft/internal/wire"
 )
 
@@ -50,7 +51,7 @@ type Router struct {
 
 	mu      sync.Mutex
 	policy  Policy
-	metrics Metrics
+	metrics *obs.Traffic
 	closed  bool
 
 	in     chan wire.Envelope
@@ -95,7 +96,7 @@ func NewRouter(n int, policy Policy, opts ...Option) *Router {
 	for i := range r.queues {
 		r.queues[i] = newQueue()
 	}
-	r.metrics.init()
+	r.metrics = obs.NewTraffic()
 	r.wg.Add(1)
 	go r.schedule()
 	for i := 0; i < n; i++ {
@@ -123,7 +124,7 @@ func (r *Router) Send(env wire.Envelope) {
 	if env.To < 0 || env.To >= r.n {
 		return
 	}
-	r.metrics.record(env)
+	r.metrics.Record(env.From, env.To, env.Session, envelopeSize(env))
 	if r.observer != nil {
 		r.observer("send", env)
 	}
@@ -134,7 +135,12 @@ func (r *Router) Send(env wire.Envelope) {
 }
 
 // Metrics returns a snapshot of traffic counters.
-func (r *Router) Metrics() MetricsSnapshot { return r.metrics.snapshot() }
+func (r *Router) Metrics() MetricsSnapshot { return r.metrics.Snapshot() }
+
+// Traffic exposes the live traffic accountant, e.g. to attach it to an
+// obs.Registry (Registry.AttachTraffic) so the fabric's counters render
+// on a node's /metrics endpoint alongside everything else.
+func (r *Router) Traffic() *obs.Traffic { return r.metrics }
 
 // SetPolicy swaps the scheduling policy mid-run (used by adaptive
 // adversaries). Held messages in the old policy are drained first.

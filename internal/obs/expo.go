@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family, in name order, in the
+// Prometheus text exposition format (version 0.0.4): a # HELP and # TYPE
+// line per family, then one sample line per child sorted by label value.
+// Histograms emit cumulative _bucket{le=...} series plus _sum and
+// _count. Attached Traffic accountants (AttachTraffic) are rendered
+// after the registered families.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		f.write(bw)
+	}
+	r.mu.Lock()
+	traffics := append([]attachedTraffic(nil), r.traffics...)
+	r.mu.Unlock()
+	for _, at := range traffics {
+		writeTraffic(bw, at.prefix, at.t.Snapshot())
+	}
+	return bw.Flush()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeSample emits one sample line: name{label="value"} v.
+func writeSample(bw *bufio.Writer, name, label, value, v string) {
+	bw.WriteString(name)
+	if label != "" {
+		bw.WriteByte('{')
+		bw.WriteString(label)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(value))
+		bw.WriteString(`"}`)
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(v)
+	bw.WriteByte('\n')
+}
+
+// write renders one family.
+func (f *family) write(bw *bufio.Writer) {
+	bw.WriteString("# HELP ")
+	bw.WriteString(f.name)
+	bw.WriteByte(' ')
+	bw.WriteString(strings.ReplaceAll(f.help, "\n", " "))
+	bw.WriteByte('\n')
+	bw.WriteString("# TYPE ")
+	bw.WriteString(f.name)
+	bw.WriteByte(' ')
+	bw.WriteString(f.kind.String())
+	bw.WriteByte('\n')
+
+	f.mu.Lock()
+	type sample struct {
+		value string
+		in    interface{}
+	}
+	samples := make([]sample, 0, len(f.children)+1)
+	if f.single != nil {
+		samples = append(samples, sample{"", f.single})
+	}
+	for v, c := range f.children {
+		samples = append(samples, sample{v, c})
+	}
+	f.mu.Unlock()
+	sort.Slice(samples, func(i, j int) bool {
+		// Numeric label values (peer ids, epochs) sort numerically.
+		a, aerr := strconv.Atoi(samples[i].value)
+		b, berr := strconv.Atoi(samples[j].value)
+		if aerr == nil && berr == nil {
+			return a < b
+		}
+		return samples[i].value < samples[j].value
+	})
+
+	for _, s := range samples {
+		switch in := s.in.(type) {
+		case *Counter:
+			writeSample(bw, f.name, f.label, s.value, strconv.FormatUint(in.Value(), 10))
+		case *Gauge:
+			writeSample(bw, f.name, f.label, s.value, strconv.FormatInt(in.Value(), 10))
+		case *Histogram:
+			in.write(bw, f.name)
+		}
+	}
+}
+
+// write renders one histogram's cumulative buckets, sum and count.
+func (h *Histogram) write(bw *bufio.Writer, name string) {
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		writeSample(bw, name+"_bucket", "le", le, strconv.FormatUint(cum, 10))
+	}
+	writeSample(bw, name+"_sum", "", "", formatFloat(h.Sum()))
+	writeSample(bw, name+"_count", "", "", strconv.FormatUint(cum, 10))
+}
+
+// writeTraffic renders a Traffic snapshot under the given metric prefix.
+func writeTraffic(bw *bufio.Writer, prefix string, s TrafficSnapshot) {
+	bw.WriteString("# HELP " + prefix + "_messages_total Messages recorded by the traffic accountant.\n")
+	bw.WriteString("# TYPE " + prefix + "_messages_total counter\n")
+	writeSample(bw, prefix+"_messages_total", "", "", strconv.FormatUint(s.Messages, 10))
+	bw.WriteString("# HELP " + prefix + "_bytes_total Bytes recorded by the traffic accountant.\n")
+	bw.WriteString("# TYPE " + prefix + "_bytes_total counter\n")
+	writeSample(bw, prefix+"_bytes_total", "", "", strconv.FormatUint(s.Bytes, 10))
+
+	bw.WriteString("# HELP " + prefix + "_proto_bytes_total Bytes by protocol (first session path segment).\n")
+	bw.WriteString("# TYPE " + prefix + "_proto_bytes_total counter\n")
+	for _, p := range s.ByProto { // snapshot is already proto-sorted
+		writeSample(bw, prefix+"_proto_bytes_total", "proto", p.Proto, strconv.FormatUint(p.Bytes, 10))
+	}
+
+	parties := make([]int, 0, len(s.ByLink))
+	seen := map[int]bool{}
+	for _, l := range s.ByLink {
+		if !seen[l.From] {
+			seen[l.From] = true
+			parties = append(parties, l.From)
+		}
+	}
+	sort.Ints(parties)
+	bw.WriteString("# HELP " + prefix + "_sent_bytes_total Bytes sent per party across all outbound links.\n")
+	bw.WriteString("# TYPE " + prefix + "_sent_bytes_total counter\n")
+	for _, p := range parties {
+		writeSample(bw, prefix+"_sent_bytes_total", "party", strconv.Itoa(p), strconv.FormatUint(s.SentBy(p), 10))
+	}
+}

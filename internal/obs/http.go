@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServerOptions configure the operational HTTP endpoint.
+type ServerOptions struct {
+	// Registry backs /metrics (nil serves an empty exposition).
+	Registry *Registry
+	// Health backs /healthz: nil or a nil-returning func is healthy
+	// (200); an error serves 503 with the error text.
+	Health func() error
+	// Ready backs /readyz with the same convention. For a consensus node
+	// this is "transport connected to ≥ n−t peers and, when resuming,
+	// statesync caught up".
+	Ready func() error
+}
+
+// NewHandler builds the operational mux: /metrics (Prometheus text
+// format), /healthz, /readyz, and the net/http/pprof suite under
+// /debug/pprof/.
+func NewHandler(o ServerOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry.WritePrometheus(w)
+	})
+	probe := func(check func() error) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			if check != nil {
+				if err := check(); err != nil {
+					http.Error(w, err.Error(), http.StatusServiceUnavailable)
+					return
+				}
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("ok\n"))
+		}
+	}
+	mux.HandleFunc("/healthz", probe(o.Health))
+	mux.HandleFunc("/readyz", probe(o.Ready))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running operational endpoint. Close shuts it down.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// StartServer listens on addr (e.g. "127.0.0.1:9100"; port 0 picks a
+// free port — read it back with Addr) and serves the operational mux in
+// the background until Close.
+func StartServer(addr string, o ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: NewHandler(o), ReadHeaderTimeout: 10 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener, closes active connections, and waits for the
+// serve loop to exit.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

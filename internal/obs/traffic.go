@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Traffic counts message traffic by top-level protocol (the first
+// segment of the session path) and by directed link (from → to). It is
+// the shared accountant behind both the simulated router's fabric
+// metrics (feeding the E6/E12 bandwidth studies) and the TCP
+// transport's wire counters, so experiments and real nodes report
+// per-party bandwidth through the same types.
+type Traffic struct {
+	mu       sync.Mutex
+	messages uint64
+	bytes    uint64
+	byProto  map[string]*trafficCounter
+	byLink   map[linkKey]*trafficCounter
+}
+
+type trafficCounter struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+type linkKey struct{ from, to int }
+
+// NewTraffic creates an empty accountant. A nil *Traffic is a valid
+// no-op sink.
+func NewTraffic() *Traffic {
+	return &Traffic{
+		byProto: make(map[string]*trafficCounter),
+		byLink:  make(map[linkKey]*trafficCounter),
+	}
+}
+
+// Record counts one message of the given wire size on the from→to link,
+// attributed to the protocol named by the session's first path segment.
+// Callers choose the size convention: the simulated router charges the
+// envelope estimate (payload + session + header), the TCP transport the
+// actual frame length.
+func (t *Traffic) Record(from, to int, session string, size uint64) {
+	if t == nil {
+		return
+	}
+	proto := session
+	if i := strings.IndexByte(proto, '/'); i >= 0 {
+		proto = proto[:i]
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.messages++
+	t.bytes += size
+	c := t.byProto[proto]
+	if c == nil {
+		c = &trafficCounter{}
+		t.byProto[proto] = c
+	}
+	c.Messages++
+	c.Bytes += size
+	lk := linkKey{from: from, to: to}
+	l := t.byLink[lk]
+	if l == nil {
+		l = &trafficCounter{}
+		t.byLink[lk] = l
+	}
+	l.Messages++
+	l.Bytes += size
+}
+
+// ProtoStat is one per-protocol row of a traffic snapshot.
+type ProtoStat struct {
+	Proto    string
+	Messages uint64
+	Bytes    uint64
+}
+
+// LinkStat is one directed-link row of a traffic snapshot: everything
+// sent from party From to party To (self-links included — parties send
+// to themselves through the fabric like to anyone else).
+type LinkStat struct {
+	From, To int
+	Messages uint64
+	Bytes    uint64
+}
+
+// TrafficSnapshot is an immutable copy of the counters.
+type TrafficSnapshot struct {
+	Messages uint64
+	Bytes    uint64
+	ByProto  []ProtoStat
+	ByLink   []LinkStat
+}
+
+// SentBy sums the bytes party id injected into the fabric across all its
+// outbound links — the per-party bandwidth number E12 reports.
+func (s TrafficSnapshot) SentBy(id int) uint64 {
+	var total uint64
+	for _, l := range s.ByLink {
+		if l.From == id {
+			total += l.Bytes
+		}
+	}
+	return total
+}
+
+// Snapshot copies the counters, proto rows sorted by name and link rows
+// by (From, To).
+func (t *Traffic) Snapshot() TrafficSnapshot {
+	if t == nil {
+		return TrafficSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TrafficSnapshot{Messages: t.messages, Bytes: t.bytes}
+	for name, c := range t.byProto {
+		s.ByProto = append(s.ByProto, ProtoStat{Proto: name, Messages: c.Messages, Bytes: c.Bytes})
+	}
+	sort.Slice(s.ByProto, func(i, j int) bool { return s.ByProto[i].Proto < s.ByProto[j].Proto })
+	for lk, c := range t.byLink {
+		s.ByLink = append(s.ByLink, LinkStat{From: lk.from, To: lk.to, Messages: c.Messages, Bytes: c.Bytes})
+	}
+	sort.Slice(s.ByLink, func(i, j int) bool {
+		if s.ByLink[i].From != s.ByLink[j].From {
+			return s.ByLink[i].From < s.ByLink[j].From
+		}
+		return s.ByLink[i].To < s.ByLink[j].To
+	})
+	return s
+}
+
+// attachedTraffic is one Traffic rendered under a prefix at exposition.
+type attachedTraffic struct {
+	prefix string
+	t      *Traffic
+}
+
+// AttachTraffic renders t's snapshot under the given metric name prefix
+// (e.g. "transport" → transport_bytes_total, ...) on every
+// WritePrometheus call.
+func (r *Registry) AttachTraffic(prefix string, t *Traffic) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.traffics = append(r.traffics, attachedTraffic{prefix: prefix, t: t})
+}

@@ -56,6 +56,7 @@ import (
 	"fmt"
 
 	"asyncft/internal/field"
+	"asyncft/internal/obs"
 	"asyncft/internal/rs"
 	"asyncft/internal/runtime"
 	"asyncft/internal/wire"
@@ -105,6 +106,10 @@ type Options struct {
 	// close (or the node close), or the helper leaks for the node's
 	// lifetime. Nil keeps the historical context-bound lifetime.
 	Handoff <-chan struct{}
+	// Metrics, when non-nil, receives this instance's counters: deliveries
+	// by dispersal mode, retransmission pulls sent/served, and failed
+	// reconstruction attempts (the escalations that trigger pulls).
+	Metrics *obs.Registry
 }
 
 func (o Options) threshold() int {
@@ -137,7 +142,7 @@ func RunCoded(ctx context.Context, env *runtime.Env, session string, sender int,
 	if sender < 0 || sender >= env.N {
 		return nil, fmt.Errorf("rbc %s: invalid sender %d", session, sender)
 	}
-	st, err := newState(env, session, sender)
+	st, err := newState(env, session, sender, opts)
 	if err != nil {
 		return nil, fmt.Errorf("rbc %s: %w", session, err)
 	}
@@ -261,14 +266,24 @@ type state struct {
 	pullWait map[digest][]int
 
 	maxCodedPayload int
+
+	// instrument handles (nil without Options.Metrics; all no-op then).
+	// counted guards the delivery counters: serve keeps running the state
+	// machine after delivery, so only the first delivery may count.
+	counted         bool
+	mDeliverClassic *obs.Counter
+	mDeliverCoded   *obs.Counter
+	mPullsSent      *obs.Counter
+	mPullsServed    *obs.Counter
+	mReconFail      *obs.Counter
 }
 
-func newState(env *runtime.Env, session string, sender int) (*state, error) {
+func newState(env *runtime.Env, session string, sender int, opts Options) (*state, error) {
 	coder, err := rs.NewCoder(env.N, env.T+1)
 	if err != nil {
 		return nil, err
 	}
-	return &state{
+	st := &state{
 		env:             env,
 		session:         session,
 		sender:          sender,
@@ -284,7 +299,16 @@ func newState(env *runtime.Env, session string, sender int) (*state, error) {
 		pullSeen:        make(map[digest]map[int]bool),
 		pullWait:        make(map[digest][]int),
 		maxCodedPayload: 64 + coder.FragmentLen(MaxValueSize)*8,
-	}, nil
+	}
+	if reg := opts.Metrics; reg != nil {
+		deliveries := reg.CounterVec("rbc_deliveries_total", "Broadcast deliveries by dispersal mode.", "mode")
+		st.mDeliverClassic = deliveries.With("classic")
+		st.mDeliverCoded = deliveries.With("coded")
+		st.mPullsSent = reg.Counter("rbc_pulls_sent_total", "Retransmission pulls this party broadcast after failed reconstructions.")
+		st.mPullsServed = reg.Counter("rbc_pulls_served_total", "Retransmission pulls this party answered with the full value.")
+		st.mReconFail = reg.Counter("rbc_reconstruct_failures_total", "Reconstruction attempts refuted by the digest check (escalations toward error correction and pulls).")
+	}
+	return st, nil
 }
 
 // disperse is the coded sender's INIT: fragment i + digest to party i.
@@ -376,6 +400,7 @@ func (st *state) handle(msg wire.Envelope) ([]byte, bool) {
 		}
 		seen[msg.From] = true
 		if v, ok := st.values[d]; ok {
+			st.mPullsServed.Inc()
 			st.env.Send(msg.From, st.session, msgCFull, v)
 		} else {
 			st.pullWait[d] = append(st.pullWait[d], msg.From)
@@ -488,6 +513,7 @@ func (st *state) tryDeliver(d digest) ([]byte, bool) {
 		return nil, false
 	}
 	if v, ok := st.values[d]; ok {
+		st.countDelivery(d)
 		st.answerPulls(d, v)
 		return v, true
 	}
@@ -503,14 +529,17 @@ func (st *state) tryDeliver(d digest) ([]byte, bool) {
 		}
 		if v, ok := st.reconstruct(key, pool); ok {
 			st.values[d] = v
+			st.countDelivery(d)
 			st.answerPulls(d, v)
 			return v, true
 		}
+		st.mReconFail.Inc()
 		st.lastTry[key] = len(pool)
 		failed = true
 	}
 	if failed && !st.pulled[d] {
 		st.pulled[d] = true
+		st.mPullsSent.Inc()
 		var w wire.Writer
 		w.BytesField(d[:])
 		st.env.SendAll(st.session, msgCPull, w.Bytes())
@@ -518,10 +547,25 @@ func (st *state) tryDeliver(d digest) ([]byte, bool) {
 	return nil, false
 }
 
+// countDelivery increments the delivery counter once per instance,
+// attributed to the dispersal mode this party observed.
+func (st *state) countDelivery(d digest) {
+	if st.counted {
+		return
+	}
+	st.counted = true
+	if st.codedSeen(d) {
+		st.mDeliverCoded.Inc()
+	} else {
+		st.mDeliverClassic.Inc()
+	}
+}
+
 // answerPulls responds to retransmission requests queued before the value
 // became known.
 func (st *state) answerPulls(d digest, v []byte) {
 	for _, j := range st.pullWait[d] {
+		st.mPullsServed.Inc()
 		st.env.Send(j, st.session, msgCFull, v)
 	}
 	delete(st.pullWait, d)

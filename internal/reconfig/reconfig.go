@@ -53,6 +53,7 @@ import (
 	"asyncft/internal/acs"
 	"asyncft/internal/core"
 	"asyncft/internal/field"
+	"asyncft/internal/obs"
 	"asyncft/internal/runtime"
 	"asyncft/internal/statesync"
 )
@@ -244,9 +245,30 @@ type runner struct {
 
 	pool []field.Poly
 	res  *Result
+	m    reconfigMetrics
 
 	mu      sync.Mutex
 	slotErr error
+}
+
+// reconfigMetrics carries the observability handles an epoch run touches,
+// resolved once per Run from Core.Metrics (the node's shared registry).
+// The zero value (no registry) is a valid no-op.
+type reconfigMetrics struct {
+	switches   *obs.Counter
+	switchWall *obs.Histogram
+	redealOK   *obs.Counter
+	redealFail *obs.Counter
+}
+
+func newReconfigMetrics(reg *obs.Registry) reconfigMetrics {
+	redeals := reg.CounterVec("reconfig_pool_redeals_total", "Pool re-deal attempts at epoch boundaries by outcome.", "outcome")
+	return reconfigMetrics{
+		switches:   reg.Counter("reconfig_epoch_switches_total", "Epoch switches performed (including genesis)."),
+		switchWall: reg.Histogram("reconfig_epoch_switch_seconds", "Wall time of one epoch switch: quiesce barrier to group ready.", nil),
+		redealOK:   redeals.With("ok"),
+		redealFail: redeals.With("failed"),
+	}
 }
 
 // Run executes this party's side of a dynamic-membership atomic-broadcast
@@ -273,6 +295,7 @@ func Run(ctx, helperCtx context.Context, env *runtime.Env, opts Options) (*Resul
 		store: store,
 		sched: newSchedule(o.Genesis, o.Lag, env.N),
 		res:   &Result{Store: store, JoinedAt: -1, RemovedAt: -1},
+		m:     newReconfigMetrics(o.Core.Metrics),
 	}
 	// Pending submissions retire when the schedule actually processes the
 	// operation (endorsement threshold crossed), not on first sight of a
@@ -331,7 +354,9 @@ func (r *runner) run(ctx, helperCtx context.Context) error {
 			return r.fail(err)
 		}
 		if r.member && s > 0 {
-			r.res.SwitchWall = append(r.res.SwitchWall, time.Since(start))
+			wall := time.Since(start)
+			r.res.SwitchWall = append(r.res.SwitchWall, wall)
+			r.m.switchWall.Observe(wall.Seconds())
 		}
 		prevMem = mem
 		r.admitSlot(runCtx, helperCtx, s, sem, &wg)
@@ -368,6 +393,7 @@ func (r *runner) switchEpoch(ctx, helperCtx context.Context, prevMem, mem []int,
 	isMember := indexOf(mem, r.env.ID) >= 0
 	epoch := r.res.Epochs // epochs counted so far == index of the new epoch
 	r.res.Epochs++
+	r.m.switches.Inc()
 
 	var newG *group
 	if isMember {
@@ -395,8 +421,10 @@ func (r *runner) switchEpoch(ctx, helperCtx context.Context, prevMem, mem []int,
 			tOld := (len(prevMem) - 1) / 3
 			pool, err := resharePool(ctx, helperCtx, newG.env, newG.root, r.pool, prevMem, mem, o.PoolSize, tOld, o.Core)
 			if err != nil {
+				r.m.redealFail.Inc()
 				return fmt.Errorf("reconfig %s: epoch %d pool re-deal: %w", o.Session, epoch, err)
 			}
+			r.m.redealOK.Inc()
 			r.pool = pool
 		}
 	}

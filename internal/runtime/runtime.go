@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 
+	"asyncft/internal/obs"
 	"asyncft/internal/wire"
 )
 
@@ -36,6 +37,26 @@ type Node struct {
 	gen     uint64         // monotonically increases with each new mailbox
 	shuns   int            // total shun events recorded by this node
 	closed  bool
+
+	// instrument handles (nil without Instrument; all updates no-op then).
+	activeBoxes *obs.Gauge   // mailboxes currently registered
+	sessions    *obs.Counter // mailboxes ever created
+	depthHW     *obs.Gauge   // deepest any mailbox has been
+}
+
+// Instrument registers the runtime's metrics on reg: active session
+// count, total sessions opened, and the mailbox depth high-water mark (a
+// growing value means some instance is falling behind its traffic). Call
+// before protocol traffic flows; a nil registry is a no-op.
+func (nd *Node) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.activeBoxes = reg.Gauge("runtime_sessions_active", "Session mailboxes currently registered.")
+	nd.sessions = reg.Counter("runtime_sessions_total", "Session mailboxes ever created.")
+	nd.depthHW = reg.Gauge("runtime_mailbox_depth_highwater", "Peak envelopes buffered in any one session mailbox.")
 }
 
 // route diverts every envelope whose session starts with prefix to h
@@ -117,6 +138,7 @@ func (nd *Node) RoutePrefix(prefix string, h func(wire.Envelope)) (remove func()
 			adopted = append(adopted, b)
 		}
 	}
+	nd.activeBoxes.Set(int64(len(nd.boxes)))
 	nd.mu.Unlock()
 	for _, b := range adopted {
 		for {
@@ -146,10 +168,13 @@ func (nd *Node) box(session string) *Mailbox {
 	if b == nil {
 		nd.gen++
 		b = newMailbox(session, nd.gen)
+		b.depthHW = nd.depthHW
 		if nd.closed {
 			b.close()
 		}
 		nd.boxes[session] = b
+		nd.sessions.Inc()
+		nd.activeBoxes.Set(int64(len(nd.boxes)))
 	}
 	return b
 }
@@ -205,6 +230,7 @@ func (nd *Node) Close() {
 type Mailbox struct {
 	session string
 	gen     uint64
+	depthHW *obs.Gauge // shared node-wide high-water (nil = uninstrumented)
 
 	mu     sync.Mutex
 	items  []wire.Envelope
@@ -223,7 +249,9 @@ func (b *Mailbox) push(env wire.Envelope) {
 		return
 	}
 	b.items = append(b.items, env)
+	depth := len(b.items)
 	b.mu.Unlock()
+	b.depthHW.SetMax(int64(depth))
 	select {
 	case b.notify <- struct{}{}:
 	default:

@@ -1,0 +1,57 @@
+package runtime
+
+import (
+	"testing"
+
+	"asyncft/internal/obs"
+	"asyncft/internal/wire"
+)
+
+func TestNodeInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	nd := NewNode(0, 4, 1)
+	defer nd.Close()
+	nd.Instrument(reg)
+
+	for i := 0; i < 3; i++ {
+		nd.Dispatch(wire.Envelope{From: 1, To: 0, Session: "a/s", Type: 1})
+	}
+	nd.Dispatch(wire.Envelope{From: 1, To: 0, Session: "b/s", Type: 1})
+
+	if v, _ := reg.Snapshot("runtime_sessions_total"); v[""] != 2 {
+		t.Fatalf("sessions_total = %v, want 2", v)
+	}
+	if v, _ := reg.Snapshot("runtime_sessions_active"); v[""] != 2 {
+		t.Fatalf("sessions_active = %v, want 2", v)
+	}
+	if v, _ := reg.Snapshot("runtime_mailbox_depth_highwater"); v[""] != 3 {
+		t.Fatalf("depth high-water = %v, want 3", v)
+	}
+
+	// Draining does not lower the high-water mark.
+	box := nd.Mailbox("a/s")
+	for {
+		if _, ok := box.TryRecv(); !ok {
+			break
+		}
+	}
+	if v, _ := reg.Snapshot("runtime_mailbox_depth_highwater"); v[""] != 3 {
+		t.Fatalf("depth high-water after drain = %v, want 3", v)
+	}
+
+	// RoutePrefix adoption removes mailboxes from the active count.
+	remove := nd.RoutePrefix("a/", func(wire.Envelope) {})
+	defer remove()
+	if v, _ := reg.Snapshot("runtime_sessions_active"); v[""] != 1 {
+		t.Fatalf("sessions_active after adoption = %v, want 1", v)
+	}
+}
+
+func TestNodeUninstrumentedIsNoop(t *testing.T) {
+	nd := NewNode(0, 4, 1)
+	defer nd.Close()
+	nd.Dispatch(wire.Envelope{From: 1, To: 0, Session: "a/s", Type: 1})
+	if got, ok := nd.Mailbox("a/s").TryRecv(); !ok || got.Type != 1 {
+		t.Fatalf("dispatch without registry broken: %v %v", got, ok)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"asyncft/internal/acs"
 	"asyncft/internal/core"
+	"asyncft/internal/obs"
 	"asyncft/internal/rbc"
 	"asyncft/internal/runtime"
 )
@@ -41,7 +42,8 @@ func Fetch(ctx context.Context, env *runtime.Env, name string, lo, hi int, ancho
 	if !req.valid() {
 		return nil, fmt.Errorf("statesync %s: range [%d, %d) exceeds %d chunks", name, lo, hi, maxBoundsPerHead)
 	}
-	h, err := fetchHead(ctx, env, name, req, opts.headRetry())
+	m := opts.metrics()
+	h, err := fetchHead(ctx, env, name, req, opts.headRetry(), m.headRetries)
 	if err != nil {
 		return nil, err
 	}
@@ -70,6 +72,7 @@ func Fetch(ctx context.Context, env *runtime.Env, name string, lo, hi int, ancho
 		}
 		out = append(out, slots...)
 		a = b.end
+		m.chunksInstalled.Inc()
 	}
 	return out, nil
 }
@@ -113,7 +116,7 @@ func Sync(ctx context.Context, env *runtime.Env, name string, store *acs.Store, 
 // slot was displaced by this party's other concurrent sync client (one
 // pending request per requester) answers the re-send once the range is
 // available, so concurrent clients contend for the slot but never starve.
-func fetchHead(ctx context.Context, env *runtime.Env, name string, req headReq, retry time.Duration) (head, error) {
+func fetchHead(ctx context.Context, env *runtime.Env, name string, req headReq, retry time.Duration, retries *obs.Counter) (head, error) {
 	session := HeadSession(name)
 	request := encodeHeadReq(req)
 	env.SendAll(session, msgHeadReq, request)
@@ -127,6 +130,7 @@ func fetchHead(ctx context.Context, env *runtime.Env, name string, req headReq, 
 			if ctx.Err() != nil || errors.Is(err, runtime.ErrClosed) {
 				return head{}, fmt.Errorf("statesync %s: head [%d, %d): %w", name, req.lo, req.hi, err)
 			}
+			retries.Inc()
 			env.SendAll(session, msgHeadReq, request)
 			continue
 		}

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"asyncft/internal/acs"
+	"asyncft/internal/obs"
 	"asyncft/internal/rbc"
 	"asyncft/internal/runtime"
 )
@@ -79,6 +80,27 @@ type Options struct {
 	// request lost to a not-yet-known peer address does not cost a full
 	// interval of lag.
 	HeadRetry time.Duration
+	// Metrics, when non-nil, is the node's shared observability registry;
+	// snapshot transfer registers statesync_chunks_served_total,
+	// statesync_chunks_installed_total and statesync_head_retries_total on
+	// it. Every handle method tolerates a nil registry.
+	Metrics *obs.Registry
+}
+
+// syncMetrics carries the handles snapshot transfer touches; the zero
+// value (no registry) is a valid no-op.
+type syncMetrics struct {
+	chunksServed    *obs.Counter
+	chunksInstalled *obs.Counter
+	headRetries     *obs.Counter
+}
+
+func (o Options) metrics() syncMetrics {
+	return syncMetrics{
+		chunksServed:    o.Metrics.Counter("statesync_chunks_served_total", "Snapshot chunks served to peers (pull lookups answered from the store)."),
+		chunksInstalled: o.Metrics.Counter("statesync_chunks_installed_total", "Snapshot chunks fetched, verified and installed locally."),
+		headRetries:     o.Metrics.Counter("statesync_head_retries_total", "Head requests re-broadcast after a quiet retry interval."),
+	}
 }
 
 func (o Options) chunkSlots() int {
@@ -127,6 +149,7 @@ func Serve(ctx context.Context, env *runtime.Env, name string, store *acs.Store,
 		env:      env,
 		store:    store,
 		opts:     opts,
+		m:        opts.metrics(),
 		headSess: HeadSession(name),
 		pending:  make(map[int]headReq),
 		ranges:   make(map[[sha256.Size]byte]chunkRange),
@@ -143,6 +166,7 @@ type server struct {
 	env      *runtime.Env
 	store    *acs.Store
 	opts     Options
+	m        syncMetrics
 	headSess string
 
 	mu sync.Mutex
@@ -289,6 +313,7 @@ func (s *server) lookup(d [sha256.Size]byte) ([]byte, bool) {
 	if !ok || sha256.Sum256(data) != d {
 		return nil, false
 	}
+	s.m.chunksServed.Inc()
 	return data, true
 }
 

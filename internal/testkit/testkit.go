@@ -5,6 +5,7 @@
 package testkit
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"time"
@@ -12,6 +13,8 @@ import (
 	"asyncft/internal/batch"
 	"asyncft/internal/network"
 	"asyncft/internal/runtime"
+	"asyncft/internal/trace"
+	"asyncft/internal/wire"
 )
 
 // Cluster is a set of wired parties over one simulated network. The
@@ -25,6 +28,11 @@ type Cluster struct {
 	Envs   []*runtime.Env
 	cancel context.CancelFunc
 	Ctx    context.Context
+	// Trace is the recorder attached via WithTrace (nil otherwise). It
+	// receives every network send and delivery; protocol layers under a
+	// core.Config{Trace: c.Trace} add their milestones and spans to the
+	// same timeline. DumpOnFailure prints it when a test fails.
+	Trace *trace.Recorder
 
 	gate *gatePolicy
 	scen scenarioState
@@ -38,6 +46,7 @@ type config struct {
 	seed    int64
 	timeout time.Duration
 	silent  map[int]bool
+	rec     *trace.Recorder
 }
 
 // WithPolicy sets the network scheduling policy (default: seeded random
@@ -49,6 +58,14 @@ func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 
 // WithTimeout sets the run deadline (default 30s).
 func WithTimeout(d time.Duration) Option { return func(c *config) { c.timeout = d } }
+
+// WithTrace attaches a trace recorder to the cluster's network fabric:
+// every send and delivery lands in rec as a network-level event (party
+// −1), and the recorder is exposed as Cluster.Trace so tests can also
+// hand it to the protocol layers (core.Config.Trace) for milestones and
+// slot-lifecycle spans on the same timeline. Pair with DumpOnFailure to
+// print the reconstructed schedule when an assertion fails.
+func WithTrace(rec *trace.Recorder) Option { return func(c *config) { c.rec = rec } }
 
 // WithCrashed marks parties as crashed: they are never registered with the
 // router, so all their traffic is dropped and they run no code.
@@ -74,8 +91,15 @@ func New(n, t int, opts ...Option) *Cluster {
 		cfg.policy = network.NewRandomReorder(cfg.seed, 0.3, 6)
 	}
 	gate := newGate(cfg.policy)
-	r := network.NewRouter(n, gate)
-	c := &Cluster{N: n, T: t, Router: r, gate: gate}
+	var ropts []network.Option
+	if cfg.rec != nil {
+		rec := cfg.rec
+		ropts = append(ropts, network.WithObserver(func(stage string, env wire.Envelope) {
+			rec.Recordf(-1, env.Session, stage, "%d→%d type %d (%dB)", env.From, env.To, env.Type, len(env.Payload))
+		}))
+	}
+	r := network.NewRouter(n, gate, ropts...)
+	c := &Cluster{N: n, T: t, Router: r, gate: gate, Trace: cfg.rec}
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 	c.Ctx, c.cancel = ctx, cancel
 	for i := 0; i < n; i++ {
@@ -87,6 +111,33 @@ func New(n, t int, opts ...Option) *Cluster {
 		c.Envs = append(c.Envs, runtime.NewEnv(i, n, t, node, r, cfg.seed*1000003+int64(i)))
 	}
 	return c
+}
+
+// failer is the slice of testing.TB that DumpOnFailure needs — an
+// interface so testkit stays importable from non-test experiment drivers
+// without linking package testing.
+type failer interface {
+	Failed() bool
+	Logf(format string, args ...interface{})
+	Cleanup(func())
+}
+
+// DumpOnFailure arranges for the cluster's trace timeline to be printed
+// through f (typically the *testing.T) if the test ends in failure —
+// instead of leaving the reader to guess what the adversarial schedule
+// did. A no-op without WithTrace.
+func (c *Cluster) DumpOnFailure(f failer) {
+	if c.Trace == nil {
+		return
+	}
+	f.Cleanup(func() {
+		if !f.Failed() {
+			return
+		}
+		var buf bytes.Buffer
+		c.Trace.Dump(&buf)
+		f.Logf("trace timeline (%d events):\n%s", c.Trace.Len(), buf.String())
+	})
 }
 
 // Close tears the cluster down.

@@ -1,0 +1,114 @@
+package testkit
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"asyncft/internal/runtime"
+	"asyncft/internal/trace"
+)
+
+// TestWithTraceRecordsNetworkEvents runs a one-round broadcast through a
+// traced cluster and checks that the router's sends and deliveries landed
+// in the recorder as network-level (party −1) events.
+func TestWithTraceRecordsNetworkEvents(t *testing.T) {
+	const n, tf = 4, 1
+	rec := trace.New(1024)
+	c := New(n, tf, WithTrace(rec))
+	defer c.Close()
+	if c.Trace != rec {
+		t.Fatalf("Cluster.Trace = %p, want the recorder passed to WithTrace (%p)", c.Trace, rec)
+	}
+
+	const session = "testkit/trace"
+	res := c.Run(c.Honest(), func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		env.SendAll(session, 1, []byte{byte(env.ID)})
+		for i := 0; i < n; i++ {
+			if _, err := env.Recv(ctx, session); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	for id, r := range res {
+		if r.Err != nil {
+			t.Fatalf("party %d: %v", id, r.Err)
+		}
+	}
+
+	events := rec.SessionEvents(session)
+	if len(events) == 0 {
+		t.Fatalf("no trace events for session %q (recorder holds %d total)", session, rec.Len())
+	}
+	stages := map[string]int{}
+	for _, e := range events {
+		if e.Party != -1 {
+			t.Fatalf("network event attributed to party %d, want -1: %v", e.Party, e)
+		}
+		stages[e.Kind]++
+	}
+	if stages["send"] == 0 || stages["deliver"] == 0 {
+		t.Fatalf("want both send and deliver events, got %v", stages)
+	}
+}
+
+// fakeFailer stands in for *testing.T so the test can observe what
+// DumpOnFailure actually prints in the failed and passed cases.
+type fakeFailer struct {
+	failed   bool
+	logs     []string
+	cleanups []func()
+}
+
+func (f *fakeFailer) Failed() bool { return f.failed }
+func (f *fakeFailer) Logf(format string, args ...interface{}) {
+	f.logs = append(f.logs, format)
+}
+func (f *fakeFailer) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+
+func (f *fakeFailer) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestDumpOnFailure(t *testing.T) {
+	mk := func(rec *trace.Recorder) *Cluster {
+		c := New(4, 1, WithTrace(rec))
+		t.Cleanup(c.Close)
+		return c
+	}
+
+	t.Run("passed-test-stays-silent", func(t *testing.T) {
+		c := mk(trace.New(16))
+		f := &fakeFailer{}
+		c.DumpOnFailure(f)
+		f.runCleanups()
+		if len(f.logs) != 0 {
+			t.Fatalf("DumpOnFailure logged on a passing test: %v", f.logs)
+		}
+	})
+
+	t.Run("failed-test-dumps-timeline", func(t *testing.T) {
+		rec := trace.New(16)
+		c := mk(rec)
+		rec.Record(0, "s", "milestone", "hello")
+		f := &fakeFailer{failed: true}
+		c.DumpOnFailure(f)
+		f.runCleanups()
+		if len(f.logs) != 1 || !strings.Contains(f.logs[0], "trace timeline") {
+			t.Fatalf("want one timeline dump, got %v", f.logs)
+		}
+	})
+
+	t.Run("no-recorder-is-a-noop", func(t *testing.T) {
+		c := New(4, 1)
+		t.Cleanup(c.Close)
+		f := &fakeFailer{failed: true}
+		c.DumpOnFailure(f)
+		if len(f.cleanups) != 0 {
+			t.Fatalf("DumpOnFailure registered a cleanup without a recorder")
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array
+// (the format chrome://tracing and Perfetto load).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds from trace start
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`    // instant scope
+	Args map[string]string `json:"args,omitempty"` // extra detail
+}
+
+// WriteChrome renders the recorder's retained events as Chrome
+// trace-event JSON: span Begin/End pairs become duration ("B"/"E")
+// events and everything else becomes a thread-scoped instant event, so a
+// slot's lifecycle — dispersal → confirmation → agreement → commit —
+// renders as a timeline. Each party maps to a pid; each session to a tid
+// within it (named via thread_name metadata). Load the file with
+// chrome://tracing or https://ui.perfetto.dev.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	events, _ := r.Snapshot()
+	return WriteChromeEvents(w, events)
+}
+
+// WriteChromeEvents is WriteChrome over an explicit event slice (e.g. a
+// filtered one).
+func WriteChromeEvents(w io.Writer, events []Event) error {
+	out := make([]chromeEvent, 0, len(events)+16)
+
+	// Intern (party, session) into per-party thread ids, in first-seen
+	// order, and name the rows after the sessions.
+	type row struct{ party, tid int }
+	tids := map[Event]int{} // keyed by {Party, Session} via zeroed Event
+	key := func(e Event) Event {
+		return Event{Party: e.Party, Session: e.Session}
+	}
+	nextTid := map[int]int{}
+	rowFor := func(e Event) row {
+		k := key(e)
+		tid, ok := tids[k]
+		if !ok {
+			nextTid[e.Party]++
+			tid = nextTid[e.Party]
+			tids[k] = tid
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: e.Party, Tid: tid,
+				Args: map[string]string{"name": e.Session},
+			})
+		}
+		return row{party: e.Party, tid: tid}
+	}
+
+	var base int64 // microseconds of the earliest event
+	for i, e := range events {
+		us := e.Time.UnixMicro()
+		if i == 0 || us < base {
+			base = us
+		}
+	}
+	for _, e := range events {
+		rw := rowFor(e)
+		ts := float64(e.Time.UnixMicro() - base)
+		switch e.Kind {
+		case KindSpanBegin:
+			out = append(out, chromeEvent{Name: e.Detail, Ph: "B", Ts: ts, Pid: rw.party, Tid: rw.tid})
+		case KindSpanEnd:
+			out = append(out, chromeEvent{Name: e.Detail, Ph: "E", Ts: ts, Pid: rw.party, Tid: rw.tid})
+		default:
+			ce := chromeEvent{Name: e.Kind, Ph: "i", Ts: ts, Pid: rw.party, Tid: rw.tid, S: "t"}
+			if e.Detail != "" {
+				ce.Args = map[string]string{"detail": e.Detail}
+			}
+			out = append(out, ce)
+		}
+	}
+
+	// Name the party processes so the viewer shows "party 0" rows.
+	parties := make([]int, 0, len(nextTid))
+	for p := range nextTid {
+		parties = append(parties, p)
+	}
+	sort.Ints(parties)
+	for _, p := range parties {
+		name := "party " + strconv.Itoa(p)
+		if p < 0 {
+			name = "network"
+		}
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: p,
+			Args: map[string]string{"name": name},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

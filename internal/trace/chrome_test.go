@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := New(2)
+	r.Record(0, "s", "k", "a")
+	r.Record(0, "s", "k", "b")
+	r.Record(0, "s", "k", "c") // overwrites "a"
+	evs, dropped := r.Snapshot()
+	if len(evs) != 2 || dropped != 1 {
+		t.Fatalf("Snapshot = %d events / %d dropped, want 2 / 1", len(evs), dropped)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("after Reset: Len = %d Dropped = %d", r.Len(), r.Dropped())
+	}
+	// The sequence counter survives Reset so global order is preserved.
+	r.Record(1, "s", "k", "d")
+	if evs := r.Events(); len(evs) != 1 || evs[0].Seq != 4 {
+		t.Fatalf("post-reset events = %+v, want one event with seq 4", evs)
+	}
+}
+
+// TestDumpAtomicUnderRecording checks the satellite fix: the dump footer
+// must describe exactly the events printed, even while other goroutines
+// keep recording (run under -race this also certifies Snapshot).
+func TestDumpAtomicUnderRecording(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 20; i++ {
+		r.Recordf(0, "s", "k", "%d", i)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Recordf(1, "s", "k", "bg %d", i)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		r.Dump(&sb)
+		lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+		last := lines[len(lines)-1]
+		if !strings.Contains(last, "overwritten") {
+			t.Fatalf("dump footer missing: %q", last)
+		}
+		// footer count = firstSeq - 1: the events printed and the drop
+		// count came from one snapshot.
+		var dropped uint64
+		if _, err := sscanDropped(last, &dropped); err != nil {
+			t.Fatalf("unparsable footer %q: %v", last, err)
+		}
+		first := lines[0]
+		var seq uint64
+		if _, err := sscanSeq(first, &seq); err != nil {
+			t.Fatalf("unparsable first line %q: %v", first, err)
+		}
+		if seq != dropped+1 {
+			t.Fatalf("snapshot torn: first seq %d but %d dropped", seq, dropped)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func sscanDropped(line string, out *uint64) (int, error) {
+	return fmt.Sscanf(line, "(%d earlier events overwritten)", out)
+}
+
+func sscanSeq(line string, out *uint64) (int, error) {
+	return fmt.Sscanf(line, "#%d", out)
+}
+
+func TestSpansAndChromeExport(t *testing.T) {
+	r := New(64)
+	r.Begin(0, "acs/slot/0", "slot")
+	r.Begin(0, "acs/slot/0", "dispersal")
+	r.Record(0, "acs/slot/0", "milestone", "delivered")
+	r.End(0, "acs/slot/0", "dispersal")
+	r.Begin(1, "acs/slot/0", "agree")
+	r.End(1, "acs/slot/0", "agree")
+	r.End(0, "acs/slot/0", "slot")
+
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+
+	type sig struct{ name, ph string }
+	var got []sig
+	byPid := map[float64]bool{}
+	for _, e := range events {
+		got = append(got, sig{e["name"].(string), e["ph"].(string)})
+		byPid[e["pid"].(float64)] = true
+	}
+	wantOrder := []sig{ // B/E nesting per party, instants in place
+		{"slot", "B"}, {"dispersal", "B"}, {"milestone", "i"},
+		{"dispersal", "E"}, {"agree", "B"}, {"agree", "E"}, {"slot", "E"},
+	}
+	var durAndInstant []sig
+	for _, s := range got {
+		if s.ph != "M" {
+			durAndInstant = append(durAndInstant, s)
+		}
+	}
+	if len(durAndInstant) != len(wantOrder) {
+		t.Fatalf("event count = %d, want %d: %v", len(durAndInstant), len(wantOrder), durAndInstant)
+	}
+	for i, w := range wantOrder {
+		if durAndInstant[i] != w {
+			t.Fatalf("event %d = %v, want %v", i, durAndInstant[i], w)
+		}
+	}
+	if !byPid[0] || !byPid[1] {
+		t.Fatalf("parties missing from pids: %v", byPid)
+	}
+	// Both parties' rows must carry thread_name metadata for the session.
+	named := 0
+	for _, e := range events {
+		if e["name"] == "thread_name" {
+			args := e["args"].(map[string]interface{})
+			if args["name"] != "acs/slot/0" {
+				t.Fatalf("thread_name = %v", args["name"])
+			}
+			named++
+		}
+	}
+	if named != 2 {
+		t.Fatalf("thread_name metadata count = %d, want 2", named)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(4).WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("empty recorder produced %d events", len(events))
+	}
+}
+
+func TestNilRecorderNoops(t *testing.T) {
+	var r *Recorder
+	r.Record(0, "s", "k", "d")
+	r.Recordf(0, "s", "k", "%d", 1)
+	r.Begin(0, "s", "slot")
+	r.End(0, "s", "slot")
+	r.Reset()
+	if evs, dropped := r.Snapshot(); evs != nil || dropped != 0 {
+		t.Fatal("nil recorder must snapshot empty")
+	}
+	if r.Events() != nil {
+		t.Fatal("nil recorder must have no events")
+	}
+}

@@ -49,8 +49,12 @@ func New(capacity int) *Recorder {
 	return &Recorder{buf: make([]Event, capacity)}
 }
 
-// Record appends an event.
+// Record appends an event. A nil Recorder is a valid no-op sink, so
+// layers can instrument unconditionally.
 func (r *Recorder) Record(party int, session, kind, detail string) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
@@ -68,13 +72,36 @@ func (r *Recorder) Record(party int, session, kind, detail string) {
 
 // Recordf is Record with formatting.
 func (r *Recorder) Recordf(party int, session, kind, format string, args ...interface{}) {
+	if r == nil {
+		return
+	}
 	r.Record(party, session, kind, fmt.Sprintf(format, args...))
 }
 
-// Events returns the retained events in chronological order.
-func (r *Recorder) Events() []Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// Span kinds: a Begin/End pair with the same (party, session, name)
+// brackets one phase of a session's lifecycle — e.g. a slot's
+// "dispersal", "confirm" and "agree" phases nested inside its "slot"
+// span. The Chrome exporter (chrome.go) pairs them into duration events.
+const (
+	KindSpanBegin = "span+"
+	KindSpanEnd   = "span-"
+)
+
+// Begin opens a span. name should be a small constant vocabulary
+// ("slot", "dispersal", ...) — the session string already carries the
+// identifying indices.
+func (r *Recorder) Begin(party int, session, name string) {
+	r.Record(party, session, KindSpanBegin, name)
+}
+
+// End closes the matching span.
+func (r *Recorder) End(party int, session, name string) {
+	r.Record(party, session, KindSpanEnd, name)
+}
+
+// snapshotLocked copies the retained events in chronological order.
+// Callers hold r.mu.
+func (r *Recorder) snapshotLocked() []Event {
 	if !r.full {
 		out := make([]Event, r.next)
 		copy(out, r.buf[:r.next])
@@ -84,6 +111,42 @@ func (r *Recorder) Events() []Event {
 	out = append(out, r.buf[r.next:]...)
 	out = append(out, r.buf[:r.next]...)
 	return out
+}
+
+// Snapshot returns the retained events and the overwritten count from a
+// single consistent view — use it (not Events+Dropped) whenever the two
+// numbers must agree while recording continues.
+func (r *Recorder) Snapshot() ([]Event, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked(), r.drops
+}
+
+// Reset discards all retained events and the drop count (the sequence
+// counter keeps running so post-reset events remain globally ordered),
+// letting a harness reuse one Recorder across scenario steps.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next = 0
+	r.full = false
+	r.drops = 0
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
 }
 
 // Filter returns retained events matching the predicate.
@@ -119,12 +182,15 @@ func (r *Recorder) Dropped() uint64 {
 	return r.drops
 }
 
-// Dump writes the retained events to w, one per line.
+// Dump writes the retained events to w, one per line. Events and the
+// overwritten count come from one snapshot, so recording that continues
+// mid-dump cannot make the footer misreport what was printed.
 func (r *Recorder) Dump(w io.Writer) {
-	for _, e := range r.Events() {
+	events, dropped := r.Snapshot()
+	for _, e := range events {
 		fmt.Fprintln(w, e.String())
 	}
-	if d := r.Dropped(); d > 0 {
-		fmt.Fprintf(w, "(%d earlier events overwritten)\n", d)
+	if dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier events overwritten)\n", dropped)
 	}
 }

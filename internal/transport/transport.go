@@ -24,8 +24,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"asyncft/internal/obs"
 	"asyncft/internal/wire"
 )
 
@@ -43,12 +45,91 @@ type TCP struct {
 
 	handler Handler
 
-	mu     sync.Mutex
-	peers  map[int]*peer
-	closed bool
+	// metrics holds the instrument handles installed by Instrument; nil
+	// until then, and every handle is nil-safe, so the hot paths
+	// instrument unconditionally.
+	metrics atomic.Pointer[tcpMetrics]
+
+	mu        sync.Mutex
+	peers     map[int]*peer
+	connected map[int]bool // remote peers a link has been established with
+	closed    bool
 
 	wg   sync.WaitGroup
 	done chan struct{}
+}
+
+// tcpMetrics are the transport's instruments on a shared obs.Registry.
+type tcpMetrics struct {
+	traffic   *obs.Traffic    // per-proto/per-link accounting (same types as the sim router)
+	framesOut *obs.CounterVec // frames flushed, by destination peer
+	bytesOut  *obs.CounterVec // bytes flushed, by destination peer
+	framesIn  *obs.CounterVec // frames decoded, by source peer
+	bytesIn   *obs.CounterVec // body bytes decoded, by source peer
+	queueHW   *obs.GaugeVec   // per-peer send-queue depth high-water
+	connPeers *obs.Gauge      // distinct remote peers ever connected
+	dials     *obs.Counter
+	redials   *obs.Counter
+	dialFails *obs.Counter
+	flushes   *obs.Counter
+}
+
+// Instrument registers the transport's metrics on reg and attaches the
+// shared traffic accountant under the "transport" prefix. Call it right
+// after Listen, before protocol traffic flows; a nil registry is a
+// no-op. Outbound traffic is charged at actual frame length (self-sends
+// at envelope size — they never hit a socket), inbound at decoded
+// envelope size.
+func (t *TCP) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &tcpMetrics{
+		traffic:   obs.NewTraffic(),
+		framesOut: reg.CounterVec("transport_frames_out_total", "Frames flushed to the wire by destination peer.", "peer"),
+		bytesOut:  reg.CounterVec("transport_bytes_out_total", "Bytes flushed to the wire by destination peer.", "peer"),
+		framesIn:  reg.CounterVec("transport_frames_in_total", "Frames decoded from the wire by source peer.", "peer"),
+		bytesIn:   reg.CounterVec("transport_bytes_in_total", "Envelope bytes decoded from the wire by source peer.", "peer"),
+		queueHW:   reg.GaugeVec("transport_queue_depth_highwater", "Peak frames queued to one peer's writer.", "peer"),
+		connPeers: reg.Gauge("transport_connected_peers", "Distinct remote peers a link has been established with."),
+		dials:     reg.Counter("transport_dials_total", "Successful outbound connections."),
+		redials:   reg.Counter("transport_redials_total", "Connections re-established after a link failure."),
+		dialFails: reg.Counter("transport_dial_failures_total", "Failed outbound connection attempts."),
+		flushes:   reg.Counter("transport_flush_batches_total", "Writer wakeups that flushed a batch of frames."),
+	}
+	reg.AttachTraffic("transport", m.traffic)
+	t.metrics.Store(m)
+}
+
+// markConnected records that a link with the remote peer exists (an
+// outbound dial succeeded or an inbound frame arrived from it).
+func (t *TCP) markConnected(id int) {
+	if id == t.id || id < 0 {
+		return
+	}
+	t.mu.Lock()
+	known := t.connected[id]
+	if !known {
+		t.connected[id] = true
+	}
+	n := len(t.connected)
+	t.mu.Unlock()
+	if !known {
+		if m := t.metrics.Load(); m != nil {
+			m.connPeers.Set(int64(n))
+		}
+	}
+}
+
+// ConnectedPeers reports how many distinct remote peers this transport
+// has established a link with (outbound dial succeeded or inbound frame
+// seen) — the readiness signal: a node is ready when
+// ConnectedPeers()+1 ≥ n−t, i.e. it can reach a live quorum counting
+// itself.
+func (t *TCP) ConnectedPeers() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.connected)
 }
 
 // peer is the outbound side of one link. Frames are pooled buffers
@@ -60,12 +141,20 @@ type peer struct {
 	queue    []*[]byte
 	inflight int
 	notify   chan struct{}
+
+	// instrument handles resolved once at peer creation (nil without a
+	// registry; all updates no-op then).
+	framesOut *obs.Counter
+	bytesOut  *obs.Counter
+	queueHW   *obs.Gauge
 }
 
 func (p *peer) push(frame *[]byte) {
 	p.mu.Lock()
 	p.queue = append(p.queue, frame)
+	depth := len(p.queue)
 	p.mu.Unlock()
+	p.queueHW.SetMax(int64(depth))
 	select {
 	case p.notify <- struct{}{}:
 	default:
@@ -122,12 +211,13 @@ func Listen(id int, addrs map[int]string, handler Handler) (*TCP, error) {
 		}
 	}
 	t := &TCP{
-		id:      id,
-		addrs:   table,
-		ln:      ln,
-		handler: handler,
-		peers:   make(map[int]*peer),
-		done:    make(chan struct{}),
+		id:        id,
+		addrs:     table,
+		ln:        ln,
+		handler:   handler,
+		peers:     make(map[int]*peer),
+		connected: make(map[int]bool),
+		done:      make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -165,7 +255,13 @@ func (t *TCP) addrOf(id int) (string, bool) {
 // Send implements runtime.Sender. Self-sends short-circuit to the handler;
 // everything else is queued to the destination's writer goroutine.
 func (t *TCP) Send(env wire.Envelope) {
+	m := t.metrics.Load()
 	if env.To == t.id {
+		if m != nil {
+			// Self-sends never hit a socket; charge the envelope size so
+			// per-party accounting matches the simulated fabric's view.
+			m.traffic.Record(t.id, env.To, env.Session, uint64(wire.EnvelopeSize(env)))
+		}
 		t.handler(env)
 		return
 	}
@@ -174,6 +270,9 @@ func (t *TCP) Send(env wire.Envelope) {
 	}
 	frame := wire.GetBuf()
 	*frame = appendFrame(*frame, env)
+	if m != nil {
+		m.traffic.Record(t.id, env.To, env.Session, uint64(len(*frame)))
+	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -183,6 +282,11 @@ func (t *TCP) Send(env wire.Envelope) {
 	p := t.peers[env.To]
 	if p == nil {
 		p = &peer{notify: make(chan struct{}, 1)}
+		if m != nil {
+			p.framesOut = m.framesOut.WithIndex(env.To)
+			p.bytesOut = m.bytesOut.WithIndex(env.To)
+			p.queueHW = m.queueHW.WithIndex(env.To)
+		}
 		t.peers[env.To] = p
 		t.wg.Add(1)
 		go t.writeLoop(env.To, p)
@@ -260,11 +364,26 @@ func (t *TCP) readLoop(conn net.Conn) {
 		conn.Close()
 	}()
 	br := bufio.NewReader(conn)
+	m := t.metrics.Load()
+	// Per-source handles cached per connection: the maps are goroutine-
+	// local so the per-frame bookkeeping stays lock-free.
+	type inHandles struct{ frames, bytes *obs.Counter }
+	byFrom := map[int]inHandles{}
 	for {
 		env, err := readFrame(br)
 		if err != nil {
 			return
 		}
+		h, known := byFrom[env.From]
+		if !known {
+			if m != nil {
+				h = inHandles{frames: m.framesIn.WithIndex(env.From), bytes: m.bytesIn.WithIndex(env.From)}
+			}
+			byFrom[env.From] = h
+			t.markConnected(env.From)
+		}
+		h.frames.Inc()
+		h.bytes.Add(uint64(wire.EnvelopeSize(env)))
 		t.handler(env)
 	}
 }
@@ -279,9 +398,11 @@ func (t *TCP) readLoop(conn net.Conn) {
 // reader).
 func (t *TCP) writeLoop(to int, p *peer) {
 	defer t.wg.Done()
+	m := t.metrics.Load()
 	var conn net.Conn
 	var bw *bufio.Writer
 	backoff := 10 * time.Millisecond
+	dialed := false // a connection to this peer has succeeded before
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -304,6 +425,9 @@ func (t *TCP) writeLoop(to int, p *peer) {
 				var err error
 				conn, err = net.DialTimeout("tcp", addr, 2*time.Second)
 				if err != nil {
+					if m != nil {
+						m.dialFails.Inc()
+					}
 					select {
 					case <-time.After(backoff):
 					case <-t.done:
@@ -316,6 +440,14 @@ func (t *TCP) writeLoop(to int, p *peer) {
 				}
 				backoff = 10 * time.Millisecond
 				bw = bufio.NewWriter(conn)
+				if m != nil {
+					m.dials.Inc()
+					if dialed {
+						m.redials.Inc()
+					}
+				}
+				dialed = true
+				t.markConnected(to)
 			}
 			ok := true
 			for _, frame := range batch {
@@ -332,6 +464,15 @@ func (t *TCP) writeLoop(to int, p *peer) {
 			}
 			conn.Close()
 			conn, bw = nil, nil
+		}
+		if m != nil {
+			m.flushes.Inc()
+			var batchBytes uint64
+			for _, frame := range batch {
+				batchBytes += uint64(len(*frame))
+			}
+			p.framesOut.Add(uint64(len(batch)))
+			p.bytesOut.Add(batchBytes)
 		}
 		p.flushed()
 		for i, frame := range batch {
