@@ -92,6 +92,13 @@ func BenchmarkFastPathLedgerThroughput(b *testing.B) {
 	runExperiment(b, experiments.E16AgreementCore)
 }
 
+// BenchmarkShardedLedgerThroughput runs E17 at smoke scale: S=8 ledger
+// shards vs the S=1 baseline over one shared delay-bound transport,
+// reporting the gated committed-client-op throughput speedup.
+func BenchmarkShardedLedgerThroughput(b *testing.B) {
+	runExperiment(b, experiments.E17ShardScaleOut)
+}
+
 func BenchmarkAblationReconstruct(b *testing.B) {
 	runExperiment(b, experiments.AblationReconstruct)
 }

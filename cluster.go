@@ -1,11 +1,13 @@
 package asyncft
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"asyncft/internal/acs"
 	"asyncft/internal/adversary"
@@ -19,6 +21,7 @@ import (
 	"asyncft/internal/reconfig"
 	"asyncft/internal/runtime"
 	"asyncft/internal/securesum"
+	"asyncft/internal/shard"
 	"asyncft/internal/statesync"
 	"asyncft/internal/svss"
 	"asyncft/internal/trace"
@@ -50,6 +53,9 @@ type Cluster struct {
 	// reconfigSrcs maps a dynamic-membership session to its shared
 	// operation source, the injection point for Cluster.Reconfigure.
 	reconfigSrcs map[string]*reconfig.Source
+	// shardRuns maps a sharded atomic-broadcast session to its per-party
+	// serving engines, the injection point for Cluster.Submit.
+	shardRuns map[string]map[int]*shard.Engine
 }
 
 // Party is the capability bundle handed to custom BehaviorFunc attacks.
@@ -90,7 +96,8 @@ func New(cfg Config) (*Cluster, error) {
 	var ropts []network.Option
 	c := &Cluster{cfg: cfg, core: cfg.coreConfig(),
 		syncRuns:     make(map[string]map[int]*acs.Store),
-		reconfigSrcs: make(map[string]*reconfig.Source)}
+		reconfigSrcs: make(map[string]*reconfig.Source),
+		shardRuns:    make(map[string]map[int]*shard.Engine)}
 	if cfg.TraceCapacity > 0 {
 		c.rec = trace.New(cfg.TraceCapacity)
 		ropts = append(ropts, network.WithObserver(func(stage string, env wire.Envelope) {
@@ -442,6 +449,9 @@ const MaxLedgerPayloadSize = acs.MaxPayloadSize
 
 // LedgerEntry is one committed payload of an atomic-broadcast ledger.
 type LedgerEntry struct {
+	// Shard is the ledger shard that committed the payload; always 0
+	// unless the run was sharded (AtomicBroadcastSpec.Shards ≥ 1).
+	Shard int
 	// Slot is the slot that committed the payload. Party is the payload's
 	// first committer — not a verified author: a Byzantine party can copy
 	// another party's batch into its own A-Cast, and cross-slot content
@@ -491,6 +501,38 @@ type AtomicBroadcastSpec struct {
 	// evolves via membership operations committed on the ledger itself.
 	// See the DynamicMembership type; incompatible with Resume.
 	DynamicMembership *DynamicMembership
+	// Shards, when ≥ 1, scales the session out horizontally: Shards
+	// independent ledger shards (each its own slot pipeline, fast path and
+	// BCA enabled) run over the shared transport, multiplexed by session
+	// namespacing (internal/shard). A sharded run is fed exclusively
+	// through Cluster.Submit — client operations route to a shard by a
+	// deterministic hash of their stream id, are batched into that shard's
+	// next slot, and are acknowledged with their committed (shard, slot,
+	// index) position. The returned ledger carries every shard's entries
+	// tagged with their Shard. Incompatible with Payloads, Resume, and
+	// DynamicMembership.
+	Shards int
+	// QueueCap bounds each party's per-shard admission queue in a sharded
+	// run (0 = the internal default). Once a queue is full, Submit rejects
+	// with ErrOverloaded — backpressure, never a silent drop.
+	QueueCap int
+}
+
+// ErrOverloaded is returned by Submit when the target shard's admission
+// queue at the chosen party is full. It is the backpressure signal a
+// serving front door translates to HTTP 429.
+var ErrOverloaded = shard.ErrOverloaded
+
+// ErrUncommitted is returned by Submit for an op that was admitted but
+// missed every remaining slot of a finite run — reported, never silently
+// dropped; the client may resubmit on a later session.
+var ErrUncommitted = shard.ErrUncommitted
+
+// SubmitPos is the committed position a Submit acknowledgment names:
+// the shard, the slot within that shard, and the index within the slot's
+// flattened client-op list. Positions are identical at every party.
+type SubmitPos struct {
+	Shard, Slot, Index int
 }
 
 // RunAtomicBroadcast runs ACS-based asynchronous atomic broadcast
@@ -504,6 +546,15 @@ type AtomicBroadcastSpec struct {
 func (c *Cluster) RunAtomicBroadcast(spec AtomicBroadcastSpec) ([]LedgerEntry, error) {
 	if spec.Slots < 1 {
 		return nil, fmt.Errorf("asyncft: RunAtomicBroadcast needs Slots ≥ 1, got %d", spec.Slots)
+	}
+	if spec.Shards > 0 {
+		return c.runShardedBroadcast(spec)
+	}
+	if spec.Shards < 0 {
+		return nil, fmt.Errorf("asyncft: Shards must be ≥ 0, got %d", spec.Shards)
+	}
+	if spec.QueueCap != 0 {
+		return nil, fmt.Errorf("asyncft: QueueCap requires Shards")
 	}
 	if spec.DynamicMembership != nil {
 		return c.runDynamicMembership(spec)
@@ -598,6 +649,136 @@ func (c *Cluster) registerSyncRun(sess string) (map[int]*acs.Store, bool) {
 	}
 	c.syncRuns[sess] = stores
 	return stores, true
+}
+
+// runShardedBroadcast is the Shards ≥ 1 arm of RunAtomicBroadcast: one
+// serving engine per honest party, each running Shards independent slot
+// pipelines over the shared transport, fed through Cluster.Submit. After
+// every engine finishes, each shard's committed slot range must be
+// bit-identical across the honest parties — the per-shard form of the
+// agreement check every other Cluster method performs.
+func (c *Cluster) runShardedBroadcast(spec AtomicBroadcastSpec) ([]LedgerEntry, error) {
+	switch {
+	case spec.Payloads != nil:
+		return nil, fmt.Errorf("asyncft: Shards is incompatible with Payloads (submit through Cluster.Submit)")
+	case len(spec.Resume) > 0:
+		return nil, fmt.Errorf("asyncft: Shards is incompatible with Resume")
+	case spec.DynamicMembership != nil:
+		return nil, fmt.Errorf("asyncft: Shards is incompatible with DynamicMembership")
+	}
+	sess := "abc/" + spec.Session
+	cfg := c.core
+	if spec.NoCodedBroadcast {
+		cfg.RBC.CodedThreshold = -1
+	}
+	engines, err := c.registerShardRun(sess, spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := c.run(func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+		return nil, engines[env.ID].Run(ctx, c.ctx)
+	})
+	ids := make([]int, 0, len(res))
+	for id := range res {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if res[id].err != nil {
+			return nil, fmt.Errorf("party %d: %w", id, res[id].err)
+		}
+	}
+	// Per-shard agreement: every committed slot of every shard must be
+	// byte-identical across the honest parties (stronger than comparing
+	// deduplicated ledgers — ack positions hang off slots).
+	var out []LedgerEntry
+	for s := 0; s < spec.Shards; s++ {
+		var ref []byte
+		refParty := -1
+		for _, id := range ids {
+			st := engines[id].Store(s)
+			enc, _ := st.EncodeRange(0, st.Next())
+			if refParty < 0 {
+				ref, refParty = enc, id
+			} else if !bytes.Equal(ref, enc) {
+				return nil, fmt.Errorf("sharded broadcast %s: shard %d ledger at party %d differs from party %d",
+					sess, s, id, refParty)
+			}
+		}
+		for _, e := range engines[ids[0]].Ledger(s) {
+			out = append(out, LedgerEntry{Shard: s, Slot: e.Slot, Party: e.Party,
+				Payload: append([]byte(nil), e.Payload...)})
+		}
+	}
+	return out, nil
+}
+
+// registerShardRun creates (once per session) the per-party serving
+// engines behind a sharded run, making them visible to Submit before any
+// slot starts. Re-running a session is a spec error, not a silent reuse.
+func (c *Cluster) registerShardRun(sess string, spec AtomicBroadcastSpec, cfg core.Config) (map[int]*shard.Engine, error) {
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	if _, ok := c.shardRuns[sess]; ok {
+		return nil, fmt.Errorf("asyncft: sharded session %q already ran", sess)
+	}
+	engines := make(map[int]*shard.Engine)
+	for _, id := range c.Honest() {
+		eng, err := shard.New(c.envs[id], shard.Options{
+			Session:  sess,
+			Shards:   spec.Shards,
+			Slots:    spec.Slots,
+			Width:    spec.Width,
+			QueueCap: spec.QueueCap,
+			Core:     cfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		engines[id] = eng
+	}
+	c.shardRuns[sess] = engines
+	return engines, nil
+}
+
+// Submit routes one client operation into a sharded atomic-broadcast run
+// (AtomicBroadcastSpec.Shards ≥ 1) through the front door at party. The
+// stream id fixes the shard (the same stream always lands on the same
+// shard, at every party); the call blocks until the op commits and
+// returns its position, identical at every honest party. ErrOverloaded
+// reports a full admission queue — retry against backpressure, nothing
+// was enqueued. Submit may be called as soon as RunAtomicBroadcast has
+// been started (typically from another goroutine, since that call blocks
+// until the run completes); it waits for the session's engines to appear.
+func (c *Cluster) Submit(session string, party int, stream, payload []byte) (SubmitPos, error) {
+	if party < 0 || party >= c.cfg.N {
+		return SubmitPos{}, fmt.Errorf("asyncft: Submit party %d out of range", party)
+	}
+	if _, bad := c.cfg.Byzantine[party]; bad {
+		return SubmitPos{}, fmt.Errorf("asyncft: Submit party %d is Byzantine", party)
+	}
+	sess := "abc/" + session
+	var eng *shard.Engine
+	for eng == nil {
+		c.syncMu.Lock()
+		if m, ok := c.shardRuns[sess]; ok {
+			eng = m[party]
+		}
+		c.syncMu.Unlock()
+		if eng != nil {
+			break
+		}
+		select {
+		case <-c.ctx.Done():
+			return SubmitPos{}, fmt.Errorf("asyncft: Submit: no sharded run with session %q", session)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	pos, err := eng.Submit(c.ctx, stream, payload)
+	if err != nil {
+		return SubmitPos{}, err
+	}
+	return SubmitPos(pos), nil
 }
 
 // SyncFrom runs a state-transfer client at party against the snapshot

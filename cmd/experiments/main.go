@@ -42,6 +42,7 @@ func main() {
 		{"E14", experiments.E14CatchupLatency},
 		{"E15", experiments.E15EpochSwitch},
 		{"E16", experiments.E16AgreementCore},
+		{"E17", experiments.E17ShardScaleOut},
 		{"A1", experiments.AblationReconstruct},
 		{"A2", experiments.AblationPolicy},
 	}

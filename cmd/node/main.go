@@ -38,6 +38,17 @@
 // prints the same bit-identical ledger as everyone else. -grace tunes how
 // long a finished node lingers to serve slower or catching-up peers.
 //
+// -shards S switches -mode abc to the sharded serving plane (internal/
+// shard): S independent ledger shards run over the node's one transport,
+// and -serve addr opens a client-facing HTTP front door. Clients POST
+// /submit?stream=ID with the payload as the body; the op routes to a
+// shard by a deterministic hash of its stream id, rides that shard's
+// next slot, and the response is its committed (shard, slot, index)
+// position — identical at every party. -queue bounds the per-shard
+// admission queue; a full queue answers 429 immediately. All processes
+// must use the same -shards, -slots and -width values; -serve and
+// -queue are node-local.
+//
 // -members switches -mode abc to dynamic membership (internal/reconfig):
 // the ledger starts on the listed genesis subset of the peer universe and
 // evolves via membership operations committed on the ledger itself. A node
@@ -111,6 +122,9 @@ type options struct {
 	slots    int
 	width    int
 	resume   int
+	shards   int
+	serve    string
+	queue    int
 	noCoded  bool
 	fastPath bool
 	bca      bool
@@ -155,6 +169,9 @@ func main() {
 	bca := flag.Bool("bca", false, "abc: BCA-based binary agreement rounds with AUX→VAL vote reuse (same value at every party)")
 	agTrace := flag.Bool("agreetrace", false, "abc: dump per-slot agreement milestones (fast commits, fallbacks, rounds) after the ledger")
 	resume := flag.Int("resume", 0, "abc: restarted-replica mode — skip slots [0,resume), catch them up via state transfer from peers, then join live slots")
+	shards := flag.Int("shards", 0, "abc: run this many independent ledger shards over the shared transport, fed via -serve (0 = unsharded; same value at every party)")
+	serve := flag.String("serve", "", "abc sharded: client front door address (host:port) serving POST /submit and GET /log (empty = disabled)")
+	queue := flag.Int("queue", 0, "abc sharded: per-shard admission queue capacity; a full queue answers 429 (0 = default)")
 	members := flag.String("members", "", "abc: comma-separated genesis member ids — enables dynamic membership (same value at every node)")
 	submit := flag.String("submit", "", "abc dynamic: membership ops to propose, e.g. 2:+4@127.0.0.1:7004,6:-1")
 	retire := flag.Int("retire", 0, "abc dynamic: propose this node's own removal at the given slot (0 = never)")
@@ -171,6 +188,7 @@ func main() {
 		id: *id, t: *tf, mode: *mode, protocol: *protocol, input: *input,
 		secret: *secret, x: *x, bit: *bit, k: *k, batch: *batchK, slots: *slots,
 		width: *width, resume: *resume, noCoded: *noCoded,
+		shards: *shards, serve: *serve, queue: *queue,
 		fastPath: *fastPath, bca: *bca, agTrace: *agTrace, seed: *seed,
 		timeout: *timeout, grace: *grace, retire: *retire, lag: *lagFlag,
 		pace: *pace, obsAddr: *obsAddr, traceFile: *traceFile,
@@ -345,6 +363,18 @@ func runLedger(ctx context.Context, env *runtime.Env, o options, ob *obsState, o
 		}
 	}
 	const sess = "node/abc"
+	if o.shards < 0 {
+		return fmt.Errorf("-shards must be ≥ 0, got %d", o.shards)
+	}
+	if o.shards > 0 {
+		if len(o.members) > 0 || o.resume > 0 {
+			return fmt.Errorf("-shards is incompatible with -members and -resume")
+		}
+		return runShardedLedger(ctx, env, o, sess, cfg, printAgreement, out)
+	}
+	if o.serve != "" || o.queue != 0 {
+		return fmt.Errorf("-serve and -queue require -shards")
+	}
 	if len(o.members) > 0 {
 		return runDynamicLedger(ctx, env, o, sess, cfg, printAgreement, out)
 	}

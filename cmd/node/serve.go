@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"asyncft/internal/acs"
+	"asyncft/internal/core"
+	"asyncft/internal/runtime"
+	"asyncft/internal/shard"
+)
+
+// runShardedLedger is -mode abc with -shards S: the node runs S
+// independent ledger shards over its one transport (internal/shard) and,
+// with -serve, opens a client-facing HTTP front door. Clients POST
+// /submit?stream=ID with the payload as the request body; the handler
+// routes the op to its shard (deterministic hash of the stream id),
+// long-polls until the op commits, and acks with its (shard, slot,
+// index) position as JSON — identical at every party. A full admission
+// queue answers 429 immediately (backpressure, never a silent drop); an
+// op that misses the run's final slot answers 503. GET /log streams the
+// committed ops so far in the same deterministic format the node prints
+// on exit.
+func runShardedLedger(ctx context.Context, env *runtime.Env, o options, sess string, cfg core.Config, printAgreement func(), out io.Writer) error {
+	eng, err := shard.New(env, shard.Options{
+		Session:  sess,
+		Shards:   o.shards,
+		Slots:    o.slots,
+		Width:    o.width,
+		QueueCap: o.queue,
+		Core:     cfg,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("party %d/%d on %s: sharded atomic broadcast, %d shard(s) × %d slot(s) width %d queue %d",
+		env.ID, env.N, addrOf(env), o.shards, o.slots, o.width, o.queue)
+
+	if o.serve != "" {
+		ln, err := net.Listen("tcp", o.serve)
+		if err != nil {
+			return fmt.Errorf("serve endpoint: %w", err)
+		}
+		srv := &http.Server{Handler: serveMux(eng)}
+		go func() { _ = srv.Serve(ln) }()
+		log.Printf("party %d client front door on http://%s (/submit /log)", env.ID, ln.Addr())
+		defer func() {
+			// Let in-flight acks flush (the engine has already resolved
+			// every pending submission by the time Run returns).
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
+	}
+
+	if err := eng.Run(ctx, ctx); err != nil {
+		return err
+	}
+	for s := 0; s < o.shards; s++ {
+		writeShardLog(out, eng, s)
+		ledger := eng.Ledger(s)
+		fmt.Fprintf(out, "shard[%d] digest: %x (%d entries)\n", s, acs.Digest(ledger), len(ledger))
+	}
+	printAgreement()
+	return nil
+}
+
+// serveMux builds the client front door for one serving engine.
+func serveMux(eng *shard.Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		stream := r.URL.Query().Get("stream")
+		payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, shard.MaxOpPayloadBytes))
+		if err != nil {
+			http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		pos, err := eng.Submit(r.Context(), []byte(stream), payload)
+		switch {
+		case err == nil:
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]int{
+				"shard": pos.Shard, "slot": pos.Slot, "index": pos.Index,
+			})
+		case errors.Is(err, shard.ErrOverloaded):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case errors.Is(err, shard.ErrUncommitted), errors.Is(err, shard.ErrFinished):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("/log", func(w http.ResponseWriter, r *http.Request) {
+		for s := 0; s < eng.Shards(); s++ {
+			writeShardLog(w, eng, s)
+		}
+	})
+	return mux
+}
+
+// writeShardLog prints one shard's committed ops, position by position —
+// derived from committed bytes only, so the listing is bit-identical at
+// every party (the e2e test's replication check).
+func writeShardLog(w io.Writer, eng *shard.Engine, s int) {
+	st := eng.Store(s)
+	for k := 0; k < st.Next(); k++ {
+		entries, ok := st.Slot(k)
+		if !ok {
+			return
+		}
+		for i, op := range shard.SlotOps(entries) {
+			fmt.Fprintf(w, "shard[%d] slot=%d index=%d origin=%d seq=%d stream=%q payload=%q\n",
+				s, k, i, op.Origin, op.Seq, op.Stream, op.Payload)
+		}
+	}
+}

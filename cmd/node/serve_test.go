@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// submitAck is one client's view of an acknowledged submission.
+type submitAck struct {
+	Shard, Slot, Index int
+	stream, payload    string
+}
+
+// postSubmit POSTs one op to a node's front door, retrying while the
+// server is still coming up, and returns the HTTP status plus the parsed
+// ack (on 200). Any transport failure after the retry budget is fatal.
+func postSubmit(t *testing.T, addr, stream, payload string) (int, submitAck) {
+	t.Helper()
+	url := fmt.Sprintf("http://%s/submit?stream=%s", addr, stream)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(url, "application/octet-stream", strings.NewReader(payload))
+		if err != nil {
+			if time.Now().After(deadline) {
+				t.Errorf("submit %q: %v", payload, err)
+				return 0, submitAck{}
+			}
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		ack := submitAck{stream: stream, payload: payload}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, &ack); err != nil {
+				t.Errorf("submit %q: bad ack %q: %v", payload, body, err)
+			}
+		}
+		return resp.StatusCode, ack
+	}
+}
+
+// TestE2EShardedServingPlane runs 4 in-process nodes over loopback TCP
+// with -shards 2 and a -serve front door each, drives concurrent clients
+// through different nodes' doors, and asserts the serving-plane
+// contract: every acked submission sits exactly once at its acked
+// (shard, slot, index) position in every node's printed shard log, and
+// the logs are byte-identical across nodes.
+func TestE2EShardedServingPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP listeners")
+	}
+	const n, shards, slots = 4, 2, 6
+	peers := freeAddrs(t, n)
+	doors := freeAddrs(t, n)
+
+	outs := make([]bytes.Buffer, n)
+	errs := make([]error, n)
+	var nodeWG sync.WaitGroup
+	for id := 0; id < n; id++ {
+		id := id
+		nodeWG.Add(1)
+		go func() {
+			defer nodeWG.Done()
+			errs[id] = runNode(options{
+				id: id, peers: peers, t: 1, mode: "abc",
+				k: 1, batch: 1, slots: slots, width: 2,
+				shards: shards, serve: doors[id],
+				timeout: 90 * time.Second,
+			}, &outs[id])
+		}()
+	}
+
+	// Concurrent clients, spread over nodes and over streams that cover
+	// both shards. Ops that miss the run's final slot come back 503 —
+	// tolerated (reported backpressure), never silently dropped.
+	const clients = 16
+	acks := make([]submitAck, 0, clients)
+	statuses := make([]int, clients)
+	var mu sync.Mutex
+	var cliWG sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		i := i
+		cliWG.Add(1)
+		go func() {
+			defer cliWG.Done()
+			status, ack := postSubmit(t, doors[i%n],
+				fmt.Sprintf("stream-%d", i%6), fmt.Sprintf("e2e-op-%d", i))
+			mu.Lock()
+			statuses[i] = status
+			if status == http.StatusOK {
+				acks = append(acks, ack)
+			}
+			mu.Unlock()
+		}()
+	}
+	cliWG.Wait()
+	nodeWG.Wait()
+	for id := 0; id < n; id++ {
+		if errs[id] != nil {
+			t.Fatalf("party %d: %v", id, errs[id])
+		}
+	}
+	for i, s := range statuses {
+		if s != http.StatusOK && s != http.StatusServiceUnavailable && s != http.StatusTooManyRequests {
+			t.Fatalf("client %d: unexpected status %d", i, s)
+		}
+	}
+	if len(acks) == 0 {
+		t.Fatal("no submission was acked")
+	}
+
+	// Byte-identical shard logs (and digests) at every node.
+	for id := 1; id < n; id++ {
+		if outs[0].String() != outs[id].String() {
+			t.Fatalf("shard logs differ:\nparty 0:\n%s\nparty %d:\n%s", outs[0].String(), id, outs[id].String())
+		}
+	}
+	log := outs[0].String()
+	for s := 0; s < shards; s++ {
+		if !strings.Contains(log, fmt.Sprintf("shard[%d] digest: ", s)) {
+			t.Fatalf("no digest line for shard %d:\n%s", s, log)
+		}
+	}
+	// Every acked op sits exactly once, at exactly its acked position.
+	for _, a := range acks {
+		line := fmt.Sprintf("shard[%d] slot=%d index=%d", a.Shard, a.Slot, a.Index)
+		want := fmt.Sprintf("%s stream=%q payload=%q", line, a.stream, a.payload)
+		found := false
+		for _, l := range strings.Split(log, "\n") {
+			if strings.HasPrefix(l, line+" ") {
+				if !strings.HasSuffix(l, fmt.Sprintf("stream=%q payload=%q", a.stream, a.payload)) {
+					t.Fatalf("position %s holds %q, want %q", line, l, want)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("acked position %s missing from log:\n%s", line, log)
+		}
+		if got := strings.Count(log, fmt.Sprintf("payload=%q", a.payload)); got != 1 {
+			t.Fatalf("acked op %q appears %d times, want exactly once", a.payload, got)
+		}
+	}
+	t.Logf("%d/%d submissions acked and position-verified across %d nodes", len(acks), clients, n)
+}
+
+// TestE2EServingBackpressure floods one node's front door with a cap-1
+// admission queue: overflow must answer 429 and a 429'd op must never
+// appear on any ledger — admission control is backpressure, not a lossy
+// queue.
+func TestE2EServingBackpressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns TCP listeners")
+	}
+	const n, slots = 4, 3
+	peers := freeAddrs(t, n)
+	doors := freeAddrs(t, n)
+
+	outs := make([]bytes.Buffer, n)
+	errs := make([]error, n)
+	var nodeWG sync.WaitGroup
+	for id := 0; id < n; id++ {
+		id := id
+		nodeWG.Add(1)
+		go func() {
+			defer nodeWG.Done()
+			errs[id] = runNode(options{
+				id: id, peers: peers, t: 1, mode: "abc",
+				k: 1, batch: 1, slots: slots, width: 1,
+				shards: 1, serve: doors[id], queue: 1,
+				timeout: 90 * time.Second,
+			}, &outs[id])
+		}()
+	}
+
+	const clients = 24
+	var mu sync.Mutex
+	var cliWG sync.WaitGroup
+	rejected := map[string]bool{}
+	okCount, rejCount := 0, 0
+	for i := 0; i < clients; i++ {
+		i := i
+		cliWG.Add(1)
+		go func() {
+			defer cliWG.Done()
+			payload := fmt.Sprintf("bp-op-%d", i)
+			status, _ := postSubmit(t, doors[0], "bp-stream", payload)
+			mu.Lock()
+			defer mu.Unlock()
+			switch status {
+			case http.StatusOK:
+				okCount++
+			case http.StatusTooManyRequests:
+				rejCount++
+				rejected[payload] = true
+			case http.StatusServiceUnavailable:
+				// missed the final slot — reported, acceptable
+			default:
+				t.Errorf("client %d: unexpected status %d", i, status)
+			}
+		}()
+	}
+	cliWG.Wait()
+	nodeWG.Wait()
+	for id := 0; id < n; id++ {
+		if errs[id] != nil {
+			t.Fatalf("party %d: %v", id, errs[id])
+		}
+	}
+	if rejCount == 0 {
+		t.Log("queue never filled (fast machine); 429 path covered by unit tests")
+	}
+	// A rejected op was never enqueued: it must be absent from the ledger.
+	log := outs[0].String()
+	for payload := range rejected {
+		if strings.Contains(log, fmt.Sprintf("payload=%q", payload)) {
+			t.Fatalf("429-rejected op %q reached the ledger:\n%s", payload, log)
+		}
+	}
+	t.Logf("%d acked, %d rejected with 429 of %d clients", okCount, rejCount, clients)
+}

@@ -324,11 +324,15 @@ func RunFrom(ctx, helperCtx context.Context, env *runtime.Env, session string, f
 	for i := range instances {
 		k := from + i
 		sess := runtime.SubSession(session, "slot", k)
-		var payload []byte
-		if input != nil {
-			payload = input(k)
-		}
 		instances[i] = batch.Instance{Session: sess, Run: func(ctx context.Context, env *runtime.Env) (interface{}, error) {
+			// input runs at admission time, not construction time: with a
+			// width-bounded pipeline, slot k's batch is drawn when slot k
+			// actually starts, so sources that accumulate between slots (a
+			// serving queue, a paced proposer) see everything admitted so far.
+			var payload []byte
+			if input != nil {
+				payload = input(k)
+			}
 			entries, err := RunSlot(ctx, helperCtx, env, sess, k, payload, cfg)
 			if err == nil {
 				store.SetSlot(k, entries)

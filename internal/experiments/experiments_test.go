@@ -150,3 +150,13 @@ func TestE10SmokeBatchPipeline(t *testing.T) {
 		t.Fatalf("speedup not positive: %v", tbl.Headline)
 	}
 }
+
+func TestE17SmokeShardScaleOut(t *testing.T) {
+	tbl := smoke(t, E17ShardScaleOut)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("expected S=1 and S=8 rows, got %d", len(tbl.Rows))
+	}
+	if tbl.Headline <= 1 {
+		t.Fatalf("sharded speedup not above 1: %v", tbl.Headline)
+	}
+}

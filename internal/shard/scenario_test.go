@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"asyncft/internal/adversary"
+	"asyncft/internal/testkit"
+	"asyncft/internal/trace"
+)
+
+// TestShardScenarios drives the sharded serving engine through the
+// testkit fault schedules: a party crashing mid-run under S=4 shards,
+// partition-then-heal, a slow replica, and Byzantine noise aimed at one
+// shard's sessions. In every case the surviving parties must commit
+// bit-identical per-shard ledgers, every acked submission must sit at
+// its acked (shard, slot, index) position at every surviving party, and
+// faults on one shard must not leak into the others (every committed op
+// sits on the shard its stream routes to).
+func TestShardScenarios(t *testing.T) {
+	const n, tf, shards, slots = 4, 1, 4, 4
+	type tc struct {
+		name   string
+		seed   int64
+		victim bool // party 3 runs an engine that is NOT awaited (it may
+		// die mid-run); parties both faulted and awaited (partition, slow)
+		// just go in waited — delayed, never killed, they must converge
+		noise  bool  // party 3 floods shard 0's sessions instead
+		waited []int // parties whose runs are awaited and ledgers compared
+		steps  func(c *testkit.Cluster) []testkit.Step
+	}
+	cases := []tc{
+		{
+			name: "crash-at-start", seed: 11, waited: []int{0, 1, 2},
+			steps: func(c *testkit.Cluster) []testkit.Step {
+				return []testkit.Step{{Name: "crash", At: 0, Do: func(c *testkit.Cluster) { c.Crash(3) }}}
+			},
+		},
+		{
+			name: "crash-mid-run", seed: 23, victim: true, waited: []int{0, 1, 2},
+			steps: func(c *testkit.Cluster) []testkit.Step {
+				return []testkit.Step{{Name: "crash", At: 1, Do: func(c *testkit.Cluster) { c.Crash(3) }}}
+			},
+		},
+		{
+			name: "partition-then-heal", seed: 37, waited: []int{0, 1, 2, 3},
+			steps: func(c *testkit.Cluster) []testkit.Step {
+				var handle int
+				return []testkit.Step{
+					{Name: "partition", At: 1, Do: func(c *testkit.Cluster) {
+						handle = c.Partition([]int{3}, []int{0, 1, 2})
+					}},
+					{Name: "heal", At: 2, Do: func(c *testkit.Cluster) { c.Heal(handle) }},
+				}
+			},
+		},
+		{
+			name: "slow-replica", seed: 41, waited: []int{0, 1, 2, 3},
+			steps: func(c *testkit.Cluster) []testkit.Step {
+				var handle int
+				return []testkit.Step{
+					{Name: "lag", At: 0, Do: func(c *testkit.Cluster) { handle = c.Slow(3) }},
+					{Name: "catch-up", At: 2, Do: func(c *testkit.Cluster) { c.Heal(handle) }},
+				}
+			},
+		},
+		{
+			// Party 3 speaks no protocol at all: it floods shard 0's
+			// session namespace with garbage. Shard 0 must shrug it off
+			// and shards 1..3 must never notice.
+			name: "byzantine-noise-one-shard", seed: 53, noise: true, waited: []int{0, 1, 2},
+			steps: func(c *testkit.Cluster) []testkit.Step { return nil },
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			const session = "shard/scen"
+			rec := trace.New(8192)
+			c := testkit.New(n, tf, testkit.WithSeed(tc.seed), testkit.WithTimeout(90*time.Second), testkit.WithTrace(rec))
+			defer c.Close()
+			c.DumpOnFailure(t)
+			c.Start(testkit.Scenario{Name: tc.name, Steps: tc.steps(c)})
+
+			runners := append([]int(nil), tc.waited...)
+			if tc.victim {
+				runners = append(runners, 3)
+			}
+			engines := make(map[int]*Engine, len(runners))
+			for _, id := range runners {
+				cfg := localCfg
+				cfg.Trace = rec
+				eng, err := New(c.Envs[id], Options{
+					Session: session, Shards: shards, Slots: slots, Width: 2, Core: cfg,
+					// Progress = per-shard slot commits; a step At k fires
+					// once any party commits slot k on any shard.
+					OnSlotCommit: func(shard, slot int, ops []Op) { c.Progress(slot) },
+				})
+				if err != nil {
+					t.Fatalf("party %d: New: %v", id, err)
+				}
+				engines[id] = eng
+			}
+			if tc.noise {
+				// Noise over shard 0's slot sessions (the namespace real
+				// protocol messages of shard 0 live in).
+				var sessions []string
+				for k := 0; k < slots; k++ {
+					root := Session(session, 0)
+					sessions = append(sessions,
+						fmt.Sprintf("%s/slot/%d/rbc/0", root, k),
+						fmt.Sprintf("%s/slot/%d/rbc/3", root, k),
+						fmt.Sprintf("%s/slot/%d/cs", root, k),
+					)
+				}
+				go func() {
+					_ = adversary.Noise{Sessions: sessions, Messages: 2000}.Run(c.Ctx, c.Envs[3])
+				}()
+			}
+			if !tc.victim {
+				c.Progress(0) // no victim engine runs; arm start-time faults
+			}
+
+			// Sustained client load through every awaited party, spread
+			// over streams that cover all shards.
+			type sub struct {
+				party            int
+				stream, payload  string
+				pos              Pos
+				acked, tolerated bool
+			}
+			var subs []*sub
+			for i := 0; i < 24; i++ {
+				subs = append(subs, &sub{
+					party:   tc.waited[i%len(tc.waited)],
+					stream:  fmt.Sprintf("stream-%d", i%8),
+					payload: fmt.Sprintf("%s/op-%d", tc.name, i),
+				})
+			}
+
+			var runWG sync.WaitGroup
+			errs := make([]error, n)
+			for _, id := range tc.waited {
+				id := id
+				runWG.Add(1)
+				go func() {
+					defer runWG.Done()
+					errs[id] = engines[id].Run(c.Ctx, c.Ctx)
+				}()
+			}
+			if tc.victim {
+				go func() { _ = engines[3].Run(c.Ctx, c.Ctx) }()
+			}
+			var subWG sync.WaitGroup
+			for _, s := range subs {
+				s := s
+				subWG.Add(1)
+				go func() {
+					defer subWG.Done()
+					pos, err := engines[s.party].Submit(c.Ctx, []byte(s.stream), []byte(s.payload))
+					if err != nil {
+						// An op the run's last slot could not carry is a
+						// tolerated outcome — backpressure by exhaustion,
+						// reported, never silently dropped.
+						s.tolerated = true
+						return
+					}
+					s.pos, s.acked = pos, true
+				}()
+			}
+			subWG.Wait()
+			runWG.Wait()
+			for _, id := range tc.waited {
+				if errs[id] != nil {
+					t.Fatalf("party %d run: %v", id, errs[id])
+				}
+			}
+
+			// Bit-identical per-shard ledgers across every awaited party.
+			flat := agreeShardLedgers(t, engines, tc.waited, shards)
+
+			// No cross-shard interference: every committed op lives on the
+			// shard its stream routes to, exactly once.
+			count := map[string]int{}
+			for shardIdx, ops := range flat {
+				for _, op := range ops {
+					if home := Route(op.Stream, shards); home != shardIdx {
+						t.Fatalf("op %q committed on shard %d, routes to %d", op.Payload, shardIdx, home)
+					}
+					count[string(op.Payload)]++
+				}
+			}
+			acked := 0
+			for _, s := range subs {
+				if !s.acked {
+					continue
+				}
+				acked++
+				if count[s.payload] != 1 {
+					t.Fatalf("acked op %q committed %d times", s.payload, count[s.payload])
+				}
+				if want := Route([]byte(s.stream), shards); s.pos.Shard != want {
+					t.Fatalf("op %q acked on shard %d, routes to %d", s.payload, s.pos.Shard, want)
+				}
+				for _, id := range tc.waited {
+					got := opAt(t, engines[id], s.pos)
+					if string(got.Stream) != s.stream || string(got.Payload) != s.payload {
+						t.Fatalf("party %d has (%q,%q) at %+v, want (%q,%q)",
+							id, got.Stream, got.Payload, s.pos, s.stream, s.payload)
+					}
+				}
+			}
+			if acked == 0 {
+				t.Fatalf("no submission was acked under %s", tc.name)
+			}
+			t.Logf("%s: %d/%d ops acked and verified at their positions", tc.name, acked, len(subs))
+		})
+	}
+}

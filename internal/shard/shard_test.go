@@ -1,0 +1,192 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"asyncft/internal/acs"
+)
+
+// TestRouteDeterminism pins the routing function: golden values (so a
+// well-meaning "improvement" to the hash cannot silently re-shard every
+// deployed stream), plus the same-stream-same-shard invariant Route's
+// purity provides across parties and restarts by construction.
+func TestRouteDeterminism(t *testing.T) {
+	golden := []struct {
+		stream string
+		shards int
+		want   int
+	}{
+		{"alice", 4, 3},
+		{"bob", 4, 0},
+		{"alice", 8, 7},
+		{"stream-0", 4, 0},
+		{"stream-1", 4, 3},
+		{"stream-2", 4, 2},
+		{"", 4, 1},
+	}
+	for _, g := range golden {
+		if got := Route([]byte(g.stream), g.shards); got != g.want {
+			t.Errorf("Route(%q, %d) = %d, want %d", g.stream, g.shards, got, g.want)
+		}
+	}
+	// Determinism across "restarts": repeated evaluation, fresh slices.
+	for i := 0; i < 100; i++ {
+		id := []byte(fmt.Sprintf("client/%d", i))
+		first := Route(id, 8)
+		if again := Route(append([]byte(nil), id...), 8); again != first {
+			t.Fatalf("Route(%q, 8) unstable: %d then %d", id, first, again)
+		}
+		if first < 0 || first >= 8 {
+			t.Fatalf("Route(%q, 8) = %d out of range", id, first)
+		}
+	}
+	if got := Route([]byte("anything"), 1); got != 0 {
+		t.Fatalf("single-shard routing must be 0, got %d", got)
+	}
+}
+
+// TestRouteDistribution sanity-checks the hash spreads distinct streams:
+// with 1000 streams over 8 shards no shard should be starved or hoard
+// the bulk of the keys.
+func TestRouteDistribution(t *testing.T) {
+	const streams, shards = 1000, 8
+	counts := make([]int, shards)
+	for i := 0; i < streams; i++ {
+		counts[Route([]byte(fmt.Sprintf("user-%d/session-%d", i, i*7)), shards)]++
+	}
+	for s, c := range counts {
+		if c < streams/shards/4 || c > streams*4/shards {
+			t.Fatalf("shard %d holds %d/%d streams — routing badly skewed: %v", s, c, streams, counts)
+		}
+	}
+}
+
+// TestOpsCodecRoundTrip pins the canonical op-batch wire format.
+func TestOpsCodecRoundTrip(t *testing.T) {
+	in := []Op{
+		{Origin: 0, Seq: 0, Stream: []byte("a"), Payload: nil},
+		{Origin: 3, Seq: 17, Stream: []byte("stream/long-ish"), Payload: bytes.Repeat([]byte{0xab}, 300)},
+		{Origin: 1, Seq: 2, Stream: []byte{0x00, 0xff}, Payload: []byte("x")},
+	}
+	out, err := DecodeOps(EncodeOps(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d ops, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Origin != in[i].Origin || out[i].Seq != in[i].Seq ||
+			!bytes.Equal(out[i].Stream, in[i].Stream) || !bytes.Equal(out[i].Payload, in[i].Payload) {
+			t.Fatalf("op %d mismatch: %+v != %+v", i, out[i], in[i])
+		}
+	}
+	if got, err := DecodeOps(EncodeOps(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+}
+
+// TestOpsCodecRejectsMalformed drives the Byzantine-input paths: junk,
+// truncation, oversized counts, empty stream ids.
+func TestOpsCodecRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"junk":         []byte("not an op batch"),
+		"truncated":    EncodeOps([]Op{{Origin: 1, Seq: 2, Stream: []byte("s"), Payload: []byte("p")}})[:5],
+		"empty stream": EncodeOps([]Op{{Origin: 1, Seq: 2, Stream: nil, Payload: []byte("p")}}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeOps(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestSlotOpsSkipsUndecodable: a slot mixing honest op batches with a
+// Byzantine contributor's junk flattens to the honest ops only, with
+// indices that do not depend on where the junk sat — the determinism the
+// ack positions rely on.
+func TestSlotOpsSkipsUndecodable(t *testing.T) {
+	opsA := []Op{{Origin: 0, Seq: 1, Stream: []byte("x"), Payload: []byte("1")}}
+	opsB := []Op{{Origin: 2, Seq: 5, Stream: []byte("y"), Payload: []byte("2")},
+		{Origin: 2, Seq: 6, Stream: []byte("y"), Payload: []byte("3")}}
+	entries := []acs.Entry{
+		{Slot: 0, Party: 0, Payload: EncodeOps(opsA)},
+		{Slot: 0, Party: 1, Payload: []byte("byzantine junk, not a batch")},
+		{Slot: 0, Party: 2, Payload: EncodeOps(opsB)},
+	}
+	flat := SlotOps(entries)
+	if len(flat) != 3 {
+		t.Fatalf("got %d ops, want 3: %+v", len(flat), flat)
+	}
+	want := append(append([]Op(nil), opsA...), opsB...)
+	for i := range want {
+		if flat[i].Origin != want[i].Origin || flat[i].Seq != want[i].Seq {
+			t.Fatalf("index %d: got (%d,%d), want (%d,%d)",
+				i, flat[i].Origin, flat[i].Seq, want[i].Origin, want[i].Seq)
+		}
+	}
+}
+
+// TestMergedShardLedgersLoseNothing is the merge property test: routing a
+// batch of distinct ops across S per-shard ledgers and merging the shard
+// ledgers back yields every op exactly once — nothing lost to routing,
+// nothing duplicated across shards (a stream lives on exactly one shard).
+func TestMergedShardLedgersLoseNothing(t *testing.T) {
+	const shards, streams, perStream = 4, 32, 8
+	ledgers := make([][]Op, shards)
+	seq := 0
+	type key struct{ origin, seq int }
+	submitted := make(map[key]bool)
+	for s := 0; s < streams; s++ {
+		stream := []byte(fmt.Sprintf("prop/stream-%d", s))
+		for i := 0; i < perStream; i++ {
+			op := Op{Origin: 0, Seq: seq, Stream: stream, Payload: []byte{byte(i)}}
+			seq++
+			submitted[key{op.Origin, op.Seq}] = true
+			ledgers[Route(stream, shards)] = append(ledgers[Route(stream, shards)], op)
+		}
+	}
+	merged := make(map[key]int)
+	for s, ops := range ledgers {
+		for _, op := range ops {
+			if home := Route(op.Stream, shards); home != s {
+				t.Fatalf("op (%d,%d) on shard %d but routes to %d", op.Origin, op.Seq, s, home)
+			}
+			merged[key{op.Origin, op.Seq}]++
+		}
+	}
+	if len(merged) != len(submitted) {
+		t.Fatalf("merged %d distinct ops, submitted %d", len(merged), len(submitted))
+	}
+	for k, n := range merged {
+		if n != 1 {
+			t.Fatalf("op %v appears %d times across shard ledgers", k, n)
+		}
+		if !submitted[k] {
+			t.Fatalf("op %v appears but was never submitted", k)
+		}
+	}
+}
+
+// FuzzShardRouting fuzzes stream-id bytes: Route must stay in range and
+// be insensitive to slice identity (determinism across parties).
+func FuzzShardRouting(f *testing.F) {
+	f.Add([]byte("client-1"), 4)
+	f.Add([]byte{}, 1)
+	f.Add([]byte{0xff, 0x00, 0x7f}, 8)
+	f.Add(bytes.Repeat([]byte{0x55}, 300), 16)
+	f.Fuzz(func(t *testing.T, stream []byte, shards int) {
+		if shards < 1 || shards > 1<<16 {
+			return
+		}
+		got := Route(stream, shards)
+		if got < 0 || got >= shards {
+			t.Fatalf("Route(%x, %d) = %d out of range", stream, shards, got)
+		}
+		if again := Route(append([]byte(nil), stream...), shards); again != got {
+			t.Fatalf("Route(%x, %d) unstable: %d then %d", stream, shards, got, again)
+		}
+	})
+}

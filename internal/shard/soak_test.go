@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"asyncft/internal/network"
+	rt "asyncft/internal/runtime"
+	"asyncft/internal/testkit"
+)
+
+// TestShardSoak is the nightly soak lane for the sharded serving plane:
+// repeated full engine lifecycles (build, serve client load across every
+// shard, drain, tear down) under an adversarial delay policy, with
+// goroutine and heap deltas checked after every cycle — a serving plane
+// that leaks a watcher goroutine or pins pending submissions would fail
+// here instead of in production. Gated on SOAK=1 so the regular test and
+// race jobs never pay for it; CYCLES overrides the count for local runs.
+func TestShardSoak(t *testing.T) {
+	if os.Getenv("SOAK") == "" {
+		t.Skip("soak lane only; set SOAK=1 to run")
+	}
+	cycles := 20
+	if s := os.Getenv("CYCLES"); s != "" {
+		fmt.Sscanf(s, "%d", &cycles)
+	}
+
+	runtime.GC()
+	gBase := runtime.NumGoroutine()
+	var mBase runtime.MemStats
+	runtime.ReadMemStats(&mBase)
+
+	const n, tf, shards, slots, subsPerCycle = 4, 1, 4, 6, 48
+	for cy := 0; cy < cycles; cy++ {
+		seed := int64(2000 + cy)
+		c := testkit.New(n, tf,
+			testkit.WithSeed(seed),
+			testkit.WithTimeout(480*time.Second),
+			testkit.WithPolicy(network.NewDelay(seed, 200*time.Microsecond, time.Millisecond)))
+
+		parties := []int{0, 1, 2, 3}
+		engines, wait := startEngines(t, c, parties, Options{
+			Session: rt.SubSession("soak", cy),
+			Shards:  shards, Slots: slots, Width: 2,
+			Core: localCfg,
+		})
+
+		// Client load through every party, streams covering all shards.
+		var wg sync.WaitGroup
+		acked := make([]int, n)
+		for i := 0; i < subsPerCycle; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				party := parties[i%len(parties)]
+				stream := []byte(fmt.Sprintf("soak-stream-%d", i%16))
+				payload := []byte(fmt.Sprintf("cy%d/op-%d", cy, i))
+				if _, err := engines[party].Submit(c.Ctx, stream, payload); err == nil {
+					acked[party]++
+				}
+			}()
+		}
+		wg.Wait()
+		for id, err := range wait() {
+			if err != nil {
+				t.Fatalf("cycle %d: party %d run: %v", cy, id, err)
+			}
+		}
+		flat := agreeShardLedgers(t, engines, parties, shards)
+		total := 0
+		for _, ops := range flat {
+			total += len(ops)
+		}
+		if total == 0 {
+			t.Fatalf("cycle %d: no ops committed", cy)
+		}
+		c.Close()
+
+		// Leak check: poll the goroutine count back to baseline, then
+		// compare live heap against the pre-soak snapshot.
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			runtime.GC()
+			if runtime.NumGoroutine() <= gBase+5 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("cycle %d: goroutine leak: baseline %d, now %d",
+					cy, gBase, runtime.NumGoroutine())
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if m.HeapAlloc > mBase.HeapAlloc+64<<20 {
+			t.Fatalf("cycle %d: heap growth: baseline %d MiB, now %d MiB",
+				cy, mBase.HeapAlloc>>20, m.HeapAlloc>>20)
+		}
+		if cy%5 == 4 {
+			t.Logf("cycle %d/%d ok: %d ops committed, %d goroutines, %d MiB heap",
+				cy+1, cycles, total, runtime.NumGoroutine(), m.HeapAlloc>>20)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package asyncft
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestClusterShardedBroadcast drives the public sharded API end to end:
+// RunAtomicBroadcast with Shards ≥ 1 started in the background, clients
+// feeding it through Cluster.Submit via different front-door parties,
+// acks carrying committed positions, and the returned ledger tagged with
+// per-shard entries.
+func TestClusterShardedBroadcast(t *testing.T) {
+	c, err := New(fastConfig(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const shards, subs = 2, 10
+	type run struct {
+		ledger []LedgerEntry
+		err    error
+	}
+	done := make(chan run, 1)
+	go func() {
+		ledger, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{
+			Session: "shardapi", Slots: 4, Width: 2, Shards: shards,
+		})
+		done <- run{ledger, err}
+	}()
+
+	type ack struct {
+		stream, payload string
+		pos             SubmitPos
+		err             error
+	}
+	acks := make([]ack, subs)
+	var wg sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		i := i
+		acks[i].stream = fmt.Sprintf("stream-%d", i%4)
+		acks[i].payload = fmt.Sprintf("op-%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			acks[i].pos, acks[i].err = c.Submit("shardapi", i%4, []byte(acks[i].stream), []byte(acks[i].payload))
+		}()
+	}
+	wg.Wait()
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+
+	// Every ack names a real position on a real shard; the ledger carries
+	// entries from each shard that committed ops, each tagged with it.
+	acked := 0
+	for i := range acks {
+		if acks[i].err != nil {
+			t.Fatalf("submit %d: %v", i, acks[i].err)
+		}
+		acked++
+		if p := acks[i].pos; p.Shard < 0 || p.Shard >= shards || p.Slot < 0 || p.Index < 0 {
+			t.Fatalf("submit %d: bad position %+v", i, p)
+		}
+	}
+	if acked != subs {
+		t.Fatalf("acked %d of %d", acked, subs)
+	}
+	seen := map[int]bool{}
+	for _, e := range r.ledger {
+		if e.Shard < 0 || e.Shard >= shards {
+			t.Fatalf("ledger entry on shard %d, want [0,%d)", e.Shard, shards)
+		}
+		seen[e.Shard] = true
+		if len(e.Payload) == 0 {
+			continue
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("empty sharded ledger despite acked submissions")
+	}
+}
+
+// TestClusterShardedSpecValidation pins the spec errors: sharded runs
+// are fed through Submit only, and QueueCap means nothing without them.
+func TestClusterShardedSpecValidation(t *testing.T) {
+	c, err := New(fastConfig(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bad := []AtomicBroadcastSpec{
+		{Session: "v1", Slots: 2, Shards: 1, Payloads: func(party, slot int) []byte { return nil }},
+		{Session: "v2", Slots: 2, Shards: 1, Resume: map[int]int{1: 1}},
+		{Session: "v3", Slots: 2, Shards: 1, DynamicMembership: &DynamicMembership{Genesis: []int{0, 1, 2}}},
+		{Session: "v4", Slots: 2, QueueCap: 8},
+		{Session: "v5", Slots: 2, Shards: -1, QueueCap: 8},
+	}
+	for i, spec := range bad {
+		if _, err := c.RunAtomicBroadcast(spec); err == nil {
+			t.Errorf("spec %d (%+v) accepted, want error", i, spec)
+		}
+	}
+	if _, err := c.Submit("never-ran", 9, []byte("s"), []byte("p")); err == nil {
+		t.Error("Submit with out-of-range party accepted")
+	}
+}
+
+// TestClusterSubmitBackpressure pins the public backpressure contract: a
+// tiny queue rejects overflow with ErrOverloaded (the root-level alias of
+// the internal sentinel), and admitted ops still commit.
+func TestClusterSubmitBackpressure(t *testing.T) {
+	c, err := New(fastConfig(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RunAtomicBroadcast(AtomicBroadcastSpec{
+			Session: "shardbp", Slots: 6, Width: 1, Shards: 1, QueueCap: 1,
+		})
+		done <- err
+	}()
+	// Hammer one party's cap-1 queue concurrently: overflow must bounce
+	// with ErrOverloaded; admitted ops either commit with positions or —
+	// if they miss the run's last slot — report ErrUncommitted, never a
+	// silent drop.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	overloaded := 0
+	for i := 0; i < 32; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Submit("shardbp", 0, []byte("bp-stream"), []byte(fmt.Sprintf("bp-%d", i)))
+			switch {
+			case err == nil, errors.Is(err, ErrUncommitted):
+			case errors.Is(err, ErrOverloaded):
+				mu.Lock()
+				overloaded++
+				mu.Unlock()
+			default:
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if overloaded == 0 {
+		t.Log("queue never filled (acceptable on a fast machine); backpressure path covered by internal tests")
+	}
+}
